@@ -1,0 +1,41 @@
+"""Ablation: coroutine (generator) partial packing vs full packing.
+
+The paper prototyped C++ coroutines for suspendable loop-nest packing
+(Listing 9) but had to fall back to full packing because Clang would not
+vectorize inside coroutines.  Python generators work, so this bench compares
+the two strategies on every DDTBench workload — in virtual time they charge
+identically; in *wall* time the generator pays real suspension overhead,
+which the pytest-benchmark cases below measure.
+"""
+
+import pytest
+
+from conftest import save_text
+from repro.bench import WorkloadCase, run_once
+from repro.ddtbench import WORKLOADS, make_workload
+
+
+def sweep():
+    rows = ["workload | full-pack_us | coroutine_us"]
+    for name in WORKLOADS:
+        w = make_workload(name)
+        full = run_once(lambda s: WorkloadCase(make_workload(name),
+                                               "custom-pack"), w.packed_bytes)
+        coro = run_once(lambda s: WorkloadCase(make_workload(name),
+                                               "custom-coro"), w.packed_bytes)
+        rows.append(f"{name:10s} | {full.latency_us:12.2f} | {coro.latency_us:12.2f}")
+    return "\n".join(rows)
+
+
+def test_abl_coroutine_pack(benchmark):
+    text = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save_text("abl_coroutine_pack", text)
+
+
+@pytest.mark.parametrize("method", ["custom-pack", "custom-coro"])
+def test_abl_coroutine_wall_time(benchmark, method):
+    """Real wall-clock of the two pack strategies (NAS_LU_y loop nest)."""
+    w = make_workload("NAS_LU_y")
+    benchmark(lambda: run_once(
+        lambda s: WorkloadCase(make_workload("NAS_LU_y"), method),
+        w.packed_bytes))

@@ -1,0 +1,42 @@
+"""Ablation: fragment size of the custom pack pipeline.
+
+The pack callback is invoked once per fragment, so tiny fragments pay
+callback overhead per message while huge fragments lose nothing in this
+serial simulator (a pipelining implementation would trade off differently).
+Sweeps the ``frag_size`` transport parameter against a pack-heavy workload.
+"""
+
+import pytest
+
+from conftest import save_text
+from repro.bench import WorkloadCase, run_once
+from repro.ddtbench import make_workload
+from repro.ucp.netsim import DEFAULT_PARAMS
+
+FRAG_SIZES = [512, 2048, 8192, 32768, 131072]
+
+
+def sweep():
+    w = make_workload("MILC")
+    rows = ["frag_size | latency_us"]
+    for frag in FRAG_SIZES:
+        params = DEFAULT_PARAMS.with_overrides(frag_size=frag)
+        pt = run_once(lambda s: WorkloadCase(make_workload("MILC"),
+                                             "custom-pack"),
+                      w.packed_bytes, params=params)
+        rows.append(f"{frag:9d} | {pt.latency_us:10.2f}")
+    return "\n".join(rows)
+
+
+def test_abl_fragment_size(benchmark):
+    text = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save_text("abl_fragment_size", text)
+
+
+@pytest.mark.parametrize("frag", [512, 8192, 131072])
+def test_abl_fragment_transfer(benchmark, frag):
+    w = make_workload("MILC")
+    params = DEFAULT_PARAMS.with_overrides(frag_size=frag)
+    benchmark(lambda: run_once(
+        lambda s: WorkloadCase(make_workload("MILC"), "custom-pack"),
+        w.packed_bytes, params=params))

@@ -1,0 +1,53 @@
+"""Ablation: process placement (intra- vs inter-node transfers).
+
+The paper's testbed has exactly two nodes; this ablation generalizes the
+simulator to multi-rank nodes and shows how the custom-datatype advantage
+shifts: intra-node (shared-memory) transfers have such low fixed costs that
+the scatter/gather path's base overhead matters more, while inter-node
+transfers amortize it.
+"""
+
+import pytest
+
+from conftest import save_text
+from repro.bench import DoubleVecCustomCase, DoubleVecPackedCase, run_once
+from repro.mpi import run
+from repro.ucp.netsim import DEFAULT_PARAMS
+
+PARAMS = DEFAULT_PARAMS.with_overrides(ranks_per_node=2)
+SIZE = 256 * 1024
+
+
+def _pair_time(case_factory, src, dst):
+    import numpy as np
+
+    def fn(comm):
+        case = case_factory(SIZE)
+        case.setup(comm)
+        if comm.rank == src:
+            case.send(comm, dst, 0)
+            case.recv(comm, dst, 1)
+            return comm.clock.now
+        if comm.rank == dst:
+            case.recv(comm, src, 0)
+            case.send(comm, src, 1)
+            return comm.clock.now
+        return None
+
+    res = run(fn, nprocs=4, params=PARAMS)
+    return res.results[src] / 2
+
+
+def sweep():
+    rows = ["method | intra-node_us | inter-node_us"]
+    for name, factory in [("custom", lambda s: DoubleVecCustomCase(s, 1024)),
+                          ("manual-pack", lambda s: DoubleVecPackedCase(s, 1024))]:
+        intra = _pair_time(factory, 0, 1) * 1e6
+        inter = _pair_time(factory, 0, 2) * 1e6
+        rows.append(f"{name:11s} | {intra:13.2f} | {inter:13.2f}")
+    return "\n".join(rows)
+
+
+def test_abl_placement(benchmark):
+    text = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save_text("abl_placement", text)

@@ -1,0 +1,39 @@
+"""Ablation: region granularity at fixed payload.
+
+A 256-KiB double-vector sent as N regions of 256KiB/N each: per-entry
+scatter/gather overhead makes many tiny regions lose — the mechanism behind
+the NAS_LU_y / NAS_MG_x results and the expensive-regions calibration
+variant makes regions lose everywhere.
+"""
+
+import pytest
+
+from conftest import save_text
+from repro.bench import DoubleVecCustomCase, DoubleVecPackedCase, run_once
+from repro.bench.calibration import expensive_regions_params
+
+TOTAL = 256 * 1024
+SUBVECS = [64, 256, 1024, 4096, 16384, 65536]
+
+
+def sweep():
+    rows = ["subvec_bytes | regions | custom_MBps | custom_expensive_MBps"]
+    manual = run_once(lambda s: DoubleVecPackedCase(s, 1024), TOTAL)
+    for sv in SUBVECS:
+        pt = run_once(lambda s: DoubleVecCustomCase(s, sv), TOTAL)
+        pt2 = run_once(lambda s: DoubleVecCustomCase(s, sv), TOTAL,
+                       params=expensive_regions_params())
+        rows.append(f"{sv:12d} | {TOTAL // sv:7d} | {pt.bandwidth_MBps:11.1f} "
+                    f"| {pt2.bandwidth_MBps:11.1f}")
+    rows.append(f"manual-pack reference: {manual.bandwidth_MBps:.1f} MB/s")
+    return "\n".join(rows)
+
+
+def test_abl_region_count(benchmark):
+    text = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save_text("abl_region_count", text)
+
+
+@pytest.mark.parametrize("sv", [64, 4096, 65536])
+def test_abl_region_transfer(benchmark, sv):
+    benchmark(lambda: run_once(lambda s: DoubleVecCustomCase(s, sv), TOTAL))

@@ -1,0 +1,38 @@
+"""Ablation: eager->rendezvous threshold placement.
+
+The Fig. 7 manual-pack dip must track the configured eager limit; with an
+eager-only transport (threshold -> infinity) the dip disappears entirely —
+confirming the paper's attribution of the dip to the protocol switch.
+"""
+
+import pytest
+
+from conftest import save_text
+from repro.bench import StructPackedCase, pow2_sizes, sweep_pingpong
+from repro.bench.calibration import no_rendezvous_params
+from repro.ucp.netsim import DEFAULT_PARAMS
+
+LIMITS = [8 * 1024, 32 * 1024, 128 * 1024]
+
+
+def sweep():
+    sizes = pow2_sizes(12, 19)
+    rows = ["size | " + " | ".join(f"limit={lim // 1024}K" for lim in LIMITS)
+            + " | eager-only"]
+    series = []
+    for lim in LIMITS:
+        params = DEFAULT_PARAMS.with_overrides(eager_limit=lim)
+        pts = sweep_pingpong(lambda s: StructPackedCase(s, "struct-simple"),
+                             sizes, params=params)
+        series.append([p.bandwidth_MBps for p in pts])
+    pts = sweep_pingpong(lambda s: StructPackedCase(s, "struct-simple"),
+                         sizes, params=no_rendezvous_params())
+    series.append([p.bandwidth_MBps for p in pts])
+    for i, size in enumerate(sizes):
+        rows.append(f"{size:7d} | " + " | ".join(f"{s[i]:10.1f}" for s in series))
+    return "\n".join(rows)
+
+
+def test_abl_rendezvous_threshold(benchmark):
+    text = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save_text("abl_rendezvous_threshold", text)

@@ -1,0 +1,31 @@
+"""Figure 1: double-vector latency while varying the sub-vector size.
+
+Paper claims regenerated here: the bytes baseline is lowest; custom improves
+with larger sub-vectors from ~2^9; manual-pack has the highest latency at
+large sizes.
+"""
+
+import pytest
+
+from conftest import save_series
+from repro.bench import (DoubleVecCustomCase, DoubleVecPackedCase,
+                         RawBytesCase, fig1_double_vec_latency, run_once)
+
+
+def test_fig1_regenerate(benchmark):
+    fs = benchmark.pedantic(fig1_double_vec_latency,
+                            kwargs=dict(quick=True), rounds=1, iterations=1)
+    save_series(fs)
+
+
+@pytest.mark.parametrize("subvec", [64, 1024, 4096])
+def test_fig1_custom_transfer(benchmark, subvec):
+    benchmark(lambda: run_once(lambda s: DoubleVecCustomCase(s, subvec), 65536))
+
+
+def test_fig1_manual_pack_transfer(benchmark):
+    benchmark(lambda: run_once(lambda s: DoubleVecPackedCase(s, 1024), 65536))
+
+
+def test_fig1_bytes_baseline_transfer(benchmark):
+    benchmark(lambda: run_once(RawBytesCase, 65536))

@@ -1,0 +1,27 @@
+"""Figure 2: double-vector bandwidth (sub-vector 1024 B).
+
+Custom (regions) out-bandwidths manual packing at large sizes and
+approaches the raw-bytes baseline.
+"""
+
+import pytest
+
+from conftest import save_series
+from repro.bench import (DoubleVecCustomCase, DoubleVecPackedCase,
+                         fig2_double_vec_bandwidth, run_once)
+
+
+def test_fig2_regenerate(benchmark):
+    fs = benchmark.pedantic(fig2_double_vec_bandwidth,
+                            kwargs=dict(quick=True), rounds=1, iterations=1)
+    save_series(fs)
+
+
+@pytest.mark.parametrize("size", [1 << 14, 1 << 18])
+def test_fig2_custom_transfer(benchmark, size):
+    benchmark(lambda: run_once(lambda s: DoubleVecCustomCase(s, 1024), size))
+
+
+@pytest.mark.parametrize("size", [1 << 14, 1 << 18])
+def test_fig2_manual_pack_transfer(benchmark, size):
+    benchmark(lambda: run_once(lambda s: DoubleVecPackedCase(s, 1024), size))

@@ -1,0 +1,27 @@
+"""Figure 3: struct-vector latency.
+
+Custom starts above the derived-datatype baseline at small element counts
+and converges/beats it at large sizes (the paper's crossover was ~2^18; see
+EXPERIMENTS.md for the divergence note).
+"""
+
+import pytest
+
+from conftest import save_series
+from repro.bench import (StructCustomCase, StructDerivedCase, StructPackedCase,
+                         fig3_struct_vec_latency, run_once)
+
+
+def test_fig3_regenerate(benchmark):
+    fs = benchmark.pedantic(fig3_struct_vec_latency,
+                            kwargs=dict(quick=True), rounds=1, iterations=1)
+    save_series(fs)
+
+
+@pytest.mark.parametrize("method,case", [
+    ("custom", StructCustomCase),
+    ("manual-pack", StructPackedCase),
+    ("rsmpi", StructDerivedCase),
+])
+def test_fig3_transfer(benchmark, method, case):
+    benchmark(lambda: run_once(lambda s: case(s, "struct-vec"), 1 << 16))

@@ -1,0 +1,24 @@
+"""Figure 4: struct-vector bandwidth (sizes are multiples of the ~8 KiB
+packed element)."""
+
+import pytest
+
+from conftest import save_series
+from repro.bench import (StructCustomCase, StructDerivedCase,
+                         fig4_struct_vec_bandwidth, run_once)
+
+
+def test_fig4_regenerate(benchmark):
+    fs = benchmark.pedantic(fig4_struct_vec_bandwidth,
+                            kwargs=dict(quick=True), rounds=1, iterations=1)
+    save_series(fs)
+
+
+@pytest.mark.parametrize("size", [1 << 15, 1 << 19])
+def test_fig4_custom_transfer(benchmark, size):
+    benchmark(lambda: run_once(lambda s: StructCustomCase(s, "struct-vec"), size))
+
+
+@pytest.mark.parametrize("size", [1 << 15, 1 << 19])
+def test_fig4_derived_transfer(benchmark, size):
+    benchmark(lambda: run_once(lambda s: StructDerivedCase(s, "struct-vec"), size))

@@ -1,0 +1,26 @@
+"""Figure 5: struct-simple latency.
+
+The 4-byte C-layout gap pushes the derived-datatype engine onto its
+per-block slow path: custom and manual-pack are far faster at size.
+"""
+
+import pytest
+
+from conftest import save_series
+from repro.bench import (StructCustomCase, StructDerivedCase, StructPackedCase,
+                         fig5_struct_simple_latency, run_once)
+
+
+def test_fig5_regenerate(benchmark):
+    fs = benchmark.pedantic(fig5_struct_simple_latency,
+                            kwargs=dict(quick=True), rounds=1, iterations=1)
+    save_series(fs)
+
+
+@pytest.mark.parametrize("method,case", [
+    ("custom", StructCustomCase),
+    ("manual-pack", StructPackedCase),
+    ("rsmpi", StructDerivedCase),
+])
+def test_fig5_transfer(benchmark, method, case):
+    benchmark(lambda: run_once(lambda s: case(s, "struct-simple"), 1 << 15))

@@ -1,0 +1,26 @@
+"""Figure 6: struct-simple-no-gap latency.
+
+Without the gap the derived type is contiguous, the engine takes the
+zero-copy fast path, and rsmpi/Open MPI 'performs as expected'.
+"""
+
+import pytest
+
+from conftest import save_series
+from repro.bench import (StructDerivedCase, StructPackedCase,
+                         fig6_struct_simple_no_gap_latency, run_once)
+
+
+def test_fig6_regenerate(benchmark):
+    fs = benchmark.pedantic(fig6_struct_simple_no_gap_latency,
+                            kwargs=dict(quick=True), rounds=1, iterations=1)
+    save_series(fs)
+
+
+@pytest.mark.parametrize("method,case", [
+    ("manual-pack", StructPackedCase),
+    ("rsmpi", StructDerivedCase),
+])
+def test_fig6_transfer(benchmark, method, case):
+    benchmark(lambda: run_once(lambda s: case(s, "struct-simple-no-gap"),
+                               1 << 15))

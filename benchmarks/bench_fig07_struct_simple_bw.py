@@ -1,0 +1,29 @@
+"""Figure 7: struct-simple bandwidth.
+
+manual-pack dips right after the eager limit (its packed stream switches to
+rendezvous); custom rides the iovec path and is smooth across the switch.
+"""
+
+import pytest
+
+from conftest import save_series
+from repro.bench import (StructCustomCase, StructPackedCase,
+                         fig7_struct_simple_bandwidth, run_once)
+
+
+def test_fig7_regenerate(benchmark):
+    fs = benchmark.pedantic(fig7_struct_simple_bandwidth,
+                            kwargs=dict(quick=True), rounds=1, iterations=1)
+    save_series(fs)
+
+
+@pytest.mark.parametrize("size", [1 << 15, 1 << 16])
+def test_fig7_manual_pack_across_the_dip(benchmark, size):
+    benchmark(lambda: run_once(lambda s: StructPackedCase(s, "struct-simple"),
+                               size))
+
+
+@pytest.mark.parametrize("size", [1 << 15, 1 << 16])
+def test_fig7_custom_across_the_dip(benchmark, size):
+    benchmark(lambda: run_once(lambda s: StructCustomCase(s, "struct-simple"),
+                               size))

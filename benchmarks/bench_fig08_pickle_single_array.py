@@ -1,0 +1,30 @@
+"""Figure 8: Python pingpong with single NumPy arrays.
+
+roofline (raw buffers) vs pickle-basic vs pickle-oob vs pickle-oob-cdt.
+Out-of-band methods win from 2^18 up; none reaches the roofline (receive
+allocations).
+"""
+
+import pytest
+
+from conftest import save_series
+from repro.bench import PickleCase, RawBytesCase, fig8_pickle_single_array, run_once
+from repro.serial import (BasicPickle, OobCdtPickle, OobPickle,
+                          make_single_array)
+
+
+def test_fig8_regenerate(benchmark):
+    fs = benchmark.pedantic(fig8_pickle_single_array,
+                            kwargs=dict(quick=True), rounds=1, iterations=1)
+    save_series(fs)
+
+
+@pytest.mark.parametrize("strategy", [BasicPickle, OobPickle, OobCdtPickle])
+def test_fig8_strategy_transfer(benchmark, strategy):
+    benchmark(lambda: run_once(
+        lambda s: PickleCase(s, strategy(), lambda n: make_single_array(n)),
+        1 << 19))
+
+
+def test_fig8_roofline_transfer(benchmark):
+    benchmark(lambda: run_once(RawBytesCase, 1 << 19))

@@ -1,0 +1,25 @@
+"""Figure 9: Python pingpong with a complex object of 128-KiB arrays.
+
+The out-of-band strategies win at the largest sizes; the custom-datatype
+variant (one MPI message) beats one-message-per-buffer.
+"""
+
+import pytest
+
+from conftest import save_series
+from repro.bench import PickleCase, fig9_pickle_complex_object, run_once
+from repro.serial import (BasicPickle, OobCdtPickle, OobPickle,
+                          make_complex_object)
+
+
+def test_fig9_regenerate(benchmark):
+    fs = benchmark.pedantic(fig9_pickle_complex_object,
+                            kwargs=dict(quick=True), rounds=1, iterations=1)
+    save_series(fs)
+
+
+@pytest.mark.parametrize("strategy", [BasicPickle, OobPickle, OobCdtPickle])
+def test_fig9_strategy_transfer(benchmark, strategy):
+    benchmark(lambda: run_once(
+        lambda s: PickleCase(s, strategy(), lambda n: make_complex_object(n)),
+        1 << 20))

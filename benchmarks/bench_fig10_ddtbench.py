@@ -1,0 +1,33 @@
+"""Figure 10: DDTBench bandwidths per workload and method.
+
+Regions win for MILC / NAS_LU_x / NAS_MG_y (few large runs) and lose for
+NAS_LU_y / NAS_MG_x (many tiny runs); custom packing is competitive for
+LAMMPS.
+"""
+
+import pytest
+
+from conftest import save_series
+from repro.bench import WorkloadCase, fig10_ddtbench, run_once
+from repro.ddtbench import make_workload
+
+
+def test_fig10_regenerate(benchmark):
+    fs = benchmark.pedantic(fig10_ddtbench, rounds=1, iterations=1)
+    save_series(fs)
+
+
+@pytest.mark.parametrize("name", ["LAMMPS", "MILC", "NAS_LU_y", "WRF_y_vec"])
+@pytest.mark.parametrize("method", ["ompi-datatype", "manual-pack",
+                                    "custom-pack"])
+def test_fig10_transfer(benchmark, name, method):
+    w = make_workload(name)
+    benchmark(lambda: run_once(lambda s: WorkloadCase(w, method),
+                               w.packed_bytes))
+
+
+@pytest.mark.parametrize("name", ["MILC", "NAS_LU_x", "NAS_MG_x"])
+def test_fig10_region_transfer(benchmark, name):
+    w = make_workload(name)
+    benchmark(lambda: run_once(lambda s: WorkloadCase(w, "custom-region"),
+                               w.packed_bytes))

@@ -1,0 +1,11 @@
+"""Table I: DDTBench benchmark characteristics, regenerated from the
+workload registry (plus measured region statistics the simulator can
+compute exactly)."""
+
+from conftest import save_text
+from repro.ddtbench import format_table1
+
+
+def test_table1_regenerate(benchmark):
+    text = benchmark.pedantic(format_table1, rounds=1, iterations=1)
+    save_text("table1", text)

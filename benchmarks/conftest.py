@@ -1,0 +1,38 @@
+"""Shared benchmark helpers.
+
+Every ``bench_figXX`` module does two things:
+
+* a *regeneration* benchmark that rebuilds the paper figure's series from
+  the virtual-time harness (the reproduction artifact, saved under
+  ``benchmarks/results/``), and
+* *micro* benchmarks that time the real execution of representative
+  transfers with pytest-benchmark (wall-clock of the simulator itself).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def save_series(fs, extra: str = "") -> str:
+    """Persist a regenerated figure under benchmarks/results/ and return
+    the rendered text."""
+    from repro.bench import format_figure
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = format_figure(fs)
+    if extra:
+        text += "\n" + extra
+    (RESULTS_DIR / f"{fs.figure}.txt").write_text(text + "\n")
+    print()
+    print(text)
+    return text
+
+
+def save_text(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)

@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""2-D Jacobi halo exchange: derived datatypes vs the custom region API.
+
+A classic stencil code (the NAS workloads' access pattern): each rank owns a
+strip of a global grid and exchanges one-row halos with its neighbours every
+iteration.  The same exchange is run twice —
+
+* with a classic derived datatype (``contiguous`` rows), and
+* with a custom datatype exposing the halo rows as memory regions —
+
+and the converged grids are verified identical.
+
+Run:  python examples/halo_exchange.py
+"""
+
+import numpy as np
+
+from repro.core import FLOAT64, Region, contiguous, type_create_custom
+from repro.mpi import run
+
+NRANKS = 4
+NX = 64          # global columns
+ROWS_PER_RANK = 16
+ITERS = 30
+
+
+def row_region_datatype(row_getter):
+    """Custom type sending/receiving one grid row as a single region."""
+
+    def query_fn(state, buf, count):
+        return 0
+
+    def region_count_fn(state, buf, count):
+        return 1
+
+    def region_fn(state, buf, count, n):
+        return [Region(row_getter(buf), datatype=FLOAT64)]
+
+    return type_create_custom(query_fn=query_fn,
+                              region_count_fn=region_count_fn,
+                              region_fn=region_fn, name="custom:halo-row")
+
+
+def jacobi(comm, use_custom: bool):
+    # Local strip with one ghost row above and below.
+    grid = np.zeros((ROWS_PER_RANK + 2, NX))
+    # Dirichlet boundary: hot left edge, scaled per global row.
+    start_row = comm.rank * ROWS_PER_RANK
+    for i in range(1, ROWS_PER_RANK + 1):
+        grid[i, 0] = 100.0 * (start_row + i) / (NRANKS * ROWS_PER_RANK)
+
+    up = comm.rank - 1
+    down = comm.rank + 1
+
+    row_t = contiguous(NX, FLOAT64)
+    send_top_t = row_region_datatype(lambda g: g[1])
+    send_bot_t = row_region_datatype(lambda g: g[ROWS_PER_RANK])
+    recv_top_t = row_region_datatype(lambda g: g[0])
+    recv_bot_t = row_region_datatype(lambda g: g[ROWS_PER_RANK + 1])
+
+    for _ in range(ITERS):
+        reqs = []
+        if up >= 0:
+            if use_custom:
+                reqs.append(comm.irecv(grid, source=up, tag=1,
+                                       datatype=recv_top_t))
+                reqs.append(comm.isend(grid, dest=up, tag=2,
+                                       datatype=send_top_t))
+            else:
+                reqs.append(comm.irecv(grid[0], source=up, tag=1,
+                                       datatype=row_t, count=1))
+                reqs.append(comm.isend(np.ascontiguousarray(grid[1]), dest=up,
+                                       tag=2, datatype=row_t, count=1))
+        if down < comm.size:
+            if use_custom:
+                reqs.append(comm.irecv(grid, source=down, tag=2,
+                                       datatype=recv_bot_t))
+                reqs.append(comm.isend(grid, dest=down, tag=1,
+                                       datatype=send_bot_t))
+            else:
+                reqs.append(comm.irecv(grid[ROWS_PER_RANK + 1], source=down,
+                                       tag=2, datatype=row_t, count=1))
+                reqs.append(comm.isend(
+                    np.ascontiguousarray(grid[ROWS_PER_RANK]), dest=down,
+                    tag=1, datatype=row_t, count=1))
+        for r in reqs:
+            r.wait()
+
+        # Five-point stencil over the owned rows; ghost rows at the global
+        # top/bottom stay zero (a cold boundary).
+        R = ROWS_PER_RANK
+        new = grid.copy()
+        new[1:R + 1, 1:-1] = 0.25 * (grid[0:R, 1:-1] + grid[2:R + 2, 1:-1]
+                                     + grid[1:R + 1, 0:-2] + grid[1:R + 1, 2:])
+        # Keep the boundary condition pinned.
+        for i in range(1, ROWS_PER_RANK + 1):
+            new[i, 0] = grid[i, 0]
+        grid = new
+    return grid[1:ROWS_PER_RANK + 1]
+
+
+def main(comm):
+    derived = jacobi(comm, use_custom=False)
+    custom = jacobi(comm, use_custom=True)
+    return derived, custom
+
+
+if __name__ == "__main__":
+    result = run(main, nprocs=NRANKS)
+    full_derived = np.vstack([r[0] for r in result.results])
+    full_custom = np.vstack([r[1] for r in result.results])
+    assert np.allclose(full_derived, full_custom), \
+        "derived-datatype and custom-region halo exchanges disagree"
+    print(f"Jacobi on a {NRANKS * ROWS_PER_RANK}x{NX} grid, {ITERS} iters, "
+          f"{NRANKS} ranks")
+    print(f"interior mean temperature: {full_custom.mean():.4f} "
+          f"(derived == custom: True)")
+    print(f"max virtual time: {result.max_clock * 1e6:.1f} us")

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Regenerate any of the paper's figures/tables from the command line.
+
+Examples::
+
+    python examples/paper_figures.py --list
+    python examples/paper_figures.py fig5 fig7
+    python examples/paper_figures.py --all --quick
+    python examples/paper_figures.py fig8 --full
+"""
+
+import argparse
+import sys
+
+from repro.bench import ALL_FIGURES, fig10_ddtbench, format_figure
+from repro.ddtbench import format_table1
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("figures", nargs="*",
+                    help="figure ids (fig1..fig10, table1)")
+    ap.add_argument("--all", action="store_true", help="regenerate everything")
+    ap.add_argument("--full", action="store_true",
+                    help="full paper size ranges (slower)")
+    ap.add_argument("--list", action="store_true", help="list figure ids")
+    args = ap.parse_args(argv)
+
+    ids = list(ALL_FIGURES) + ["fig10", "table1"]
+    if args.list:
+        print("\n".join(ids))
+        return 0
+    wanted = ids if args.all else args.figures
+    if not wanted:
+        ap.error("give figure ids, --all, or --list")
+
+    for fid in wanted:
+        if fid == "table1":
+            print(f"== table1: DDTBench characteristics ==")
+            print(format_table1())
+        elif fid == "fig10":
+            print(format_figure(fig10_ddtbench(), width=13))
+        elif fid in ALL_FIGURES:
+            print(format_figure(ALL_FIGURES[fid](quick=not args.full)))
+        else:
+            print(f"unknown figure {fid!r}; try --list", file=sys.stderr)
+            return 2
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""Particle ghost exchange (the LAMMPS motivation) on a rank ring.
+
+Each rank owns a particle set and ships its border particles to the next
+rank in a ring.  The border count varies per step, so the message is a
+*dynamic* type — the case the paper says derived datatypes cannot express
+"without complicated address manipulation and expensive datatype recreation
+for every unique buffer".  Here the custom datatype carries the count
+in-band and exposes the coordinate/velocity/charge arrays as memory regions.
+
+Run:  python examples/particle_exchange.py
+"""
+
+import numpy as np
+
+from repro.core import Region, type_create_custom
+from repro.mpi import run
+
+NRANKS = 4
+STEPS = 3
+N_LOCAL = 5_000
+
+
+class BorderBatch:
+    """Struct-of-arrays border set: x(3N), v(3N), q(N) plus the count."""
+
+    def __init__(self, n=0):
+        self.n = n
+        self.x = np.zeros(3 * n)
+        self.v = np.zeros(3 * n)
+        self.q = np.zeros(n)
+
+    @classmethod
+    def select(cls, rng, step, rank):
+        """A per-step, per-rank border set of varying size."""
+        n = int(rng.integers(100, 900))
+        b = cls(n)
+        b.x[:] = rank + step + np.arange(3 * n) * 1e-4
+        b.v[:] = -rank - np.arange(3 * n) * 1e-5
+        b.q[:] = np.sign(np.sin(np.arange(n) + rank))
+        return b
+
+    def checksum(self):
+        return float(self.x.sum() + self.v.sum() + self.q.sum())
+
+
+def border_datatype():
+    """Custom type: int64 count in-band; x, v, q as regions.
+
+    On the receive side the count arrives first (unpack), after which the
+    region query can allocate correctly sized arrays — the ordering the
+    engine guarantees.
+    """
+
+    def query_fn(state, buf, count):
+        return 8
+
+    def pack_fn(state, buf, count, offset, dst):
+        header = np.asarray(buf.n, dtype="<i8").reshape(1).view(np.uint8)
+        step = min(dst.shape[0], 8 - offset)
+        dst[:step] = header[offset:offset + step]
+        return int(step)
+
+    def unpack_fn(state, buf, count, offset, src):
+        header = np.zeros(1, dtype="<i8").view(np.uint8)
+        header[offset:offset + src.shape[0]] = src
+        buf.n = int(header.view("<i8")[0])
+        buf.x = np.empty(3 * buf.n)
+        buf.v = np.empty(3 * buf.n)
+        buf.q = np.empty(buf.n)
+
+    def region_count_fn(state, buf, count):
+        return 3
+
+    def region_fn(state, buf, count, n):
+        return [Region(buf.x), Region(buf.v), Region(buf.q)]
+
+    return type_create_custom(query_fn=query_fn, pack_fn=pack_fn,
+                              unpack_fn=unpack_fn,
+                              region_count_fn=region_count_fn,
+                              region_fn=region_fn, inorder=True,
+                              name="custom:border-batch")
+
+
+def main(comm):
+    dtype = border_datatype()
+    rng = np.random.default_rng(1000 + comm.rank)
+    right = (comm.rank + 1) % comm.size
+    left = (comm.rank - 1) % comm.size
+    received = []
+
+    for step in range(STEPS):
+        outgoing = BorderBatch.select(rng, step, comm.rank)
+        # Post the receive first, then send: a deadlock-free ring.
+        inbox = BorderBatch()
+        rreq = comm.irecv(inbox, source=left, tag=step, datatype=dtype)
+        sreq = comm.isend(outgoing, dest=right, tag=step, datatype=dtype)
+        rreq.wait()
+        sreq.wait()
+        received.append((inbox.n, inbox.checksum()))
+        print(f"[rank {comm.rank}] step {step}: sent {outgoing.n} particles, "
+              f"received {inbox.n} from rank {left}")
+    return received
+
+
+def expected(rank):
+    """Recompute what `rank` should have received from its left neighbor."""
+    left = (rank - 1) % NRANKS
+    rng = np.random.default_rng(1000 + left)
+    out = []
+    for step in range(STEPS):
+        b = BorderBatch.select(rng, step, left)
+        out.append((b.n, b.checksum()))
+    return out
+
+
+if __name__ == "__main__":
+    result = run(main, nprocs=NRANKS)
+    for rank in range(NRANKS):
+        got = result.results[rank]
+        want = expected(rank)
+        assert len(got) == len(want)
+        for (gn, gc), (wn, wc) in zip(got, want):
+            assert gn == wn and abs(gc - wc) < 1e-6 * max(abs(wc), 1.0)
+    print(f"ring exchange verified on {NRANKS} ranks, {STEPS} steps; "
+          f"max virtual time {result.max_clock * 1e6:.1f} us")

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Quickstart: send a Python object with a custom MPI datatype.
+
+Runs a 2-rank SPMD job in-process (the simulator's ``mpiexec``), declares a
+struct once with :class:`repro.core.StructSpec`, and moves an object whose
+dynamic array travels as a zero-copy memory region while the scalars and the
+array length travel in-band — the two-stage protocol of the paper's
+Section III.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import Field, StructSpec
+from repro.mpi import run
+
+# Declare the type once (the RSMPI derive-macro analogue).  `shape="dynamic"`
+# means the array length is only known per object and is carried in-band.
+PARTICLE_BATCH = StructSpec([
+    Field("step", "<i8"),
+    Field("energy", "<f8"),
+    Field("positions", "<f8", shape="dynamic"),
+], name="particle-batch")
+
+
+class Batch:
+    """Any plain object with matching attributes works."""
+
+
+def main(comm):
+    dtype = PARTICLE_BATCH.custom_datatype()
+
+    if comm.rank == 0:
+        batch = Batch()
+        batch.step = 42
+        batch.energy = -17.25
+        batch.positions = np.linspace(0.0, 1.0, 30_000)
+        comm.send(batch, dest=1, tag=0, datatype=dtype)
+        print(f"[rank 0] sent step={batch.step} with "
+              f"{batch.positions.nbytes} B of positions "
+              f"(virtual time {comm.clock.now * 1e6:.2f} us)")
+    else:
+        batch = Batch()
+        status = comm.recv(batch, source=0, tag=0, datatype=dtype)
+        print(f"[rank 1] got step={batch.step} energy={batch.energy} "
+              f"positions[:3]={batch.positions[:3]} "
+              f"({status.nbytes} B on the wire, "
+              f"virtual time {comm.clock.now * 1e6:.2f} us)")
+        assert batch.step == 42
+        assert np.isclose(batch.positions.sum(), 15_000.0)
+    return comm.clock.now
+
+
+if __name__ == "__main__":
+    result = run(main, nprocs=2)
+    print(f"done; per-rank virtual clocks: "
+          f"{[f'{t * 1e6:.2f} us' for t in result.clocks]}")

@@ -1,0 +1,32 @@
+"""repro — reproduction of "Improving MPI Language Support Through Custom
+Datatype Serialization" (SC 2024).
+
+Subpackages
+-----------
+``repro.core``
+    Datatypes: derived-type constructors, the pack engine, and the paper's
+    custom (callback-driven) datatype API with builders and adapters.
+``repro.ucp``
+    Simulated UCP transport: tag matching, eager/rendezvous/iov protocols,
+    the virtual-time cost model standing in for the paper's InfiniBand
+    testbed.
+``repro.mpi``
+    Simplified MPI implementation: communicators, point-to-point,
+    probe/mprobe, collectives, and the SPMD thread runtime.
+``repro.serial``
+    Pickle-5 strategies (basic / out-of-band / out-of-band over custom
+    datatypes) mirroring the paper's Python evaluation.
+``repro.types``
+    The paper's Rust benchmark types (struct-simple, struct-vec,
+    double-vec, ...) as Python objects with identical byte layouts.
+``repro.ddtbench``
+    The DDTBench workload subset (LAMMPS, MILC, NAS, WRF).
+``repro.bench``
+    OSU-style pingpong drivers and the figure-regeneration harness.
+"""
+
+__version__ = "0.1.0"
+
+from . import errors  # noqa: F401  (re-exported for convenience)
+
+__all__ = ["errors", "__version__"]

@@ -1,0 +1,33 @@
+"""Benchmark harness: pingpong drivers, method cases, figure builders."""
+
+from .calibration import (default_params, expensive_regions_params,
+                          no_rendezvous_params, slow_network_params)
+from .cases import (DDT_METHODS, DoubleVecCustomCase, DoubleVecPackedCase,
+                    PickleCase, RawBytesCase, StructCustomCase,
+                    StructDerivedCase, StructPackedCase, WorkloadCase,
+                    struct_count_for)
+from .figures import (ALL_FIGURES, FigureSeries, fig1_double_vec_latency,
+                      fig2_double_vec_bandwidth, fig3_struct_vec_latency,
+                      fig4_struct_vec_bandwidth, fig5_struct_simple_latency,
+                      fig6_struct_simple_no_gap_latency,
+                      fig7_struct_simple_bandwidth, fig8_pickle_single_array,
+                      fig9_pickle_complex_object, fig10_ddtbench,
+                      format_figure)
+from .timing import (Case, SweepPoint, charge_alloc, charge_copy, pow2_sizes,
+                     run_once, sweep_pingpong)
+
+__all__ = [
+    "Case", "SweepPoint", "sweep_pingpong", "run_once", "pow2_sizes",
+    "charge_copy", "charge_alloc",
+    "RawBytesCase", "DoubleVecCustomCase", "DoubleVecPackedCase",
+    "StructCustomCase", "StructPackedCase", "StructDerivedCase",
+    "PickleCase", "WorkloadCase", "DDT_METHODS", "struct_count_for",
+    "FigureSeries", "format_figure", "ALL_FIGURES",
+    "fig1_double_vec_latency", "fig2_double_vec_bandwidth",
+    "fig3_struct_vec_latency", "fig4_struct_vec_bandwidth",
+    "fig5_struct_simple_latency", "fig6_struct_simple_no_gap_latency",
+    "fig7_struct_simple_bandwidth", "fig8_pickle_single_array",
+    "fig9_pickle_complex_object", "fig10_ddtbench",
+    "default_params", "slow_network_params", "no_rendezvous_params",
+    "expensive_regions_params",
+]

@@ -1,0 +1,79 @@
+"""Cost-model calibration: the constants and why they are what they are.
+
+The testbed substitute (DESIGN.md §2) is a LogGP-style model.  Constants are
+calibrated to the paper's hardware class (two EPYC servers, ConnectX-5 at
+100 Gbps, UCX 1.12) and — more importantly — to the *relationships* that
+produce each figure's shape:
+
+``latency = 1.5 us``, ``bandwidth = 12.5 GB/s``
+    ConnectX-5 class point-to-point numbers (100 Gbps line rate).
+
+``eager_limit = 32 KiB``, ``rndv_handshake = 3 us``
+    UCX switches from eager to rendezvous around this size on this fabric;
+    the paper attributes the manual-pack bandwidth dip at 2^15 to exactly
+    this switch (Fig. 7).  The iovec path has no such threshold, which is
+    why ``custom`` is smooth there.
+
+``copy_bandwidth = 8 GB/s``
+    Streaming memcpy through cache for pack/unpack copies.  Eager transfers
+    pay one such copy per side; manual packing pays one more per side.
+
+``elem_cost = 5 ns``
+    Per-descriptor-block cost of the derived-datatype engine when a type has
+    gaps.  struct-simple has two blocks per 20-byte element, so the engine
+    spends ~10 ns/element versus ~2.5 ns of pure copy — the Fig. 5 penalty.
+    Gap-free types bypass the walk entirely (Fig. 6).
+
+``iov_base_overhead = 1 us``, ``iov_region_overhead = 10 ns``
+    Fixed cost of the scatter/gather path plus per-entry descriptor cost.
+    With 64-byte sub-vectors a double-vec message pays 10 ns per 64 bytes
+    (expensive); with 4-KiB sub-vectors the overhead vanishes — Fig. 1's
+    ordering of the custom curves.  Two pack copies cost
+    ``2 * subvec / 8 GB/s`` = 16 ns per 64 B, so regions still beat manual
+    packing even at the smallest sub-vector size, as the paper observed.
+
+``alloc_base = 0.3 us``, ``alloc_bandwidth = 12 GB/s``
+    malloc plus first-touch page-in.  Receive-side allocation is charged to
+    every pickle strategy (none can reach the roofline, Figs. 8-9) and to
+    engine bounce buffers for derived types.
+
+``callback_overhead = 100 ns``
+    Crossing the application-callback boundary (indirect call + FFI-ish
+    marshalling); the custom path pays a handful per message.
+
+``pickle_base = 2 us``, ``pickle_bandwidth = 5 GB/s``
+    pickle.dumps/loads call overhead and in-band byte processing; the
+    out-of-band strategies only push the ~120-byte header through this,
+    while basic pickle pushes the whole payload (the Fig. 8 separation
+    beyond 2^18).
+
+``probe_overhead = 0.5 us``
+    An MPI_Mprobe round — paid once per receive by basic pickle and twice
+    by multi-message out-of-band pickle.
+"""
+
+from __future__ import annotations
+
+from ..ucp.netsim import DEFAULT_PARAMS, LinkParams
+
+
+def default_params() -> LinkParams:
+    """The calibrated baseline used by every figure."""
+    return DEFAULT_PARAMS
+
+
+def slow_network_params(factor: float = 10.0) -> LinkParams:
+    """Ablation: a network ``factor`` times slower (shifts crossovers left)."""
+    return DEFAULT_PARAMS.with_overrides(
+        bandwidth=DEFAULT_PARAMS.bandwidth / factor,
+        latency=DEFAULT_PARAMS.latency * factor)
+
+
+def no_rendezvous_params() -> LinkParams:
+    """Ablation: eager-only transport (removes the Fig. 7 dip)."""
+    return DEFAULT_PARAMS.with_overrides(eager_limit=1 << 62)
+
+
+def expensive_regions_params(per_region_ns: float = 500.0) -> LinkParams:
+    """Ablation: pathological per-region cost (regions always lose)."""
+    return DEFAULT_PARAMS.with_overrides(iov_region_overhead=per_region_ns * 1e-9)

@@ -1,0 +1,315 @@
+"""Transfer-method cases for every figure of the paper.
+
+Each class implements one line/bar of the evaluation:
+
+* Rust figures 1-7: ``RawBytesCase`` (rsmpi-bytes baseline / roofline),
+  ``DoubleVecCustomCase``, ``DoubleVecPackedCase``, struct cases in
+  custom / manual-pack / derived (rsmpi) flavours.
+* Python figures 8-9: ``PickleCase`` over the three strategies plus the
+  raw-buffer roofline.
+* DDTBench figure 10: ``WorkloadCase`` with the six methods.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..core import BYTE
+from ..ddtbench.base import Workload
+from ..mpi.pack_external import pack_into, pack_size, unpack_from
+from ..serial.strategies import Strategy
+from ..types import (STRUCT_SIMPLE, STRUCT_SIMPLE_NO_GAP,
+                     STRUCT_SIMPLE_NO_GAP_PACKED, STRUCT_SIMPLE_PACKED,
+                     STRUCT_VEC, STRUCT_VEC_PACKED, DoubleVec,
+                     double_vec_custom_datatype, make_struct_simple,
+                     make_struct_simple_no_gap, make_struct_vec,
+                     manual_pack_struct_simple, manual_pack_struct_simple_no_gap,
+                     manual_pack_struct_vec, manual_unpack_struct_simple,
+                     manual_unpack_struct_simple_no_gap,
+                     manual_unpack_struct_vec, struct_simple_custom_datatype,
+                     struct_simple_datatype, struct_simple_no_gap_custom_datatype,
+                     struct_simple_no_gap_datatype, struct_vec_custom_datatype,
+                     struct_vec_datatype)
+from .timing import Case, charge_alloc, charge_copy
+
+
+# ---------------------------------------------------------------------------
+# Raw bytes: the rsmpi-bytes baseline (Fig. 1) and the roofline (Figs. 8-9)
+# ---------------------------------------------------------------------------
+
+class RawBytesCase(Case):
+    """Preallocated contiguous buffers, no serialization anywhere."""
+
+    def __init__(self, size: int):
+        self.size = size
+
+    def setup(self, comm):
+        self.sbuf = np.full(self.size, comm.rank + 1, dtype=np.uint8)
+        self.rbuf = np.zeros(self.size, dtype=np.uint8)
+
+    def send(self, comm, dest, tag):
+        comm.send(self.sbuf, dest, tag, datatype=BYTE, count=self.size)
+
+    def recv(self, comm, source, tag):
+        comm.recv(self.rbuf, source, tag, datatype=BYTE, count=self.size)
+
+
+# ---------------------------------------------------------------------------
+# double-vector (Figs. 1-2)
+# ---------------------------------------------------------------------------
+
+class DoubleVecCustomCase(Case):
+    """The custom method: lengths in-band, sub-vectors as regions."""
+
+    def __init__(self, size: int, subvec_bytes: int = 1024):
+        self.size = size
+        self.subvec_bytes = subvec_bytes
+        self.dtype = double_vec_custom_datatype()
+
+    def setup(self, comm):
+        self.dv = DoubleVec.uniform(self.size, self.subvec_bytes)
+
+    def send(self, comm, dest, tag):
+        comm.send(self.dv, dest, tag, datatype=self.dtype)
+
+    def recv(self, comm, source, tag):
+        self.dv = DoubleVec()
+        comm.recv(self.dv, source, tag, datatype=self.dtype)
+
+
+class DoubleVecPackedCase(Case):
+    """The manual-pack method: everything copied into one byte stream."""
+
+    def __init__(self, size: int, subvec_bytes: int = 1024):
+        self.size = size
+        self.subvec_bytes = subvec_bytes
+
+    def setup(self, comm):
+        self.dv = DoubleVec.uniform(self.size, self.subvec_bytes)
+        self.packed_len = self.dv.manual_pack().shape[0]
+        self.rbuf = np.zeros(self.packed_len, dtype=np.uint8)
+
+    def send(self, comm, dest, tag):
+        charge_alloc(comm, self.packed_len)
+        charge_copy(comm, self.packed_len)
+        packed = self.dv.manual_pack()
+        comm.send(packed, dest, tag, datatype=BYTE, count=self.packed_len)
+
+    def recv(self, comm, source, tag):
+        comm.recv(self.rbuf, source, tag, datatype=BYTE, count=self.packed_len)
+        charge_copy(comm, self.packed_len)
+        self.dv = DoubleVec.manual_unpack(self.rbuf)
+
+
+# ---------------------------------------------------------------------------
+# struct types (Figs. 3-7)
+# ---------------------------------------------------------------------------
+
+_STRUCTS = {
+    "struct-simple": dict(
+        dtype=STRUCT_SIMPLE, packed=STRUCT_SIMPLE_PACKED,
+        make=make_struct_simple, derived=struct_simple_datatype,
+        custom=struct_simple_custom_datatype,
+        pack=manual_pack_struct_simple, unpack=manual_unpack_struct_simple),
+    "struct-simple-no-gap": dict(
+        dtype=STRUCT_SIMPLE_NO_GAP, packed=STRUCT_SIMPLE_NO_GAP_PACKED,
+        make=make_struct_simple_no_gap, derived=struct_simple_no_gap_datatype,
+        custom=struct_simple_no_gap_custom_datatype,
+        pack=manual_pack_struct_simple_no_gap,
+        unpack=manual_unpack_struct_simple_no_gap),
+    "struct-vec": dict(
+        dtype=STRUCT_VEC, packed=STRUCT_VEC_PACKED,
+        make=make_struct_vec, derived=struct_vec_datatype,
+        custom=struct_vec_custom_datatype,
+        pack=manual_pack_struct_vec, unpack=manual_unpack_struct_vec),
+}
+
+
+def struct_count_for(kind: str, size_bytes: int) -> int:
+    """Element count whose packed size is ~``size_bytes`` (>= 1)."""
+    return max(1, size_bytes // _STRUCTS[kind]["packed"])
+
+
+class StructDerivedCase(Case):
+    """rsmpi / Open MPI derived-datatype baseline."""
+
+    def __init__(self, size: int, kind: str = "struct-simple"):
+        self.spec = _STRUCTS[kind]
+        self.count = struct_count_for(kind, size)
+        self.dtype = self.spec["derived"]()
+
+    def setup(self, comm):
+        self.sbuf = self.spec["make"](self.count)
+        self.rbuf = np.zeros(self.count, dtype=self.spec["dtype"])
+
+    def send(self, comm, dest, tag):
+        comm.send(self.sbuf, dest, tag, datatype=self.dtype, count=self.count)
+
+    def recv(self, comm, source, tag):
+        comm.recv(self.rbuf, source, tag, datatype=self.dtype, count=self.count)
+
+
+class StructPackedCase(Case):
+    """manual-pack: vectorized user packing, sent as MPI_BYTE."""
+
+    def __init__(self, size: int, kind: str = "struct-simple"):
+        if _STRUCTS[kind]["pack"] is None:
+            raise ValueError(f"no manual packer for {kind}")
+        self.spec = _STRUCTS[kind]
+        self.count = struct_count_for(kind, size)
+        self.packed_len = self.count * self.spec["packed"]
+
+    def setup(self, comm):
+        self.sbuf = self.spec["make"](self.count)
+        self.rbuf = np.zeros(self.count, dtype=self.spec["dtype"])
+        self.prbuf = np.zeros(self.packed_len, dtype=np.uint8)
+
+    def send(self, comm, dest, tag):
+        charge_alloc(comm, self.packed_len)
+        charge_copy(comm, self.packed_len)
+        packed = self.spec["pack"](self.sbuf)
+        comm.send(packed, dest, tag, datatype=BYTE, count=self.packed_len)
+
+    def recv(self, comm, source, tag):
+        comm.recv(self.prbuf, source, tag, datatype=BYTE, count=self.packed_len)
+        charge_copy(comm, self.packed_len)
+        self.spec["unpack"](self.prbuf, self.rbuf)
+
+
+class StructCustomCase(Case):
+    """The paper's custom datatype for struct types."""
+
+    def __init__(self, size: int, kind: str = "struct-simple"):
+        if _STRUCTS[kind]["custom"] is None:
+            raise ValueError(f"no custom datatype for {kind}")
+        self.spec = _STRUCTS[kind]
+        self.count = struct_count_for(kind, size)
+        self.dtype = self.spec["custom"]()
+
+    def setup(self, comm):
+        self.sbuf = self.spec["make"](self.count)
+        self.rbuf = np.zeros(self.count, dtype=self.spec["dtype"])
+
+    def send(self, comm, dest, tag):
+        comm.send(self.sbuf, dest, tag, datatype=self.dtype, count=self.count)
+
+    def recv(self, comm, source, tag):
+        comm.recv(self.rbuf, source, tag, datatype=self.dtype, count=self.count)
+
+
+# ---------------------------------------------------------------------------
+# Python pickle strategies (Figs. 8-9)
+# ---------------------------------------------------------------------------
+
+class PickleCase(Case):
+    """One pickle strategy moving one object shape.
+
+    The receive side keeps the reconstructed object and echoes it back, so a
+    full pingpong serializes on both ranks — the paper's Python test.
+    """
+
+    def __init__(self, size: int, strategy: Strategy,
+                 factory: Callable[[int], object]):
+        self.size = size
+        self.strategy = strategy
+        self.factory = factory
+        self.obj: object | None = None
+
+    def setup(self, comm):
+        if comm.rank == 0:
+            self.obj = self.factory(self.size)
+
+    def send(self, comm, dest, tag):
+        self.strategy.send(comm, self.obj, dest, tag)
+
+    def recv(self, comm, source, tag):
+        self.obj = self.strategy.recv(comm, source, tag)
+
+
+# ---------------------------------------------------------------------------
+# DDTBench (Fig. 10)
+# ---------------------------------------------------------------------------
+
+DDT_METHODS = ("reference", "ompi-datatype", "ompi-pack", "manual-pack",
+               "custom-pack", "custom-region", "custom-coro")
+
+
+class WorkloadCase(Case):
+    """One DDTBench workload under one transfer method."""
+
+    def __init__(self, workload: Workload, method: str):
+        if method not in DDT_METHODS:
+            raise ValueError(f"unknown DDTBench method {method!r}")
+        if method == "custom-region" and not workload.meta.memory_regions:
+            raise ValueError(f"{workload.name}: regions are impracticable")
+        self.w = workload
+        self.method = method
+        self.packed_len = workload.packed_bytes
+        if method == "ompi-datatype":
+            self.dtype = workload.derived_datatype()
+        elif method == "ompi-pack":
+            self.dtype = workload.derived_datatype()
+        elif method == "custom-pack":
+            self.dtype = workload.custom_pack_datatype()
+        elif method == "custom-region":
+            self.dtype = workload.custom_region_datatype()
+        elif method == "custom-coro":
+            self.dtype = workload.custom_coroutine_datatype()
+        else:
+            self.dtype = None
+
+    def setup(self, comm):
+        self.sbuf = self.w.make_send_buffer()
+        self.rbuf = self.w.make_recv_buffer()
+        self.prbuf = np.zeros(self.packed_len, dtype=np.uint8)
+
+    # The echoing rank sends from its receive buffer, so correctness of the
+    # full round trip is checked end-to-end by the tests.
+
+    def _src(self, comm) -> np.ndarray:
+        return self.sbuf if comm.rank == 0 else self.rbuf
+
+    def send(self, comm, dest, tag):
+        m = self.method
+        if m == "reference":
+            comm.send(self.prbuf, dest, tag, datatype=BYTE, count=self.packed_len)
+        elif m in ("ompi-datatype", "custom-pack", "custom-region", "custom-coro"):
+            comm.send(self._src(comm), dest, tag, datatype=self.dtype, count=1)
+        elif m == "ompi-pack":
+            n = pack_size(1, self.dtype)
+            charge_alloc(comm, n)
+            out = np.empty(n, dtype=np.uint8)
+            pack_into(self._src(comm), 1, self.dtype, out, 0)
+            # Up-front MPI_Pack cannot pipeline with the wire (unlike the
+            # engine's internal pack), so the walk pays the unpipelined
+            # copy rate.
+            nblocks = len(self.dtype.typemap.merged_blocks())
+            model = comm.worker.model
+            comm.clock.advance(nblocks * model.params.elem_cost
+                               + model.copy_time(n))
+            comm.send(out, dest, tag, datatype=BYTE, count=n)
+        elif m == "manual-pack":
+            charge_alloc(comm, self.packed_len)
+            charge_copy(comm, self.packed_len)
+            packed = self.w.manual_pack(self._src(comm))
+            comm.send(packed, dest, tag, datatype=BYTE, count=self.packed_len)
+
+    def recv(self, comm, source, tag):
+        m = self.method
+        if m == "reference":
+            comm.recv(self.prbuf, source, tag, datatype=BYTE, count=self.packed_len)
+        elif m in ("ompi-datatype", "custom-pack", "custom-region", "custom-coro"):
+            comm.recv(self.rbuf, source, tag, datatype=self.dtype, count=1)
+        elif m == "ompi-pack":
+            comm.recv(self.prbuf, source, tag, datatype=BYTE, count=self.packed_len)
+            nblocks = len(self.dtype.typemap.merged_blocks())
+            model = comm.worker.model
+            comm.clock.advance(nblocks * model.params.elem_cost
+                               + model.copy_time(self.packed_len))
+            unpack_from(self.prbuf, 0, self.rbuf, 1, self.dtype)
+        elif m == "manual-pack":
+            comm.recv(self.prbuf, source, tag, datatype=BYTE, count=self.packed_len)
+            charge_copy(comm, self.packed_len)
+            self.w.manual_unpack(self.prbuf, self.rbuf)

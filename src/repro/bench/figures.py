@@ -1,0 +1,266 @@
+"""Figure regeneration: one builder per figure of the paper's evaluation.
+
+Every builder returns a :class:`FigureSeries` whose curves correspond to the
+lines (or bars) of the original figure.  ``quick=True`` trims the size range
+so the builders run in seconds inside the test suite; the benchmark harness
+uses the full ranges.
+
+Expected shapes (what EXPERIMENTS.md checks against the paper):
+
+* Fig. 1 — custom improves with larger sub-vectors, beats manual-pack past
+  ~2^9; the bytes baseline is lowest.
+* Fig. 2 — custom out-bandwidths manual-pack at large sizes (regions beat
+  the extra pack/unpack copies).
+* Fig. 3/4 — custom has higher latency than the derived baseline for small
+  struct-vec messages and converges by ~2^18.
+* Fig. 5 — the gap forces the derived engine onto its slow path: custom and
+  manual-pack are faster.
+* Fig. 6 — without the gap the derived engine is contiguous and best.
+* Fig. 7 — manual-pack dips at the 2^15 eager->rendezvous switch; custom
+  (iovec) is smooth.
+* Fig. 8/9 — out-of-band strategies beat basic pickle from ~2^18 up and
+  no strategy reaches the roofline (receive-side allocation).
+* Fig. 10 — regions win where runs are few/large (MILC, NAS_LU_x, NAS_MG_y)
+  and lose where runs are tiny (NAS_LU_y, NAS_MG_x).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from ..ddtbench.registry import WORKLOADS
+from ..serial.objects import make_complex_object, make_single_array
+from ..serial.strategies import BasicPickle, OobCdtPickle, OobPickle
+from ..ucp.netsim import LinkParams
+from .cases import (DDT_METHODS, DoubleVecCustomCase, DoubleVecPackedCase,
+                    PickleCase, RawBytesCase, StructCustomCase,
+                    StructDerivedCase, StructPackedCase, WorkloadCase)
+from .timing import SweepPoint, pow2_sizes, sweep_pingpong
+
+
+@dataclass
+class FigureSeries:
+    """Regenerated data of one figure."""
+
+    figure: str
+    title: str
+    xlabel: str
+    ylabel: str
+    x: list
+    curves: dict[str, list[float]] = field(default_factory=dict)
+    notes: str = ""
+
+    def curve(self, name: str) -> list[float]:
+        return self.curves[name]
+
+
+def _metric(points: Sequence[SweepPoint], ylabel: str) -> list[float]:
+    if "Latency" in ylabel:
+        return [p.latency_us for p in points]
+    return [p.bandwidth_MBps for p in points]
+
+
+def _sweep(case_factory, sizes, ylabel, params) -> list[float]:
+    return _metric(sweep_pingpong(case_factory, sizes, params=params), ylabel)
+
+
+# ---------------------------------------------------------------------------
+# Figures 1-2: double-vector
+# ---------------------------------------------------------------------------
+
+def fig1_double_vec_latency(quick: bool = True,
+                            params: Optional[LinkParams] = None) -> FigureSeries:
+    """Fig. 1: double-vector latency for sub-vector sizes 64 B-4 KiB."""
+    sizes = pow2_sizes(6, 16 if quick else 20)
+    subvecs = [64, 256, 1024, 4096]
+    fs = FigureSeries(
+        figure="fig1", title="Latency: double-vector type, varying sub-vector size",
+        xlabel="message size (bytes)", ylabel="Latency (us)", x=sizes)
+    for sv in subvecs:
+        fs.curves[f"custom (subvec {sv}B)"] = _sweep(
+            lambda s, sv=sv: DoubleVecCustomCase(s, sv), sizes, fs.ylabel, params)
+    fs.curves["manual-pack (subvec 1024B)"] = _sweep(
+        lambda s: DoubleVecPackedCase(s, 1024), sizes, fs.ylabel, params)
+    fs.curves["rsmpi-bytes-baseline"] = _sweep(
+        lambda s: RawBytesCase(s), sizes, fs.ylabel, params)
+    return fs
+
+
+def fig2_double_vec_bandwidth(quick: bool = True,
+                              params: Optional[LinkParams] = None) -> FigureSeries:
+    """Fig. 2: double-vector bandwidth at sub-vector size 1024 B."""
+    sizes = pow2_sizes(10, 19 if quick else 24)
+    fs = FigureSeries(
+        figure="fig2", title="Bandwidth: double-vector type (sub-vector 1024B)",
+        xlabel="message size (bytes)", ylabel="Bandwidth (MB/s)", x=sizes)
+    fs.curves["custom"] = _sweep(lambda s: DoubleVecCustomCase(s, 1024),
+                                 sizes, fs.ylabel, params)
+    fs.curves["manual-pack"] = _sweep(lambda s: DoubleVecPackedCase(s, 1024),
+                                      sizes, fs.ylabel, params)
+    fs.curves["rsmpi-bytes-baseline"] = _sweep(lambda s: RawBytesCase(s),
+                                               sizes, fs.ylabel, params)
+    return fs
+
+
+# ---------------------------------------------------------------------------
+# Figures 3-7: struct types
+# ---------------------------------------------------------------------------
+
+def _struct_figure(figure: str, kind: str, ylabel: str, sizes: list[int],
+                   params: Optional[LinkParams]) -> FigureSeries:
+    fs = FigureSeries(
+        figure=figure, title=f"{ylabel.split(' ')[0]}: {kind} type",
+        xlabel="message size (bytes)", ylabel=ylabel, x=sizes)
+    fs.curves["custom"] = _sweep(lambda s: StructCustomCase(s, kind),
+                                 sizes, ylabel, params)
+    fs.curves["manual-pack"] = _sweep(lambda s: StructPackedCase(s, kind),
+                                      sizes, ylabel, params)
+    fs.curves["rsmpi-derived-datatype"] = _sweep(
+        lambda s: StructDerivedCase(s, kind), sizes, ylabel, params)
+    return fs
+
+
+def fig3_struct_vec_latency(quick: bool = True,
+                            params: Optional[LinkParams] = None) -> FigureSeries:
+    """Fig. 3: struct-vector latency (custom vs manual-pack vs derived)."""
+    sizes = pow2_sizes(13, 18 if quick else 22)
+    return _struct_figure("fig3", "struct-vec", "Latency (us)", sizes, params)
+
+
+def fig4_struct_vec_bandwidth(quick: bool = True,
+                              params: Optional[LinkParams] = None) -> FigureSeries:
+    """Fig. 4: struct-vector bandwidth."""
+    sizes = pow2_sizes(15, 20 if quick else 24)
+    return _struct_figure("fig4", "struct-vec", "Bandwidth (MB/s)", sizes, params)
+
+
+def fig5_struct_simple_latency(quick: bool = True,
+                               params: Optional[LinkParams] = None) -> FigureSeries:
+    """Fig. 5: struct-simple latency (the 4-byte-gap penalty)."""
+    sizes = pow2_sizes(6, 16 if quick else 20)
+    return _struct_figure("fig5", "struct-simple", "Latency (us)", sizes, params)
+
+
+def fig6_struct_simple_no_gap_latency(quick: bool = True,
+                                      params: Optional[LinkParams] = None
+                                      ) -> FigureSeries:
+    """Fig. 6: struct-simple-no-gap latency (contiguous fast path)."""
+    sizes = pow2_sizes(6, 16 if quick else 20)
+    return _struct_figure("fig6", "struct-simple-no-gap", "Latency (us)",
+                          sizes, params)
+
+
+def fig7_struct_simple_bandwidth(quick: bool = True,
+                                 params: Optional[LinkParams] = None
+                                 ) -> FigureSeries:
+    """Fig. 7: struct-simple bandwidth (the eager->rendezvous dip)."""
+    sizes = pow2_sizes(10, 19 if quick else 24)
+    return _struct_figure("fig7", "struct-simple", "Bandwidth (MB/s)",
+                          sizes, params)
+
+
+# ---------------------------------------------------------------------------
+# Figures 8-9: Python pickle strategies
+# ---------------------------------------------------------------------------
+
+_PY_STRATEGIES = (
+    ("pickle-basic", BasicPickle),
+    ("pickle-oob", OobPickle),
+    ("pickle-oob-cdt", OobCdtPickle),
+)
+
+
+def _pickle_figure(figure: str, title: str, factory: Callable[[int], object],
+                   sizes: list[int], params: Optional[LinkParams]
+                   ) -> FigureSeries:
+    fs = FigureSeries(figure=figure, title=title,
+                      xlabel="message size (bytes)",
+                      ylabel="Bandwidth (MB/s)", x=sizes)
+    fs.curves["roofline"] = _sweep(lambda s: RawBytesCase(s), sizes,
+                                   fs.ylabel, params)
+    for name, cls in _PY_STRATEGIES:
+        fs.curves[name] = _sweep(
+            lambda s, cls=cls: PickleCase(s, cls(), factory),
+            sizes, fs.ylabel, params)
+    return fs
+
+
+def fig8_pickle_single_array(quick: bool = True,
+                             params: Optional[LinkParams] = None) -> FigureSeries:
+    """Fig. 8: Python pingpong over single NumPy arrays."""
+    sizes = pow2_sizes(10, 21 if quick else 26)
+    return _pickle_figure(
+        "fig8", "Python pingpong: single NumPy array",
+        lambda s: make_single_array(s), sizes, params)
+
+
+def fig9_pickle_complex_object(quick: bool = True,
+                               params: Optional[LinkParams] = None
+                               ) -> FigureSeries:
+    """Fig. 9: Python pingpong over complex objects of 128-KiB arrays."""
+    sizes = pow2_sizes(17, 21 if quick else 25)
+    return _pickle_figure(
+        "fig9", "Python pingpong: complex object of 128-KiB arrays",
+        lambda s: make_complex_object(s), sizes, params)
+
+
+# ---------------------------------------------------------------------------
+# Figure 10: DDTBench
+# ---------------------------------------------------------------------------
+
+def fig10_ddtbench(params: Optional[LinkParams] = None,
+                   workloads: Optional[Sequence[str]] = None,
+                   methods: Optional[Sequence[str]] = None) -> FigureSeries:
+    """Fig. 10: DDTBench bandwidth per workload and transfer method."""
+    names = list(workloads or WORKLOADS)
+    meths = list(methods or DDT_METHODS)
+    fs = FigureSeries(
+        figure="fig10", title="DDTBench: bandwidth per workload and method",
+        xlabel="workload", ylabel="Bandwidth (MB/s)", x=names)
+    for method in meths:
+        col: list[float] = []
+        for name in names:
+            w = WORKLOADS[name]()
+            if method == "custom-region" and not w.meta.memory_regions:
+                col.append(float("nan"))
+                continue
+            pt = sweep_pingpong(lambda s, w=w, m=method: WorkloadCase(w, m),
+                                [w.packed_bytes], params=params)[0]
+            col.append(pt.bandwidth_MBps)
+        fs.curves[method] = col
+    return fs
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+
+def format_figure(fs: FigureSeries, width: int = 12) -> str:
+    """ASCII table of a figure's series (the paper-plot data)."""
+    names = list(fs.curves)
+    head = [fs.xlabel.split(" ")[0].ljust(10)] + [n[:width].rjust(width)
+                                                  for n in names]
+    lines = [f"== {fs.figure}: {fs.title} ==", " | ".join(head)]
+    for i, x in enumerate(fs.x):
+        row = [str(x).ljust(10)]
+        for n in names:
+            v = fs.curves[n][i]
+            row.append((f"{v:,.2f}" if v == v else "-").rjust(width))
+        lines.append(" | ".join(row))
+    if fs.notes:
+        lines.append(f"note: {fs.notes}")
+    return "\n".join(lines)
+
+
+ALL_FIGURES: dict[str, Callable[..., FigureSeries]] = {
+    "fig1": fig1_double_vec_latency,
+    "fig2": fig2_double_vec_bandwidth,
+    "fig3": fig3_struct_vec_latency,
+    "fig4": fig4_struct_vec_bandwidth,
+    "fig5": fig5_struct_simple_latency,
+    "fig6": fig6_struct_simple_no_gap_latency,
+    "fig7": fig7_struct_simple_bandwidth,
+    "fig8": fig8_pickle_single_array,
+    "fig9": fig9_pickle_complex_object,
+}

@@ -1,0 +1,117 @@
+"""OSU-style pingpong drivers over virtual time.
+
+A *case* encapsulates one transfer method for one message size: it prepares
+rank-local state, then performs one send or one receive per call.  The
+driver runs a standard pingpong (rank 0 sends, rank 1 echoes) and reads the
+one-way time off rank 0's virtual clock, exactly how the OSU latency test
+computes its numbers — except the clock is the simulator's.
+
+Cases representing *user-level* work (manual packing, allocations done by
+application code rather than by the engine) charge their modelled cost
+explicitly via :func:`charge_copy` / :func:`charge_alloc`, so every method
+is priced by the same cost model whether the work happens inside or outside
+the MPI library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from ..mpi.comm import Communicator
+from ..mpi.engine import EngineConfig
+from ..mpi.runtime import run
+from ..ucp.netsim import LinkParams
+
+
+def charge_copy(comm: Communicator, nbytes: int) -> None:
+    """Charge a vectorized user-space copy of ``nbytes``."""
+    comm.clock.advance(comm.worker.model.copy_time(nbytes))
+
+
+def charge_alloc(comm: Communicator, nbytes: int) -> None:
+    """Charge a fresh user-space allocation of ``nbytes``."""
+    comm.clock.advance(comm.worker.model.alloc_time(nbytes))
+
+
+class Case:
+    """One prepared transfer method at one size."""
+
+    def setup(self, comm: Communicator) -> None:
+        """Prepare rank-local buffers (called once per size, per rank)."""
+
+    def send(self, comm: Communicator, dest: int, tag: int) -> None:
+        raise NotImplementedError
+
+    def recv(self, comm: Communicator, source: int, tag: int) -> None:
+        raise NotImplementedError
+
+
+@dataclass
+class SweepPoint:
+    """One (size, time) sample of a sweep."""
+
+    size: int
+    one_way_s: float
+
+    @property
+    def latency_us(self) -> float:
+        return self.one_way_s * 1e6
+
+    @property
+    def bandwidth_MBps(self) -> float:
+        return (self.size / self.one_way_s) / 1e6 if self.one_way_s > 0 else 0.0
+
+
+def sweep_pingpong(case_factory: Callable[[int], Case],
+                   sizes: Sequence[int],
+                   iters: int = 4,
+                   warmup: int = 1,
+                   params: Optional[LinkParams] = None,
+                   engine_config: Optional[EngineConfig] = None,
+                   timeout: float = 300.0) -> list[SweepPoint]:
+    """Run one job sweeping all sizes for one method; returns per-size times.
+
+    The paper averages four runs; the virtual clock is deterministic, so
+    ``iters`` round trips are averaged instead (identical samples, zero
+    error bars — reported as such by the figure formatter).
+    """
+
+    def rank_fn(comm: Communicator):
+        samples: list[float] = []
+        peer = 1 - comm.rank
+        for i, size in enumerate(sizes):
+            case = case_factory(size)
+            case.setup(comm)
+            comm.barrier()
+            for it in range(warmup + iters):
+                if it == warmup:
+                    comm.barrier()
+                    t0 = comm.clock.now
+                tag = i & 0xFF
+                if comm.rank == 0:
+                    case.send(comm, peer, tag)
+                    case.recv(comm, peer, tag)
+                else:
+                    case.recv(comm, peer, tag)
+                    case.send(comm, peer, tag)
+            samples.append((comm.clock.now - t0) / (2 * iters))
+        return samples
+
+    result = run(rank_fn, nprocs=2, params=params, engine_config=engine_config,
+                 timeout=timeout)
+    times = result.results[0]
+    return [SweepPoint(size=s, one_way_s=t) for s, t in zip(sizes, times)]
+
+
+def run_once(case_factory: Callable[[int], Case], size: int,
+             params: Optional[LinkParams] = None,
+             engine_config: Optional[EngineConfig] = None) -> SweepPoint:
+    """Single-size convenience wrapper."""
+    return sweep_pingpong(case_factory, [size], params=params,
+                          engine_config=engine_config)[0]
+
+
+def pow2_sizes(lo: int, hi: int) -> list[int]:
+    """Powers of two from 2**lo to 2**hi inclusive."""
+    return [1 << k for k in range(lo, hi + 1)]

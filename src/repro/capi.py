@@ -1,0 +1,211 @@
+"""C-flavoured API layer (the paper's ``mpicd-capi`` crate).
+
+The prototype exposes a simplified C MPI API on top of the Rust core; this
+module is its Python analogue for applications (or bindings) that want the
+paper's exact calling conventions instead of the Pythonic ones:
+
+* every function returns ``MPI_SUCCESS`` or an ``MPI_ERR_*`` code (never
+  raises for MPI-level failures),
+* C out-parameters become tuple returns: ``(err, value)``,
+* custom-datatype callbacks follow Listings 2-5 literally — they *return
+  error codes* and deliver outputs via tuples:
+
+  ==========================  =================================================
+  C typedef                   Python signature here
+  ==========================  =================================================
+  state_function              ``statefn(context, src, src_count) -> (err, state)``
+  state_free_function         ``freefn(state) -> err``
+  query_function              ``queryfn(state, buf, count) -> (err, packed_size)``
+  pack_function               ``packfn(state, buf, count, offset, dst) -> (err, used)``
+  unpack_function             ``unpackfn(state, buf, count, offset, src) -> err``
+  region_count_function       ``region_countfn(state, buf, count) -> (err, count)``
+  region_function             ``regionfn(state, buf, count, region_count)
+                              -> (err, reg_bases, reg_lens, reg_types)``
+  ==========================  =================================================
+
+A nonzero code from any callback aborts the MPI operation with that code.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from .core.custom import CustomDatatype, type_create_custom
+from .core.datatype import BYTE, Datatype
+from .core.regions import Region
+from .errors import (MPI_ERR_ARG, MPI_ERR_OTHER, MPI_SUCCESS, CallbackError,
+                     MPIError, ReproError)
+from .mpi.comm import Communicator
+from .mpi.requests import ANY_SOURCE, ANY_TAG, Request, Status
+
+__all__ = [
+    "MPI_SUCCESS", "MPI_ANY_SOURCE", "MPI_ANY_TAG", "MPI_BYTE",
+    "MPI_Type_create_custom",
+    "MPI_Send", "MPI_Recv", "MPI_Isend", "MPI_Irecv", "MPI_Wait", "MPI_Test",
+    "MPI_Probe", "MPI_Barrier", "MPI_Comm_rank", "MPI_Comm_size",
+]
+
+MPI_ANY_SOURCE = ANY_SOURCE
+MPI_ANY_TAG = ANY_TAG
+MPI_BYTE = BYTE
+
+
+def _code_of(exc: BaseException) -> int:
+    if isinstance(exc, MPIError):
+        return exc.code
+    return MPI_ERR_OTHER
+
+
+def _callback_failed(code: int, name: str) -> CallbackError:
+    return CallbackError(f"callback {name} returned error code {code}",
+                         code=code)
+
+
+def MPI_Type_create_custom(statefn: Optional[Callable] = None,
+                           freefn: Optional[Callable] = None,
+                           queryfn: Optional[Callable] = None,
+                           packfn: Optional[Callable] = None,
+                           unpackfn: Optional[Callable] = None,
+                           region_countfn: Optional[Callable] = None,
+                           regionfn: Optional[Callable] = None,
+                           context: Any = None,
+                           inorder: int = 0) -> tuple[int, Optional[CustomDatatype]]:
+    """Listing 2, argument for argument.  Returns ``(err, datatype)``."""
+    if queryfn is None:
+        return MPI_ERR_ARG, None
+
+    def _query(state, buf, count):
+        err, size = queryfn(state, buf, count)
+        if err != MPI_SUCCESS:
+            raise _callback_failed(err, "queryfn")
+        return size
+
+    _pack = None
+    if packfn is not None:
+        def _pack(state, buf, count, offset, dst):
+            err, used = packfn(state, buf, count, offset, dst)
+            if err != MPI_SUCCESS:
+                raise _callback_failed(err, "packfn")
+            return used
+
+    _unpack = None
+    if unpackfn is not None:
+        def _unpack(state, buf, count, offset, src):
+            err = unpackfn(state, buf, count, offset, src)
+            if err != MPI_SUCCESS:
+                raise _callback_failed(err, "unpackfn")
+
+    _rcount = _region = None
+    if region_countfn is not None and regionfn is not None:
+        def _rcount(state, buf, count):
+            err, n = region_countfn(state, buf, count)
+            if err != MPI_SUCCESS:
+                raise _callback_failed(err, "region_countfn")
+            return n
+
+        def _region(state, buf, count, region_count):
+            err, bases, lens, types = regionfn(state, buf, count, region_count)
+            if err != MPI_SUCCESS:
+                raise _callback_failed(err, "regionfn")
+            types = types or [BYTE] * len(bases)
+            return [Region(b, nbytes=int(ln), datatype=t)
+                    for b, ln, t in zip(bases, lens, types)]
+
+    _state = None
+    if statefn is not None:
+        def _state(ctx, buf, count):
+            err, state = statefn(ctx, buf, count)
+            if err != MPI_SUCCESS:
+                raise _callback_failed(err, "statefn")
+            return state
+
+    _free = None
+    if freefn is not None:
+        def _free(state):
+            err = freefn(state)
+            if err != MPI_SUCCESS:
+                raise _callback_failed(err, "freefn")
+
+    try:
+        dtype = type_create_custom(
+            query_fn=_query, pack_fn=_pack, unpack_fn=_unpack,
+            region_count_fn=_rcount, region_fn=_region,
+            state_fn=_state, state_free_fn=_free,
+            context=context, inorder=bool(inorder), name="capi:custom")
+    except (TypeError, ReproError) as exc:
+        return _code_of(exc) if isinstance(exc, MPIError) else MPI_ERR_ARG, None
+    return MPI_SUCCESS, dtype
+
+
+def MPI_Comm_rank(comm: Communicator) -> tuple[int, int]:
+    return MPI_SUCCESS, comm.rank
+
+
+def MPI_Comm_size(comm: Communicator) -> tuple[int, int]:
+    return MPI_SUCCESS, comm.size
+
+
+def MPI_Send(comm: Communicator, buf: Any, count: int, datatype: Datatype,
+             dest: int, tag: int) -> int:
+    try:
+        comm.send(buf, dest, tag, datatype=datatype, count=count)
+    except ReproError as exc:
+        return _code_of(exc)
+    return MPI_SUCCESS
+
+
+def MPI_Recv(comm: Communicator, buf: Any, count: int, datatype: Datatype,
+             source: int, tag: int) -> tuple[int, Optional[Status]]:
+    try:
+        status = comm.recv(buf, source, tag, datatype=datatype, count=count)
+    except ReproError as exc:
+        return _code_of(exc), None
+    return MPI_SUCCESS, status
+
+
+def MPI_Isend(comm: Communicator, buf: Any, count: int, datatype: Datatype,
+              dest: int, tag: int) -> tuple[int, Optional[Request]]:
+    try:
+        return MPI_SUCCESS, comm.isend(buf, dest, tag, datatype=datatype,
+                                       count=count)
+    except ReproError as exc:
+        return _code_of(exc), None
+
+
+def MPI_Irecv(comm: Communicator, buf: Any, count: int, datatype: Datatype,
+              source: int, tag: int) -> tuple[int, Optional[Request]]:
+    try:
+        return MPI_SUCCESS, comm.irecv(buf, source, tag, datatype=datatype,
+                                       count=count)
+    except ReproError as exc:
+        return _code_of(exc), None
+
+
+def MPI_Wait(request: Request) -> tuple[int, Optional[Status]]:
+    try:
+        return MPI_SUCCESS, request.wait()
+    except ReproError as exc:
+        return _code_of(exc), None
+
+
+def MPI_Test(request: Request) -> tuple[int, int]:
+    try:
+        return MPI_SUCCESS, int(request.test())
+    except ReproError as exc:
+        return _code_of(exc), 0
+
+
+def MPI_Probe(comm: Communicator, source: int, tag: int
+              ) -> tuple[int, Optional[Status]]:
+    try:
+        return MPI_SUCCESS, comm.probe(source, tag)
+    except ReproError as exc:
+        return _code_of(exc), None
+
+
+def MPI_Barrier(comm: Communicator) -> int:
+    try:
+        comm.barrier()
+    except ReproError as exc:
+        return _code_of(exc)
+    return MPI_SUCCESS

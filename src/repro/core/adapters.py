@@ -1,0 +1,141 @@
+"""Object-protocol adapter: let classes describe their own serialization.
+
+Languages in the paper attach serialization to the *type* (Rust traits, C++
+member functions, Python ``__reduce_ex__``).  This module defines the
+equivalent duck-typed protocol — a class implements a handful of
+``mpi_*`` methods and :func:`datatype_for` derives the custom datatype that
+drives them.  ``count > 1`` sends a sequence of protocol objects whose
+packed streams are concatenated in order.
+
+Protocol methods (all offsets are into the object's own packed stream):
+
+``mpi_packed_size() -> int``
+    Total in-band bytes (the query callback).
+``mpi_pack(offset, dst) -> int``
+    Fill a prefix of the writable uint8 view ``dst`` with packed bytes
+    starting at ``offset``; return bytes written.
+``mpi_unpack(offset, src) -> None``
+    Consume one incoming fragment.
+``mpi_regions() -> Sequence[Region]``  (optional)
+    Zero-copy regions, queried after all packed data has been delivered on
+    the receive side.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol, Sequence, runtime_checkable
+
+from ..errors import CallbackError
+from .custom import CustomDatatype, type_create_custom
+from .regions import Region
+
+
+@runtime_checkable
+class MPISerializable(Protocol):
+    """Structural type of objects accepted by :func:`datatype_for`."""
+
+    def mpi_packed_size(self) -> int: ...
+
+    def mpi_pack(self, offset: int, dst) -> int: ...
+
+    def mpi_unpack(self, offset: int, src) -> None: ...
+
+
+def _objects(buf: Any, count: int) -> list[Any]:
+    objs = [buf] if count == 1 and not isinstance(buf, (list, tuple)) else list(buf)
+    if len(objs) < count:
+        raise CallbackError(f"buffer holds {len(objs)} objects, count is {count}")
+    objs = objs[:count]
+    for i, o in enumerate(objs):
+        if not isinstance(o, MPISerializable):
+            raise CallbackError(
+                f"object {i} ({type(o).__name__}) does not implement the "
+                f"MPISerializable protocol")
+    return objs
+
+
+class _ProtocolState:
+    """Prefix-sum index over per-object packed sizes."""
+
+    __slots__ = ("objs", "starts", "total")
+
+    def __init__(self, objs: list[Any]):
+        self.objs = objs
+        self.starts = [0]
+        for o in objs:
+            n = o.mpi_packed_size()
+            if not isinstance(n, int) or n < 0:
+                raise CallbackError(
+                    f"mpi_packed_size must return a non-negative int, got {n!r}")
+            self.starts.append(self.starts[-1] + n)
+        self.total = self.starts[-1]
+
+    def locate(self, offset: int) -> int:
+        """Index of the object owning stream position ``offset``."""
+        lo, hi = 0, len(self.objs) - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if self.starts[mid] <= offset:
+                lo = mid
+            else:
+                hi = mid - 1
+        return lo
+
+
+def datatype_for(cls: type | None = None, inorder: bool = False,
+                 name: str = "") -> CustomDatatype:
+    """Derive a custom datatype driving the ``mpi_*`` protocol methods.
+
+    ``cls`` is optional and used only for naming; any protocol-conforming
+    object can travel with the resulting type.
+    """
+
+    def state_fn(context, buf, count):
+        return _ProtocolState(_objects(buf, count))
+
+    def state_free_fn(state):
+        state.objs = []
+
+    def query_fn(state, buf, count):
+        return state.total
+
+    def pack_fn(state, buf, count, offset, dst):
+        i = state.locate(offset)
+        obj = state.objs[i]
+        local = offset - state.starts[i]
+        limit = state.starts[i + 1] - offset  # stay inside this object
+        window = dst[: min(dst.shape[0], limit)]
+        used = obj.mpi_pack(local, window)
+        if not isinstance(used, int) or used <= 0 or used > window.shape[0]:
+            raise CallbackError(f"mpi_pack returned invalid used={used!r}")
+        return used
+
+    def unpack_fn(state, buf, count, offset, src):
+        pos = 0
+        while pos < src.shape[0]:
+            i = state.locate(offset + pos)
+            obj = state.objs[i]
+            local = offset + pos - state.starts[i]
+            limit = min(src.shape[0] - pos, state.starts[i + 1] - (offset + pos))
+            obj.mpi_unpack(local, src[pos:pos + limit])
+            pos += limit
+
+    def region_count_fn(state, buf, count):
+        return sum(len(_regions_of(o)) for o in state.objs)
+
+    def region_fn(state, buf, count, region_count):
+        regs: list[Region] = []
+        for o in state.objs:
+            regs.extend(_regions_of(o))
+        return regs
+
+    def _regions_of(obj) -> Sequence[Region]:
+        fn = getattr(obj, "mpi_regions", None)
+        return list(fn()) if fn is not None else []
+
+    label = name or (f"custom:{cls.__name__}" if cls is not None else "custom:protocol")
+    return type_create_custom(
+        query_fn=query_fn, pack_fn=pack_fn, unpack_fn=unpack_fn,
+        region_count_fn=region_count_fn, region_fn=region_fn,
+        state_fn=state_fn, state_free_fn=state_free_fn,
+        inorder=inorder, name=label)

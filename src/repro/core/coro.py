@@ -1,0 +1,130 @@
+"""Generator-based partial packing (the paper's C++ coroutine experiment).
+
+Section V.C of the paper shows that resuming a pack function in the middle of
+a nested loop is intractable by hand, and prototypes ``std::generator``
+coroutines (Listing 9) — but had to abandon them for the evaluation because
+Clang would not vectorize loops inside coroutines.  Python generators are the
+exact semantic analogue and have no such defect here, so this module makes
+the coroutine strategy a first-class option (and the
+``bench_abl_coroutine_pack`` ablation measures it).
+
+Protocol
+--------
+A *pack generator factory* is ``factory(context, buf, count)`` returning a
+generator.  The engine primes it with ``next(g)`` and then, for every
+fragment, resumes it with ``g.send(dst)`` where ``dst`` is a writable uint8
+numpy view; the generator fills a prefix of ``dst`` and yields the number of
+bytes written.  Exhaustion (``StopIteration``) must coincide with the packed
+stream being complete.  Unpack generators mirror this with read-only ``src``
+fragments and yield the number of bytes consumed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+import numpy as np
+
+from ..errors import CallbackError
+
+PackGeneratorFactory = Callable[[Any, Any, int], Generator[int, Any, None]]
+
+
+class _CoroState:
+    """Per-operation state holding the live generator and stream position."""
+
+    __slots__ = ("gen", "offset", "inner")
+
+    def __init__(self, inner: Any = None):
+        self.gen: Optional[Generator] = None
+        self.offset = 0
+        #: State produced by a wrapped user state_fn, if any.
+        self.inner = inner
+
+
+def coroutine_pack_callbacks(pack_factory: PackGeneratorFactory,
+                             unpack_factory: PackGeneratorFactory | None = None,
+                             state_fn=None, state_free_fn=None):
+    """Build (state_fn, state_free_fn, pack_fn, unpack_fn) from generators.
+
+    The returned callbacks plug straight into
+    :func:`repro.core.custom.type_create_custom`.  Because a suspended
+    generator encodes the stream position implicitly, these callbacks demand
+    in-order fragments — pass ``inorder=True`` when creating the type (this
+    is precisely the coupling the paper's ``inorder`` flag exists for).
+    """
+
+    def _state(context, buf, count):
+        inner = state_fn(context, buf, count) if state_fn is not None else None
+        return _CoroState(inner)
+
+    def _free(state: _CoroState):
+        if state.gen is not None:
+            state.gen.close()
+            state.gen = None
+        if state_free_fn is not None:
+            state_free_fn(state.inner)
+
+    def _drive(state: _CoroState, factory, which: str, context, buf, count,
+               offset, frag) -> int:
+        if offset != state.offset:
+            raise CallbackError(
+                f"coroutine {which} requires in-order fragments: expected "
+                f"offset {state.offset}, got {offset} (create the type with "
+                f"inorder=True)")
+        if state.gen is None:
+            state.gen = factory(context, buf, count)
+            try:
+                next(state.gen)  # prime up to the first yield point
+            except StopIteration:
+                raise CallbackError(f"{which} generator finished before packing anything")
+        try:
+            used = state.gen.send(frag)
+        except StopIteration:
+            raise CallbackError(f"{which} generator exhausted with data remaining")
+        if not isinstance(used, int) or used < 0 or used > len(frag):
+            raise CallbackError(f"{which} generator yielded invalid used={used!r}")
+        state.offset += used
+        return used
+
+    def _pack(state: _CoroState, buf, count, offset, dst) -> int:
+        return _drive(state, pack_factory, "pack", state.inner, buf, count,
+                      offset, dst)
+
+    _unpack = None
+    if unpack_factory is not None:
+        def _unpack(state: _CoroState, buf, count, offset, src) -> None:
+            used = _drive(state, unpack_factory, "unpack", state.inner, buf,
+                          count, offset, src)
+            if used != len(src):
+                raise CallbackError(
+                    f"unpack generator consumed {used} of a {len(src)}-byte fragment; "
+                    "fragments must be fully consumed")
+
+    return _state, _free, _pack, _unpack
+
+
+def full_buffer_generator(pack_whole: Callable[[Any, Any, int], bytes]):
+    """Adapt a whole-buffer packer into a fragment generator.
+
+    ``pack_whole(context, buf, count)`` produces the complete packed stream
+    once; the generator then doles it out fragment by fragment.  This is the
+    "full packing" fallback the paper resorted to for DDTBench when Clang's
+    coroutines failed — provided here so benches can compare both.
+    """
+
+    def factory(context, buf, count):
+        data = np.frombuffer(memoryview(pack_whole(context, buf, count)),
+                             dtype=np.uint8)
+        pos = 0
+        dst = yield  # primed; first fragment buffer arrives via send()
+        while pos < len(data):
+            step = min(len(dst), len(data) - pos)
+            dst[:step] = data[pos:pos + step]
+            pos += step
+            if pos >= len(data):
+                yield step
+                return
+            dst = yield step
+
+    return factory

@@ -1,0 +1,76 @@
+"""Per-Python-type datatype caching (the RSMPI derive-macro behaviour).
+
+RSMPI creates a derived datatype lazily "on first use of the type in a call"
+and caches it for later usage (Section II.D).  :func:`cached_datatype` gives
+Python classes the same ergonomics: decorate a zero-argument factory — or
+register one per class — and every call site shares a single committed
+datatype instance.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable
+
+from .datatype import Datatype
+
+_lock = threading.Lock()
+_cache: dict[Any, Datatype] = {}
+_factories: dict[Any, Callable[[], Datatype]] = {}
+
+
+def register_datatype(key: Any, factory: Callable[[], Datatype]) -> None:
+    """Register a lazy datatype factory under ``key`` (usually a class).
+
+    The factory runs at most once, on first :func:`datatype_of` lookup —
+    exactly RSMPI's first-use creation + caching.
+    """
+    with _lock:
+        _factories[key] = factory
+        _cache.pop(key, None)
+
+
+def datatype_of(key: Any) -> Datatype:
+    """The cached datatype for ``key``, creating it on first use."""
+    with _lock:
+        if key in _cache:
+            return _cache[key]
+        try:
+            factory = _factories[key]
+        except KeyError:
+            raise KeyError(f"no datatype registered for {key!r}") from None
+        dtype = factory()
+        commit = getattr(dtype, "commit", None)
+        if callable(commit):
+            commit()
+        _cache[key] = dtype
+        return dtype
+
+
+def cached_datatype(key: Any):
+    """Decorator form of :func:`register_datatype`::
+
+        @cached_datatype(Particle)
+        def _particle_type():
+            return StructSpec([...]).custom_datatype()
+
+        comm.send(p, dest=1, datatype=datatype_of(Particle))
+    """
+
+    def deco(factory: Callable[[], Datatype]):
+        register_datatype(key, factory)
+        return factory
+
+    return deco
+
+
+def clear_datatype_cache() -> None:
+    """Drop every cached instance (factories stay registered)."""
+    with _lock:
+        _cache.clear()
+
+
+def cache_info() -> dict[str, int]:
+    """(registered, instantiated) counts — for tests and debugging."""
+    with _lock:
+        return {"registered": len(_factories), "instantiated": len(_cache)}

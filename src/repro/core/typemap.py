@@ -1,0 +1,207 @@
+"""Typemap algebra for derived datatypes.
+
+MPI defines a derived datatype as a *typemap*: a sequence of (predefined
+type, byte displacement) pairs.  For packing purposes only the byte blocks
+matter, so this module represents a typemap as an ordered sequence of
+:class:`Block` (displacement, length, scalar count) entries together with a
+lower bound and extent.  The ordered-block form supports the three
+operations every derived-type constructor needs:
+
+* ``repeat`` — replicate with a stride (contiguous / vector),
+* ``displace`` — shift all blocks (indexed entries, struct fields),
+* ``concat`` — append typemaps in declaration order (struct).
+
+Blocks keep their *declaration order* because MPI's pack order is the
+typemap order, not the address order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class Block:
+    """A run of bytes inside one element of a datatype.
+
+    Attributes
+    ----------
+    offset:
+        Byte displacement from the element base address.
+    length:
+        Number of bytes in the run.
+    nscalars:
+        How many predefined scalars the run covers (cost-model metadata;
+        a gap-free merged run of 3 ints has length 12 and nscalars 3).
+    """
+
+    offset: int
+    length: int
+    nscalars: int = 1
+
+    def __post_init__(self):
+        if self.length <= 0:
+            raise ValueError(f"block length must be positive, got {self.length}")
+        if self.nscalars <= 0:
+            raise ValueError(f"nscalars must be positive, got {self.nscalars}")
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.length
+
+    def shifted(self, delta: int) -> "Block":
+        return Block(self.offset + delta, self.length, self.nscalars)
+
+
+class Typemap:
+    """An ordered sequence of byte blocks plus explicit bounds.
+
+    Parameters
+    ----------
+    blocks:
+        Blocks in pack order.
+    lb, extent:
+        Explicit lower bound and extent.  When omitted they default to the
+        *natural* bounds: ``lb = min(offsets)`` and
+        ``extent = max(ends) - lb`` (no alignment padding is applied; the
+        derived-type constructors add C-layout padding where the paper's
+        Rust ``#[repr(C)]`` types have it).
+    """
+
+    __slots__ = ("blocks", "lb", "extent")
+
+    def __init__(self, blocks: Iterable[Block], lb: int | None = None,
+                 extent: int | None = None):
+        self.blocks: tuple[Block, ...] = tuple(blocks)
+        if not self.blocks and (lb is None or extent is None):
+            raise ValueError("empty typemap requires explicit lb and extent")
+        nat_lb = min((b.offset for b in self.blocks), default=0)
+        nat_ub = max((b.end for b in self.blocks), default=0)
+        self.lb = nat_lb if lb is None else lb
+        self.extent = (nat_ub - self.lb) if extent is None else extent
+        if self.extent < 0:
+            raise ValueError(f"negative extent: {self.extent}")
+
+    # -- derived quantities ---------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Packed size in bytes (sum of block lengths)."""
+        return sum(b.length for b in self.blocks)
+
+    @property
+    def ub(self) -> int:
+        return self.lb + self.extent
+
+    @property
+    def true_lb(self) -> int:
+        """Lowest displacement actually covered by data."""
+        return min((b.offset for b in self.blocks), default=self.lb)
+
+    @property
+    def true_ub(self) -> int:
+        return max((b.end for b in self.blocks), default=self.lb)
+
+    @property
+    def true_extent(self) -> int:
+        return self.true_ub - self.true_lb
+
+    @property
+    def nscalars(self) -> int:
+        """Number of predefined scalar entries (cost-model metadata)."""
+        return sum(b.nscalars for b in self.blocks)
+
+    @property
+    def is_contiguous(self) -> bool:
+        """True if packing is the identity: one gap-free run, extent==size.
+
+        This is the condition under which an MPI implementation can skip the
+        pack engine entirely — the fast path that makes
+        ``struct-simple-no-gap`` cheap in the paper's Fig. 6.
+        """
+        merged = self.merged_blocks()
+        return (len(merged) == 1
+                and merged[0].offset == self.lb
+                and merged[0].length == self.extent)
+
+    @property
+    def has_gaps(self) -> bool:
+        """True when one element's data does not tile its extent."""
+        return not self.is_contiguous
+
+    def merged_blocks(self) -> tuple[Block, ...]:
+        """Coalesce blocks that are adjacent both in pack order and memory."""
+        merged: list[Block] = []
+        for b in self.blocks:
+            if merged and merged[-1].end == b.offset:
+                prev = merged[-1]
+                merged[-1] = Block(prev.offset, prev.length + b.length,
+                                   prev.nscalars + b.nscalars)
+            else:
+                merged.append(b)
+        return tuple(merged)
+
+    # -- algebra ----------------------------------------------------------
+
+    def displace(self, delta: int) -> "Typemap":
+        """Shift every block (and the bounds) by ``delta`` bytes."""
+        return Typemap((b.shifted(delta) for b in self.blocks),
+                       lb=self.lb + delta, extent=self.extent)
+
+    def repeat(self, count: int, stride_bytes: int | None = None) -> "Typemap":
+        """Replicate ``count`` times, successive copies ``stride_bytes`` apart.
+
+        With the default stride (the extent) this implements
+        ``MPI_Type_contiguous``; other strides implement hvector rows.
+        """
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        stride = self.extent if stride_bytes is None else stride_bytes
+        blocks: list[Block] = []
+        for i in range(count):
+            delta = i * stride
+            blocks.extend(b.shifted(delta) for b in self.blocks)
+        if count == 0:
+            return Typemap((), lb=self.lb, extent=0)
+        span_lb = self.lb
+        span_extent = stride * (count - 1) + self.extent
+        return Typemap(blocks, lb=span_lb, extent=span_extent)
+
+    @staticmethod
+    def concat(maps: Sequence["Typemap"], lb: int | None = None,
+               extent: int | None = None) -> "Typemap":
+        """Concatenate typemaps in declaration order (struct semantics)."""
+        blocks: list[Block] = []
+        for m in maps:
+            blocks.extend(m.blocks)
+        if lb is None:
+            lb = min((m.lb for m in maps), default=0)
+        if extent is None:
+            ub = max((m.ub for m in maps), default=0)
+            extent = ub - lb
+        return Typemap(blocks, lb=lb, extent=extent)
+
+    def resized(self, lb: int, extent: int) -> "Typemap":
+        """Return the same blocks with new explicit bounds."""
+        return Typemap(self.blocks, lb=lb, extent=extent)
+
+    # -- dunder -----------------------------------------------------------
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Typemap):
+            return NotImplemented
+        return (self.blocks == other.blocks and self.lb == other.lb
+                and self.extent == other.extent)
+
+    def __hash__(self) -> int:
+        return hash((self.blocks, self.lb, self.extent))
+
+    def __repr__(self) -> str:
+        return (f"Typemap({len(self.blocks)} blocks, size={self.size}, "
+                f"lb={self.lb}, extent={self.extent})")
+
+
+def scalar_typemap(nbytes: int, offset: int = 0) -> Typemap:
+    """Typemap of a single predefined scalar of ``nbytes`` bytes."""
+    return Typemap((Block(offset, nbytes, 1),))

@@ -1,0 +1,20 @@
+"""DDTBench workload subset (the paper's Section V.C evaluation)."""
+
+from .base import RunLayout, Workload, WorkloadMeta
+from .fft import Fft2
+from .lammps import Lammps, LammpsFull
+from .milc import Milc
+from .nas_lu import NasLuX, NasLuY
+from .nas_mg import NasMgX, NasMgY, NasMgZ
+from .registry import WORKLOADS, all_workloads, make_workload
+from .specfem import Specfem3dOc
+from .table import format_table1, table1_rows
+from .wrf import WrfXVec, WrfYVec
+
+__all__ = [
+    "Workload", "WorkloadMeta", "RunLayout",
+    "Lammps", "LammpsFull", "Milc", "NasLuX", "NasLuY", "NasMgX", "NasMgY",
+    "NasMgZ", "WrfXVec", "WrfYVec", "Fft2", "Specfem3dOc",
+    "WORKLOADS", "make_workload", "all_workloads",
+    "table1_rows", "format_table1",
+]

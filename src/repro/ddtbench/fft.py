@@ -1,0 +1,67 @@
+"""FFT2 transpose exchange (DDTBench ``fft2``-style).
+
+A 2-D FFT distributes an ``N x N`` complex matrix by rows and transposes it
+between the two 1-D FFT phases: each rank sends a block of *columns*, which
+in row-major storage is one short run per row — a strided vector with many
+small runs (the worst shape for scatter/gather after NAS_MG_x, and a classic
+MPI_Type_vector use).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import RunLayout, Workload, WorkloadMeta
+
+COMPLEX_BYTES = 8  # complex64
+
+
+class Fft2(Workload):
+    """Column-block send of an [n][n] complex64 matrix."""
+
+    meta = WorkloadMeta(
+        name="FFT2",
+        mpi_datatypes="strided vector",
+        loop_structure="2 nested loops (non-unit stride)",
+        memory_regions=True,
+    )
+    element_dtype = np.dtype("<c8")
+
+    def __init__(self, n: int = 64, block: int = 8, col0: int = 8):
+        if col0 + block > n:
+            raise ValueError(f"column block [{col0}, {col0 + block}) outside n={n}")
+        self.n = n
+        self.block = block
+        self.col0 = col0
+        self.nbytes = n * n * COMPLEX_BYTES
+        super().__init__()
+
+    def build_layout(self) -> RunLayout:
+        runs = []
+        row_bytes = self.n * COMPLEX_BYTES
+        for r in range(self.n):
+            off = r * row_bytes + self.col0 * COMPLEX_BYTES
+            runs.append((off, self.block * COMPLEX_BYTES))
+        return RunLayout(runs, self.nbytes)
+
+    def make_send_buffer(self) -> np.ndarray:
+        m = np.arange(self.n * self.n, dtype="<c8")
+        m += 1j * (np.arange(self.n * self.n) % 97)
+        return m.view(np.uint8)
+
+    def manual_pack(self, buf: np.ndarray) -> np.ndarray:
+        m = buf.view("<c8").reshape(self.n, self.n)
+        out = np.empty(self.n * self.block, dtype="<c8")
+        pos = 0
+        for r in range(self.n):  # 2 nested loops: rows x column run
+            out[pos:pos + self.block] = m[r, self.col0:self.col0 + self.block]
+            pos += self.block
+        return out.view(np.uint8)
+
+    def manual_unpack(self, packed: np.ndarray, buf: np.ndarray) -> None:
+        m = buf.view("<c8").reshape(self.n, self.n)
+        src = packed.view("<c8")
+        pos = 0
+        for r in range(self.n):
+            m[r, self.col0:self.col0 + self.block] = src[pos:pos + self.block]
+            pos += self.block

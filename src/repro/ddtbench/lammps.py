@@ -1,0 +1,177 @@
+"""LAMMPS atom exchange (DDTBench ``lammps_atomic``-style).
+
+Molecular dynamics ghost-atom exchange: a *single loop* over a list of atom
+indices packs, per atom, entries from **six separate arrays** (positions,
+velocities, tag, type, mask, charge).  The index list has non-unit stride
+through the arrays, so the pattern is indexed/struct in MPI-datatype terms
+and — per the paper's Table I — memory regions are impracticable (thousands
+of 4-24 byte runs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import RunLayout, Workload, WorkloadMeta
+
+#: Per-atom packed bytes: x(3 f64) + v(3 f64) + tag,type,mask (i32) + q(f64).
+ATOM_PACKED = 24 + 24 + 4 + 4 + 4 + 8
+
+
+class Lammps(Workload):
+    """Exchange of ``nsend`` atoms out of ``natoms``, stride-selected."""
+
+    meta = WorkloadMeta(
+        name="LAMMPS",
+        mpi_datatypes="indexed, struct",
+        loop_structure="single loop, 6 arrays (non-unit stride)",
+        memory_regions=False,
+    )
+    element_dtype = np.dtype("<u1")  # heterogeneous: runs stay in bytes
+
+    def __init__(self, natoms: int = 4096, nsend: int = 1024, stride: int = 3):
+        self.natoms = natoms
+        self.nsend = min(nsend, natoms // max(stride, 1))
+        self.stride = stride
+        #: Selected atom indices (the LAMMPS border list).
+        self.idx = (np.arange(self.nsend, dtype=np.int64) * stride) % natoms
+        # Section byte offsets of the six arrays inside one backing buffer.
+        self.off_x = 0
+        self.off_v = self.off_x + natoms * 24
+        self.off_tag = self.off_v + natoms * 24
+        self.off_type = self.off_tag + natoms * 4
+        self.off_mask = self.off_type + natoms * 4
+        self.off_q = self.off_mask + natoms * 4
+        self.nbytes = self.off_q + natoms * 8
+        super().__init__()
+
+    def build_layout(self) -> RunLayout:
+        runs = []
+        for i in self.idx:
+            i = int(i)
+            runs.append((self.off_x + 24 * i, 24))
+            runs.append((self.off_v + 24 * i, 24))
+            runs.append((self.off_tag + 4 * i, 4))
+            runs.append((self.off_type + 4 * i, 4))
+            runs.append((self.off_mask + 4 * i, 4))
+            runs.append((self.off_q + 8 * i, 8))
+        return RunLayout(runs, self.nbytes)
+
+    def make_send_buffer(self) -> np.ndarray:
+        buf = np.zeros(self.nbytes, dtype=np.uint8)
+        n = self.natoms
+        buf[self.off_x:self.off_v].view("<f8")[:] = np.arange(3 * n) * 0.5
+        buf[self.off_v:self.off_tag].view("<f8")[:] = np.arange(3 * n) * -0.25
+        buf[self.off_tag:self.off_type].view("<i4")[:] = np.arange(n)
+        buf[self.off_type:self.off_mask].view("<i4")[:] = np.arange(n) % 7
+        buf[self.off_mask:self.off_q].view("<i4")[:] = 1 << (np.arange(n) % 12)
+        # Slice to exactly the q section so subclasses may append sections.
+        buf[self.off_q:self.off_q + n * 8].view("<f8")[:] = np.sin(np.arange(n))
+        return buf
+
+    # -- manual pack: the single loop over six arrays, vectorized over atoms
+
+    def manual_pack(self, buf: np.ndarray) -> np.ndarray:
+        idx = self.idx
+        n = idx.shape[0]
+        out = np.empty(n * ATOM_PACKED, dtype=np.uint8)
+        rows = out.reshape(n, ATOM_PACKED)
+        x = buf[self.off_x:self.off_v].reshape(self.natoms, 24)
+        v = buf[self.off_v:self.off_tag].reshape(self.natoms, 24)
+        tag = buf[self.off_tag:self.off_type].reshape(self.natoms, 4)
+        typ = buf[self.off_type:self.off_mask].reshape(self.natoms, 4)
+        mask = buf[self.off_mask:self.off_q].reshape(self.natoms, 4)
+        q = buf[self.off_q:self.off_q + self.natoms * 8].reshape(self.natoms, 8)
+        rows[:, 0:24] = x[idx]
+        rows[:, 24:48] = v[idx]
+        rows[:, 48:52] = tag[idx]
+        rows[:, 52:56] = typ[idx]
+        rows[:, 56:60] = mask[idx]
+        rows[:, 60:68] = q[idx]
+        return out
+
+    def manual_unpack(self, packed: np.ndarray, buf: np.ndarray) -> None:
+        idx = self.idx
+        n = idx.shape[0]
+        rows = packed.reshape(n, ATOM_PACKED)
+        buf[self.off_x:self.off_v].reshape(self.natoms, 24)[idx] = rows[:, 0:24]
+        buf[self.off_v:self.off_tag].reshape(self.natoms, 24)[idx] = rows[:, 24:48]
+        buf[self.off_tag:self.off_type].reshape(self.natoms, 4)[idx] = rows[:, 48:52]
+        buf[self.off_type:self.off_mask].reshape(self.natoms, 4)[idx] = rows[:, 52:56]
+        buf[self.off_mask:self.off_q].reshape(self.natoms, 4)[idx] = rows[:, 56:60]
+        buf[self.off_q:self.off_q + self.natoms * 8] \
+            .reshape(self.natoms, 8)[idx] = rows[:, 60:68]
+
+
+class LammpsFull(Lammps):
+    """The ``lammps_full`` variant: atomic data plus molecular topology.
+
+    Adds per-atom molecule id (i32) and dihedral partners (4 x i32) to the
+    exchange, mirroring DDTBench's distinction between ``lammps_atomic``
+    and ``lammps_full`` — same single-loop indexed structure, a third more
+    bytes per atom.
+    """
+
+    meta = WorkloadMeta(
+        name="LAMMPS_full",
+        mpi_datatypes="indexed, struct",
+        loop_structure="single loop, 8 arrays (non-unit stride)",
+        memory_regions=False,
+    )
+
+    def __init__(self, natoms: int = 4096, nsend: int = 1024, stride: int = 3):
+        super().__init__(natoms=natoms, nsend=nsend, stride=stride)
+        self.off_mol = self.nbytes
+        self.off_dih = self.off_mol + natoms * 4
+        self.nbytes = self.off_dih + natoms * 16
+        # Rebuild with the two extra per-atom sections appended.
+        self.layout = self.build_layout()
+
+    def build_layout(self):
+        if not hasattr(self, "off_mol"):
+            return super().build_layout()
+        base = super().build_layout()
+        runs = [tuple(r) for r in base.runs]
+        # Interleave per atom: atomic runs (6 per atom) then mol + dihedral.
+        out = []
+        per_atom = 6
+        for k, i in enumerate(self.idx):
+            i = int(i)
+            out.extend(runs[k * per_atom:(k + 1) * per_atom])
+            out.append((self.off_mol + 4 * i, 4))
+            out.append((self.off_dih + 16 * i, 16))
+        return RunLayout(out, self.nbytes)
+
+    def make_send_buffer(self):
+        buf = super().make_send_buffer()  # already sized for the full layout
+        n = self.natoms
+        buf[self.off_mol:self.off_dih].view("<i4")[:] = np.arange(n) // 4
+        buf[self.off_dih:].view("<i4")[:] = (np.arange(4 * n) * 7) % n
+        return buf
+
+    def manual_pack(self, buf):
+        idx = self.idx
+        n = idx.shape[0]
+        atom_bytes = ATOM_PACKED + 4 + 16
+        out = np.empty(n * atom_bytes, dtype=np.uint8)
+        rows = out.reshape(n, atom_bytes)
+        rows[:, :ATOM_PACKED] = super().manual_pack(
+            buf[: self.off_mol]).reshape(n, ATOM_PACKED)
+        mol = buf[self.off_mol:self.off_dih].reshape(self.natoms, 4)
+        dih = buf[self.off_dih:].reshape(self.natoms, 16)
+        rows[:, ATOM_PACKED:ATOM_PACKED + 4] = mol[idx]
+        rows[:, ATOM_PACKED + 4:] = dih[idx]
+        return out
+
+    def manual_unpack(self, packed, buf):
+        idx = self.idx
+        n = idx.shape[0]
+        atom_bytes = ATOM_PACKED + 4 + 16
+        rows = packed.reshape(n, atom_bytes)
+        super().manual_unpack(
+            np.ascontiguousarray(rows[:, :ATOM_PACKED]).reshape(-1),
+            buf[: self.off_mol])
+        buf[self.off_mol:self.off_dih].reshape(self.natoms, 4)[idx] = \
+            rows[:, ATOM_PACKED:ATOM_PACKED + 4]
+        buf[self.off_dih:].reshape(self.natoms, 16)[idx] = \
+            rows[:, ATOM_PACKED + 4:]

@@ -1,0 +1,77 @@
+"""MILC su3 z-face exchange (DDTBench ``milc_su3_zdown``-style).
+
+Lattice QCD: a 4-D lattice of su3 vectors (3 complex64 = 24 B) laid out
+C-order as ``[t][z][y][x][3]``.  The z-down exchange sends two z-planes for
+every t — the manual packer is a *5-deep loop nest* (t, z, y, x, color) with
+non-unit stride at the t level.  Because two adjacent z-planes are contiguous
+in memory for each t, region extraction produces only ``T`` large regions —
+one of the workloads where the paper found memory regions to *win*.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import RunLayout, Workload, WorkloadMeta
+
+SU3_BYTES = 3 * 8  # 3 complex64
+
+
+class Milc(Workload):
+    """Send z-planes ``[t][0:zsend][:][:][:]`` of a [T][Z][Y][X][3] lattice."""
+
+    meta = WorkloadMeta(
+        name="MILC",
+        mpi_datatypes="strided vector",
+        loop_structure="5 nested loops (non-unit stride)",
+        memory_regions=True,
+    )
+    element_dtype = np.dtype("<c8")
+
+    def __init__(self, t: int = 8, z: int = 8, y: int = 16, x: int = 16,
+                 zsend: int = 2):
+        if zsend > z:
+            raise ValueError(f"zsend={zsend} exceeds z={z}")
+        self.T, self.Z, self.Y, self.X = t, z, y, x
+        self.zsend = zsend
+        self.nbytes = t * z * y * x * SU3_BYTES
+        super().__init__()
+
+    @property
+    def plane_bytes(self) -> int:
+        return self.Y * self.X * SU3_BYTES
+
+    def build_layout(self) -> RunLayout:
+        zstride = self.Z * self.plane_bytes  # bytes per t slice
+        runs = [(ti * zstride, self.zsend * self.plane_bytes)
+                for ti in range(self.T)]
+        return RunLayout(runs, self.nbytes)
+
+    def make_send_buffer(self) -> np.ndarray:
+        buf = np.zeros(self.nbytes // 8, dtype="<c8")
+        buf[:] = np.arange(buf.shape[0]) * (1 + 0.5j)
+        return buf.view(np.uint8)
+
+    def manual_pack(self, buf: np.ndarray) -> np.ndarray:
+        """The 5-deep loop nest: t, z, y then the contiguous (x, color) tail."""
+        lat = buf.view("<c8").reshape(self.T, self.Z, self.Y, self.X, 3)
+        out = np.empty(self.layout.total_bytes // 8, dtype="<c8")
+        row = self.X * 3
+        pos = 0
+        for t in range(self.T):
+            for z in range(self.zsend):
+                for y in range(self.Y):
+                    out[pos:pos + row] = lat[t, z, y].reshape(row)
+                    pos += row
+        return out.view(np.uint8)
+
+    def manual_unpack(self, packed: np.ndarray, buf: np.ndarray) -> None:
+        lat = buf.view("<c8").reshape(self.T, self.Z, self.Y, self.X, 3)
+        src = packed.view("<c8")
+        row = self.X * 3
+        pos = 0
+        for t in range(self.T):
+            for z in range(self.zsend):
+                for y in range(self.Y):
+                    lat[t, z, y].reshape(row)[:] = src[pos:pos + row]
+                    pos += row

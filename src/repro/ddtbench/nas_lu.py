@@ -1,0 +1,116 @@
+"""NAS LU face exchanges (DDTBench ``nas_lu_x`` / ``nas_lu_y``-style).
+
+The LU pseudo-application exchanges faces of a 3-D grid of 5-component
+cells.  We lay the grid out C-order as ``[ny][nz][nx][5]`` float64 so that:
+
+* **LU_x** — a whole ``j`` slab ``[j][:][:][:]`` is one contiguous block:
+  the *contiguous* row of Table I (2 nested loops in the original pack
+  code; a single memory region here — regions win),
+* **LU_y** — a fixed-``i`` pencil ``[:][:][i][:]`` is ``ny*nz`` runs of
+  just 40 B: the strided-vector, non-contiguous row (2 nested loops; many
+  tiny regions — the case where the paper measured the scatter/gather API
+  *losing* to packing).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import RunLayout, Workload, WorkloadMeta
+
+NCOMP = 5
+CELL = NCOMP * 8  # 5 float64 components
+
+
+class NasLuX(Workload):
+    """Contiguous slab exchange: one j-plane of [ny][nz][nx][5]."""
+
+    meta = WorkloadMeta(
+        name="NAS_LU_x",
+        mpi_datatypes="contiguous",
+        loop_structure="2 nested loops",
+        memory_regions=True,
+    )
+    element_dtype = np.dtype("<f8")
+
+    def __init__(self, nx: int = 33, ny: int = 33, nz: int = 33, j: int = 1):
+        self.nx, self.ny, self.nz = nx, ny, nz
+        self.j = j
+        self.nbytes = nx * ny * nz * CELL
+        super().__init__()
+
+    def build_layout(self) -> RunLayout:
+        slab = self.nz * self.nx * CELL
+        return RunLayout([(self.j * slab, slab)], self.nbytes)
+
+    def make_send_buffer(self) -> np.ndarray:
+        buf = np.arange(self.nbytes // 8, dtype="<f8") * 0.125
+        return buf.view(np.uint8)
+
+    def manual_pack(self, buf: np.ndarray) -> np.ndarray:
+        g = buf.view("<f8").reshape(self.ny, self.nz, self.nx, NCOMP)
+        out = np.empty(self.nz * self.nx * NCOMP, dtype="<f8")
+        row = self.nx * NCOMP
+        pos = 0
+        for k in range(self.nz):  # 2 nested loops: k, then the i-row copy
+            out[pos:pos + row] = g[self.j, k].reshape(row)
+            pos += row
+        return out.view(np.uint8)
+
+    def manual_unpack(self, packed: np.ndarray, buf: np.ndarray) -> None:
+        g = buf.view("<f8").reshape(self.ny, self.nz, self.nx, NCOMP)
+        src = packed.view("<f8")
+        row = self.nx * NCOMP
+        pos = 0
+        for k in range(self.nz):
+            g[self.j, k].reshape(row)[:] = src[pos:pos + row]
+            pos += row
+
+
+class NasLuY(Workload):
+    """Strided pencil exchange: the i-column of every (j, k) row."""
+
+    meta = WorkloadMeta(
+        name="NAS_LU_y",
+        mpi_datatypes="strided vector",
+        loop_structure="2 nested loops (non-contiguous)",
+        memory_regions=True,
+    )
+    element_dtype = np.dtype("<f8")
+
+    def __init__(self, nx: int = 33, ny: int = 33, nz: int = 33, i: int = 1):
+        self.nx, self.ny, self.nz = nx, ny, nz
+        self.i = i
+        self.nbytes = nx * ny * nz * CELL
+        super().__init__()
+
+    def build_layout(self) -> RunLayout:
+        runs = []
+        for j in range(self.ny):
+            for k in range(self.nz):
+                off = ((j * self.nz + k) * self.nx + self.i) * CELL
+                runs.append((off, CELL))
+        return RunLayout(runs, self.nbytes)
+
+    def make_send_buffer(self) -> np.ndarray:
+        buf = np.arange(self.nbytes // 8, dtype="<f8") * -0.25
+        return buf.view(np.uint8)
+
+    def manual_pack(self, buf: np.ndarray) -> np.ndarray:
+        g = buf.view("<f8").reshape(self.ny, self.nz, self.nx, NCOMP)
+        out = np.empty(self.ny * self.nz * NCOMP, dtype="<f8")
+        pos = 0
+        for j in range(self.ny):  # the paper's Listing 9 is this very nest
+            for k in range(self.nz):
+                out[pos:pos + NCOMP] = g[j, k, self.i]
+                pos += NCOMP
+        return out.view(np.uint8)
+
+    def manual_unpack(self, packed: np.ndarray, buf: np.ndarray) -> None:
+        g = buf.view("<f8").reshape(self.ny, self.nz, self.nx, NCOMP)
+        src = packed.view("<f8")
+        pos = 0
+        for j in range(self.ny):
+            for k in range(self.nz):
+                g[j, k, self.i][:] = src[pos:pos + NCOMP]
+                pos += NCOMP

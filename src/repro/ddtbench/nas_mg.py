@@ -1,0 +1,128 @@
+"""NAS MG face exchanges (DDTBench ``nas_mg_x/y/z``-style).
+
+Multigrid halo exchange on a ``[nz][ny][nx]`` float64 grid (C-order):
+
+* **MG_x** — the ``i = const`` face: ``nz*ny`` runs of a *single* 8-byte
+  element (the worst case for scatter/gather — the paper's example of many
+  small regions losing to packing),
+* **MG_y** — the ``j = const`` face: ``nz`` contiguous rows of ``nx``
+  elements (few, large regions — the case where regions win),
+* **MG_z** — the ``k = const`` face: one fully contiguous plane.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import RunLayout, Workload, WorkloadMeta
+
+
+class _NasMgBase(Workload):
+    element_dtype = np.dtype("<f8")
+
+    def __init__(self, nx: int = 34, ny: int = 34, nz: int = 34, face: int = 1):
+        self.nx, self.ny, self.nz = nx, ny, nz
+        self.face = face
+        self.nbytes = nx * ny * nz * 8
+        super().__init__()
+
+    def make_send_buffer(self) -> np.ndarray:
+        buf = (np.arange(self.nbytes // 8, dtype="<f8") % 977) * 0.5
+        return buf.view(np.uint8)
+
+    def _grid(self, buf: np.ndarray) -> np.ndarray:
+        return buf.view("<f8").reshape(self.nz, self.ny, self.nx)
+
+
+class NasMgX(_NasMgBase):
+    """x-face: one element per (k, j) row — nz*ny tiny runs."""
+
+    meta = WorkloadMeta(
+        name="NAS_MG_x",
+        mpi_datatypes="strided vector",
+        loop_structure="2 nested loops (non-contiguous)",
+        memory_regions=True,
+    )
+
+    def build_layout(self) -> RunLayout:
+        runs = []
+        for k in range(self.nz):
+            for j in range(self.ny):
+                off = ((k * self.ny + j) * self.nx + self.face) * 8
+                runs.append((off, 8))
+        return RunLayout(runs, self.nbytes)
+
+    def manual_pack(self, buf: np.ndarray) -> np.ndarray:
+        g = self._grid(buf)
+        out = np.empty(self.nz * self.ny, dtype="<f8")
+        pos = 0
+        for k in range(self.nz):
+            out[pos:pos + self.ny] = g[k, :, self.face]
+            pos += self.ny
+        return out.view(np.uint8)
+
+    def manual_unpack(self, packed: np.ndarray, buf: np.ndarray) -> None:
+        g = self._grid(buf)
+        src = packed.view("<f8")
+        pos = 0
+        for k in range(self.nz):
+            g[k, :, self.face] = src[pos:pos + self.ny]
+            pos += self.ny
+
+
+class NasMgY(_NasMgBase):
+    """y-face: one contiguous nx-row per k — nz large runs."""
+
+    meta = WorkloadMeta(
+        name="NAS_MG_y",
+        mpi_datatypes="strided vector",
+        loop_structure="2 nested loops (non-contiguous)",
+        memory_regions=True,
+    )
+
+    def build_layout(self) -> RunLayout:
+        runs = []
+        for k in range(self.nz):
+            off = ((k * self.ny + self.face) * self.nx) * 8
+            runs.append((off, self.nx * 8))
+        return RunLayout(runs, self.nbytes)
+
+    def manual_pack(self, buf: np.ndarray) -> np.ndarray:
+        g = self._grid(buf)
+        out = np.empty(self.nz * self.nx, dtype="<f8")
+        pos = 0
+        for k in range(self.nz):
+            out[pos:pos + self.nx] = g[k, self.face, :]
+            pos += self.nx
+        return out.view(np.uint8)
+
+    def manual_unpack(self, packed: np.ndarray, buf: np.ndarray) -> None:
+        g = self._grid(buf)
+        src = packed.view("<f8")
+        pos = 0
+        for k in range(self.nz):
+            g[k, self.face, :] = src[pos:pos + self.nx]
+            pos += self.nx
+
+
+class NasMgZ(_NasMgBase):
+    """z-face: a single contiguous plane."""
+
+    meta = WorkloadMeta(
+        name="NAS_MG_z",
+        mpi_datatypes="contiguous",
+        loop_structure="2 nested loops",
+        memory_regions=True,
+    )
+
+    def build_layout(self) -> RunLayout:
+        plane = self.ny * self.nx * 8
+        return RunLayout([(self.face * plane, plane)], self.nbytes)
+
+    def manual_pack(self, buf: np.ndarray) -> np.ndarray:
+        g = self._grid(buf)
+        return g[self.face].reshape(-1).copy().view(np.uint8)
+
+    def manual_unpack(self, packed: np.ndarray, buf: np.ndarray) -> None:
+        g = self._grid(buf)
+        g[self.face].reshape(-1)[:] = packed.view("<f8")

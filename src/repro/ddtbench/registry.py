@@ -1,0 +1,45 @@
+"""Workload registry and factory functions."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .base import Workload
+from .fft import Fft2
+from .lammps import Lammps, LammpsFull
+from .milc import Milc
+from .nas_lu import NasLuX, NasLuY
+from .nas_mg import NasMgX, NasMgY, NasMgZ
+from .specfem import Specfem3dOc
+from .wrf import WrfXVec, WrfYVec
+
+#: Construction order follows the paper's Table I.
+WORKLOADS: dict[str, Callable[[], Workload]] = {
+    "LAMMPS": Lammps,
+    "LAMMPS_full": LammpsFull,
+    "MILC": Milc,
+    "NAS_LU_x": NasLuX,
+    "NAS_LU_y": NasLuY,
+    "NAS_MG_x": NasMgX,
+    "NAS_MG_y": NasMgY,
+    "NAS_MG_z": NasMgZ,
+    "WRF_x_vec": WrfXVec,
+    "WRF_y_vec": WrfYVec,
+    "FFT2": Fft2,
+    "SPECFEM3D_oc": Specfem3dOc,
+}
+
+
+def make_workload(name: str, **kwargs) -> Workload:
+    """Instantiate a workload by Table I name (kwargs override problem sizes)."""
+    try:
+        cls = WORKLOADS[name]
+    except KeyError:
+        raise KeyError(f"unknown DDTBench workload {name!r}; "
+                       f"choose from {sorted(WORKLOADS)}") from None
+    return cls(**kwargs)
+
+
+def all_workloads(**kwargs) -> list[Workload]:
+    """Instantiate every registered workload with default problem sizes."""
+    return [cls() for cls in WORKLOADS.values()]

@@ -1,0 +1,51 @@
+"""SPECFEM3D boundary gather (DDTBench ``specfem3d_oc``-style).
+
+Seismic-wave propagation: values of a global degrees-of-freedom array are
+gathered at irregular boundary indices (an MPI indexed type over a single
+float32 array, packed by one loop over the index list).  Like LAMMPS it is
+an indexed pattern, but with 4-byte single-element runs, making regions
+impracticable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import RunLayout, Workload, WorkloadMeta
+
+
+class Specfem3dOc(Workload):
+    """Gather ``nsend`` float32 DOFs at irregular indices from ``ndof``."""
+
+    meta = WorkloadMeta(
+        name="SPECFEM3D_oc",
+        mpi_datatypes="indexed",
+        loop_structure="single loop (irregular indices)",
+        memory_regions=False,
+    )
+    element_dtype = np.dtype("<f4")
+
+    def __init__(self, ndof: int = 40_000, nsend: int = 4_000, seed: int = 9):
+        self.ndof = ndof
+        self.nsend = min(nsend, ndof)
+        rng = np.random.default_rng(seed)
+        #: Sorted unique boundary indices (mesh surfaces are irregular but
+        #: monotone in the global numbering).
+        self.idx = np.sort(rng.choice(ndof, size=self.nsend, replace=False))
+        self.nbytes = ndof * 4
+        super().__init__()
+
+    def build_layout(self) -> RunLayout:
+        return RunLayout([(int(i) * 4, 4) for i in self.idx], self.nbytes)
+
+    def make_send_buffer(self) -> np.ndarray:
+        buf = np.sin(np.arange(self.ndof, dtype="<f4") * 0.01).astype("<f4")
+        return buf.view(np.uint8)
+
+    def manual_pack(self, buf: np.ndarray) -> np.ndarray:
+        dof = buf.view("<f4")
+        return dof[self.idx].copy().view(np.uint8)
+
+    def manual_unpack(self, packed: np.ndarray, buf: np.ndarray) -> None:
+        dof = buf.view("<f4")
+        dof[self.idx] = packed.view("<f4")

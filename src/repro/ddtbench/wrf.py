@@ -1,0 +1,132 @@
+"""WRF halo exchanges (DDTBench ``wrf_x_vec`` / ``wrf_y_vec``-style).
+
+Weather modelling: several 3-D float32 fields exchange a halo together, so
+the MPI datatype is a *struct of strided vectors* and the manual packer is a
+3-5 deep loop nest (field, k, j, i).  The combination of many fields and
+small per-field runs is why Table I marks memory regions as impracticable
+for the WRF benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import RunLayout, Workload, WorkloadMeta
+
+
+class _WrfBase(Workload):
+    element_dtype = np.dtype("<f4")
+
+    def __init__(self, ni: int = 32, nj: int = 32, nk: int = 24,
+                 nfields: int = 4, halo: int = 2):
+        self.ni, self.nj, self.nk = ni, nj, nk
+        self.nfields = nfields
+        self.halo = halo
+        self.field_bytes = ni * nj * nk * 4
+        self.nbytes = self.field_bytes * nfields
+        super().__init__()
+
+    def make_send_buffer(self) -> np.ndarray:
+        buf = np.arange(self.nbytes // 4, dtype="<f4")
+        return buf.view(np.uint8)
+
+    def _field(self, buf: np.ndarray, f: int) -> np.ndarray:
+        start = f * self.field_bytes
+        return (buf[start:start + self.field_bytes].view("<f4")
+                .reshape(self.nk, self.nj, self.ni))
+
+
+class WrfXVec(_WrfBase):
+    """x-halo of every field: runs of ``halo`` float32 per (field, k, j).
+
+    The deepest nest of the suite (field, k, j, i — plus the vector of
+    fields = the paper's "3/4/5 nested loops").
+    """
+
+    meta = WorkloadMeta(
+        name="WRF_x_vec",
+        mpi_datatypes="struct of strided vectors",
+        loop_structure="4 nested loops (non-contiguous)",
+        memory_regions=False,
+    )
+
+    def build_layout(self) -> RunLayout:
+        runs = []
+        h = self.halo
+        for f in range(self.nfields):
+            base = f * self.field_bytes
+            for k in range(self.nk):
+                for j in range(self.nj):
+                    off = base + ((k * self.nj + j) * self.ni) * 4
+                    runs.append((off, h * 4))
+        return RunLayout(runs, self.nbytes)
+
+    def manual_pack(self, buf: np.ndarray) -> np.ndarray:
+        h = self.halo
+        out = np.empty(self.nfields * self.nk * self.nj * h, dtype="<f4")
+        pos = 0
+        for f in range(self.nfields):
+            g = self._field(buf, f)
+            for k in range(self.nk):
+                # innermost (j, i<h) plane is vectorized
+                block = g[k, :, :h].reshape(-1)
+                out[pos:pos + block.shape[0]] = block
+                pos += block.shape[0]
+        return out.view(np.uint8)
+
+    def manual_unpack(self, packed: np.ndarray, buf: np.ndarray) -> None:
+        h = self.halo
+        src = packed.view("<f4")
+        pos = 0
+        for f in range(self.nfields):
+            g = self._field(buf, f)
+            for k in range(self.nk):
+                n = self.nj * h
+                # g[k, :, :h] is non-contiguous; assign through the slice so
+                # the write lands in the grid (reshape would copy).
+                g[k, :, :h] = src[pos:pos + n].reshape(self.nj, h)
+                pos += n
+
+
+class WrfYVec(_WrfBase):
+    """y-halo of every field: runs of ``halo * ni`` float32 per (field, k)."""
+
+    meta = WorkloadMeta(
+        name="WRF_y_vec",
+        mpi_datatypes="struct of strided vectors",
+        loop_structure="3 nested loops (non-contiguous)",
+        memory_regions=False,
+    )
+
+    def build_layout(self) -> RunLayout:
+        runs = []
+        h = self.halo
+        for f in range(self.nfields):
+            base = f * self.field_bytes
+            for k in range(self.nk):
+                off = base + (k * self.nj * self.ni) * 4
+                runs.append((off, h * self.ni * 4))
+        return RunLayout(runs, self.nbytes)
+
+    def manual_pack(self, buf: np.ndarray) -> np.ndarray:
+        h = self.halo
+        out = np.empty(self.nfields * self.nk * h * self.ni, dtype="<f4")
+        pos = 0
+        for f in range(self.nfields):
+            g = self._field(buf, f)
+            for k in range(self.nk):
+                block = g[k, :h, :].reshape(-1)
+                out[pos:pos + block.shape[0]] = block
+                pos += block.shape[0]
+        return out.view(np.uint8)
+
+    def manual_unpack(self, packed: np.ndarray, buf: np.ndarray) -> None:
+        h = self.halo
+        src = packed.view("<f4")
+        pos = 0
+        for f in range(self.nfields):
+            g = self._field(buf, f)
+            for k in range(self.nk):
+                n = h * self.ni
+                g[k, :h, :].reshape(-1)[:] = src[pos:pos + n]
+                pos += n

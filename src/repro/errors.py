@@ -1,0 +1,108 @@
+"""Error codes and exception hierarchy.
+
+The paper stresses that the custom-datatype callbacks propagate failures via
+return values (``MPI_SUCCESS`` or an error code), because serialization
+libraries can fail on invalid data.  In Python the natural equivalent is an
+exception hierarchy; every callback failure is wrapped into an
+:class:`MPIError` carrying the closest MPI error class so that applications
+can still dispatch on numeric codes.
+"""
+
+from __future__ import annotations
+
+# Numeric error classes, mirroring the MPI standard's error classes that the
+# prototype maps callback failures onto.
+MPI_SUCCESS = 0
+MPI_ERR_BUFFER = 1
+MPI_ERR_COUNT = 2
+MPI_ERR_TYPE = 3
+MPI_ERR_TAG = 4
+MPI_ERR_COMM = 5
+MPI_ERR_RANK = 6
+MPI_ERR_REQUEST = 7
+MPI_ERR_TRUNCATE = 15
+MPI_ERR_INTERN = 17
+MPI_ERR_PENDING = 18
+MPI_ERR_ARG = 13
+MPI_ERR_OTHER = 16
+
+_ERROR_NAMES = {
+    MPI_SUCCESS: "MPI_SUCCESS",
+    MPI_ERR_BUFFER: "MPI_ERR_BUFFER",
+    MPI_ERR_COUNT: "MPI_ERR_COUNT",
+    MPI_ERR_TYPE: "MPI_ERR_TYPE",
+    MPI_ERR_TAG: "MPI_ERR_TAG",
+    MPI_ERR_COMM: "MPI_ERR_COMM",
+    MPI_ERR_RANK: "MPI_ERR_RANK",
+    MPI_ERR_REQUEST: "MPI_ERR_REQUEST",
+    MPI_ERR_TRUNCATE: "MPI_ERR_TRUNCATE",
+    MPI_ERR_INTERN: "MPI_ERR_INTERN",
+    MPI_ERR_PENDING: "MPI_ERR_PENDING",
+    MPI_ERR_ARG: "MPI_ERR_ARG",
+    MPI_ERR_OTHER: "MPI_ERR_OTHER",
+}
+
+
+def error_name(code: int) -> str:
+    """Return the symbolic name for an MPI error class."""
+    return _ERROR_NAMES.get(code, f"MPI_ERR_UNKNOWN({code})")
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class MPIError(ReproError):
+    """An MPI-level failure carrying a numeric error class.
+
+    Parameters
+    ----------
+    code:
+        One of the ``MPI_ERR_*`` constants.
+    message:
+        Human-readable description.
+    """
+
+    def __init__(self, code: int, message: str = ""):
+        self.code = code
+        super().__init__(f"{error_name(code)}: {message}" if message else error_name(code))
+
+
+class TruncationError(MPIError):
+    """Receive buffer too small for the matched message."""
+
+    def __init__(self, message: str = ""):
+        super().__init__(MPI_ERR_TRUNCATE, message)
+
+
+class TypeError_(MPIError):
+    """Datatype mismatch or malformed datatype construction."""
+
+    def __init__(self, message: str = ""):
+        super().__init__(MPI_ERR_TYPE, message)
+
+
+class CallbackError(MPIError):
+    """A user-provided custom-datatype callback failed.
+
+    The original exception (or numeric code returned by the callback) is
+    preserved so applications can recover serializer-specific detail.
+    """
+
+    def __init__(self, message: str = "", cause: BaseException | None = None,
+                 code: int = MPI_ERR_OTHER):
+        super().__init__(code, message)
+        self.__cause__ = cause
+
+
+class TransportError(ReproError):
+    """Failure inside the simulated UCP transport."""
+
+
+class RuntimeAbort(ReproError):
+    """Raised when a rank in an SPMD job failed; aggregates per-rank errors."""
+
+    def __init__(self, failures: dict[int, BaseException]):
+        self.failures = dict(failures)
+        detail = "; ".join(f"rank {r}: {type(e).__name__}: {e}" for r, e in sorted(failures.items()))
+        super().__init__(f"{len(failures)} rank(s) failed: {detail}")

@@ -1,0 +1,34 @@
+"""Simplified MPI implementation (the paper's "mpicd" analogue in Python).
+
+Quickstart::
+
+    import numpy as np
+    from repro.mpi import run
+
+    def main(comm):
+        if comm.rank == 0:
+            comm.send(np.arange(8, dtype=np.int32), dest=1, tag=5)
+        else:
+            buf = np.zeros(8, dtype=np.int32)
+            comm.recv(buf, source=0, tag=5)
+            return buf
+
+    print(run(main).results[1])
+"""
+
+from .comm import (MAX_USER_TAG, Communicator, MessageHandle,
+                   PersistentRequest)
+from .engine import EngineConfig, TransferEngine
+from .pack_external import pack_into, pack_size, unpack_from
+from .requests import ANY_SOURCE, ANY_TAG, CompletedRequest, Request, Status
+from .runtime import JobResult, run
+from .topology import CartComm, cart_create, dims_create
+
+__all__ = [
+    "Communicator", "MessageHandle", "PersistentRequest", "MAX_USER_TAG",
+    "TransferEngine", "EngineConfig",
+    "Request", "CompletedRequest", "Status", "ANY_SOURCE", "ANY_TAG",
+    "run", "JobResult",
+    "pack_size", "pack_into", "unpack_from",
+    "CartComm", "cart_create", "dims_create",
+]

@@ -1,0 +1,396 @@
+"""Collective operations built over point-to-point.
+
+The paper leaves collective integration of custom datatypes as future work
+(Section VIII); this module implements the classic collectives the substrate
+needs (dissemination barrier, binomial-tree bcast/reduce, ring allgather,
+pairwise alltoall) and — as the extension the paper anticipates — allows
+custom datatypes in ``bcast``, where intermediate tree nodes reconstruct the
+object with the unpack callbacks and re-serialize it with the pack callbacks
+when forwarding.
+
+All collectives use reserved tags above the user-tag range, so they never
+interfere with application traffic on the same communicator.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from ..core.custom import CustomDatatype
+from ..core.datatype import Datatype
+from ..errors import MPI_ERR_ARG, MPIError
+from ..ucp.constants import match_mask, pack_tag
+from .comm import MAX_USER_TAG, Communicator
+from .requests import Status
+
+# Reserved internal tags (>= MAX_USER_TAG, < 2**32), spaced so per-step
+# offsets within one collective cannot collide with another collective.
+TAG_BARRIER = MAX_USER_TAG + (1 << 16)
+TAG_BCAST = MAX_USER_TAG + (2 << 16)
+TAG_GATHER = MAX_USER_TAG + (3 << 16)
+TAG_SCATTER = MAX_USER_TAG + (4 << 16)
+TAG_ALLGATHER = MAX_USER_TAG + (5 << 16)
+TAG_REDUCE = MAX_USER_TAG + (6 << 16)
+TAG_ALLTOALL = MAX_USER_TAG + (7 << 16)
+TAG_GATHERV = MAX_USER_TAG + (8 << 16)
+TAG_SCATTERV = MAX_USER_TAG + (9 << 16)
+
+_OPS = {
+    "sum": np.add,
+    "prod": np.multiply,
+    "min": np.minimum,
+    "max": np.maximum,
+}
+
+
+def _isend(comm: Communicator, dest: int, tag: int, buf, count, dtype):
+    tag64 = pack_tag(comm.comm_id & 0xFFFF, comm.rank, tag)
+    return comm.engine.start_send(comm._world(dest), tag64, buf, count, dtype)
+
+
+def _send(comm: Communicator, dest: int, tag: int, buf, count, dtype) -> None:
+    _isend(comm, dest, tag, buf, count, dtype).wait()
+
+
+def _recv(comm: Communicator, source: int, tag: int, buf, count, dtype) -> Status:
+    tag64 = pack_tag(comm.comm_id & 0xFFFF, source, tag)
+    req = comm.engine.start_recv(tag64, match_mask(False, False), buf, count,
+                                 dtype)
+    return req.wait()
+
+
+def _resolve(comm: Communicator, buf, count, dtype):
+    return comm._resolve(buf, count, dtype)
+
+
+def barrier(comm: Communicator) -> None:
+    """Dissemination barrier: ceil(log2(n)) rounds of paired token sends."""
+    n = comm.size
+    if n == 1:
+        return
+    token = np.zeros(1, dtype=np.uint8)
+    inbox = np.zeros(1, dtype=np.uint8)
+    step = 1
+    round_no = 0
+    while step < n:
+        dest = (comm.rank + step) % n
+        source = (comm.rank - step) % n
+        tag = TAG_BARRIER + round_no
+        sreq = _isend(comm, dest, tag, token, 1, _byte())
+        _recv(comm, source, tag, inbox, 1, _byte())
+        sreq.wait()
+        step <<= 1
+        round_no += 1
+
+
+def _byte() -> Datatype:
+    from ..core.datatype import BYTE
+    return BYTE
+
+
+def bcast(comm: Communicator, buf, root: int = 0,
+          datatype: Optional[Datatype] = None,
+          count: Optional[int] = None) -> Any:
+    """Binomial-tree broadcast.
+
+    Supports custom datatypes: a non-root rank first receives (driving its
+    unpack/region callbacks), then forwards the reconstructed object down
+    the tree (driving its pack/region callbacks) — the forwarding pattern
+    the paper's future-work discussion needs from collectives.
+    """
+    buf, count, datatype = _resolve(comm, buf, count, datatype)
+    n = comm.size
+    if n == 1:
+        return buf
+    # Virtual ranks rooted at 0.
+    vrank = (comm.rank - root) % n
+
+    # Receive from parent.
+    if vrank != 0:
+        parent = _parent(vrank)
+        _recv(comm, (parent + root) % n, TAG_BCAST, buf, count, datatype)
+    # Forward to children.
+    level = 1
+    while level < n:
+        if vrank < level:
+            child = vrank + level
+            if child < n:
+                _send(comm, (child + root) % n, TAG_BCAST, buf, count, datatype)
+        level <<= 1
+    return buf
+
+
+def _parent(vrank: int) -> int:
+    """Parent in the binomial broadcast tree used above."""
+    # The tree grows by doubling: in the round where ``vrank`` first became
+    # active (the highest power of two <= vrank), its parent is vrank minus
+    # that power.
+    high = 1 << (vrank.bit_length() - 1)
+    return vrank - high
+
+
+def gather(comm: Communicator, sendbuf, recvbuf, root: int = 0,
+           datatype: Optional[Datatype] = None,
+           count: Optional[int] = None) -> Optional[np.ndarray]:
+    """Linear gather of equal-size contributions to the root."""
+    sendbuf, count, datatype = _resolve(comm, sendbuf, count, datatype)
+    if isinstance(datatype, CustomDatatype):
+        raise MPIError(MPI_ERR_ARG,
+                       "gather of custom datatypes is not supported; "
+                       "see repro.serial for object collectives")
+    if comm.rank != root:
+        _send(comm, root, TAG_GATHER, sendbuf, count, datatype)
+        return None
+    out = np.asarray(recvbuf)
+    block = count * datatype.size
+    flat = out.view(np.uint8).reshape(-1)
+    if flat.shape[0] < block * comm.size:
+        raise MPIError(MPI_ERR_ARG,
+                       f"gather recvbuf too small: need {block * comm.size} bytes")
+    for r in range(comm.size):
+        dst = flat[r * block:(r + 1) * block]
+        if r == root:
+            from ..core.packing import pack
+            pack(datatype, sendbuf, count, out=dst)
+        else:
+            # Contributions land packed at the root regardless of the send
+            # datatype, so receive them as raw bytes.
+            _recv(comm, r, TAG_GATHER, dst, block, _byte())
+    return out
+
+
+def scatter(comm: Communicator, sendbuf, recvbuf, root: int = 0,
+            datatype: Optional[Datatype] = None,
+            count: Optional[int] = None) -> Any:
+    """Linear scatter of equal-size blocks from the root."""
+    recvbuf, count, datatype = _resolve(comm, recvbuf, count, datatype)
+    if isinstance(datatype, CustomDatatype):
+        raise MPIError(MPI_ERR_ARG, "scatter of custom datatypes is not supported")
+    block = count * datatype.size
+    if comm.rank == root:
+        flat = np.asarray(sendbuf).view(np.uint8).reshape(-1)
+        if flat.shape[0] < block * comm.size:
+            raise MPIError(MPI_ERR_ARG,
+                           f"scatter sendbuf too small: need {block * comm.size} bytes")
+        reqs = []
+        for r in range(comm.size):
+            if r == root:
+                continue
+            reqs.append(_isend(comm, r, TAG_SCATTER,
+                               flat[r * block:(r + 1) * block], block, _byte()))
+        from ..core.packing import unpack
+        unpack(datatype, recvbuf, count, flat[root * block:(root + 1) * block])
+        for q in reqs:
+            q.wait()
+    else:
+        if datatype.is_contiguous:
+            _recv(comm, root, TAG_SCATTER, recvbuf, count, datatype)
+        else:
+            tmp = np.empty(block, dtype=np.uint8)
+            _recv(comm, root, TAG_SCATTER, tmp, block, _byte())
+            from ..core.packing import unpack
+            unpack(datatype, recvbuf, count, tmp)
+    return recvbuf
+
+
+def gatherv(comm: Communicator, sendbuf, recvbuf, recvcounts,
+            root: int = 0, datatype: Optional[Datatype] = None,
+            count: Optional[int] = None) -> Optional[np.ndarray]:
+    """MPI_Gatherv: per-rank contribution sizes.
+
+    ``recvcounts`` (significant at the root) gives each rank's element
+    count; contributions land packed and contiguous at the root in rank
+    order.  Non-root ranks pass their own ``count``.
+    """
+    sendbuf, count, datatype = _resolve(comm, sendbuf, count, datatype)
+    if isinstance(datatype, CustomDatatype):
+        raise MPIError(MPI_ERR_ARG, "gatherv of custom datatypes is not supported")
+    if comm.rank != root:
+        _send(comm, root, TAG_GATHERV, sendbuf, count, datatype)
+        return None
+    counts = [int(c) for c in recvcounts]
+    if len(counts) != comm.size:
+        raise MPIError(MPI_ERR_ARG,
+                       f"recvcounts has {len(counts)} entries for "
+                       f"{comm.size} ranks")
+    esize = datatype.size
+    total = sum(counts) * esize
+    flat = np.asarray(recvbuf).view(np.uint8).reshape(-1)
+    if flat.shape[0] < total:
+        raise MPIError(MPI_ERR_ARG, f"gatherv recvbuf too small: need {total}")
+    pos = 0
+    for r in range(comm.size):
+        nbytes = counts[r] * esize
+        dst = flat[pos:pos + nbytes]
+        if r == root:
+            from ..core.packing import pack
+            pack(datatype, sendbuf, counts[r], out=dst)
+        else:
+            _recv(comm, r, TAG_GATHERV, dst, nbytes, _byte())
+        pos += nbytes
+    return flat[:total]
+
+
+def scatterv(comm: Communicator, sendbuf, sendcounts, recvbuf,
+             root: int = 0, datatype: Optional[Datatype] = None,
+             count: Optional[int] = None) -> Any:
+    """MPI_Scatterv: per-rank block sizes from a packed root buffer."""
+    recvbuf, count, datatype = _resolve(comm, recvbuf, count, datatype)
+    if isinstance(datatype, CustomDatatype):
+        raise MPIError(MPI_ERR_ARG, "scatterv of custom datatypes is not supported")
+    esize = datatype.size
+    if comm.rank == root:
+        counts = [int(c) for c in sendcounts]
+        if len(counts) != comm.size:
+            raise MPIError(MPI_ERR_ARG,
+                           f"sendcounts has {len(counts)} entries for "
+                           f"{comm.size} ranks")
+        flat = np.asarray(sendbuf).view(np.uint8).reshape(-1)
+        if flat.shape[0] < sum(counts) * esize:
+            raise MPIError(MPI_ERR_ARG, "scatterv sendbuf too small")
+        reqs = []
+        pos = 0
+        for r in range(comm.size):
+            nbytes = counts[r] * esize
+            if r == root:
+                from ..core.packing import unpack
+                unpack(datatype, recvbuf, counts[r], flat[pos:pos + nbytes])
+            else:
+                reqs.append(_isend(comm, r, TAG_SCATTERV,
+                                   flat[pos:pos + nbytes], nbytes, _byte()))
+            pos += nbytes
+        for q in reqs:
+            q.wait()
+    else:
+        nbytes = count * esize
+        if datatype.is_contiguous:
+            _recv(comm, root, TAG_SCATTERV, recvbuf, count, datatype)
+        else:
+            tmp = np.empty(nbytes, dtype=np.uint8)
+            _recv(comm, root, TAG_SCATTERV, tmp, nbytes, _byte())
+            from ..core.packing import unpack
+            unpack(datatype, recvbuf, count, tmp)
+    return recvbuf
+
+
+def allgather(comm: Communicator, sendbuf, recvbuf,
+              datatype: Optional[Datatype] = None,
+              count: Optional[int] = None) -> np.ndarray:
+    """Ring allgather (bandwidth-optimal for large messages)."""
+    sendbuf, count, datatype = _resolve(comm, sendbuf, count, datatype)
+    if isinstance(datatype, CustomDatatype):
+        raise MPIError(MPI_ERR_ARG, "allgather of custom datatypes is not supported")
+    n = comm.size
+    block = count * datatype.size
+    flat = np.asarray(recvbuf).view(np.uint8).reshape(-1)
+    if flat.shape[0] < block * n:
+        raise MPIError(MPI_ERR_ARG,
+                       f"allgather recvbuf too small: need {block * n} bytes")
+    from ..core.packing import pack
+    pack(datatype, sendbuf, count, out=flat[comm.rank * block:(comm.rank + 1) * block])
+    if n == 1:
+        return recvbuf
+    right = (comm.rank + 1) % n
+    left = (comm.rank - 1) % n
+    for step in range(n - 1):
+        send_block = (comm.rank - step) % n
+        recv_block = (comm.rank - step - 1) % n
+        sreq = _isend(comm, right, TAG_ALLGATHER + step,
+                      flat[send_block * block:(send_block + 1) * block],
+                      block, _byte())
+        _recv(comm, left, TAG_ALLGATHER + step,
+              flat[recv_block * block:(recv_block + 1) * block], block, _byte())
+        sreq.wait()
+    return recvbuf
+
+
+def reduce(comm: Communicator, sendbuf, recvbuf, op="sum",
+           root: int = 0) -> Optional[np.ndarray]:
+    """Binomial-tree reduction over numpy arrays.
+
+    ``op`` is a name from :data:`_OPS` or any callable
+    ``op(acc, incoming) -> array`` (MPI_Op_create with a commutative user
+    function).
+    """
+    if callable(op):
+        def ufunc(a, b, out):
+            out[...] = op(a, b)
+    elif op in _OPS:
+        ufunc = _OPS[op]
+    else:
+        raise MPIError(MPI_ERR_ARG, f"unknown reduction op {op!r}; "
+                                    f"choose from {sorted(_OPS)} or pass a callable")
+    send = np.asarray(sendbuf)
+    acc = send.copy()
+    n = comm.size
+    vrank = (comm.rank - root) % n
+    # Reduce up the tree: children send to parents, doubling each round.
+    mask = 1
+    scratch = np.empty_like(acc)
+    while mask < n:
+        if vrank & mask:
+            parent = vrank & ~mask
+            _send(comm, (parent + root) % n, TAG_REDUCE, acc, acc.size,
+                  _np_dtype(acc))
+            break
+        child = vrank | mask
+        if child < n:
+            _recv(comm, (child + root) % n, TAG_REDUCE, scratch, scratch.size,
+                  _np_dtype(scratch))
+            ufunc(acc, scratch, out=acc)
+        mask <<= 1
+    if comm.rank == root:
+        out = np.asarray(recvbuf)
+        out[...] = acc.reshape(out.shape)
+        return out
+    return None
+
+
+def _np_dtype(arr: np.ndarray):
+    from ..core.datatype import from_numpy_dtype
+    return from_numpy_dtype(arr.dtype)
+
+
+def allreduce(comm: Communicator, sendbuf, recvbuf, op="sum") -> np.ndarray:
+    """Reduce to rank 0, then broadcast (simple and correct)."""
+    out = np.asarray(recvbuf)
+    reduce(comm, sendbuf, out, op=op, root=0)
+    bcast(comm, out, root=0)
+    return out
+
+
+def alltoall(comm: Communicator, sendbuf, recvbuf,
+             datatype: Optional[Datatype] = None,
+             count: Optional[int] = None) -> np.ndarray:
+    """Pairwise-exchange alltoall of equal blocks."""
+    n = comm.size
+    if datatype is None:
+        if isinstance(sendbuf, np.ndarray):
+            from ..core.datatype import from_numpy_dtype
+            datatype = from_numpy_dtype(sendbuf.dtype)
+        else:
+            from ..core.datatype import BYTE
+            datatype = BYTE
+    send = np.asarray(sendbuf).view(np.uint8).reshape(-1)
+    recv = np.asarray(recvbuf).view(np.uint8).reshape(-1)
+    if count is None:
+        if send.shape[0] % (n * datatype.size):
+            raise MPIError(MPI_ERR_ARG, "cannot infer alltoall block count")
+        count = send.shape[0] // (n * datatype.size)
+    block = count * datatype.size
+    if send.shape[0] < n * block or recv.shape[0] < n * block:
+        raise MPIError(MPI_ERR_ARG,
+                       f"alltoall buffers must hold {n * block} bytes")
+    recv[comm.rank * block:(comm.rank + 1) * block] = \
+        send[comm.rank * block:(comm.rank + 1) * block]
+    for step in range(1, n):
+        to = (comm.rank + step) % n
+        frm = (comm.rank - step) % n
+        sreq = _isend(comm, to, TAG_ALLTOALL + step,
+                      send[to * block:(to + 1) * block], block, _byte())
+        _recv(comm, frm, TAG_ALLTOALL + step,
+              recv[frm * block:(frm + 1) * block], block, _byte())
+        sreq.wait()
+    return recvbuf

@@ -1,0 +1,426 @@
+"""Communicators: the user-facing point-to-point API.
+
+The surface follows mpi4py's buffer-mode conventions where that makes sense
+(explicit buffers, datatype + count), extended with the paper's custom
+datatypes, which are accepted anywhere a datatype is.
+
+Datatype/count inference mirrors mpi4py's automatic discovery: a bare numpy
+array infers its predefined type and element count; bytes-like buffers infer
+``MPI_BYTE``; a custom datatype defaults to ``count=1``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from ..core.custom import CustomDatatype
+from ..core.datatype import BYTE, Datatype, from_numpy_dtype
+from ..errors import MPI_ERR_COMM, MPI_ERR_RANK, MPI_ERR_TAG, MPIError
+from ..ucp.constants import match_mask, pack_tag
+from ..ucp.context import Worker
+from .engine import EngineConfig, TransferEngine
+from .requests import ANY_SOURCE, ANY_TAG, Request, Status
+
+#: User tags must stay below this; the range above is reserved for
+#: collectives and other internal protocols.
+MAX_USER_TAG = 1 << 30
+
+class Communicator:
+    """An MPI communicator bound to one rank's worker thread."""
+
+    def __init__(self, worker: Worker, size: int, comm_id: int = 0,
+                 engine_config: EngineConfig | None = None,
+                 group: tuple[int, ...] | None = None):
+        self.worker = worker
+        self._size = size
+        #: Communicator ids must agree across ranks; COMM_WORLD is 0 and
+        #: children derive ids deterministically in dup/split order.
+        self.comm_id = comm_id
+        self._dup_count = 0
+        self._split_count = 0
+        #: For split communicators: world rank of each local rank, in local
+        #: rank order.  None means the identity mapping (COMM_WORLD).
+        self._group = group
+        self.engine = TransferEngine(worker, engine_config)
+        if group is not None and worker.index not in group:
+            raise MPIError(MPI_ERR_COMM,
+                           f"worker {worker.index} not in group {group}")
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def rank(self) -> int:
+        if self._group is not None:
+            return self._group.index(self.worker.index)
+        return self.worker.index
+
+    @property
+    def size(self) -> int:
+        return len(self._group) if self._group is not None else self._size
+
+    # -- rank translation (identity for COMM_WORLD) ----------------------
+
+    def _world(self, local_rank: int) -> int:
+        """World (worker) index of a communicator-local rank."""
+        return self._group[local_rank] if self._group is not None else local_rank
+
+    def _local(self, world_rank: int) -> int:
+        """Communicator-local rank of a worker index."""
+        if self._group is None:
+            return world_rank
+        return self._group.index(world_rank)
+
+    @property
+    def clock(self):
+        """This rank's virtual clock (for benchmarking)."""
+        return self.worker.clock
+
+    @property
+    def memory(self):
+        """This rank's allocation tracker."""
+        return self.worker.memory
+
+    def dup(self) -> "Communicator":
+        """MPI_Comm_dup: same group, isolated tag space.
+
+        Ids are derived deterministically from (parent id, dup order), so
+        every rank obtains the same child id as long as all ranks call
+        ``dup`` in the same order — the usual collective contract.
+        """
+        child_id = (self.comm_id * 31 + self._dup_count + 1) % (1 << 16)
+        self._dup_count += 1
+        return Communicator(self.worker, self._size, comm_id=child_id,
+                            engine_config=self.engine.config)
+
+    def split(self, color: Optional[int], key: int = 0) -> Optional["Communicator"]:
+        """MPI_Comm_split: partition by color, order by (key, parent rank).
+
+        ``color=None`` (MPI_UNDEFINED) returns None.  Collective: every rank
+        of this communicator must call it.
+        """
+        import numpy as np  # local to avoid cycle at import time
+
+        n = self.size
+        mine = np.array([-1 if color is None else int(color), int(key),
+                         self.rank], dtype="<i8")
+        table = np.zeros(3 * n, dtype="<i8")
+        self.allgather(mine, table)
+        self._split_count += 1
+        if color is None:
+            return None
+        rows = table.reshape(n, 3)
+        members = sorted((int(k), int(r)) for c, k, r in rows
+                         if int(c) == int(color))
+        group = tuple(self._world(r) for _, r in members)
+        child_id = (self.comm_id * 131 + self._split_count * 31
+                    + int(color) + 7) % (1 << 16)
+        return Communicator(self.worker, self._size, comm_id=child_id,
+                            engine_config=self.engine.config, group=group)
+
+    # -- argument handling ----------------------------------------------------
+
+    def _resolve(self, buf: Any, count: Optional[int],
+                 datatype: Optional[Datatype]) -> tuple[Any, int, Datatype]:
+        if datatype is None:
+            if isinstance(buf, np.ndarray):
+                datatype = from_numpy_dtype(buf.dtype)
+                count = buf.size if count is None else count
+            elif isinstance(buf, (bytes, bytearray, memoryview)):
+                datatype = BYTE
+                count = len(buf) if count is None else count
+            else:
+                raise MPIError(
+                    MPI_ERR_RANK,
+                    f"cannot infer a datatype for {type(buf).__name__}; pass "
+                    f"datatype= explicitly (custom types accept any object)")
+        elif count is None:
+            if isinstance(datatype, CustomDatatype):
+                count = 1
+            elif isinstance(buf, np.ndarray) and datatype.extent:
+                count = buf.nbytes // datatype.extent
+            else:
+                raise MPIError(MPI_ERR_RANK,
+                               "count is required for this buffer/datatype")
+        if count < 0:
+            raise MPIError(MPI_ERR_RANK, f"negative count {count}")
+        return buf, count, datatype
+
+    def _check_peer(self, rank: int, allow_any: bool = False) -> None:
+        if allow_any and rank == ANY_SOURCE:
+            return
+        if not 0 <= rank < self._size:
+            raise MPIError(MPI_ERR_RANK,
+                           f"rank {rank} outside communicator of size {self._size}")
+
+    def _check_tag(self, tag: int, allow_any: bool = False) -> None:
+        if allow_any and tag == ANY_TAG:
+            return
+        if not 0 <= tag < MAX_USER_TAG:
+            raise MPIError(MPI_ERR_TAG, f"tag {tag} out of range [0, {MAX_USER_TAG})")
+
+    def _send_tag64(self, tag: int) -> int:
+        # The matching tag carries the communicator-local source rank.
+        return pack_tag(self.comm_id & 0xFFFF, self.rank, tag & 0xFFFFFFFF)
+
+    def _recv_pattern(self, source: int, tag: int) -> tuple[int, int]:
+        any_src = source == ANY_SOURCE
+        any_tag = tag == ANY_TAG
+        tag64 = pack_tag(self.comm_id & 0xFFFF,
+                         0 if any_src else source,
+                         0 if any_tag else tag & 0xFFFFFFFF)
+        return tag64, match_mask(any_src, any_tag)
+
+    # -- point to point ---------------------------------------------------
+
+    def isend(self, buf: Any, dest: int, tag: int = 0,
+              datatype: Optional[Datatype] = None,
+              count: Optional[int] = None) -> Request:
+        """Nonblocking send (MPI_Isend)."""
+        self._check_peer(dest)
+        self._check_tag(tag)
+        buf, count, datatype = self._resolve(buf, count, datatype)
+        return self.engine.start_send(self._world(dest), self._send_tag64(tag),
+                                      buf, count, datatype)
+
+    def send(self, buf: Any, dest: int, tag: int = 0,
+             datatype: Optional[Datatype] = None,
+             count: Optional[int] = None) -> None:
+        """Blocking send (MPI_Send)."""
+        self.isend(buf, dest, tag, datatype, count).wait()
+
+    def issend(self, buf: Any, dest: int, tag: int = 0,
+               datatype: Optional[Datatype] = None,
+               count: Optional[int] = None) -> Request:
+        """Nonblocking synchronous send (MPI_Issend): completion of the
+        returned request implies the matching receive has started."""
+        self._check_peer(dest)
+        self._check_tag(tag)
+        buf, count, datatype = self._resolve(buf, count, datatype)
+        return self.engine.start_send(self._world(dest), self._send_tag64(tag),
+                                      buf, count, datatype, sync=True)
+
+    def ssend(self, buf: Any, dest: int, tag: int = 0,
+              datatype: Optional[Datatype] = None,
+              count: Optional[int] = None) -> None:
+        """Blocking synchronous send (MPI_Ssend)."""
+        self.issend(buf, dest, tag, datatype, count).wait()
+
+    def irecv(self, buf: Any, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+              datatype: Optional[Datatype] = None,
+              count: Optional[int] = None) -> Request:
+        """Nonblocking receive (MPI_Irecv)."""
+        self._check_peer(source, allow_any=True)
+        self._check_tag(tag, allow_any=True)
+        buf, count, datatype = self._resolve(buf, count, datatype)
+        tag64, mask = self._recv_pattern(source, tag)
+        return self.engine.start_recv(tag64, mask, buf, count, datatype)
+
+    def recv(self, buf: Any, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+             datatype: Optional[Datatype] = None,
+             count: Optional[int] = None) -> Status:
+        """Blocking receive (MPI_Recv)."""
+        return self._localize(self.irecv(buf, source, tag, datatype, count)
+                              .wait())
+
+    def _localize(self, status: Optional[Status]) -> Optional[Status]:
+        """Translate a Status's world source into a comm-local rank."""
+        if status is not None and self._group is not None:
+            status.source = self._local(status.source)
+        return status
+
+    def sendrecv(self, sendbuf: Any, dest: int, recvbuf: Any, source: int,
+                 sendtag: int = 0, recvtag: int = ANY_TAG,
+                 senddatatype: Optional[Datatype] = None,
+                 sendcount: Optional[int] = None,
+                 recvdatatype: Optional[Datatype] = None,
+                 recvcount: Optional[int] = None) -> Status:
+        """MPI_Sendrecv: deadlock-free paired exchange."""
+        rreq = self.irecv(recvbuf, source, recvtag, recvdatatype, recvcount)
+        sreq = self.isend(sendbuf, dest, sendtag, senddatatype, sendcount)
+        status = rreq.wait()
+        sreq.wait()
+        return status
+
+    # -- persistent requests ------------------------------------------------
+
+    def send_init(self, buf: Any, dest: int, tag: int = 0,
+                  datatype: Optional[Datatype] = None,
+                  count: Optional[int] = None) -> "PersistentRequest":
+        """MPI_Send_init: a restartable send (start with ``.start()``)."""
+        self._check_peer(dest)
+        self._check_tag(tag)
+        return PersistentRequest(
+            lambda: self.isend(buf, dest, tag, datatype, count))
+
+    def recv_init(self, buf: Any, source: int = ANY_SOURCE,
+                  tag: int = ANY_TAG,
+                  datatype: Optional[Datatype] = None,
+                  count: Optional[int] = None) -> "PersistentRequest":
+        """MPI_Recv_init: a restartable receive."""
+        self._check_peer(source, allow_any=True)
+        self._check_tag(tag, allow_any=True)
+        return PersistentRequest(
+            lambda: self.irecv(buf, source, tag, datatype, count))
+
+    # -- probing --------------------------------------------------------------
+
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Status:
+        """Blocking MPI_Probe (message stays matchable)."""
+        tag64, mask = self._recv_pattern(source, tag)
+        msg = self.worker.tag_probe(tag64, mask, remove=False, block=True)
+        return self._localize(Status.from_recv_info(_msg_info(msg)))
+
+    def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG
+               ) -> Optional[Status]:
+        """Nonblocking MPI_Iprobe."""
+        tag64, mask = self._recv_pattern(source, tag)
+        msg = self.worker.tag_probe(tag64, mask, remove=False, block=False)
+        if msg is None:
+            return None
+        return self._localize(Status.from_recv_info(_msg_info(msg)))
+
+    def mprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG
+               ) -> tuple["MessageHandle", Status]:
+        """Blocking MPI_Mprobe: claim the message for a later mrecv."""
+        tag64, mask = self._recv_pattern(source, tag)
+        msg = self.worker.tag_probe(tag64, mask, remove=True, block=True)
+        return (MessageHandle(self, msg),
+                self._localize(Status.from_recv_info(_msg_info(msg))))
+
+    def improbe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG
+                ) -> Optional[tuple["MessageHandle", Status]]:
+        """Nonblocking MPI_Improbe."""
+        tag64, mask = self._recv_pattern(source, tag)
+        msg = self.worker.tag_probe(tag64, mask, remove=True, block=False)
+        if msg is None:
+            return None
+        return (MessageHandle(self, msg),
+                self._localize(Status.from_recv_info(_msg_info(msg))))
+
+    # -- collectives (implemented in repro.mpi.collectives) -----------------
+
+    def barrier(self) -> None:
+        from . import collectives
+        collectives.barrier(self)
+
+    def bcast(self, buf, root: int = 0, datatype=None, count=None):
+        from . import collectives
+        return collectives.bcast(self, buf, root, datatype, count)
+
+    def gather(self, sendbuf, recvbuf, root: int = 0, datatype=None, count=None):
+        from . import collectives
+        return collectives.gather(self, sendbuf, recvbuf, root, datatype, count)
+
+    def scatter(self, sendbuf, recvbuf, root: int = 0, datatype=None, count=None):
+        from . import collectives
+        return collectives.scatter(self, sendbuf, recvbuf, root, datatype, count)
+
+    def gatherv(self, sendbuf, recvbuf, recvcounts, root: int = 0,
+                datatype=None, count=None):
+        from . import collectives
+        return collectives.gatherv(self, sendbuf, recvbuf, recvcounts, root,
+                                   datatype, count)
+
+    def scatterv(self, sendbuf, sendcounts, recvbuf, root: int = 0,
+                 datatype=None, count=None):
+        from . import collectives
+        return collectives.scatterv(self, sendbuf, sendcounts, recvbuf, root,
+                                    datatype, count)
+
+    def allgather(self, sendbuf, recvbuf, datatype=None, count=None):
+        from . import collectives
+        return collectives.allgather(self, sendbuf, recvbuf, datatype, count)
+
+    def reduce(self, sendbuf, recvbuf, op="sum", root: int = 0):
+        from . import collectives
+        return collectives.reduce(self, sendbuf, recvbuf, op, root)
+
+    def allreduce(self, sendbuf, recvbuf, op="sum"):
+        from . import collectives
+        return collectives.allreduce(self, sendbuf, recvbuf, op)
+
+    def alltoall(self, sendbuf, recvbuf, datatype=None, count=None):
+        from . import collectives
+        return collectives.alltoall(self, sendbuf, recvbuf, datatype, count)
+
+
+class PersistentRequest:
+    """A restartable operation (MPI persistent requests).
+
+    ``start()`` (re)activates the operation against the same buffer and
+    arguments; ``wait()`` completes the active instance.  Mirrors
+    MPI_Send_init / MPI_Recv_init / MPI_Start semantics closely enough for
+    iterative halo-exchange codes.
+    """
+
+    def __init__(self, factory):
+        self._factory = factory
+        self._active: Optional[Request] = None
+
+    def start(self) -> "PersistentRequest":
+        if self._active is not None and not self._active.test():
+            raise MPIError(MPI_ERR_RANK,
+                           "persistent request restarted while still active")
+        self._active = self._factory()
+        return self
+
+    def test(self) -> bool:
+        return self._active is not None and self._active.test()
+
+    def wait(self):
+        if self._active is None:
+            raise MPIError(MPI_ERR_RANK,
+                           "persistent request waited before start()")
+        status = self._active.wait()
+        return status
+
+
+class MessageHandle:
+    """A message claimed by mprobe, receivable exactly once (MPI_Message)."""
+
+    def __init__(self, comm: Communicator, msg):
+        self._comm = comm
+        self._msg = msg
+        self._received = False
+
+    def mrecv(self, buf: Any, datatype: Optional[Datatype] = None,
+              count: Optional[int] = None) -> Status:
+        """MPI_Mrecv."""
+        if self._received:
+            raise MPIError(MPI_ERR_RANK, "message already received")
+        self._received = True
+        buf, count, datatype = self._comm._resolve(buf, count, datatype)
+        if isinstance(datatype, CustomDatatype):
+            return self._comm._localize(
+                self._comm.engine.recv_custom_message(self._msg, buf, count,
+                                                      datatype))
+        from ..core.packing import packed_size
+        from ..ucp.dtypes import ContigData
+        if datatype.is_contiguous:
+            nbytes = packed_size(datatype, count)
+            info = self._comm.worker.msg_recv(
+                self._msg, ContigData(buf, nbytes, writable=True))
+            return self._comm._localize(Status.from_recv_info(info))
+        # Derived path: receive packed, then unpack.
+        nbytes = packed_size(datatype, count)
+        worker = self._comm.worker
+        temp = worker.memory.allocate(nbytes, worker.clock, worker.model)
+        info = worker.msg_recv(self._msg, ContigData(temp, nbytes, writable=True))
+        from ..core.packing import unpack
+        nelem = info.nbytes // datatype.size if datatype.size else 0
+        unpack(datatype, buf, nelem, temp[: info.nbytes])
+        nblocks = nelem * len(datatype.typemap.merged_blocks())
+        worker.clock.advance(worker.model.typemap_pack_time(nblocks, info.nbytes))
+        worker.memory.release(temp)
+        return self._comm._localize(Status.from_recv_info(info))
+
+
+def _msg_info(msg):
+    """Adapt a WireMessage header into a RecvInfo-shaped object."""
+    from ..ucp.context import RecvInfo
+    hdr = msg.header
+    return RecvInfo(source=hdr.source, tag=hdr.tag, nbytes=hdr.total_bytes,
+                    entry_lengths=hdr.entry_lengths,
+                    packed_entries=hdr.packed_entries)

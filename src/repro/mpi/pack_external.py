@@ -1,0 +1,49 @@
+"""MPI_Pack / MPI_Unpack / MPI_Pack_size equivalents.
+
+These wrap the typemap engine for application-driven packing — the
+``ompi-pack`` method of the DDTBench comparison (pack with MPI datatypes up
+front, then send the contiguous buffer).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.datatype import Datatype
+from ..core.packing import pack as _pack
+from ..core.packing import packed_size
+from ..core.packing import unpack as _unpack
+from ..errors import MPI_ERR_BUFFER, MPIError
+
+
+def pack_size(count: int, dtype: Datatype) -> int:
+    """Upper bound on packed bytes (MPI_Pack_size)."""
+    return packed_size(dtype, count)
+
+
+def pack_into(buf, count: int, dtype: Datatype, outbuf, position: int) -> int:
+    """MPI_Pack: append ``count`` elements at ``position``; returns the new
+    position."""
+    nbytes = packed_size(dtype, count)
+    out = np.frombuffer(memoryview(outbuf), dtype=np.uint8) \
+        if not isinstance(outbuf, np.ndarray) else outbuf.view(np.uint8).reshape(-1)
+    if position < 0 or position + nbytes > out.shape[0]:
+        raise MPIError(MPI_ERR_BUFFER,
+                       f"pack of {nbytes} bytes at {position} overflows "
+                       f"{out.shape[0]}-byte buffer")
+    _pack(dtype, buf, count, out=out[position:position + nbytes])
+    return position + nbytes
+
+
+def unpack_from(inbuf, position: int, buf, count: int, dtype: Datatype) -> int:
+    """MPI_Unpack: consume ``count`` elements at ``position``; returns the
+    new position."""
+    nbytes = packed_size(dtype, count)
+    src = np.frombuffer(memoryview(inbuf), dtype=np.uint8) \
+        if not isinstance(inbuf, np.ndarray) else inbuf.view(np.uint8).reshape(-1)
+    if position < 0 or position + nbytes > src.shape[0]:
+        raise MPIError(MPI_ERR_BUFFER,
+                       f"unpack of {nbytes} bytes at {position} overflows "
+                       f"{src.shape[0]}-byte buffer")
+    _unpack(dtype, buf, count, src[position:position + nbytes])
+    return position + nbytes

@@ -1,0 +1,163 @@
+"""MPI request and status objects."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from ..errors import MPI_ERR_REQUEST, MPIError
+from ..ucp.constants import unpack_tag
+from ..ucp.context import RecvInfo, RecvRequest, SendRequest
+
+#: Wildcards (match mpi4py's numeric conventions closely enough for tests).
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+
+class Status:
+    """Completion information of a receive (MPI_Status).
+
+    Beyond the standard fields this carries the per-component lengths of
+    multi-part (custom datatype) messages — the extension the paper's
+    Section VI asks for: "perhaps by extending MPI_Probe and
+    MPI_Get_count", so receivers can learn region lengths without a second
+    message.
+    """
+
+    def __init__(self, source: int, tag: int, nbytes: int,
+                 entry_lengths: tuple[int, ...] = (),
+                 packed_entries: int = 0):
+        self.source = source
+        self.tag = tag
+        self.nbytes = nbytes
+        #: Byte length of each wire component (packed fragments first, then
+        #: memory regions).  A single-entry tuple for contiguous messages.
+        self.entry_lengths = tuple(entry_lengths)
+        #: How many leading entries are in-band packed data.
+        self.packed_entries = packed_entries
+
+    @property
+    def region_lengths(self) -> tuple[int, ...]:
+        """Lengths of the memory-region components (MPI_Get_count for each
+        region, in the paper's terms)."""
+        return self.entry_lengths[self.packed_entries:]
+
+    @classmethod
+    def from_recv_info(cls, info: RecvInfo) -> "Status":
+        _, _, user_tag = unpack_tag(info.tag)
+        return cls(source=info.source, tag=user_tag, nbytes=info.nbytes,
+                   entry_lengths=info.entry_lengths,
+                   packed_entries=info.packed_entries)
+
+    def get_count(self, datatype) -> int:
+        """Number of whole ``datatype`` elements received (MPI_Get_count)."""
+        size = datatype.size
+        if size == 0:
+            return 0
+        if self.nbytes % size:
+            return -1  # MPI_UNDEFINED
+        return self.nbytes // size
+
+    def __repr__(self) -> str:
+        return f"Status(source={self.source}, tag={self.tag}, nbytes={self.nbytes})"
+
+
+class Request:
+    """A nonblocking operation handle.
+
+    Wraps the transport request plus an optional *completion hook* that runs
+    on the owning thread exactly once at wait time (the engine uses it to run
+    receive-side unpack work and to free custom-datatype state).
+    """
+
+    def __init__(self, transport_req: SendRequest | RecvRequest | None,
+                 on_complete: Optional[Callable[[], Optional[Status]]] = None):
+        self._req = transport_req
+        self._on_complete = on_complete
+        self._status: Optional[Status] = None
+        self._done = False
+
+    def test(self) -> bool:
+        """Non-blocking completion check (does not run delivery work)."""
+        if self._done:
+            return True
+        if self._req is None:
+            return True
+        return self._req.test()
+
+    def wait(self, timeout: float | None = None) -> Optional[Status]:
+        """Complete the operation; returns a Status for receives."""
+        if self._done:
+            return self._status
+        if self._req is not None:
+            result = self._req.wait(timeout=timeout)
+        else:
+            result = None
+        if self._on_complete is not None:
+            self._status = self._on_complete()
+        elif isinstance(result, RecvInfo):
+            self._status = Status.from_recv_info(result)
+        self._done = True
+        return self._status
+
+    @staticmethod
+    def waitall(requests: Sequence["Request"],
+                timeout: float | None = None) -> list[Optional[Status]]:
+        """Complete every request (MPI_Waitall)."""
+        return [r.wait(timeout=timeout) for r in requests]
+
+    @staticmethod
+    def testall(requests: Sequence["Request"]) -> bool:
+        return all(r.test() for r in requests)
+
+    @staticmethod
+    def waitany(requests: Sequence["Request"],
+                poll_interval: float = 1e-4) -> tuple[int, Optional[Status]]:
+        """Complete one ready request (MPI_Waitany); returns (index, status).
+
+        Polls ``test()`` across the set; the first request reporting
+        completion is waited (running its delivery work on this thread).
+        """
+        if not requests:
+            raise MPIError(MPI_ERR_REQUEST, "waitany on an empty request list")
+        import time
+        while True:
+            active = False
+            for i, r in enumerate(requests):
+                if r._done:
+                    continue  # inactive, as in MPI_Waitany
+                active = True
+                if r.test():
+                    return i, r.wait()
+            if not active:
+                return -1, None  # MPI_UNDEFINED: all requests inactive
+            time.sleep(poll_interval)
+
+    @staticmethod
+    def waitsome(requests: Sequence["Request"],
+                 poll_interval: float = 1e-4
+                 ) -> list[tuple[int, Optional[Status]]]:
+        """Complete every currently-ready request, blocking for at least
+        one (MPI_Waitsome)."""
+        import time
+        while True:
+            pending = [(i, r) for i, r in enumerate(requests) if not r._done]
+            if not pending:
+                return []  # all inactive
+            done = [(i, r) for i, r in pending if r.test()]
+            if done:
+                return [(i, r.wait()) for i, r in done]
+            time.sleep(poll_interval)
+
+
+class CompletedRequest(Request):
+    """A request born complete (used for locally-satisfiable operations)."""
+
+    def __init__(self, status: Optional[Status] = None):
+        super().__init__(None)
+        self._status = status
+        self._done = True
+
+
+def require_incomplete(req: Request) -> None:
+    if req._done:
+        raise MPIError(MPI_ERR_REQUEST, "request already completed")

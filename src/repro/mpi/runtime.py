@@ -1,0 +1,123 @@
+"""SPMD runtime: run rank functions as threads over a shared fabric.
+
+:func:`run` is the ``mpiexec`` of the simulator::
+
+    from repro.mpi import run
+
+    def main(comm):
+        if comm.rank == 0:
+            comm.send(data, dest=1)
+        else:
+            comm.recv(buf, source=0)
+
+    result = run(main, nprocs=2)
+
+Each rank runs in its own thread with its own worker (clock, matcher,
+memory tracker).  Exceptions in any rank abort the job and are re-raised as
+:class:`~repro.errors.RuntimeAbort` with all per-rank failures attached.  A
+wall-clock ``timeout`` converts distributed deadlocks (e.g. two blocking
+rendezvous sends facing each other) into errors instead of hangs.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from ..errors import RuntimeAbort
+from ..ucp.context import Fabric, UcpConfig, UcpContext
+from ..ucp.netsim import LinkParams
+from .comm import Communicator
+from .engine import EngineConfig
+
+
+@dataclass
+class JobResult:
+    """Everything a bench or test wants to know after a job."""
+
+    results: list[Any]
+    fabric: Fabric
+    #: Final virtual time per rank (seconds).
+    clocks: list[float] = field(default_factory=list)
+    #: Memory tracker snapshots per rank.
+    memory: list[dict[str, int]] = field(default_factory=list)
+    #: Per-rank message traces (when tracing was enabled).
+    traces: list[list[dict]] = field(default_factory=list)
+
+    @property
+    def max_clock(self) -> float:
+        return max(self.clocks) if self.clocks else 0.0
+
+
+def run(fn: Callable[[Communicator], Any] | Sequence[Callable[[Communicator], Any]],
+        nprocs: int = 2,
+        params: Optional[LinkParams] = None,
+        engine_config: Optional[EngineConfig] = None,
+        timeout: float = 120.0,
+        trace_messages: bool = False) -> JobResult:
+    """Run an SPMD job.
+
+    Parameters
+    ----------
+    fn:
+        Either one function (same code on every rank, branching on
+        ``comm.rank``) or a sequence of ``nprocs`` per-rank functions.
+    nprocs:
+        Number of ranks (threads).
+    params:
+        Link/cost-model overrides (ablations change these).
+    engine_config:
+        Engine-level knobs (e.g. out-of-order fragment delivery).
+    timeout:
+        Wall-clock seconds before the job is declared deadlocked.
+    """
+    if callable(fn):
+        fns = [fn] * nprocs
+    else:
+        fns = list(fn)
+        if len(fns) != nprocs:
+            raise ValueError(f"got {len(fns)} rank functions for nprocs={nprocs}")
+
+    config = UcpConfig(params=params if params is not None else LinkParams(),
+                       trace_messages=trace_messages)
+    fabric = UcpContext(config).create_fabric(nprocs)
+
+    results: list[Any] = [None] * nprocs
+    failures: dict[int, BaseException] = {}
+    failures_lock = threading.Lock()
+
+    def worker_main(rank: int) -> None:
+        comm = Communicator(fabric.worker(rank), nprocs, comm_id=0,
+                            engine_config=engine_config)
+        try:
+            results[rank] = fns[rank](comm)
+        except BaseException as exc:  # report, don't kill the interpreter
+            with failures_lock:
+                failures[rank] = exc
+
+    threads = [threading.Thread(target=worker_main, args=(r,),
+                                name=f"mpi-rank-{r}", daemon=True)
+               for r in range(nprocs)]
+    for t in threads:
+        t.start()
+    deadline_hit = False
+    for t in threads:
+        t.join(timeout=timeout)
+        if t.is_alive():
+            deadline_hit = True
+    if deadline_hit:
+        alive = [t.name for t in threads if t.is_alive()]
+        raise RuntimeAbort(failures or {
+            -1: TimeoutError(f"ranks still running after {timeout}s "
+                             f"(deadlock?): {alive}")})
+    if failures:
+        raise RuntimeAbort(failures)
+
+    return JobResult(
+        results=results,
+        fabric=fabric,
+        clocks=[w.clock.now for w in fabric.workers],
+        memory=[w.memory.snapshot() for w in fabric.workers],
+        traces=[list(w.trace) for w in fabric.workers],
+    )

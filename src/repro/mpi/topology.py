@@ -1,0 +1,177 @@
+"""Cartesian process topologies (MPI_Cart_create and friends).
+
+The DDTBench/NAS workloads are halo exchanges on process grids; this module
+provides the standard topology helpers so the examples and applications can
+write dimension-generic neighbour exchanges:
+
+* :func:`dims_create` — factor a rank count into a balanced grid
+  (MPI_Dims_create),
+* :class:`CartComm` — a communicator wrapper with coordinate queries and
+  :meth:`CartComm.shift` for halo partners (MPI_Cart_shift).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..errors import MPI_ERR_ARG, MPI_ERR_COMM, MPIError
+from .comm import Communicator
+
+
+def dims_create(nnodes: int, ndims: int,
+                dims: Optional[Sequence[int]] = None) -> list[int]:
+    """Factor ``nnodes`` into ``ndims`` balanced factors (MPI_Dims_create).
+
+    Entries of ``dims`` that are nonzero are kept fixed; zeros are filled
+    with the most balanced factorization (larger factors first).
+    """
+    out = list(dims) if dims is not None else [0] * ndims
+    if len(out) != ndims:
+        raise MPIError(MPI_ERR_ARG, f"dims has {len(out)} entries, ndims={ndims}")
+    fixed = 1
+    free = []
+    for i, d in enumerate(out):
+        if d < 0:
+            raise MPIError(MPI_ERR_ARG, f"negative dimension {d}")
+        if d:
+            fixed *= d
+        else:
+            free.append(i)
+    if fixed == 0 or nnodes % fixed:
+        raise MPIError(MPI_ERR_ARG,
+                       f"{nnodes} ranks not divisible by fixed dims {out}")
+    rem = nnodes // fixed
+    if not free:
+        if rem != 1:
+            raise MPIError(MPI_ERR_ARG,
+                           f"fixed dims {out} use only {fixed} of {nnodes} ranks")
+        return out
+    # Greedy balanced factorization of ``rem`` over the free slots.
+    factors = []
+    n = rem
+    f = 2
+    while f * f <= n:
+        while n % f == 0:
+            factors.append(f)
+            n //= f
+        f += 1
+    if n > 1:
+        factors.append(n)
+    sizes = [1] * len(free)
+    for f in sorted(factors, reverse=True):
+        sizes[sizes.index(min(sizes))] *= f
+    for slot, size in zip(free, sorted(sizes, reverse=True)):
+        out[slot] = size
+    return out
+
+
+class CartComm:
+    """A communicator with Cartesian coordinates (row-major rank order)."""
+
+    def __init__(self, comm: Communicator, dims: Sequence[int],
+                 periodic: Sequence[bool] | None = None):
+        self.comm = comm
+        self.dims = [int(d) for d in dims]
+        if any(d <= 0 for d in self.dims):
+            raise MPIError(MPI_ERR_ARG, f"dimensions must be positive: {self.dims}")
+        total = 1
+        for d in self.dims:
+            total *= d
+        if total != comm.size:
+            raise MPIError(MPI_ERR_COMM,
+                           f"grid {self.dims} needs {total} ranks, "
+                           f"communicator has {comm.size}")
+        self.periodic = list(periodic) if periodic is not None \
+            else [False] * len(self.dims)
+        if len(self.periodic) != len(self.dims):
+            raise MPIError(MPI_ERR_ARG, "periodic flags must match ndims")
+
+    # -- coordinate mapping ------------------------------------------------
+
+    @property
+    def ndims(self) -> int:
+        return len(self.dims)
+
+    def coords_of(self, rank: int) -> list[int]:
+        """MPI_Cart_coords: row-major decomposition of ``rank``."""
+        if not 0 <= rank < self.comm.size:
+            raise MPIError(MPI_ERR_ARG, f"rank {rank} outside grid")
+        coords = []
+        for d in reversed(self.dims):
+            coords.append(rank % d)
+            rank //= d
+        return coords[::-1]
+
+    def rank_of(self, coords: Sequence[int]) -> int:
+        """MPI_Cart_rank (periodic wrap where allowed)."""
+        if len(coords) != self.ndims:
+            raise MPIError(MPI_ERR_ARG, f"expected {self.ndims} coordinates")
+        rank = 0
+        for d, c, per in zip(self.dims, coords, self.periodic):
+            if per:
+                c %= d
+            elif not 0 <= c < d:
+                raise MPIError(MPI_ERR_ARG,
+                               f"coordinate {c} outside non-periodic dim {d}")
+            rank = rank * d + c
+        return rank
+
+    @property
+    def coords(self) -> list[int]:
+        """This rank's coordinates."""
+        return self.coords_of(self.comm.rank)
+
+    def shift(self, dim: int, disp: int = 1) -> tuple[Optional[int], Optional[int]]:
+        """MPI_Cart_shift: (source, dest) ranks for a ``disp`` shift.
+
+        ``None`` stands for MPI_PROC_NULL at non-periodic edges.
+        """
+        if not 0 <= dim < self.ndims:
+            raise MPIError(MPI_ERR_ARG, f"dimension {dim} out of range")
+        me = self.coords
+
+        def neighbour(delta: int) -> Optional[int]:
+            c = list(me)
+            c[dim] += delta
+            if not self.periodic[dim] and not 0 <= c[dim] < self.dims[dim]:
+                return None
+            return self.rank_of(c)
+
+        return neighbour(-disp), neighbour(+disp)
+
+    # -- neighbour exchange convenience --------------------------------------
+
+    def neighbor_sendrecv(self, dim: int, sendbuf_low, sendbuf_high,
+                          recvbuf_low, recvbuf_high, tag: int = 0,
+                          datatype=None, count=None) -> None:
+        """Exchange halos with both neighbours along ``dim``.
+
+        Sends ``sendbuf_low`` toward the lower neighbour and
+        ``sendbuf_high`` toward the upper one; receives symmetrically.
+        Missing neighbours (non-periodic edges) are skipped.
+        """
+        lo, hi = self.shift(dim, 1)
+        # Direction-coded tags: on a 2-rank periodic ring both neighbours are
+        # the same process, so "travelling down" and "travelling up" must be
+        # distinguishable or the two halos would cross.
+        tag_down = (tag << 1) & 0x3FFFFFFF        # toward lower coordinate
+        tag_up = ((tag << 1) | 1) & 0x3FFFFFFF    # toward higher coordinate
+        reqs = []
+        if lo is not None:
+            reqs.append(self.comm.irecv(recvbuf_low, source=lo, tag=tag_up,
+                                        datatype=datatype, count=count))
+            reqs.append(self.comm.isend(sendbuf_low, dest=lo, tag=tag_down,
+                                        datatype=datatype, count=count))
+        if hi is not None:
+            reqs.append(self.comm.irecv(recvbuf_high, source=hi, tag=tag_down,
+                                        datatype=datatype, count=count))
+            reqs.append(self.comm.isend(sendbuf_high, dest=hi, tag=tag_up,
+                                        datatype=datatype, count=count))
+        for r in reqs:
+            r.wait()
+
+
+def cart_create(comm: Communicator, dims: Sequence[int],
+                periodic: Sequence[bool] | None = None) -> CartComm:
+    """MPI_Cart_create over a duplicated communicator (isolated tag space)."""
+    return CartComm(comm.dup(), dims, periodic)

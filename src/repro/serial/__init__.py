@@ -1,0 +1,19 @@
+"""Pickle-5 serialization strategies over MPI (the paper's Python layer)."""
+
+from .objects import (COMPLEX_CHUNK_BYTES, ComplexObject, make_complex_object,
+                      make_single_array)
+from .pickle5 import (DEFAULT_OOB_THRESHOLD, as_u8, buffer_bytes,
+                      dumps_inband, dumps_oob, loads_inband, loads_oob)
+from .strategies import (STRATEGIES, BasicPickle, OobCdtPickle, OobPickle,
+                         Strategy, bcast_object, get_strategy,
+                         pickle_cdt_datatype, recvobj, sendobj)
+
+__all__ = [
+    "dumps_inband", "loads_inband", "dumps_oob", "loads_oob",
+    "buffer_bytes", "as_u8", "DEFAULT_OOB_THRESHOLD",
+    "Strategy", "BasicPickle", "OobPickle", "OobCdtPickle",
+    "STRATEGIES", "get_strategy", "sendobj", "recvobj", "bcast_object",
+    "pickle_cdt_datatype",
+    "ComplexObject", "make_complex_object", "make_single_array",
+    "COMPLEX_CHUNK_BYTES",
+]

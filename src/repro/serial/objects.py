@@ -1,0 +1,65 @@
+"""Object shapes used by the paper's Python evaluation (Figs. 8-9)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Fig. 9 uses "multiple 128-KiB NumPy arrays ... adding up to a given total
+#: size".
+COMPLEX_CHUNK_BYTES = 128 * 1024
+
+
+def make_single_array(nbytes: int, seed: int = 0) -> np.ndarray:
+    """Case 1: a single 1-D float64 array of ``nbytes`` (Fig. 8)."""
+    n = max(nbytes // 8, 1)
+    rng = np.random.default_rng(seed)
+    return rng.random(n)
+
+
+@dataclass
+class ComplexObject:
+    """Case 2: a user-defined object holding many fixed-size arrays (Fig. 9).
+
+    Besides the arrays it carries a little genuinely in-band state (name,
+    iteration counter, per-chunk checksums) so the pickle header is a real
+    object graph, not a bare list.
+    """
+
+    name: str
+    iteration: int
+    chunks: list[np.ndarray] = field(default_factory=list)
+    checksums: list[float] = field(default_factory=list)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(c.nbytes for c in self.chunks)
+
+    def validate(self) -> bool:
+        """Recompute and compare the per-chunk checksums."""
+        if len(self.checksums) != len(self.chunks):
+            return False
+        return all(abs(float(c.sum()) - s) < 1e-6 * max(abs(s), 1.0)
+                   for c, s in zip(self.chunks, self.checksums))
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, ComplexObject):
+            return NotImplemented
+        return (self.name == other.name and self.iteration == other.iteration
+                and len(self.chunks) == len(other.chunks)
+                and all(np.array_equal(a, b)
+                        for a, b in zip(self.chunks, other.chunks)))
+
+
+def make_complex_object(total_bytes: int,
+                        chunk_bytes: int = COMPLEX_CHUNK_BYTES,
+                        seed: int = 0) -> ComplexObject:
+    """Build a ComplexObject of roughly ``total_bytes`` of array payload."""
+    nchunks = max(1, total_bytes // chunk_bytes)
+    n = chunk_bytes // 8
+    rng = np.random.default_rng(seed)
+    chunks = [rng.random(n) for _ in range(nchunks)]
+    return ComplexObject(name=f"complex-{total_bytes}", iteration=7,
+                         chunks=chunks,
+                         checksums=[float(c.sum()) for c in chunks])

@@ -1,0 +1,301 @@
+"""The paper's three Python communication strategies (Section V.B).
+
+* :class:`BasicPickle` (*pickle-basic*) — the object is serialized into one
+  in-band byte stream and moved with a single message pair; the receiver
+  must ``MPI_Mprobe`` to size its allocation (how mpi4py works today).
+* :class:`OobPickle` (*pickle-oob*) — pickle-5 out-of-band: the small header
+  goes in one message, then an explicit lengths message, then one message
+  per zero-copy buffer.  This is mpi4py's multi-message workaround, with the
+  tag-space/thread-safety caveats the paper discusses.
+* :class:`OobCdtPickle` (*pickle-oob-cdt*) — the paper's contribution: the
+  header and lengths travel as the custom datatype's packed stream and every
+  buffer as a memory region, in a **single** MPI message pair, with the
+  engine handling the pieces internally.
+
+All strategies move real pickle bytes end-to-end.  Serialization and
+allocation costs are charged to the rank's virtual clock using the shared
+cost model, so the bench harness reproduces Figs. 8-9 from the same code
+path the tests verify.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..core import BYTE, CustomDatatype, Region, type_create_custom
+from ..errors import CallbackError
+from ..mpi.comm import Communicator
+from ..mpi.requests import Request
+from .pickle5 import (DEFAULT_OOB_THRESHOLD, as_u8, dumps_inband,
+                      dumps_oob, loads_inband, loads_oob)
+
+_LEN = np.dtype("<u8")
+
+
+def _charge_pickle(comm: Communicator, nbytes: int) -> None:
+    comm.clock.advance(comm.worker.model.pickle_time(nbytes))
+
+
+def _alloc(comm: Communicator, nbytes: int) -> np.ndarray:
+    return comm.memory.allocate(nbytes, comm.clock, comm.worker.model)
+
+
+class Strategy:
+    """Interface: blocking object send/recv over a communicator."""
+
+    name = "abstract"
+
+    def send(self, comm: Communicator, obj: Any, dest: int, tag: int = 0) -> None:
+        raise NotImplementedError
+
+    def recv(self, comm: Communicator, source: int, tag: int = 0) -> Any:
+        raise NotImplementedError
+
+
+class BasicPickle(Strategy):
+    """Single in-band stream, single message pair, mprobe on receive."""
+
+    name = "pickle-basic"
+
+    def send(self, comm, obj, dest, tag=0):
+        data = dumps_inband(obj)
+        _charge_pickle(comm, len(data))
+        # The serialized stream is itself a fresh allocation the size of the
+        # whole object — the memory-doubling the paper warns about.
+        comm.memory.allocate(len(data), comm.clock, comm.worker.model)
+        try:
+            comm.send(np.frombuffer(data, dtype=np.uint8), dest, tag,
+                      datatype=BYTE, count=len(data))
+        finally:
+            comm.memory.release(len(data))
+
+    def recv(self, comm, source, tag=0):
+        handle, status = comm.mprobe(source, tag)
+        buf = _alloc(comm, status.nbytes)
+        handle.mrecv(buf, datatype=BYTE, count=status.nbytes)
+        _charge_pickle(comm, status.nbytes)
+        obj = loads_inband(buf)
+        comm.memory.release(buf)
+        return obj
+
+
+class OobPickle(Strategy):
+    """Out-of-band pickle over multiple MPI messages (mpi4py style)."""
+
+    name = "pickle-oob"
+
+    def __init__(self, threshold: int = DEFAULT_OOB_THRESHOLD):
+        self.threshold = threshold
+
+    def send(self, comm, obj, dest, tag=0):
+        header, buffers = dumps_oob(obj, threshold=self.threshold)
+        _charge_pickle(comm, len(header))
+        lens = np.array([b.nbytes for b in buffers], dtype=_LEN)
+        reqs: list[Request] = [
+            comm.isend(np.frombuffer(header, dtype=np.uint8), dest, tag,
+                       datatype=BYTE, count=len(header)),
+            comm.isend(lens.view(np.uint8), dest, tag, datatype=BYTE,
+                       count=lens.nbytes),
+        ]
+        # One message per buffer, all on the same tag — correct only thanks
+        # to per-(source, tag) FIFO matching; this is the multi-message
+        # pattern whose thread-safety cost the paper criticizes.
+        for b in buffers:
+            reqs.append(comm.isend(as_u8(b), dest, tag, datatype=BYTE,
+                                   count=b.nbytes))
+        Request.waitall(reqs)
+
+    def recv(self, comm, source, tag=0):
+        handle, status = comm.mprobe(source, tag)
+        header = _alloc(comm, status.nbytes)
+        handle.mrecv(header, datatype=BYTE, count=status.nbytes)
+
+        handle, status = comm.mprobe(source, tag)
+        lens_buf = _alloc(comm, status.nbytes)
+        handle.mrecv(lens_buf, datatype=BYTE, count=status.nbytes)
+        lens = lens_buf.view(_LEN)
+
+        buffers = []
+        for n in lens:
+            b = _alloc(comm, int(n))
+            comm.recv(b, source, tag, datatype=BYTE, count=int(n))
+            buffers.append(b)
+        _charge_pickle(comm, header.nbytes)
+        obj = loads_oob(header, buffers)
+        comm.memory.release(header)
+        comm.memory.release(lens_buf)
+        return obj
+
+
+class _OutParcel:
+    """Send-side container: framed in-band stream + region views."""
+
+    __slots__ = ("stream", "buffers")
+
+    def __init__(self, header: bytes, buffers: list):
+        lens = np.empty(1 + len(buffers), dtype=_LEN)
+        lens[0] = len(buffers)
+        lens[1:] = [b.nbytes for b in buffers]
+        self.stream = np.concatenate(
+            [lens.view(np.uint8),
+             np.frombuffer(header, dtype=np.uint8)])
+        self.buffers = buffers
+
+
+class _InParcel:
+    """Receive-side container filled by the custom-type callbacks."""
+
+    __slots__ = ("comm", "stream", "filled", "buffers", "nbufs")
+
+    def __init__(self, comm: Communicator):
+        self.comm = comm
+        self.stream = np.empty(0, dtype=np.uint8)
+        self.filled = 0
+        self.buffers: list[np.ndarray] | None = None
+        self.nbufs: int | None = None
+
+    def absorb(self, offset: int, src: np.ndarray) -> None:
+        end = offset + src.shape[0]
+        if end > self.stream.shape[0]:
+            grown = np.zeros(end, dtype=np.uint8)
+            grown[: self.stream.shape[0]] = self.stream
+            self.stream = grown
+        self.stream[offset:end] = src
+        self.filled += src.shape[0]
+
+    def parse(self) -> None:
+        """Allocate receive buffers once the full stream has arrived."""
+        if self.buffers is not None:
+            return
+        if self.stream.shape[0] < 8:
+            raise CallbackError("pickle-oob-cdt stream too short for framing")
+        nbufs = int(self.stream[:8].view(_LEN)[0])
+        lens = self.stream[8:8 + 8 * nbufs].view(_LEN)
+        self.nbufs = nbufs
+        self.buffers = [_alloc(self.comm, int(n)) for n in lens]
+
+    @property
+    def header(self) -> np.ndarray:
+        nbufs = int(self.stream[:8].view(_LEN)[0])
+        return self.stream[8 + 8 * nbufs:self.filled]
+
+
+def pickle_cdt_datatype() -> CustomDatatype:
+    """The custom datatype carrying a pickled object in one MPI message.
+
+    Send buffers are :class:`_OutParcel`, receive buffers :class:`_InParcel`;
+    the framing is ``[u64 nbufs][nbufs x u64 lens][pickle header]`` in-band,
+    then one region per out-of-band buffer.
+    """
+
+    def query_fn(state, buf, count):
+        if isinstance(buf, _OutParcel):
+            return int(buf.stream.shape[0])
+        return None  # receive side: size unknown until data arrives
+
+    def pack_fn(state, buf, count, offset, dst):
+        stream = buf.stream
+        step = min(dst.shape[0], stream.shape[0] - offset)
+        dst[:step] = stream[offset:offset + step]
+        return int(step)
+
+    def unpack_fn(state, buf, count, offset, src):
+        buf.absorb(offset, src)
+
+    def region_count_fn(state, buf, count):
+        if isinstance(buf, _OutParcel):
+            return len(buf.buffers)
+        buf.parse()
+        return len(buf.buffers)
+
+    def region_fn(state, buf, count, region_count):
+        if isinstance(buf, _OutParcel):
+            return [Region(as_u8(b)) for b in buf.buffers]
+        return [Region(b) for b in buf.buffers]
+
+    return type_create_custom(query_fn=query_fn, pack_fn=pack_fn,
+                              unpack_fn=unpack_fn,
+                              region_count_fn=region_count_fn,
+                              region_fn=region_fn,
+                              name="custom:pickle5")
+
+
+class OobCdtPickle(Strategy):
+    """Out-of-band pickle through the custom datatype engine (the paper)."""
+
+    name = "pickle-oob-cdt"
+
+    def __init__(self, threshold: int = DEFAULT_OOB_THRESHOLD):
+        self.threshold = threshold
+        self._dtype = pickle_cdt_datatype()
+
+    def send(self, comm, obj, dest, tag=0):
+        header, buffers = dumps_oob(obj, threshold=self.threshold)
+        _charge_pickle(comm, len(header))
+        parcel = _OutParcel(header, buffers)
+        comm.send(parcel, dest, tag, datatype=self._dtype)
+
+    def recv(self, comm, source, tag=0):
+        inbox = _InParcel(comm)
+        comm.recv(inbox, source, tag, datatype=self._dtype)
+        _charge_pickle(comm, int(inbox.header.nbytes))
+        obj = loads_oob(inbox.header, inbox.buffers or [])
+        for b in inbox.buffers or []:
+            comm.memory.release(b)
+        return obj
+
+
+#: Registry used by benches and the high-level helpers.
+STRATEGIES: dict[str, type[Strategy]] = {
+    BasicPickle.name: BasicPickle,
+    OobPickle.name: OobPickle,
+    OobCdtPickle.name: OobCdtPickle,
+}
+
+
+def get_strategy(name: str) -> Strategy:
+    """Instantiate a strategy by name (see :data:`STRATEGIES`)."""
+    try:
+        return STRATEGIES[name]()
+    except KeyError:
+        raise KeyError(f"unknown strategy {name!r}; "
+                       f"choose from {sorted(STRATEGIES)}") from None
+
+
+def sendobj(comm: Communicator, obj: Any, dest: int, tag: int = 0,
+            strategy: str | Strategy = "pickle-oob-cdt") -> None:
+    """mpi4py-style lowercase send of an arbitrary Python object."""
+    s = get_strategy(strategy) if isinstance(strategy, str) else strategy
+    s.send(comm, obj, dest, tag)
+
+
+def recvobj(comm: Communicator, source: int, tag: int = 0,
+            strategy: str | Strategy = "pickle-oob-cdt") -> Any:
+    """mpi4py-style lowercase receive of an arbitrary Python object."""
+    s = get_strategy(strategy) if isinstance(strategy, str) else strategy
+    return s.recv(comm, source, tag)
+
+
+def bcast_object(comm: Communicator, obj: Any = None, root: int = 0,
+                 strategy: str | Strategy = "pickle-oob-cdt") -> Any:
+    """Binomial-tree broadcast of a Python object (collective extension)."""
+    s = get_strategy(strategy) if isinstance(strategy, str) else strategy
+    n = comm.size
+    if n == 1:
+        return obj
+    tag = 0x00FF0001  # inside the user-tag range, unlikely to collide
+    vrank = (comm.rank - root) % n
+    if vrank != 0:
+        high = 1 << (vrank.bit_length() - 1)
+        parent = vrank - high
+        obj = s.recv(comm, (parent + root) % n, tag=tag)
+    level = 1
+    while level < n:
+        if vrank < level:
+            child = vrank + level
+            if child < n:
+                s.send(comm, obj, (child + root) % n, tag=tag)
+        level <<= 1
+    return obj

@@ -1,0 +1,30 @@
+"""The paper's Rust benchmark types with identical byte layouts."""
+
+from .doublevec import DoubleVec, double_vec_custom_datatype
+from .structs import (STRUCT_SIMPLE, STRUCT_SIMPLE_NO_GAP,
+                      STRUCT_SIMPLE_NO_GAP_PACKED, STRUCT_SIMPLE_PACKED,
+                      STRUCT_VEC, STRUCT_VEC_DATA_LEN, STRUCT_VEC_PACKED,
+                      make_struct_simple, make_struct_simple_no_gap,
+                      make_struct_vec, manual_pack_struct_simple,
+                      manual_pack_struct_simple_no_gap,
+                      manual_pack_struct_vec, manual_unpack_struct_simple,
+                      manual_unpack_struct_simple_no_gap,
+                      manual_unpack_struct_vec, struct_simple_custom_datatype,
+                      struct_simple_no_gap_custom_datatype,
+                      struct_simple_datatype, struct_simple_no_gap_datatype,
+                      struct_vec_custom_datatype, struct_vec_datatype)
+
+__all__ = [
+    "STRUCT_SIMPLE", "STRUCT_SIMPLE_NO_GAP", "STRUCT_VEC",
+    "STRUCT_SIMPLE_PACKED", "STRUCT_SIMPLE_NO_GAP_PACKED",
+    "STRUCT_VEC_PACKED", "STRUCT_VEC_DATA_LEN",
+    "make_struct_simple", "make_struct_simple_no_gap", "make_struct_vec",
+    "struct_simple_datatype", "struct_simple_no_gap_datatype",
+    "struct_vec_datatype",
+    "manual_pack_struct_simple", "manual_unpack_struct_simple",
+    "manual_pack_struct_simple_no_gap", "manual_unpack_struct_simple_no_gap",
+    "struct_simple_no_gap_custom_datatype",
+    "manual_pack_struct_vec", "manual_unpack_struct_vec",
+    "struct_simple_custom_datatype", "struct_vec_custom_datatype",
+    "DoubleVec", "double_vec_custom_datatype",
+]

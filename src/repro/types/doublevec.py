@@ -1,0 +1,161 @@
+"""The ``double-vector`` type: ``Vec<Vec<i32>>`` / ``vector<vector<int>>``.
+
+The paper's canonical *dynamic* type — a container of heap-allocated
+contiguous buffers that derived datatypes cannot express without per-call
+address manipulation.  The custom datatype sends the sub-vector lengths
+in-band and each sub-vector as a memory region; the receive side allocates
+sub-vectors after the lengths arrive, exactly the two-stage flow of
+Section III.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core import INT32, CustomDatatype, Region, type_create_custom
+
+_LEN_DTYPE = np.dtype("<i8")
+
+
+class DoubleVec:
+    """A vector of int32 vectors."""
+
+    def __init__(self, vectors: Sequence[np.ndarray] | None = None):
+        self.vectors: list[np.ndarray] = [
+            np.ascontiguousarray(v, dtype=np.int32) for v in (vectors or [])]
+
+    @classmethod
+    def uniform(cls, total_bytes: int, subvec_bytes: int) -> "DoubleVec":
+        """The paper's benchmark shape: uniform sub-vector lengths.
+
+        For message sizes smaller than the sub-vector size a single
+        sub-vector of the message size is used (Section V.A).
+        """
+        if total_bytes <= subvec_bytes:
+            sizes = [total_bytes]
+        else:
+            nfull, rem = divmod(total_bytes, subvec_bytes)
+            sizes = [subvec_bytes] * nfull + ([rem] if rem else [])
+        vecs = []
+        for i, nbytes in enumerate(sizes):
+            n = nbytes // 4
+            vecs.append((np.arange(n, dtype=np.int32) + 17 * i))
+        return cls(vecs)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(v.nbytes for v in self.vectors)
+
+    @property
+    def header_bytes(self) -> int:
+        """In-band bytes: one count plus one length per sub-vector."""
+        return _LEN_DTYPE.itemsize * (1 + len(self.vectors))
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, DoubleVec):
+            return NotImplemented
+        return (len(self.vectors) == len(other.vectors)
+                and all(np.array_equal(a, b)
+                        for a, b in zip(self.vectors, other.vectors)))
+
+    def __repr__(self) -> str:
+        return f"DoubleVec({len(self.vectors)} vectors, {self.total_bytes} B)"
+
+    # -- manual packing (the "packed" method) ------------------------------
+
+    def manual_pack(self) -> np.ndarray:
+        """Pack the whole container (header + all data) into one buffer."""
+        header = np.empty(1 + len(self.vectors), dtype=_LEN_DTYPE)
+        header[0] = len(self.vectors)
+        header[1:] = [v.shape[0] for v in self.vectors]
+        parts = [header.view(np.uint8)] + [v.view(np.uint8) for v in self.vectors]
+        return np.concatenate(parts) if parts else np.empty(0, np.uint8)
+
+    @classmethod
+    def manual_unpack(cls, packed: np.ndarray) -> "DoubleVec":
+        it = _LEN_DTYPE.itemsize
+        nvec = int(packed[:it].view(_LEN_DTYPE)[0])
+        lens = packed[it:it * (1 + nvec)].view(_LEN_DTYPE).astype(np.int64)
+        out = cls()
+        pos = it * (1 + nvec)
+        for n in lens:
+            nbytes = int(n) * 4
+            out.vectors.append(packed[pos:pos + nbytes].copy().view(np.int32))
+            pos += nbytes
+        return out
+
+
+def double_vec_custom_datatype() -> CustomDatatype:
+    """Custom datatype: lengths in-band, sub-vectors as regions.
+
+    The same type object works on both sides; a receive-side buffer is an
+    empty :class:`DoubleVec` whose vectors are allocated once the in-band
+    lengths have been unpacked (before the region query, per the engine's
+    ordering guarantee).
+    """
+
+    class _State:
+        __slots__ = ("header", "filled")
+
+        def __init__(self):
+            self.header: np.ndarray | None = None
+            self.filled = 0
+
+    def state_fn(context, buf, count):
+        return _State()
+
+    def _dv(buf, count) -> DoubleVec:
+        if count != 1 or not isinstance(buf, DoubleVec):
+            raise TypeError("double-vec transfers use count=1 and a DoubleVec buffer")
+        return buf
+
+    def _header(state: _State, dv: DoubleVec) -> np.ndarray:
+        if state.header is None:
+            hdr = np.empty(1 + len(dv.vectors), dtype=_LEN_DTYPE)
+            hdr[0] = len(dv.vectors)
+            hdr[1:] = [v.shape[0] for v in dv.vectors]
+            state.header = hdr.view(np.uint8)
+        return state.header
+
+    def query_fn(state, buf, count):
+        return int(_header(state, _dv(buf, count)).shape[0])
+
+    def pack_fn(state, buf, count, offset, dst):
+        hdr = _header(state, _dv(buf, count))
+        step = min(dst.shape[0], hdr.shape[0] - offset)
+        dst[:step] = hdr[offset:offset + step]
+        return int(step)
+
+    def unpack_fn(state, buf, count, offset, src):
+        dv = _dv(buf, count)
+        if state.header is None:
+            state.header = np.zeros(0, dtype=np.uint8)
+        end = offset + src.shape[0]
+        if end > state.header.shape[0]:
+            # Grow the accumulation buffer; the count word (first 8 bytes)
+            # may itself be split across fragments.
+            grown = np.zeros(end, dtype=np.uint8)
+            grown[: state.header.shape[0]] = state.header
+            state.header = grown
+        state.header[offset:end] = src
+        state.filled += src.shape[0]
+        if state.filled >= 8:
+            nvec = int(state.header[:8].view(_LEN_DTYPE)[0])
+            total = (1 + nvec) * _LEN_DTYPE.itemsize
+            if state.filled >= total:
+                lens = state.header[8:total].view(_LEN_DTYPE)
+                dv.vectors = [np.empty(int(n), dtype=np.int32) for n in lens]
+
+    def region_count_fn(state, buf, count):
+        return len(_dv(buf, count).vectors)
+
+    def region_fn(state, buf, count, region_count):
+        return [Region(v, datatype=INT32) for v in _dv(buf, count).vectors]
+
+    return type_create_custom(query_fn=query_fn, pack_fn=pack_fn,
+                              unpack_fn=unpack_fn,
+                              region_count_fn=region_count_fn,
+                              region_fn=region_fn, state_fn=state_fn,
+                              inorder=True, name="custom:double-vec")

@@ -1,0 +1,30 @@
+"""Simulated UCP transport: tag matching, protocols, virtual-time cost model.
+
+This package is the substitute for UCX/UCP plus the InfiniBand fabric of the
+paper's testbed (see DESIGN.md §2).  Real bytes move through it; time is
+charged from :class:`~repro.ucp.netsim.CostModel`.
+"""
+
+from .constants import (DATATYPE_CONTIG, DATATYPE_GENERIC, DATATYPE_IOV,
+                        TAG_FULL_MASK, match_mask, pack_tag, unpack_tag)
+from .dtypes import ContigData, GenericData, HandlerData, IovData
+from .memory import MemoryTracker
+from .netsim import DEFAULT_PARAMS, CostModel, LinkParams, VirtualClock
+from .protocols import SendPlan, plan_send
+from .tagmatch import PostedRecv, TagMatcher
+from .context import (Endpoint, Fabric, RecvInfo, RecvRequest, SendRequest,
+                      UcpConfig, UcpContext, Worker)
+from .wire import WireHeader, WireMessage
+
+__all__ = [
+    "DATATYPE_CONTIG", "DATATYPE_IOV", "DATATYPE_GENERIC",
+    "TAG_FULL_MASK", "pack_tag", "unpack_tag", "match_mask",
+    "ContigData", "IovData", "GenericData", "HandlerData",
+    "MemoryTracker",
+    "LinkParams", "DEFAULT_PARAMS", "CostModel", "VirtualClock",
+    "SendPlan", "plan_send",
+    "TagMatcher", "PostedRecv",
+    "UcpConfig", "UcpContext", "Fabric", "Worker", "Endpoint",
+    "SendRequest", "RecvRequest", "RecvInfo",
+    "WireHeader", "WireMessage",
+]

@@ -1,0 +1,305 @@
+"""Context, workers, endpoints and transport requests.
+
+Mirrors the UCP object model the paper's prototype builds on: a *context*
+holds configuration, each rank owns a *worker* (progress engine + tag
+matcher + virtual clock), and *endpoints* connect worker pairs.  A
+:class:`Fabric` bundles the workers of one job.
+
+Threading/time contract:
+
+* Each worker's clock and callbacks run only on its own rank's thread.
+* ``tag_send`` charges the sender and deposits a :class:`WireMessage` at the
+  destination; data is copied at injection for eager protocols, or pulled by
+  the receiver at delivery for rendezvous protocols (blocking the sender's
+  ``wait()`` until then — real MPI rendezvous semantics, including the
+  classic both-sides-blocking-send deadlock).
+* All receive-side data movement happens in ``RecvRequest.wait()`` on the
+  receiving thread, so user unpack callbacks never run on a foreign thread.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..errors import TransportError, TruncationError
+from . import constants
+from .dtypes import ContigData, GenericData, HandlerData, IovData
+from .memory import MemoryTracker
+from .netsim import DEFAULT_PARAMS, CostModel, LinkParams, VirtualClock
+from .protocols import plan_send
+from .tagmatch import PostedRecv, TagMatcher
+from .wire import WireHeader, WireMessage, copy_chunks
+
+
+@dataclass(frozen=True)
+class UcpConfig:
+    """Per-job transport configuration."""
+
+    params: LinkParams = field(default_factory=lambda: DEFAULT_PARAMS)
+    #: Record every message injection/delivery into per-worker trace lists
+    #: (useful for debugging protocols and asserted by tests).
+    trace_messages: bool = False
+
+    @property
+    def frag_size(self) -> int:
+        return self.params.frag_size
+
+
+class UcpContext:
+    """Factory for fabrics (the UCP context analogue)."""
+
+    def __init__(self, config: UcpConfig | None = None):
+        self.config = config or UcpConfig()
+
+    def create_fabric(self, nworkers: int) -> "Fabric":
+        return Fabric(nworkers, self.config)
+
+
+class Fabric:
+    """All workers of one job plus their shared configuration."""
+
+    def __init__(self, nworkers: int, config: UcpConfig):
+        if nworkers < 1:
+            raise TransportError(f"need at least one worker, got {nworkers}")
+        self.config = config
+        self.model = CostModel(config.params)
+        self._intra_model = CostModel(config.params.intra_node_variant())
+        self.workers = [Worker(i, self) for i in range(nworkers)]
+
+    def worker(self, index: int) -> "Worker":
+        return self.workers[index]
+
+    def pair_model(self, src: int, dst: int) -> CostModel:
+        """Cost model for a rank pair (intra-node pairs use shared memory)."""
+        if self.config.params.same_node(src, dst):
+            return self._intra_model
+        return self.model
+
+
+class SendRequest:
+    """Handle for an injected message."""
+
+    def __init__(self, worker: "Worker", msg: WireMessage):
+        self._worker = worker
+        self.msg = msg
+
+    def test(self) -> bool:
+        if not self.msg.rndv:
+            return True
+        return self.msg.completed.is_set()
+
+    def wait(self, timeout: float | None = None) -> None:
+        """Block until the message no longer needs the send buffer."""
+        if self.msg.rndv:
+            if not self.msg.completed.wait(timeout=timeout):
+                raise TransportError("send wait timed out (receiver never arrived)")
+            # Rendezvous completion happens at the receiver's clock.
+            self._worker.clock.merge(self.msg.completion_time)
+            if self.msg.error is not None:
+                raise TransportError(
+                    f"receiver failed to deliver this message: {self.msg.error}")
+
+
+@dataclass
+class RecvInfo:
+    """Completion information (the transport-level Status)."""
+
+    source: int
+    tag: int
+    nbytes: int
+    entry_lengths: tuple[int, ...]
+    packed_entries: int
+
+
+class RecvRequest:
+    """Handle for a posted receive; delivery runs inside :meth:`wait`."""
+
+    def __init__(self, worker: "Worker", posted: PostedRecv, data):
+        self._worker = worker
+        self._posted = posted
+        self._data = data
+        self.info: Optional[RecvInfo] = None
+
+    def test(self) -> bool:
+        """True when a message has matched (data may still need delivery)."""
+        return self.info is not None or self._posted.matched.is_set()
+
+    def wait(self, timeout: float | None = None) -> RecvInfo:
+        if self.info is not None:
+            return self.info
+        if not self._posted.matched.wait(timeout=timeout):
+            raise TransportError("recv wait timed out (no matching send)")
+        self.info = self._worker.deliver(self._posted.msg, self._data)
+        return self.info
+
+
+class Worker:
+    """One rank's transport engine."""
+
+    def __init__(self, index: int, fabric: Fabric):
+        self.index = index
+        self.fabric = fabric
+        self.config = fabric.config
+        self.model = fabric.model
+        self.clock = VirtualClock()
+        self.matcher = TagMatcher()
+        self.memory = MemoryTracker()
+        #: Message trace (populated when the config enables tracing).
+        self.trace: list[dict] = []
+
+    # -- endpoints --------------------------------------------------------
+
+    def endpoint(self, dst: int) -> "Endpoint":
+        return Endpoint(self, self.fabric.worker(dst))
+
+    # -- receive ------------------------------------------------------------
+
+    def tag_recv(self, tag: int, data,
+                 mask: int = constants.TAG_FULL_MASK) -> RecvRequest:
+        """Post a receive; complete it with ``RecvRequest.wait()``."""
+        posted = self.matcher.post(tag, mask)
+        return RecvRequest(self, posted, data)
+
+    def tag_probe(self, tag: int, mask: int = constants.TAG_FULL_MASK,
+                  remove: bool = False, block: bool = False,
+                  timeout: float | None = None) -> Optional[WireMessage]:
+        """Probe the unexpected queue (mprobe semantics with remove=True)."""
+        self.clock.advance(self.model.probe_time())
+        if block:
+            msg = self.matcher.wait_probe(tag, mask, remove=remove,
+                                          timeout=timeout)
+        else:
+            msg = self.matcher.probe(tag, mask, remove=remove)
+        if msg is not None:
+            # The probe observed the envelope, which cannot arrive earlier
+            # than one wire latency after the sender injected it.
+            self.clock.merge(msg.send_ready + self.model.params.latency)
+        return msg
+
+    def msg_recv(self, msg: WireMessage, data) -> RecvInfo:
+        """Receive a message previously removed by an mprobe."""
+        return self.deliver(msg, data)
+
+    # -- delivery (receiver thread only) ------------------------------------
+
+    def deliver(self, msg: WireMessage, data) -> RecvInfo:
+        """Move payload into the descriptor and charge receive-side time.
+
+        On failure the message is marked failed (releasing a blocked
+        rendezvous sender with an error) and the exception re-raised.
+        """
+        try:
+            return self._deliver(msg, data)
+        except BaseException as exc:
+            msg.mark_failed(self.clock.now, exc)
+            raise
+
+    def _deliver(self, msg: WireMessage, data) -> RecvInfo:
+        arrival = msg.delivery_time(self.clock.now)
+        self.clock.merge(arrival)
+        self.clock.advance(msg.recv_cost)
+
+        hdr = msg.header
+        if isinstance(data, ContigData):
+            if hdr.total_bytes > data.nbytes:
+                raise TruncationError(
+                    f"message of {hdr.total_bytes} bytes into a "
+                    f"{data.nbytes}-byte buffer")
+            pos = 0
+            view = data.view
+            for chunk in msg.chunks:
+                n = chunk.shape[0]
+                view[pos:pos + n] = chunk
+                pos += n
+        elif isinstance(data, IovData):
+            entries = data.entries()
+            if len(msg.chunks) != len(entries):
+                raise TruncationError(
+                    f"iov message with {len(msg.chunks)} entries into "
+                    f"{len(entries)} receive entries")
+            for chunk, entry in zip(msg.chunks, entries):
+                if chunk.shape[0] > entry.shape[0]:
+                    raise TruncationError(
+                        f"iov entry of {chunk.shape[0]} bytes into a "
+                        f"{entry.shape[0]}-byte entry")
+                entry[: chunk.shape[0]] = chunk
+        elif isinstance(data, GenericData):
+            if data.unpack is None:
+                raise TransportError("GenericData has no unpack callback (send-only)")
+            offset = 0
+            for chunk in msg.chunks:
+                data.unpack(offset, chunk)
+                offset += chunk.shape[0]
+        elif isinstance(data, HandlerData):
+            if data.max_bytes is not None and hdr.total_bytes > data.max_bytes:
+                raise TruncationError(
+                    f"message of {hdr.total_bytes} bytes exceeds handler "
+                    f"limit {data.max_bytes}")
+            data.handler(msg)
+        else:
+            raise TransportError(
+                f"cannot deliver into descriptor {type(data).__name__}")
+
+        msg.mark_complete(self.clock.now)
+        if self.config.trace_messages:
+            self.trace.append({
+                "event": "recv", "peer": hdr.source,
+                "msg_id": hdr.msg_id, "tag": hdr.tag,
+                "bytes": hdr.total_bytes, "protocol": hdr.protocol,
+                "entries": len(hdr.entry_lengths),
+                "t": self.clock.now})
+        return RecvInfo(source=hdr.source, tag=hdr.tag,
+                        nbytes=hdr.total_bytes,
+                        entry_lengths=hdr.entry_lengths,
+                        packed_entries=hdr.packed_entries)
+
+
+class Endpoint:
+    """A directed sender->receiver connection."""
+
+    def __init__(self, src: Worker, dst: Worker):
+        self.src = src
+        self.dst = dst
+
+    def tag_send(self, tag: int, data, force_rndv: bool = False) -> SendRequest:
+        """Inject a message toward this endpoint's destination.
+
+        ``force_rndv`` requests synchronous-send semantics: the message
+        always takes the rendezvous path, so the sender's ``wait()`` cannot
+        return before the matching receive ran.
+        """
+        worker = self.src
+        model = worker.fabric.pair_model(worker.index, self.dst.index)
+        if isinstance(data, GenericData):
+            frags = data.pack_entries(worker.config.frag_size)
+            plan = plan_send(data, model, frag_count=len(frags))
+            entries = frags
+            packed_entries = len(frags)
+        else:
+            plan = plan_send(data, model, force_rndv=force_rndv)
+            entries = data.entries()
+            packed_entries = getattr(data, "packed_entries", 0)
+
+        worker.clock.advance(plan.sender_cost)
+        chunks = copy_chunks(entries) if plan.eager_copy else entries
+        header = WireHeader(
+            tag=tag, source=worker.index,
+            total_bytes=sum(c.shape[0] for c in entries),
+            entry_lengths=tuple(c.shape[0] for c in entries),
+            packed_entries=packed_entries,
+            protocol=plan.protocol)
+        msg = WireMessage(header, chunks, send_ready=worker.clock.now,
+                          wire_time=plan.wire_time, rndv=plan.rndv,
+                          recv_cost=plan.recv_cost)
+        if worker.config.trace_messages:
+            worker.trace.append({
+                "event": "send", "peer": self.dst.index,
+                "msg_id": header.msg_id, "tag": header.tag,
+                "bytes": header.total_bytes, "protocol": plan.protocol,
+                "entries": len(header.entry_lengths),
+                "t": worker.clock.now})
+        self.dst.matcher.deposit(msg)
+        return SendRequest(worker, msg)

@@ -1,0 +1,64 @@
+"""Allocation accounting for the simulated node.
+
+The paper repeatedly points at *memory* costs, not just wire costs: full
+serialization "can potentially double memory usage", and receive-side
+allocations are why no pickle strategy reaches the roofline in Figs. 8-9.
+:class:`MemoryTracker` records every transient allocation the engine or a
+serialization strategy makes, both to charge virtual time for it and to let
+tests assert the memory-amplification properties the paper claims (e.g. the
+basic-pickle path allocates ~2x the payload, the out-of-band path does not).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from .netsim import CostModel, VirtualClock
+
+
+class MemoryTracker:
+    """Counts live and cumulative transient bytes per rank."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.live_bytes = 0
+        self.peak_bytes = 0
+        self.total_allocated = 0
+        self.allocation_count = 0
+
+    def allocate(self, nbytes: int, clock: VirtualClock | None = None,
+                 model: CostModel | None = None) -> np.ndarray:
+        """Allocate a fresh uint8 buffer, charging first-touch cost."""
+        if nbytes < 0:
+            raise ValueError(f"negative allocation: {nbytes}")
+        with self._lock:
+            self.live_bytes += nbytes
+            self.peak_bytes = max(self.peak_bytes, self.live_bytes)
+            self.total_allocated += nbytes
+            self.allocation_count += 1
+        if clock is not None and model is not None:
+            clock.advance(model.alloc_time(nbytes))
+        return np.zeros(nbytes, dtype=np.uint8)
+
+    def release(self, buf_or_nbytes) -> None:
+        """Return bytes to the tracker (buffers are garbage-collected)."""
+        nbytes = (buf_or_nbytes if isinstance(buf_or_nbytes, int)
+                  else memoryview(buf_or_nbytes).nbytes)
+        with self._lock:
+            self.live_bytes = max(0, self.live_bytes - nbytes)
+
+    def snapshot(self) -> dict[str, int]:
+        with self._lock:
+            return {"live_bytes": self.live_bytes,
+                    "peak_bytes": self.peak_bytes,
+                    "total_allocated": self.total_allocated,
+                    "allocation_count": self.allocation_count}
+
+    def reset(self) -> None:
+        with self._lock:
+            self.live_bytes = 0
+            self.peak_bytes = 0
+            self.total_allocated = 0
+            self.allocation_count = 0

@@ -1,0 +1,126 @@
+"""Tag matching: posted-receive and unexpected-message queues.
+
+Implements the matching semantics MPI requires of its transport: messages
+from one sender on one tag match posted receives in FIFO order; receives
+posted before arrival are matched by the depositing sender, receives posted
+after arrival claim from the unexpected queue.  Matching is by
+``(msg.tag & mask) == (want.tag & mask)`` with the wildcard masks of
+:mod:`repro.ucp.constants`.
+
+Matching only *pairs* a message with a receive; the data movement (and all
+virtual-time charging) happens later on the receiving thread — see
+:class:`repro.ucp.context.Worker`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Optional
+
+from .wire import WireMessage
+
+
+class PostedRecv:
+    """A receive posted before its message arrived."""
+
+    __slots__ = ("tag", "mask", "msg", "matched")
+
+    def __init__(self, tag: int, mask: int):
+        self.tag = tag
+        self.mask = mask
+        self.msg: Optional[WireMessage] = None
+        self.matched = threading.Event()
+
+    def accepts(self, msg: WireMessage) -> bool:
+        return (msg.header.tag & self.mask) == (self.tag & self.mask)
+
+    def attach(self, msg: WireMessage) -> None:
+        self.msg = msg
+        self.matched.set()
+
+
+class TagMatcher:
+    """Per-worker matching engine (thread-safe)."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._posted: deque[PostedRecv] = deque()
+        self._unexpected: deque[WireMessage] = deque()
+
+    # -- sender side ------------------------------------------------------
+
+    def deposit(self, msg: WireMessage) -> None:
+        """Offer an arriving message; match a posted recv or queue it."""
+        with self._cond:
+            for i, posted in enumerate(self._posted):
+                if posted.accepts(msg):
+                    del self._posted[i]
+                    posted.attach(msg)
+                    return
+            self._unexpected.append(msg)
+            self._cond.notify_all()
+
+    # -- receiver side ----------------------------------------------------
+
+    def post(self, tag: int, mask: int) -> PostedRecv:
+        """Post a receive; claims an unexpected message when one matches."""
+        posted = PostedRecv(tag, mask)
+        with self._cond:
+            for i, msg in enumerate(self._unexpected):
+                if posted.accepts(msg):
+                    del self._unexpected[i]
+                    posted.attach(msg)
+                    return posted
+            self._posted.append(posted)
+        return posted
+
+    def cancel(self, posted: PostedRecv) -> bool:
+        """Remove an unmatched posted receive; False if already matched."""
+        with self._cond:
+            try:
+                self._posted.remove(posted)
+                return True
+            except ValueError:
+                return False
+
+    def probe(self, tag: int, mask: int, remove: bool = False
+              ) -> Optional[WireMessage]:
+        """Non-blocking probe of the unexpected queue.
+
+        ``remove=True`` implements mprobe semantics: the message is removed
+        from matching and must be received via its handle.
+        """
+        with self._cond:
+            for i, msg in enumerate(self._unexpected):
+                if (msg.header.tag & mask) == (tag & mask):
+                    if remove:
+                        del self._unexpected[i]
+                    return msg
+        return None
+
+    def wait_probe(self, tag: int, mask: int, remove: bool = False,
+                   timeout: float | None = None) -> Optional[WireMessage]:
+        """Blocking probe: wait until a matching message is queued.
+
+        Note: a message destined for an already-*posted* receive never
+        enters the unexpected queue, matching MPI's rule that probe only
+        sees messages that no posted receive would consume.
+        """
+        with self._cond:
+            while True:
+                for i, msg in enumerate(self._unexpected):
+                    if (msg.header.tag & mask) == (tag & mask):
+                        if remove:
+                            del self._unexpected[i]
+                        return msg
+                if not self._cond.wait(timeout=timeout):
+                    return None
+
+    # -- introspection ------------------------------------------------------
+
+    def pending_counts(self) -> tuple[int, int]:
+        """(posted, unexpected) queue depths — for tests and debugging."""
+        with self._lock:
+            return len(self._posted), len(self._unexpected)

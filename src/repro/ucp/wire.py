@@ -1,0 +1,107 @@
+"""Wire format: what actually travels between workers.
+
+A :class:`WireMessage` is the simulator's packet: a header plus the payload
+*descriptor*.  For eager sends the payload is a list of copied chunks; for
+rendezvous/iov sends it is a reference to the sender's live buffers that the
+receiver pulls at match time (the simulation's stand-in for RDMA get).
+
+The header carries the per-entry lengths.  This is engine-internal metadata —
+the very information the paper's Section VI says MPI would need to expose via
+extended ``MPI_Probe``/``MPI_Get_count`` to avoid multi-message protocols.
+Our prototype controls both ends of the wire, so it rides in the header;
+the *user-visible* strategies that lack such an engine (``pickle-oob``) still
+pay for an explicit lengths message, reproducing the paper's baseline.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+_msg_ids = itertools.count(1)
+
+
+@dataclass
+class WireHeader:
+    """Metadata visible to matching and probing."""
+
+    tag: int                     # packed transport tag (comm | src | user)
+    source: int                  # sending worker index
+    total_bytes: int             # payload size over all entries
+    #: Per-entry byte lengths; a single-entry list for contiguous messages.
+    entry_lengths: tuple[int, ...] = ()
+    #: How many leading entries are packed in-band data (the rest are
+    #: memory regions) — the custom-datatype engine's framing.
+    packed_entries: int = 0
+    #: Protocol chosen by the sender ("eager" / "rndv" / "iov" / "generic").
+    protocol: str = "eager"
+    msg_id: int = field(default_factory=lambda: next(_msg_ids))
+
+
+class WireMessage:
+    """One in-flight message.
+
+    Parameters
+    ----------
+    header:
+        The :class:`WireHeader`.
+    chunks:
+        Payload entries.  Eager: freshly copied uint8 arrays (sender buffers
+        may be reused immediately).  Rendezvous: live read views of the
+        sender's buffers, pulled when the receiver completes the match.
+    send_ready:
+        Sender virtual time at which the payload is ready to move.
+    sender_cost_charged:
+        Bookkeeping so tests can verify cost symmetry.
+    """
+
+    def __init__(self, header: WireHeader, chunks: Sequence[np.ndarray],
+                 send_ready: float, wire_time: float, rndv: bool,
+                 recv_cost: float):
+        self.header = header
+        self.chunks = list(chunks)
+        self.send_ready = send_ready
+        self.wire_time = wire_time
+        self.rndv = rndv
+        self.recv_cost = recv_cost
+        #: Set when the receiver has pulled the data (rendezvous senders
+        #: block on this; eager senders never wait).
+        self.completed = threading.Event()
+        #: Completion virtual time, filled by the receiver at delivery.
+        self.completion_time: float | None = None
+        #: Receive-side failure (e.g. truncation).  Set before completion so
+        #: a blocked rendezvous sender is released with an error instead of
+        #: hanging forever.
+        self.error: BaseException | None = None
+
+    @property
+    def total_bytes(self) -> int:
+        return self.header.total_bytes
+
+    def delivery_time(self, recv_ready: float) -> float:
+        """Virtual time at which the payload lands at the receiver.
+
+        Eager data is already on the wire when the receiver looks;
+        rendezvous transfers cannot start before both sides are ready.
+        """
+        start = max(self.send_ready, recv_ready) if self.rndv else self.send_ready
+        return start + self.wire_time
+
+    def mark_complete(self, t: float) -> None:
+        self.completion_time = t
+        self.completed.set()
+
+    def mark_failed(self, t: float, exc: BaseException) -> None:
+        """Release any waiting sender with the receive-side failure."""
+        self.error = exc
+        self.completion_time = t
+        self.completed.set()
+
+
+def copy_chunks(buffers: Sequence[np.ndarray]) -> list[np.ndarray]:
+    """Eager-copy a list of buffer views into private chunks."""
+    return [np.array(b, dtype=np.uint8, copy=True) for b in buffers]

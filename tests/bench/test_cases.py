@@ -1,0 +1,86 @@
+"""Bench case plumbing and calibration-variant tests."""
+
+import pytest
+
+from repro.bench import (DDT_METHODS, WorkloadCase, default_params,
+                         expensive_regions_params, no_rendezvous_params,
+                         run_once, slow_network_params, struct_count_for,
+                         DoubleVecCustomCase, RawBytesCase)
+from repro.ddtbench import make_workload
+from repro.ucp.netsim import CostModel
+
+
+class TestStructCountFor:
+    def test_struct_simple(self):
+        assert struct_count_for("struct-simple", 2000) == 100
+        assert struct_count_for("struct-simple", 10) == 1  # never zero
+
+    def test_struct_vec(self):
+        assert struct_count_for("struct-vec", 8212 * 3) == 3
+
+    def test_unknown_kind(self):
+        with pytest.raises(KeyError):
+            struct_count_for("struct-unknown", 100)
+
+
+class TestWorkloadCase:
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            WorkloadCase(make_workload("MILC"), "quantum")
+
+    def test_region_method_needs_region_workload(self):
+        with pytest.raises(ValueError):
+            WorkloadCase(make_workload("LAMMPS"), "custom-region")
+
+    def test_method_list_complete(self):
+        assert set(DDT_METHODS) == {"reference", "ompi-datatype", "ompi-pack",
+                                    "manual-pack", "custom-pack",
+                                    "custom-region", "custom-coro"}
+
+
+class TestCalibrationVariants:
+    def test_default_is_the_module_default(self):
+        from repro.ucp.netsim import DEFAULT_PARAMS
+        assert default_params() is DEFAULT_PARAMS
+
+    def test_slow_network_scales_times(self):
+        fast = run_once(RawBytesCase, 1 << 16)
+        slow = run_once(RawBytesCase, 1 << 16, params=slow_network_params(10))
+        # Wire components scale 10x; the fixed handshake does not, so the
+        # end-to-end ratio is somewhat below 10.
+        assert slow.one_way_s > 3 * fast.one_way_s
+
+    def test_no_rendezvous_removes_the_switch(self):
+        m = CostModel(no_rendezvous_params())
+        lim = default_params().eager_limit
+        # No discontinuity at the (former) limit.
+        assert m.contig_time(lim + 1) - m.contig_time(lim) < 1e-9
+
+    def test_expensive_regions_flip_a_region_win(self):
+        """MILC regions win by default and lose under the pathological
+        per-region cost — the mechanism isolated."""
+        w = make_workload("MILC")
+        normal_reg = run_once(lambda s: WorkloadCase(make_workload("MILC"),
+                                                     "custom-region"),
+                              w.packed_bytes)
+        normal_pack = run_once(lambda s: WorkloadCase(make_workload("MILC"),
+                                                      "custom-pack"),
+                               w.packed_bytes)
+        worse_reg = run_once(lambda s: WorkloadCase(make_workload("MILC"),
+                                                    "custom-region"),
+                             w.packed_bytes,
+                             params=expensive_regions_params(5000))
+        assert normal_reg.one_way_s < normal_pack.one_way_s
+        assert worse_reg.one_way_s > normal_pack.one_way_s
+
+
+class TestDoubleVecCaseShape:
+    def test_packed_length_includes_header(self):
+        case = DoubleVecCustomCase(4096, 1024)
+
+        class FakeComm:
+            rank = 0
+
+        case.setup(FakeComm())
+        assert case.dv.total_bytes == 4096
+        assert len(case.dv.vectors) == 4

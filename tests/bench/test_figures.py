@@ -1,0 +1,268 @@
+"""Figure regeneration tests: the paper's qualitative claims, asserted.
+
+Each test pins one sentence of the paper's evaluation narrative to the
+regenerated series (quick size ranges).  EXPERIMENTS.md cross-references
+these assertions.
+"""
+
+import math
+
+import pytest
+
+from repro.bench import (fig1_double_vec_latency, fig2_double_vec_bandwidth,
+                         fig3_struct_vec_latency, fig4_struct_vec_bandwidth,
+                         fig5_struct_simple_latency,
+                         fig6_struct_simple_no_gap_latency,
+                         fig7_struct_simple_bandwidth,
+                         fig8_pickle_single_array, fig9_pickle_complex_object,
+                         fig10_ddtbench, format_figure)
+
+
+@pytest.fixture(scope="module")
+def fig1():
+    return fig1_double_vec_latency(quick=True)
+
+
+@pytest.fixture(scope="module")
+def fig5():
+    return fig5_struct_simple_latency(quick=True)
+
+
+@pytest.fixture(scope="module")
+def fig7():
+    return fig7_struct_simple_bandwidth(quick=True)
+
+
+@pytest.fixture(scope="module")
+def fig8():
+    return fig8_pickle_single_array(quick=True)
+
+
+@pytest.fixture(scope="module")
+def fig10():
+    return fig10_ddtbench()
+
+
+def at(fs, size):
+    return fs.x.index(size)
+
+
+class TestFig1DoubleVecLatency:
+    def test_bytes_baseline_lowest(self, fig1):
+        """Paper: 'the rsmpi-bytes-baseline has the lowest latency'.
+
+        Asserted across the eager range; past the eager limit the baseline
+        pays the rendezvous handshake that our iov path does not, letting
+        large-sub-vector custom edge past it (EXPERIMENTS.md divergence D3).
+        """
+        base = fig1.curve("rsmpi-bytes-baseline")
+        eager_idx = [i for i, x in enumerate(fig1.x) if x <= 32 * 1024]
+        for name, curve in fig1.curves.items():
+            if name == "rsmpi-bytes-baseline":
+                continue
+            for i in eager_idx:
+                assert base[i] <= curve[i] + 1e-9, (name, fig1.x[i])
+
+    def test_larger_subvectors_better_past_512(self, fig1):
+        """Paper: from ~2^9, custom improves with the sub-vector size."""
+        i = at(fig1, 4096)
+        lat = [fig1.curve(f"custom (subvec {sv}B)")[i]
+               for sv in (64, 256, 1024, 4096)]
+        assert lat == sorted(lat, reverse=True)
+
+    def test_manual_pack_worst_at_large_sizes(self, fig1):
+        """Paper: 'manual-pack tests after 2^9 have the highest latency'.
+
+        Our per-region costs push the 64-byte-sub-vector crossover later
+        than the paper's (see EXPERIMENTS.md); assert from 2^15 up, where
+        every custom variant beats manual packing.
+        """
+        for size in (32768, 65536):
+            i = at(fig1, size)
+            manual = fig1.curve("manual-pack (subvec 1024B)")[i]
+            for sv in (64, 256, 1024, 4096):
+                assert manual > fig1.curve(f"custom (subvec {sv}B)")[i], size
+
+    def test_manual_pack_worst_for_kib_subvectors_from_8k(self, fig1):
+        for size in (8192, 16384):
+            i = at(fig1, size)
+            manual = fig1.curve("manual-pack (subvec 1024B)")[i]
+            for sv in (1024, 4096):
+                assert manual > fig1.curve(f"custom (subvec {sv}B)")[i], size
+
+
+class TestFig2DoubleVecBandwidth:
+    def test_custom_beats_manual_at_large_sizes(self):
+        fs = fig2_double_vec_bandwidth(quick=True)
+        i = at(fs, fs.x[-1])
+        assert fs.curve("custom")[i] > 2 * fs.curve("manual-pack")[i]
+
+    def test_custom_approaches_baseline(self):
+        fs = fig2_double_vec_bandwidth(quick=True)
+        i = at(fs, fs.x[-1])
+        assert fs.curve("custom")[i] > 0.8 * fs.curve("rsmpi-bytes-baseline")[i]
+
+
+class TestFig3Fig4StructVec:
+    def test_custom_higher_latency_at_small_sizes(self):
+        """Paper: 'Latency is higher for custom until a size of 2^18'.
+
+        Our simulated iov lacks UCX's per-entry pathologies, so the
+        crossover lands earlier — custom must still start above the derived
+        baseline at the smallest sizes.
+        """
+        fs = fig3_struct_vec_latency(quick=True)
+        assert fs.curve("custom")[0] > fs.curve("rsmpi-derived-datatype")[0]
+
+    def test_custom_competitive_at_large_sizes(self):
+        fs = fig3_struct_vec_latency(quick=True)
+        assert fs.curve("custom")[-1] <= fs.curve("rsmpi-derived-datatype")[-1]
+
+    def test_bandwidth_custom_wins_large(self):
+        fs = fig4_struct_vec_bandwidth(quick=True)
+        assert fs.curve("custom")[-1] >= fs.curve("rsmpi-derived-datatype")[-1]
+        assert fs.curve("custom")[-1] >= fs.curve("manual-pack")[-1]
+
+
+class TestFig5Fig6GapEffect:
+    def test_gap_makes_derived_worst(self, fig5):
+        """Paper: 'custom and manual-pack both have very low latency in
+        comparison with RSMPI ... caused by the gap inside the structure'."""
+        for size in (8192, 32768, 65536):
+            i = at(fig5, size)
+            rsmpi = fig5.curve("rsmpi-derived-datatype")[i]
+            assert rsmpi > 1.5 * fig5.curve("manual-pack")[i], size
+            assert rsmpi > 1.5 * fig5.curve("custom")[i], size
+
+    def test_no_gap_derived_performs_as_expected(self):
+        """Paper: without the gap 'RSMPI ... performs as expected'."""
+        fs = fig6_struct_simple_no_gap_latency(quick=True)
+        for i in range(len(fs.x)):
+            rsmpi = fs.curve("rsmpi-derived-datatype")[i]
+            manual = fs.curve("manual-pack")[i]
+            assert rsmpi <= manual * 1.05
+
+    def test_gap_penalty_is_the_difference(self, fig5):
+        fs6 = fig6_struct_simple_no_gap_latency(quick=True)
+        i5, i6 = at(fig5, 65536), at(fs6, 65536)
+        ratio_gap = (fig5.curve("rsmpi-derived-datatype")[i5]
+                     / fig5.curve("manual-pack")[i5])
+        ratio_nogap = (fs6.curve("rsmpi-derived-datatype")[i6]
+                       / fs6.curve("manual-pack")[i6])
+        assert ratio_gap > 2 * ratio_nogap
+
+
+class TestFig7RendezvousDip:
+    def test_manual_pack_dips_after_eager_limit(self, fig7):
+        """Paper: 'the dip shown with manual-pack at 2^15 can be attributed
+        to the switchover from eager to rendezvous'."""
+        curve = fig7.curve("manual-pack")
+        i = at(fig7, 65536)  # first sampled point past the 32 KiB limit
+        assert curve[i] < curve[i - 1]
+
+    def test_custom_is_smooth(self, fig7):
+        """Paper: the switch 'doesn't affect custom since it uses the UCX
+        iovec API'."""
+        curve = fig7.curve("custom")
+        assert all(b >= a for a, b in zip(curve, curve[1:]))
+
+    def test_custom_best_at_large_sizes(self, fig7):
+        assert fig7.curve("custom")[-1] > fig7.curve("manual-pack")[-1]
+        assert fig7.curve("custom")[-1] > fig7.curve("rsmpi-derived-datatype")[-1]
+
+
+class TestFig8Fig9Pickle:
+    def test_oob_methods_win_beyond_256k(self, fig8):
+        """Paper: oob 'significantly better than the simple pickle method
+        for message sizes 2^18 bytes and greater'."""
+        for size in (1 << 18, 1 << 19, 1 << 20):
+            i = at(fig8, size)
+            basic = fig8.curve("pickle-basic")[i]
+            assert fig8.curve("pickle-oob")[i] > 1.5 * basic, size
+            assert fig8.curve("pickle-oob-cdt")[i] > 1.5 * basic, size
+
+    def test_similar_at_small_sizes(self, fig8):
+        """Paper: 'for smaller aggregate message sizes, the basic pickle
+        pack method yields similar performance'."""
+        i = at(fig8, 1024)
+        vals = [fig8.curve(n)[i]
+                for n in ("pickle-basic", "pickle-oob", "pickle-oob-cdt")]
+        assert max(vals) < 2 * min(vals)
+
+    def test_nothing_reaches_roofline(self, fig8):
+        """Paper: 'the out-of-band approaches cannot match the raw roofline
+        performance ... memory allocations on the receive side'."""
+        for name in ("pickle-basic", "pickle-oob", "pickle-oob-cdt"):
+            assert fig8.curve(name)[-1] < 0.9 * fig8.curve("roofline")[-1]
+
+    def test_complex_object_oob_wins_at_largest(self):
+        fs = fig9_pickle_complex_object(quick=True)
+        basic = fs.curve("pickle-basic")[-1]
+        assert fs.curve("pickle-oob")[-1] > 1.5 * basic
+        assert fs.curve("pickle-oob-cdt")[-1] > 1.5 * basic
+
+    def test_cdt_single_message_beats_multi_message_oob(self):
+        """The engine-internal pieces beat one-MPI-message-per-buffer."""
+        fs = fig9_pickle_complex_object(quick=True)
+        assert fs.curve("pickle-oob-cdt")[-1] > fs.curve("pickle-oob")[-1]
+
+
+class TestFig10DDTBench:
+    def test_regions_win_where_runs_are_large(self, fig10):
+        """Paper: regions yield higher bandwidth for MILC, NAS_LU_x,
+        NAS_MG_y."""
+        for name in ("MILC", "NAS_LU_x", "NAS_MG_y"):
+            i = fig10.x.index(name)
+            assert fig10.curve("custom-region")[i] > \
+                fig10.curve("custom-pack")[i], name
+
+    def test_regions_lose_where_runs_are_tiny(self, fig10):
+        """Paper: regions yield lower bandwidth for NAS_LU_y and NAS_MG_x."""
+        for name in ("NAS_LU_y", "NAS_MG_x"):
+            i = fig10.x.index(name)
+            assert fig10.curve("custom-region")[i] < \
+                fig10.curve("custom-pack")[i], name
+
+    def test_custom_competitive_for_lammps(self, fig10):
+        """Paper: 'custom packing provides competitive performance in some
+        cases (LAMMPS, NAS_MG_x)'."""
+        i = fig10.x.index("LAMMPS")
+        best_other = max(fig10.curve(m)[i]
+                         for m in ("ompi-datatype", "ompi-pack", "manual-pack"))
+        assert fig10.curve("custom-pack")[i] > best_other
+
+    def test_reference_bounds_all_packing_methods(self, fig10):
+        """The contiguous reference bounds every method that moves a packed
+        stream.  custom-region is exempt: with a handful of large regions it
+        skips both packing and the rendezvous handshake, so at these message
+        sizes it can legitimately exceed the same-size contiguous reference
+        (EXPERIMENTS.md divergence D3); it must still stay within the
+        handshake margin."""
+        for m, col in fig10.curves.items():
+            if m == "reference":
+                continue
+            bound = 1.6 if m == "custom-region" else 1.01
+            for i, name in enumerate(fig10.x):
+                v = col[i]
+                if not math.isnan(v):
+                    assert v <= fig10.curve("reference")[i] * bound, (m, name)
+
+    def test_regions_absent_where_impracticable(self, fig10):
+        for name in ("LAMMPS", "WRF_x_vec", "WRF_y_vec"):
+            i = fig10.x.index(name)
+            assert math.isnan(fig10.curve("custom-region")[i])
+
+    def test_coroutine_matches_full_pack(self, fig10):
+        """Our working coroutines cost the same as full packing (the paper
+        had to fall back; we don't)."""
+        for i in range(len(fig10.x)):
+            a = fig10.curve("custom-coro")[i]
+            b = fig10.curve("custom-pack")[i]
+            assert a == pytest.approx(b, rel=0.05)
+
+
+class TestFormatting:
+    def test_format_renders_all_curves(self, fig1):
+        text = format_figure(fig1)
+        assert "fig1" in text
+        assert str(fig1.x[0]) in text

@@ -1,0 +1,76 @@
+"""Benchmark driver tests."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (RawBytesCase, SweepPoint, charge_alloc, charge_copy,
+                         pow2_sizes, run_once, sweep_pingpong)
+from repro.mpi import run
+from repro.ucp.netsim import DEFAULT_PARAMS, CostModel
+
+
+class TestSweepPoint:
+    def test_metrics(self):
+        p = SweepPoint(size=1_000_000, one_way_s=1e-3)
+        assert p.latency_us == pytest.approx(1000.0)
+        assert p.bandwidth_MBps == pytest.approx(1000.0)
+
+    def test_zero_time(self):
+        assert SweepPoint(10, 0.0).bandwidth_MBps == 0.0
+
+
+class TestPow2Sizes:
+    def test_range(self):
+        assert pow2_sizes(3, 6) == [8, 16, 32, 64]
+
+
+class TestChargeHelpers:
+    def test_charges_match_model(self):
+        model = CostModel()
+
+        def fn(comm):
+            t0 = comm.clock.now
+            charge_copy(comm, 1000)
+            charge_alloc(comm, 1000)
+            return comm.clock.now - t0
+
+        res = run(fn, nprocs=2)
+        expect = model.copy_time(1000) + model.alloc_time(1000)
+        assert res.results[0] == pytest.approx(expect)
+
+
+class TestSweepPingpong:
+    def test_one_way_matches_model(self):
+        """Pingpong latency of raw bytes == the modelled one-way time."""
+        model = CostModel()
+        for size in (64, 4096, 32 * 1024):
+            pt = run_once(RawBytesCase, size)
+            assert pt.one_way_s == pytest.approx(model.contig_time(size),
+                                                 rel=1e-6), size
+
+    def test_rndv_sizes_match_model(self):
+        model = CostModel()
+        size = 1 << 18
+        pt = run_once(RawBytesCase, size)
+        assert pt.one_way_s == pytest.approx(model.rndv_time(size), rel=1e-6)
+
+    def test_sweep_returns_point_per_size(self):
+        sizes = [64, 128, 256]
+        pts = sweep_pingpong(RawBytesCase, sizes, iters=2)
+        assert [p.size for p in pts] == sizes
+
+    def test_iterations_are_deterministic(self):
+        a = run_once(RawBytesCase, 1024)
+        b = run_once(RawBytesCase, 1024)
+        assert a.one_way_s == b.one_way_s
+
+    def test_latency_monotone_in_size(self):
+        pts = sweep_pingpong(RawBytesCase, pow2_sizes(6, 14), iters=2)
+        times = [p.one_way_s for p in pts]
+        assert times == sorted(times)
+
+    def test_params_override(self):
+        slow = DEFAULT_PARAMS.with_overrides(latency=1e-3)
+        fast = run_once(RawBytesCase, 64)
+        slowpt = run_once(RawBytesCase, 64, params=slow)
+        assert slowpt.one_way_s > fast.one_way_s + 5e-4

@@ -1,0 +1,31 @@
+"""Shared fixtures and hypothesis strategies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+# Thread-spawning property tests are slow per example; keep budgets sane.
+settings.register_profile(
+    "repro",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+def assert_bytes_equal(a, b, msg: str = ""):
+    a = np.asarray(a, dtype=np.uint8)
+    b = np.asarray(b, dtype=np.uint8)
+    assert a.shape == b.shape, f"{msg}: shapes {a.shape} vs {b.shape}"
+    if a.size and not (a == b).all():
+        first = int(np.nonzero(a != b)[0][0])
+        raise AssertionError(f"{msg}: first difference at byte {first}: "
+                             f"{a[first]} vs {b[first]}")

@@ -1,0 +1,110 @@
+"""Object-protocol adapter tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import MPISerializable, Region, datatype_for, pack_all, unpack_all
+from repro.errors import CallbackError
+
+
+class Blob:
+    """A protocol-conforming object: header bytes + optional array region."""
+
+    def __init__(self, header=b"", array=None):
+        self.header = bytearray(header)
+        self.array = array
+
+    def mpi_packed_size(self):
+        return len(self.header)
+
+    def mpi_pack(self, offset, dst):
+        step = min(len(dst), len(self.header) - offset)
+        dst[:step] = np.frombuffer(bytes(self.header[offset:offset + step]),
+                                   np.uint8)
+        return step
+
+    def mpi_unpack(self, offset, src):
+        self.header[offset:offset + len(src)] = bytes(src)
+
+    def mpi_regions(self):
+        return [Region(self.array)] if self.array is not None else []
+
+
+class TestProtocol:
+    def test_runtime_checkable(self):
+        assert isinstance(Blob(), MPISerializable)
+        assert not isinstance(object(), MPISerializable)
+
+    def test_single_object_roundtrip(self):
+        dt = datatype_for(Blob)
+        src = Blob(b"hello-header", np.arange(100, dtype=np.uint8))
+        packed, regs = pack_all(dt, src, 1)
+        assert packed == b"hello-header" and regs[0].nbytes == 100
+        dst = Blob(bytearray(len(packed)), np.zeros(100, dtype=np.uint8))
+        unpack_all(dt, dst, 1, packed, [bytes(regs[0].read_bytes())])
+        assert bytes(dst.header) == b"hello-header"
+        assert np.array_equal(dst.array, src.array)
+
+    def test_multiple_objects_concatenated(self):
+        dt = datatype_for(Blob)
+        objs = [Blob(b"aa"), Blob(b"bbbb"), Blob(b"c")]
+        packed, regs = pack_all(dt, objs, 3)
+        assert packed == b"aabbbbc" and regs == []
+        dst = [Blob(bytearray(2)), Blob(bytearray(4)), Blob(bytearray(1))]
+        unpack_all(dt, dst, 3, packed)
+        assert [bytes(o.header) for o in dst] == [b"aa", b"bbbb", b"c"]
+
+    @pytest.mark.parametrize("frag", [1, 2, 3, 5, 100])
+    def test_fragments_split_across_objects(self, frag):
+        dt = datatype_for(Blob)
+        objs = [Blob(bytes([i]) * (i + 1)) for i in range(5)]
+        flat = b"".join(bytes(o.header) for o in objs)
+        packed, _ = pack_all(dt, objs, 5, frag_size=frag)
+        assert packed == flat
+        dst = [Blob(bytearray(i + 1)) for i in range(5)]
+        unpack_all(dt, dst, 5, packed, frag_size=frag)
+        assert b"".join(bytes(o.header) for o in dst) == flat
+
+    def test_zero_size_objects_skipped(self):
+        dt = datatype_for(Blob)
+        objs = [Blob(b""), Blob(b"xy"), Blob(b"")]
+        packed, _ = pack_all(dt, objs, 3)
+        assert packed == b"xy"
+
+    def test_regions_from_all_objects(self):
+        dt = datatype_for(Blob)
+        objs = [Blob(b"a", np.zeros(8, np.uint8)),
+                Blob(b"b", np.zeros(16, np.uint8))]
+        _, regs = pack_all(dt, objs, 2)
+        assert [r.nbytes for r in regs] == [8, 16]
+
+    def test_non_conforming_rejected(self):
+        dt = datatype_for()
+        with pytest.raises(CallbackError):
+            pack_all(dt, object(), 1)
+
+    def test_count_exceeds_objects(self):
+        dt = datatype_for(Blob)
+        with pytest.raises(CallbackError):
+            pack_all(dt, [Blob(b"a")], 2)
+
+    def test_bad_packed_size(self):
+        class Bad(Blob):
+            def mpi_packed_size(self):
+                return -1
+
+        with pytest.raises(CallbackError):
+            pack_all(datatype_for(), Bad(), 1)
+
+    def test_bad_pack_return(self):
+        class Bad(Blob):
+            def mpi_pack(self, offset, dst):
+                return 0
+
+        with pytest.raises(CallbackError):
+            pack_all(datatype_for(), Bad(b"abc"), 1)
+
+    def test_naming(self):
+        assert "Blob" in datatype_for(Blob).name
+        assert "protocol" in datatype_for().name
+        assert datatype_for(name="mine").name == "mine"

@@ -1,0 +1,186 @@
+"""StructSpec (derive-macro analogue) tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import Field, StructSpec, pack_all, unpack_all
+from repro.errors import CallbackError
+
+
+class O:
+    """Plain attribute bag."""
+
+
+def roundtrip(spec, objs, count=None):
+    count = count if count is not None else (len(objs) if isinstance(objs, list) else 1)
+    dt = spec.custom_datatype()
+    packed, regions = pack_all(dt, objs, count)
+    recv = [O() for _ in range(count)] if count != 1 or isinstance(objs, list) else O()
+    unpack_all(dt, recv, count, packed,
+               [bytes(r.read_bytes()) for r in regions])
+    return recv, packed, regions
+
+
+class TestField:
+    def test_scalar(self):
+        f = Field("x", "<f8")
+        assert f.is_scalar and not f.is_dynamic and f.itemsize == 8
+
+    def test_fixed(self):
+        f = Field("x", "<i4", shape=16)
+        assert not f.is_scalar and not f.is_dynamic
+
+    def test_dynamic(self):
+        assert Field("x", "<i4", shape="dynamic").is_dynamic
+
+    def test_bad_shape_string(self):
+        with pytest.raises(ValueError):
+            Field("x", "<i4", shape="varlen")
+
+    def test_negative_shape(self):
+        with pytest.raises(ValueError):
+            Field("x", "<i4", shape=-1)
+
+    def test_scalar_region_rejected(self):
+        with pytest.raises(ValueError):
+            Field("x", "<i4", region=True)
+
+
+class TestStructSpec:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            StructSpec([Field("a", "<i4"), Field("a", "<f8")])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            StructSpec([])
+
+    def test_scalars_only(self):
+        spec = StructSpec([Field("a", "<i4"), Field("b", "<f8")])
+        o = O(); o.a = 5; o.b = 2.5
+        recv, packed, regions = roundtrip(spec, o)
+        assert len(packed) == 12 and not regions
+        assert recv.a == 5 and recv.b == 2.5
+
+    def test_small_array_packed_inband(self):
+        spec = StructSpec([Field("v", "<i4", shape=4)], region_threshold=512)
+        o = O(); o.v = np.array([1, 2, 3, 4], dtype=np.int32)
+        recv, packed, regions = roundtrip(spec, o)
+        assert len(packed) == 16 and not regions
+        assert np.array_equal(recv.v, o.v)
+
+    def test_large_array_is_region(self):
+        spec = StructSpec([Field("v", "<f8", shape=256)], region_threshold=512)
+        o = O(); o.v = np.arange(256, dtype=np.float64)
+        # Receiver of a fixed-shape region must hold the destination array.
+        dt = spec.custom_datatype()
+        packed, regions = pack_all(dt, o, 1)
+        assert packed == b"" and regions[0].nbytes == 2048
+        r = O()
+        unpack_all(dt, r, 1, packed, [bytes(regions[0].read_bytes())])
+        assert np.array_equal(r.v, o.v)
+
+    def test_region_override_forces_inband(self):
+        spec = StructSpec([Field("v", "<f8", shape=256, region=False)])
+        o = O(); o.v = np.arange(256, dtype=np.float64)
+        recv, packed, regions = roundtrip(spec, o)
+        assert len(packed) == 2048 and not regions
+        assert np.array_equal(recv.v, o.v)
+
+    def test_dynamic_field_lengths_inband(self):
+        spec = StructSpec([Field("tag", "<i4"),
+                           Field("data", "<f8", shape="dynamic")])
+        o = O(); o.tag = 9; o.data = np.linspace(0, 1, 777)
+        recv, packed, regions = roundtrip(spec, o)
+        assert recv.tag == 9
+        assert np.array_equal(recv.data, o.data)
+        assert len(regions) == 1  # 777*8 > default threshold
+
+    def test_dynamic_small_stays_inband(self):
+        spec = StructSpec([Field("data", "<i4", shape="dynamic")])
+        o = O(); o.data = np.arange(10, dtype=np.int32)
+        recv, packed, regions = roundtrip(spec, o)
+        assert not regions
+        assert np.array_equal(recv.data, o.data)
+
+    def test_multiple_objects(self):
+        spec = StructSpec([Field("a", "<i4"),
+                           Field("data", "<f8", shape="dynamic")])
+        objs = []
+        for i in range(3):
+            o = O(); o.a = i; o.data = np.arange(200 + i, dtype=np.float64)
+            objs.append(o)
+        recv, packed, regions = roundtrip(spec, objs, count=3)
+        assert len(regions) == 3
+        for i, r in enumerate(recv):
+            assert r.a == i
+            assert np.array_equal(r.data, objs[i].data)
+
+    def test_count_exceeds_buffer(self):
+        spec = StructSpec([Field("a", "<i4")])
+        dt = spec.custom_datatype()
+        with pytest.raises(CallbackError):
+            pack_all(dt, [O()], 2)
+
+    def test_fixed_length_mismatch_detected(self):
+        spec = StructSpec([Field("v", "<i4", shape=4)])
+        o = O(); o.v = np.arange(5, dtype=np.int32)
+        with pytest.raises(CallbackError):
+            pack_all(spec.custom_datatype(), o, 1)
+
+    def test_wrong_dtype_coerced(self):
+        spec = StructSpec([Field("v", "<f8", shape=3, region=False)])
+        o = O(); o.v = [1, 2, 3]  # list, not array
+        recv, _, _ = roundtrip(spec, o)
+        assert np.array_equal(recv.v, np.array([1.0, 2.0, 3.0]))
+
+    def test_datatype_name(self):
+        spec = StructSpec([Field("a", "<i4")], name="particle")
+        assert "particle" in spec.custom_datatype().name
+
+
+@st.composite
+def spec_and_objects(draw):
+    nfields = draw(st.integers(1, 4))
+    fields = []
+    for i in range(nfields):
+        kind = draw(st.sampled_from(["scalar", "fixed", "dynamic"]))
+        dtype = draw(st.sampled_from(["<i4", "<f8", "<i8"]))
+        if kind == "scalar":
+            fields.append(Field(f"f{i}", dtype))
+        elif kind == "fixed":
+            fields.append(Field(f"f{i}", dtype, shape=draw(st.integers(1, 64)),
+                                region=False))
+        else:
+            fields.append(Field(f"f{i}", dtype, shape="dynamic", region=False))
+    spec = StructSpec(fields, name="h")
+    count = draw(st.integers(1, 3))
+    rng = np.random.default_rng(draw(st.integers(0, 2**16)))
+    objs = []
+    for _ in range(count):
+        o = O()
+        for f in fields:
+            if f.is_scalar:
+                setattr(o, f.name, f.dtype.type(rng.integers(0, 100)))
+            else:
+                n = f.shape if isinstance(f.shape, int) else int(rng.integers(0, 50))
+                setattr(o, f.name, rng.integers(0, 100, size=n).astype(f.dtype))
+        objs.append(o)
+    return spec, objs
+
+
+class TestStructSpecProperties:
+    @given(spec_and_objects())
+    def test_roundtrip(self, spec_objs):
+        spec, objs = spec_objs
+        recv, _, _ = roundtrip(spec, objs, count=len(objs))
+        recv = recv if isinstance(recv, list) else [recv]
+        for got, want in zip(recv, objs):
+            for f in spec.fields:
+                g, w = getattr(got, f.name), getattr(want, f.name)
+                if f.is_scalar:
+                    assert g == w
+                else:
+                    assert np.array_equal(g, w)

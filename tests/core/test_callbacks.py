@@ -1,0 +1,113 @@
+"""Callback-set validation and state lifecycle tests."""
+
+import pytest
+
+from repro.core import CallbackSet, OperationState
+from repro.core.callbacks import invoke
+from repro.errors import CallbackError
+
+
+def q(state, buf, count):
+    return 0
+
+
+class TestCallbackSet:
+    def test_minimal(self):
+        cb = CallbackSet(query_fn=q)
+        assert not cb.has_regions
+        assert cb.context is None
+
+    def test_query_required(self):
+        with pytest.raises(TypeError):
+            CallbackSet(query_fn=None)
+
+    def test_query_must_be_callable(self):
+        with pytest.raises(TypeError):
+            CallbackSet(query_fn=42)
+
+    def test_non_callable_optional_rejected(self):
+        with pytest.raises(TypeError):
+            CallbackSet(query_fn=q, pack_fn="nope")
+
+    def test_region_pair_required_together(self):
+        with pytest.raises(TypeError):
+            CallbackSet(query_fn=q, region_count_fn=lambda s, b, c: 0)
+        with pytest.raises(TypeError):
+            CallbackSet(query_fn=q, region_fn=lambda s, b, c, n: [])
+
+    def test_region_pair_together_ok(self):
+        cb = CallbackSet(query_fn=q,
+                         region_count_fn=lambda s, b, c: 0,
+                         region_fn=lambda s, b, c, n: [])
+        assert cb.has_regions
+
+    def test_context_carried(self):
+        ctx = object()
+        assert CallbackSet(query_fn=q, context=ctx).context is ctx
+
+
+class TestInvoke:
+    def test_passthrough(self):
+        assert invoke("f", lambda a, b: a + b, 1, 2) == 3
+
+    def test_wraps_exceptions(self):
+        def bad():
+            raise ValueError("serializer choked")
+
+        with pytest.raises(CallbackError) as ei:
+            invoke("bad", bad)
+        assert isinstance(ei.value.__cause__, ValueError)
+        assert "bad" in str(ei.value)
+
+    def test_callback_error_not_double_wrapped(self):
+        def bad():
+            raise CallbackError("already wrapped")
+
+        with pytest.raises(CallbackError) as ei:
+            invoke("bad", bad)
+        assert "already wrapped" in str(ei.value)
+
+
+class TestOperationState:
+    def test_state_created_and_freed(self):
+        events = []
+        cb = CallbackSet(
+            query_fn=q,
+            state_fn=lambda ctx, buf, count: events.append(("new", ctx, buf, count)) or "S",
+            state_free_fn=lambda s: events.append(("free", s)),
+            context="CTX")
+        with OperationState(cb, "BUF", 3) as op:
+            assert op.state == "S"
+        assert events == [("new", "CTX", "BUF", 3), ("free", "S")]
+
+    def test_no_state_fn_is_none(self):
+        cb = CallbackSet(query_fn=q)
+        with OperationState(cb, None, 1) as op:
+            assert op.state is None
+
+    def test_free_runs_on_exception(self):
+        freed = []
+        cb = CallbackSet(query_fn=q,
+                         state_fn=lambda ctx, b, c: "S",
+                         state_free_fn=lambda s: freed.append(s))
+        with pytest.raises(RuntimeError):
+            with OperationState(cb, None, 1):
+                raise RuntimeError("boom")
+        assert freed == ["S"]
+
+    def test_double_exit_frees_once(self):
+        freed = []
+        cb = CallbackSet(query_fn=q,
+                         state_fn=lambda ctx, b, c: "S",
+                         state_free_fn=lambda s: freed.append(s))
+        op = OperationState(cb, None, 1)
+        op.__enter__()
+        op.__exit__(None, None, None)
+        op.__exit__(None, None, None)
+        assert freed == ["S"]
+
+    def test_state_fn_failure_wrapped(self):
+        cb = CallbackSet(query_fn=q,
+                         state_fn=lambda ctx, b, c: 1 / 0)
+        with pytest.raises(CallbackError):
+            OperationState(cb, None, 1).__enter__()

@@ -1,0 +1,152 @@
+"""Generator (coroutine) partial-packing tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import (coroutine_pack_callbacks, full_buffer_generator,
+                        pack_all, type_create_custom, unpack_all)
+from repro.errors import CallbackError
+
+
+def nested_loop_gen(data2d):
+    """A Listing-9-style generator: suspend mid loop-nest."""
+
+    def gen(context, buf, count):
+        dst = yield
+        pos = 0
+        for row in data2d:           # outer loop
+            for byte in row:         # inner loop, suspendable mid-row
+                if pos == len(dst):
+                    dst = yield pos
+                    pos = 0
+                dst[pos] = byte
+                pos += 1
+        yield pos
+
+    return gen
+
+
+def make_type(data2d, collect):
+    def unpack_gen(context, buf, count):
+        src = yield
+        pos = 0
+        total = sum(len(r) for r in data2d)
+        seen = 0
+        while seen < total:
+            if pos == len(src):
+                src = yield pos
+                pos = 0
+            collect.append(int(src[pos]))
+            pos += 1
+            seen += 1
+        yield pos
+
+    state_fn, free_fn, pack_fn, unpack_fn = coroutine_pack_callbacks(
+        nested_loop_gen(data2d), unpack_gen)
+    total = sum(len(r) for r in data2d)
+    return type_create_custom(query_fn=lambda s, b, c: total,
+                              pack_fn=pack_fn, unpack_fn=unpack_fn,
+                              state_fn=state_fn, state_free_fn=free_fn,
+                              inorder=True)
+
+
+class TestCoroutinePacking:
+    @pytest.mark.parametrize("frag", [1, 3, 5, 7, 100])
+    def test_suspends_mid_loop_nest(self, frag):
+        rows = [bytes(range(10)), bytes(range(10, 17)), b"", bytes(range(17, 32))]
+        collect = []
+        t = make_type(rows, collect)
+        packed, _ = pack_all(t, None, 1, frag_size=frag)
+        flat = b"".join(rows)
+        assert packed == flat
+        unpack_all(t, None, 1, packed, frag_size=frag)
+        assert bytes(collect) == flat
+
+    def test_out_of_order_fragment_rejected(self):
+        rows = [bytes(range(20))]
+        t = make_type(rows, [])
+        state_fn = t.callbacks.state_fn
+        state = state_fn(None, None, 1)
+        with pytest.raises(CallbackError, match="in-order"):
+            t.callbacks.pack_fn(state, None, 1, 5, np.zeros(5, np.uint8))
+
+    def test_generator_closed_on_free(self):
+        closed = []
+
+        def gen(context, buf, count):
+            try:
+                dst = yield
+                while True:
+                    dst = yield 0
+            finally:
+                closed.append(True)
+
+        state_fn, free_fn, pack_fn, _ = coroutine_pack_callbacks(gen)
+        state = state_fn(None, None, 1)
+        # Prime the generator with one (zero-progress) pack call, then free:
+        # the suspended generator must be closed.
+        assert pack_fn(state, None, 1, 0, np.zeros(4, np.uint8)) == 0
+        free_fn(state)
+        assert closed == [True]
+
+    def test_inner_state_fn_wrapped(self):
+        seen = []
+
+        def inner_state(ctx, buf, count):
+            seen.append((ctx, count))
+            return {"n": count}
+
+        def gen(context, buf, count):
+            # context here is the inner state object
+            assert context == {"n": count}
+            dst = yield
+            dst[:1] = 42
+            yield 1
+
+        state_fn, free_fn, pack_fn, _ = coroutine_pack_callbacks(
+            gen, state_fn=inner_state,
+            state_free_fn=lambda s: seen.append("freed"))
+        t = type_create_custom(query_fn=lambda s, b, c: 1, pack_fn=pack_fn,
+                               state_fn=state_fn, state_free_fn=free_fn,
+                               inorder=True)
+        packed, _ = pack_all(t, None, 1)
+        assert packed == bytes([42])
+        assert seen[0] == (None, 1)
+        assert seen[-1] == "freed"
+
+    def test_premature_exhaustion_detected(self):
+        def gen(context, buf, count):
+            dst = yield
+            dst[:2] = 7
+            yield 2  # claims done after 2 of 10 bytes
+
+        state_fn, free_fn, pack_fn, _ = coroutine_pack_callbacks(gen)
+        t = type_create_custom(query_fn=lambda s, b, c: 10, pack_fn=pack_fn,
+                               state_fn=state_fn, state_free_fn=free_fn,
+                               inorder=True)
+        with pytest.raises(CallbackError):
+            pack_all(t, None, 1, frag_size=8)
+
+    def test_invalid_yield_value(self):
+        def gen(context, buf, count):
+            dst = yield
+            yield len(dst) + 5
+
+        state_fn, free_fn, pack_fn, _ = coroutine_pack_callbacks(gen)
+        t = type_create_custom(query_fn=lambda s, b, c: 4, pack_fn=pack_fn,
+                               state_fn=state_fn, state_free_fn=free_fn)
+        with pytest.raises(CallbackError):
+            pack_all(t, None, 1)
+
+
+class TestFullBufferGenerator:
+    @pytest.mark.parametrize("frag", [1, 4, 9, 64])
+    def test_doles_out_whole_buffer(self, frag):
+        payload = bytes(range(50))
+        factory = full_buffer_generator(lambda ctx, buf, count: payload)
+        state_fn, free_fn, pack_fn, _ = coroutine_pack_callbacks(factory)
+        t = type_create_custom(query_fn=lambda s, b, c: len(payload),
+                               pack_fn=pack_fn, state_fn=state_fn,
+                               state_free_fn=free_fn, inorder=True)
+        packed, _ = pack_all(t, None, 1, frag_size=frag)
+        assert packed == payload

@@ -1,0 +1,235 @@
+"""Custom datatype API and operation-driver tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (CustomRecvOperation, CustomSendOperation, Region,
+                        pack_all, type_create_custom, unpack_all)
+from repro.errors import CallbackError, MPIError
+
+
+def simple_bytes_type(payload_attr="data"):
+    """A custom type moving ``obj.data`` (bytes) in-band."""
+
+    def query_fn(state, buf, count):
+        return len(getattr(buf, payload_attr))
+
+    def pack_fn(state, buf, count, offset, dst):
+        data = getattr(buf, payload_attr)
+        step = min(len(dst), len(data) - offset)
+        dst[:step] = np.frombuffer(data[offset:offset + step], dtype=np.uint8)
+        return step
+
+    def unpack_fn(state, buf, count, offset, src):
+        data = getattr(buf, payload_attr)
+        data[offset:offset + len(src)] = bytes(src)
+
+    return type_create_custom(query_fn=query_fn, pack_fn=pack_fn,
+                              unpack_fn=unpack_fn, name="bytes")
+
+
+class Obj:
+    def __init__(self, data=b""):
+        self.data = bytearray(data)
+
+
+class TestCustomDatatype:
+    def test_flags(self):
+        t = simple_bytes_type()
+        assert t.is_custom
+        assert not t.is_predefined
+
+    def test_no_static_size(self):
+        t = simple_bytes_type()
+        with pytest.raises(MPIError):
+            t.size
+        with pytest.raises(MPIError):
+            t.extent
+        with pytest.raises(MPIError):
+            t.typemap
+
+    def test_inorder_flag(self):
+        t = type_create_custom(query_fn=lambda s, b, c: 0, inorder=True)
+        assert t.inorder
+
+    def test_name(self):
+        assert simple_bytes_type().name == "bytes"
+
+
+class TestSendOperation:
+    def test_fragments_respect_frag_size(self):
+        t = simple_bytes_type()
+        obj = Obj(bytes(range(256)) * 10)
+        with CustomSendOperation(t, obj, 1) as op:
+            frags = op.pack_fragments(frag_size=100)
+        assert [f.shape[0] for f in frags[:-1]] == [100] * (len(frags) - 1)
+        assert b"".join(bytes(f) for f in frags) == bytes(obj.data)
+
+    def test_query_cached(self):
+        calls = []
+        t = type_create_custom(
+            query_fn=lambda s, b, c: calls.append(1) or 8,
+            pack_fn=lambda s, b, c, o, d: 8)
+        with CustomSendOperation(t, None, 1) as op:
+            assert op.packed_size() == 8
+            assert op.packed_size() == 8
+        assert len(calls) == 1
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(MPIError):
+            CustomSendOperation(simple_bytes_type(), Obj(), -1)
+
+    def test_bad_query_result(self):
+        t = type_create_custom(query_fn=lambda s, b, c: -5)
+        with pytest.raises(CallbackError):
+            with CustomSendOperation(t, None, 1) as op:
+                op.packed_size()
+
+    def test_missing_pack_fn(self):
+        t = type_create_custom(query_fn=lambda s, b, c: 10)
+        with pytest.raises(CallbackError):
+            with CustomSendOperation(t, None, 1) as op:
+                op.pack_fragments(8)
+
+    def test_pack_no_progress_detected(self):
+        t = type_create_custom(query_fn=lambda s, b, c: 10,
+                               pack_fn=lambda s, b, c, o, d: 0)
+        with pytest.raises(CallbackError):
+            with CustomSendOperation(t, None, 1) as op:
+                op.pack_fragments(8)
+
+    def test_pack_overrun_detected(self):
+        t = type_create_custom(query_fn=lambda s, b, c: 10,
+                               pack_fn=lambda s, b, c, o, d: len(d) + 1)
+        with pytest.raises(CallbackError):
+            with CustomSendOperation(t, None, 1) as op:
+                op.pack_fragments(8)
+
+    def test_partial_fill_resumes(self):
+        """Pack may fill less than the fragment; the next call resumes."""
+        data = bytes(range(30))
+
+        def pack_fn(state, buf, count, offset, dst):
+            step = min(7, len(dst), len(data) - offset)  # deliberately short
+            dst[:step] = np.frombuffer(data[offset:offset + step], np.uint8)
+            return step
+
+        t = type_create_custom(query_fn=lambda s, b, c: 30, pack_fn=pack_fn)
+        with CustomSendOperation(t, None, 1) as op:
+            frags = op.pack_fragments(100)
+        assert b"".join(bytes(f) for f in frags) == data
+
+    def test_invalid_frag_size(self):
+        with pytest.raises(MPIError):
+            with CustomSendOperation(simple_bytes_type(), Obj(b"x"), 1) as op:
+                op.pack_fragments(0)
+
+    def test_region_count_mismatch(self):
+        t = type_create_custom(
+            query_fn=lambda s, b, c: 0,
+            region_count_fn=lambda s, b, c: 2,
+            region_fn=lambda s, b, c, n: [Region(np.zeros(4, np.uint8))])
+        with pytest.raises(CallbackError):
+            with CustomSendOperation(t, None, 1) as op:
+                op.regions()
+
+    def test_region_not_region(self):
+        t = type_create_custom(
+            query_fn=lambda s, b, c: 0,
+            region_count_fn=lambda s, b, c: 1,
+            region_fn=lambda s, b, c, n: [np.zeros(4, np.uint8)])
+        with pytest.raises(CallbackError):
+            with CustomSendOperation(t, None, 1) as op:
+                op.regions()
+
+    def test_no_region_callbacks_empty(self):
+        with CustomSendOperation(simple_bytes_type(), Obj(b"ab"), 1) as op:
+            assert op.regions() == []
+
+    def test_callback_accounting(self):
+        t = simple_bytes_type()
+        obj = Obj(b"x" * 25)
+        with CustomSendOperation(t, obj, 1) as op:
+            op.pack_fragments(10)
+            n = op.ncallbacks
+        assert n == 1 + 3  # query + 3 pack calls
+
+
+class TestRecvOperation:
+    def test_unpack_fragments(self):
+        t = simple_bytes_type()
+        obj = Obj(bytearray(20))
+        with CustomRecvOperation(t, obj, 1) as op:
+            op.unpack_fragment(0, np.frombuffer(b"A" * 12, np.uint8))
+            op.unpack_fragment(12, np.frombuffer(b"B" * 8, np.uint8))
+            assert op.bytes_unpacked == 20
+        assert bytes(obj.data) == b"A" * 12 + b"B" * 8
+
+    def test_missing_unpack_fn(self):
+        t = type_create_custom(query_fn=lambda s, b, c: 4)
+        with pytest.raises(CallbackError):
+            with CustomRecvOperation(t, None, 1) as op:
+                op.unpack_fragment(0, b"abcd")
+
+    def test_expected_size_none_means_unknown(self):
+        t = type_create_custom(query_fn=lambda s, b, c: None)
+        with CustomRecvOperation(t, None, 1) as op:
+            assert op.expected_packed_size() == -1
+
+    def test_recv_regions_validation(self):
+        target = np.zeros(8, dtype=np.uint8)
+        t = type_create_custom(
+            query_fn=lambda s, b, c: 0,
+            region_count_fn=lambda s, b, c: 1,
+            region_fn=lambda s, b, c, n: [Region(target)])
+        with CustomRecvOperation(t, None, 1) as op:
+            regs = op.recv_regions([8])
+            assert len(regs) == 1
+        with CustomRecvOperation(t, None, 1) as op:
+            with pytest.raises(MPIError):
+                op.recv_regions([4])  # length mismatch
+        with CustomRecvOperation(t, None, 1) as op:
+            with pytest.raises(MPIError):
+                op.recv_regions([8, 8])  # count mismatch
+
+    def test_regions_without_callbacks_rejected(self):
+        t = simple_bytes_type()
+        with CustomRecvOperation(t, Obj(), 1) as op:
+            with pytest.raises(CallbackError):
+                op.recv_regions([4])
+
+    def test_empty_region_list_ok(self):
+        t = simple_bytes_type()
+        with CustomRecvOperation(t, Obj(), 1) as op:
+            assert op.recv_regions([]) == []
+
+
+class TestPackAllUnpackAll:
+    @given(st.binary(min_size=0, max_size=500), st.integers(1, 64))
+    def test_roundtrip_any_frag_size(self, payload, frag_size):
+        t = simple_bytes_type()
+        src = Obj(payload)
+        packed, regions = pack_all(t, src, 1, frag_size=frag_size)
+        assert packed == payload
+        assert regions == []
+        dst = Obj(bytearray(len(payload)))
+        unpack_all(t, dst, 1, packed, frag_size=frag_size)
+        assert bytes(dst.data) == payload
+
+    def test_regions_roundtrip(self):
+        payload = np.arange(64, dtype=np.uint8)
+
+        def region_type(target):
+            return type_create_custom(
+                query_fn=lambda s, b, c: 0,
+                region_count_fn=lambda s, b, c: 1,
+                region_fn=lambda s, b, c, n: [Region(target)])
+
+        packed, regs = pack_all(region_type(payload), None, 1)
+        assert packed == b"" and regs[0].nbytes == 64
+        dst = np.zeros(64, dtype=np.uint8)
+        unpack_all(region_type(dst), None, 1, b"",
+                   [bytes(regs[0].read_bytes())])
+        assert np.array_equal(dst, payload)

@@ -1,0 +1,64 @@
+"""Predefined datatype tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import datatype as dt
+
+
+class TestPredefined:
+    @pytest.mark.parametrize("t,size", [
+        (dt.BYTE, 1), (dt.CHAR, 1), (dt.INT8, 1), (dt.UINT8, 1),
+        (dt.INT16, 2), (dt.UINT16, 2), (dt.INT32, 4), (dt.UINT32, 4),
+        (dt.INT64, 8), (dt.UINT64, 8), (dt.FLOAT32, 4), (dt.FLOAT64, 8),
+        (dt.COMPLEX64, 8), (dt.COMPLEX128, 16),
+    ])
+    def test_sizes(self, t, size):
+        assert t.size == size
+        assert t.extent == size
+        assert t.ub == size
+        assert t.lb == 0
+
+    def test_flags(self):
+        assert dt.INT32.is_predefined
+        assert dt.INT32.is_contiguous
+        assert not dt.INT32.is_custom
+
+    def test_typemap(self):
+        tm = dt.FLOAT64.typemap
+        assert tm.size == 8 and tm.is_contiguous
+
+    def test_registry_complete(self):
+        assert len(dt.PREDEFINED) == 14
+        assert dt.PREDEFINED["MPI_DOUBLE"] is dt.FLOAT64
+
+    def test_repr(self):
+        assert "MPI_INT32_T" in repr(dt.INT32)
+
+
+class TestFromNumpyDtype:
+    @pytest.mark.parametrize("np_dt,expect", [
+        (np.int32, dt.INT32), (np.float64, dt.FLOAT64),
+        (np.uint8, dt.UINT8), (np.complex128, dt.COMPLEX128),
+        ("<i8", dt.INT64), ("f4", dt.FLOAT32),
+    ])
+    def test_mapping(self, np_dt, expect):
+        assert dt.from_numpy_dtype(np_dt) is expect
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            dt.from_numpy_dtype(np.dtype("U4"))
+
+    def test_structured_rejected(self):
+        with pytest.raises(KeyError):
+            dt.from_numpy_dtype(np.dtype([("a", "i4")]))
+
+
+class TestBaseClass:
+    def test_abstract_size(self):
+        with pytest.raises(NotImplementedError):
+            dt.Datatype().size
+        with pytest.raises(NotImplementedError):
+            dt.Datatype().extent
+        with pytest.raises(NotImplementedError):
+            dt.Datatype().typemap

@@ -1,0 +1,204 @@
+"""Derived-datatype constructor tests, each checked against a numpy oracle."""
+
+import numpy as np
+import pytest
+
+from repro.core import (BYTE, FLOAT64, INT32, contiguous, create_struct, dup,
+                        hindexed, hvector, indexed, indexed_block, pack,
+                        resized, subarray, vector)
+from repro.errors import TypeError_
+
+
+def packed_of(dtype, arr, count=1):
+    return pack(dtype, arr, count)
+
+
+class TestContiguous:
+    def test_basic(self):
+        t = contiguous(4, INT32)
+        assert t.size == 16
+        assert t.extent == 16
+        assert t.is_contiguous
+        assert t.kind == "contiguous"
+
+    def test_pack_identity(self):
+        t = contiguous(8, INT32)
+        a = np.arange(8, dtype=np.int32)
+        assert np.array_equal(packed_of(t, a).view(np.int32), a)
+
+    def test_zero_count(self):
+        t = contiguous(0, INT32)
+        assert t.size == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(TypeError_):
+            contiguous(-1, INT32)
+
+    def test_nested(self):
+        t = contiguous(3, contiguous(2, FLOAT64))
+        assert t.size == 48
+        assert t.is_contiguous
+
+
+class TestVector:
+    def test_selects_strided_blocks(self):
+        t = vector(3, 2, 4, INT32)
+        a = np.arange(12, dtype=np.int32)
+        assert packed_of(t, a).view(np.int32).tolist() == [0, 1, 4, 5, 8, 9]
+
+    def test_extent(self):
+        t = vector(3, 2, 4, INT32)
+        # last block starts at 2*4 elements, ends at +2: extent 10 ints.
+        assert t.extent == 40
+        assert t.size == 24
+
+    def test_unit_stride_is_contiguous(self):
+        assert vector(4, 1, 1, FLOAT64).is_contiguous
+
+    def test_hvector_bytes(self):
+        t = hvector(2, 1, 24, FLOAT64)
+        a = np.arange(6, dtype=np.float64)
+        assert packed_of(t, a).view(np.float64).tolist() == [0.0, 3.0]
+
+    def test_negative_rejected(self):
+        with pytest.raises(TypeError_):
+            vector(-1, 1, 1, INT32)
+        with pytest.raises(TypeError_):
+            vector(1, -1, 1, INT32)
+
+
+class TestIndexed:
+    def test_blocks(self):
+        t = indexed([2, 1], [0, 4], INT32)
+        a = np.arange(8, dtype=np.int32)
+        assert packed_of(t, a).view(np.int32).tolist() == [0, 1, 4]
+
+    def test_hindexed_bytes(self):
+        t = hindexed([1, 2], [8, 16], INT32)
+        a = np.arange(8, dtype=np.int32)
+        assert packed_of(t, a).view(np.int32).tolist() == [2, 4, 5]
+
+    def test_indexed_block(self):
+        t = indexed_block(2, [0, 4, 6], INT32)
+        a = np.arange(8, dtype=np.int32)
+        assert packed_of(t, a).view(np.int32).tolist() == [0, 1, 4, 5, 6, 7]
+
+    def test_zero_length_blocks_skipped(self):
+        t = indexed([0, 3, 0], [0, 1, 5], INT32)
+        assert t.size == 12
+
+    def test_empty(self):
+        t = indexed([], [], INT32)
+        assert t.size == 0
+
+    def test_mismatched_rejected(self):
+        with pytest.raises(TypeError_):
+            indexed([1], [0, 1], INT32)
+
+    def test_negative_blocklength_rejected(self):
+        with pytest.raises(TypeError_):
+            hindexed([-1], [0], INT32)
+
+
+class TestStruct:
+    def test_struct_simple_layout(self):
+        t = resized(create_struct([3, 1], [0, 16], [INT32, FLOAT64]), 0, 24)
+        assert t.size == 20
+        assert t.extent == 24
+        assert t.has_gaps
+        assert t.nscalars == 4
+
+    def test_pack_matches_structured_dtype(self):
+        sd = np.dtype({"names": ["a", "d"], "formats": ["<i4", "<f8"],
+                       "offsets": [0, 8], "itemsize": 16})
+        arr = np.zeros(3, dtype=sd)
+        arr["a"] = [1, 2, 3]
+        arr["d"] = [0.5, 1.5, 2.5]
+        t = resized(create_struct([1, 1], [0, 8], [INT32, FLOAT64]), 0, 16)
+        p = pack(t, arr, 3)
+        assert p[:4].view(np.int32)[0] == 1
+        assert p[4:12].view(np.float64)[0] == 0.5
+
+    def test_mismatched_args_rejected(self):
+        with pytest.raises(TypeError_):
+            create_struct([1], [0, 8], [INT32, FLOAT64])
+
+    def test_nested_struct(self):
+        inner = create_struct([2], [0], [INT32])
+        outer = create_struct([1, 1], [0, 8], [inner, FLOAT64])
+        assert outer.size == 16
+
+    def test_custom_cannot_nest(self):
+        from repro.core import type_create_custom
+        cd = type_create_custom(query_fn=lambda s, b, c: 0)
+        with pytest.raises(TypeError_):
+            contiguous(2, cd)
+
+
+class TestResized:
+    def test_bounds(self):
+        t = resized(contiguous(1, INT32), 0, 16)
+        assert t.extent == 16
+        assert t.size == 4
+
+    def test_array_of_padded_structs(self):
+        t = resized(create_struct([1], [0], [INT32]), 0, 8)
+        a = np.arange(8, dtype=np.int32)
+        assert pack(t, a, 4).view(np.int32).tolist() == [0, 2, 4, 6]
+
+
+class TestSubarray:
+    def test_2d_c_order(self):
+        t = subarray([4, 6], [2, 3], [1, 2], FLOAT64)
+        m = np.arange(24, dtype=np.float64).reshape(4, 6)
+        assert np.array_equal(packed_of(t, m).view(np.float64),
+                              m[1:3, 2:5].ravel())
+
+    def test_3d_c_order(self):
+        t = subarray([3, 4, 5], [2, 2, 2], [1, 1, 1], INT32)
+        m = np.arange(60, dtype=np.int32).reshape(3, 4, 5)
+        assert np.array_equal(packed_of(t, m).view(np.int32),
+                              m[1:3, 1:3, 1:3].ravel())
+
+    def test_f_order(self):
+        t = subarray([4, 6], [2, 3], [1, 2], FLOAT64, order="F")
+        m = np.arange(24, dtype=np.float64).reshape(4, 6, order="F")
+        # Fortran order: first dim fastest.
+        expect = m[1:3, 2:5].ravel(order="F")
+        got = packed_of(t, np.asfortranarray(m).ravel(order="F")
+                        .view(np.float64)).view(np.float64)
+        assert np.array_equal(got, expect)
+
+    def test_extent_is_whole_array(self):
+        t = subarray([4, 6], [2, 3], [0, 0], FLOAT64)
+        assert t.extent == 4 * 6 * 8
+
+    def test_out_of_bounds_rejected(self):
+        with pytest.raises(TypeError_):
+            subarray([4], [3], [2], INT32)
+
+    def test_bad_order_rejected(self):
+        with pytest.raises(TypeError_):
+            subarray([4], [2], [0], INT32, order="X")
+
+    def test_empty_dims_rejected(self):
+        with pytest.raises(TypeError_):
+            subarray([], [], [], INT32)
+
+
+class TestDup:
+    def test_same_layout(self):
+        t = vector(3, 2, 4, INT32)
+        d = dup(t)
+        assert d.typemap == t.typemap
+        assert d.kind == "dup"
+
+
+class TestCommit:
+    def test_commit_idempotent(self):
+        t = contiguous(2, INT32)
+        assert not t.committed
+        assert t.commit() is t
+        assert t.committed
+        t.commit()
+        assert t.committed

@@ -1,0 +1,141 @@
+"""Datatype introspection and marshalling tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import (BYTE, FLOAT64, INT32, contiguous, create_struct, dup,
+                        equivalent, get_contents, get_envelope, hindexed,
+                        indexed, marshal, pack, resized, subarray,
+                        type_create_custom, unmarshal, vector)
+from repro.errors import TypeError_
+
+
+def sample_types():
+    return [
+        INT32,
+        contiguous(4, FLOAT64),
+        vector(3, 2, 4, INT32),
+        indexed([2, 1], [0, 4], INT32),
+        hindexed([1, 2], [8, 16], FLOAT64),
+        resized(create_struct([3, 1], [0, 16], [INT32, FLOAT64]), 0, 24),
+        subarray([4, 6], [2, 3], [1, 2], FLOAT64),
+        dup(vector(2, 1, 3, INT32)),
+        create_struct([1, 2], [0, 8],
+                      [INT32, contiguous(2, FLOAT64)]),  # nested
+    ]
+
+
+class TestEnvelope:
+    def test_named(self):
+        assert get_envelope(INT32) == ("named", 0)
+
+    def test_derived(self):
+        assert get_envelope(vector(3, 2, 4, INT32)) == ("vector", 1)
+        assert get_envelope(create_struct([1], [0], [INT32])) == ("struct", 1)
+
+    def test_custom_rejected(self):
+        t = type_create_custom(query_fn=lambda s, b, c: 0)
+        with pytest.raises(TypeError_):
+            get_envelope(t)
+
+
+class TestContents:
+    def test_vector_params(self):
+        params, children = get_contents(vector(3, 2, 4, INT32))
+        assert params == {"count": 3, "blocklength": 2, "stride_bytes": 16}
+        assert children == (INT32,)
+
+    def test_struct_params(self):
+        t = create_struct([3, 1], [0, 16], [INT32, FLOAT64])
+        params, children = get_contents(t)
+        assert params["blocklengths"] == [3, 1]
+        assert params["displacements"] == [0, 16]
+        assert children == (INT32, FLOAT64)
+
+    def test_named_empty(self):
+        assert get_contents(FLOAT64) == ({}, ())
+
+
+class TestMarshal:
+    @pytest.mark.parametrize("t", sample_types(),
+                             ids=lambda t: t.name[:40])
+    def test_roundtrip_is_equivalent(self, t):
+        data = marshal(t)
+        rebuilt = unmarshal(data)
+        assert equivalent(t, rebuilt)
+
+    @pytest.mark.parametrize("t", sample_types()[1:],
+                             ids=lambda t: t.name[:40])
+    def test_rebuilt_packs_identically(self, t):
+        rng = np.random.default_rng(3)
+        from repro.core import required_span
+        span = max(required_span(t, 2), t.extent * 2, 1)
+        buf = rng.integers(0, 256, size=span, dtype=np.uint8)
+        rebuilt = unmarshal(marshal(t))
+        assert bytes(pack(t, buf, 2)) == bytes(pack(rebuilt, buf, 2))
+
+    def test_marshal_is_deterministic(self):
+        t = vector(3, 2, 4, INT32)
+        assert marshal(t) == marshal(t)
+
+    def test_custom_cannot_marshal(self):
+        t = type_create_custom(query_fn=lambda s, b, c: 0)
+        with pytest.raises(TypeError_):
+            marshal(t)
+
+    def test_malformed_bytes_rejected(self):
+        with pytest.raises(TypeError_):
+            unmarshal(b"not json")
+        with pytest.raises(TypeError_):
+            unmarshal(b'{"format": "other", "type": {}}')
+
+    def test_unknown_predefined_rejected(self):
+        import json
+        doc = {"format": "repro-datatype-v1",
+               "type": {"kind": "named", "name": "MPI_NOPE"}}
+        with pytest.raises(TypeError_):
+            unmarshal(json.dumps(doc).encode())
+
+    def test_marshal_over_the_wire(self):
+        """Send the *description*, rebuild, then use it to receive — the
+        Kimpe et al. use case."""
+        from repro.mpi import run
+        t = resized(create_struct([3, 1], [0, 16], [INT32, FLOAT64]), 0, 24)
+
+        def fn(comm):
+            if comm.rank == 0:
+                desc = marshal(t)
+                comm.send(np.frombuffer(desc, np.uint8), dest=1, tag=1)
+                buf = np.zeros(24 * 4, np.uint8)
+                buf.view(np.int32)[::6] = [9, 9, 9, 9]
+                comm.send(buf, dest=1, tag=2, datatype=t, count=4)
+                return None
+            handle, st = comm.mprobe(source=0, tag=1)
+            desc = bytearray(st.nbytes)
+            handle.mrecv(desc)
+            remote_t = unmarshal(bytes(desc))
+            assert equivalent(remote_t, t)
+            buf = np.zeros(24 * 4, np.uint8)
+            comm.recv(buf, source=0, tag=2, datatype=remote_t, count=4)
+            return buf.view(np.int32)[::6].tolist()
+
+        assert run(fn, nprocs=2).results[1] == [9, 9, 9, 9]
+
+
+class TestEquivalent:
+    def test_same_layout_different_construction(self):
+        a = contiguous(4, INT32)
+        b = vector(4, 1, 1, INT32)
+        assert equivalent(a, b)
+
+    def test_different_layout(self):
+        assert not equivalent(vector(2, 1, 2, INT32), contiguous(2, INT32))
+
+    def test_resize_matters(self):
+        t = contiguous(1, INT32)
+        assert not equivalent(t, resized(t, 0, 8))
+
+    def test_custom_rejected(self):
+        t = type_create_custom(query_fn=lambda s, b, c: 0)
+        with pytest.raises(TypeError_):
+            equivalent(t, BYTE)

@@ -1,0 +1,75 @@
+"""Region (iovec entry) tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import (BYTE, FLOAT64, INT32, Region, region_lengths,
+                        total_region_bytes, vector)
+from repro.errors import MPIError
+
+
+class TestRegion:
+    def test_defaults_to_whole_buffer(self):
+        r = Region(np.arange(10, dtype=np.int32), datatype=INT32)
+        assert r.nbytes == 40
+        assert r.datatype is INT32
+
+    def test_explicit_length(self):
+        r = Region(np.zeros(100, dtype=np.uint8), nbytes=60)
+        assert r.nbytes == 60
+        assert r.read_bytes().shape == (60,)
+
+    def test_length_exceeds_buffer(self):
+        with pytest.raises(MPIError):
+            Region(np.zeros(8, dtype=np.uint8), nbytes=9)
+
+    def test_negative_length(self):
+        with pytest.raises(MPIError):
+            Region(np.zeros(8, dtype=np.uint8), nbytes=-1)
+
+    def test_length_must_match_datatype(self):
+        with pytest.raises(MPIError):
+            Region(np.zeros(10, dtype=np.uint8), datatype=FLOAT64)
+
+    def test_derived_datatype_rejected(self):
+        with pytest.raises(MPIError):
+            Region(np.zeros(40, dtype=np.uint8), datatype=vector(2, 1, 2, INT32))
+
+    def test_noncontiguous_rejected(self):
+        a = np.arange(20, dtype=np.int32)[::2]
+        with pytest.raises(MPIError):
+            Region(a, datatype=INT32)
+
+    def test_bytes_send_side(self):
+        r = Region(b"hello", datatype=BYTE)
+        assert r.nbytes == 5
+        with pytest.raises(MPIError):
+            r.writable_view()
+
+    def test_writable_view(self):
+        buf = bytearray(16)
+        r = Region(buf)
+        r.writable_view()[:4] = np.frombuffer(b"abcd", dtype=np.uint8)
+        assert bytes(buf[:4]) == b"abcd"
+
+    def test_readonly_numpy_rejected_for_write(self):
+        a = np.zeros(8, dtype=np.uint8)
+        a.flags.writeable = False
+        with pytest.raises(MPIError):
+            Region(a).writable_view()
+
+    def test_multidim_array_flattened(self):
+        r = Region(np.zeros((4, 4), dtype=np.float64), datatype=FLOAT64)
+        assert r.nbytes == 128
+        assert r.view().ndim == 1
+
+    def test_zero_length(self):
+        r = Region(np.zeros(0, dtype=np.uint8))
+        assert r.nbytes == 0
+
+
+class TestHelpers:
+    def test_totals(self):
+        regs = [Region(np.zeros(n, dtype=np.uint8)) for n in (3, 5, 0, 9)]
+        assert total_region_bytes(regs) == 17
+        assert region_lengths(regs) == [3, 5, 0, 9]

@@ -1,0 +1,76 @@
+"""RSMPI-style datatype cache tests."""
+
+import threading
+
+import pytest
+
+from repro.core import (INT32, cache_info, cached_datatype,
+                        clear_datatype_cache, contiguous, datatype_of,
+                        register_datatype)
+
+
+class Particle:
+    pass
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_datatype_cache()
+    yield
+    clear_datatype_cache()
+
+
+class TestTypeCache:
+    def test_lazy_single_creation(self):
+        calls = []
+
+        register_datatype(Particle, lambda: calls.append(1) or contiguous(3, INT32))
+        assert calls == []  # not created yet (first-use semantics)
+        a = datatype_of(Particle)
+        b = datatype_of(Particle)
+        assert a is b
+        assert calls == [1]
+
+    def test_commit_on_creation(self):
+        register_datatype(Particle, lambda: contiguous(3, INT32))
+        assert datatype_of(Particle).committed
+
+    def test_decorator_form(self):
+        @cached_datatype("key")
+        def factory():
+            return contiguous(1, INT32)
+
+        assert datatype_of("key").size == 4
+
+    def test_unregistered_key(self):
+        with pytest.raises(KeyError):
+            datatype_of("nope")
+
+    def test_reregister_invalidates(self):
+        register_datatype(Particle, lambda: contiguous(1, INT32))
+        a = datatype_of(Particle)
+        register_datatype(Particle, lambda: contiguous(2, INT32))
+        b = datatype_of(Particle)
+        assert a is not b and b.size == 8
+
+    def test_cache_info(self):
+        register_datatype("a", lambda: contiguous(1, INT32))
+        register_datatype("b", lambda: contiguous(1, INT32))
+        info = cache_info()
+        assert info["registered"] >= 2
+        datatype_of("a")
+        assert cache_info()["instantiated"] >= 1
+
+    def test_concurrent_first_use_single_instance(self):
+        register_datatype(Particle, lambda: contiguous(4, INT32))
+        got = []
+
+        def use():
+            got.append(datatype_of(Particle))
+
+        ts = [threading.Thread(target=use) for _ in range(8)]
+        for t in ts:
+            t.start()
+        for t in ts:
+            t.join()
+        assert all(g is got[0] for g in got)

@@ -1,0 +1,120 @@
+"""RunLayout machinery tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ddtbench.base import RunLayout
+
+
+class TestValidation:
+    def test_basic(self):
+        lay = RunLayout([(0, 4), (8, 4)], 16)
+        assert lay.total_bytes == 8
+        assert lay.run_count == 2
+
+    def test_empty(self):
+        lay = RunLayout([], 16)
+        assert lay.total_bytes == 0
+        assert lay.run_count == 0
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ValueError):
+            RunLayout([(0, 0)], 16)
+
+    def test_out_of_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            RunLayout([(12, 8)], 16)
+        with pytest.raises(ValueError):
+            RunLayout([(-1, 4)], 16)
+
+
+class TestMerged:
+    def test_adjacent_in_order_merged(self):
+        lay = RunLayout([(0, 4), (4, 4), (12, 4)], 16)
+        m = lay.merged()
+        assert m.runs.tolist() == [[0, 8], [12, 4]]
+
+    def test_non_adjacent_kept(self):
+        lay = RunLayout([(0, 4), (8, 4)], 16)
+        assert lay.merged().run_count == 2
+
+    def test_out_of_order_not_merged(self):
+        lay = RunLayout([(4, 4), (0, 4)], 16)
+        assert lay.merged().run_count == 2
+
+    def test_merge_preserves_bytes(self):
+        lay = RunLayout([(0, 2), (2, 2), (4, 2), (10, 2)], 16)
+        assert lay.merged().total_bytes == lay.total_bytes
+
+
+class TestGatherScatter:
+    def test_gather(self):
+        buf = np.arange(16, dtype=np.uint8)
+        lay = RunLayout([(2, 3), (10, 2)], 16)
+        assert lay.gather(buf).tolist() == [2, 3, 4, 10, 11]
+
+    def test_gather_respects_run_order(self):
+        buf = np.arange(16, dtype=np.uint8)
+        lay = RunLayout([(10, 2), (2, 3)], 16)
+        assert lay.gather(buf).tolist() == [10, 11, 2, 3, 4]
+
+    def test_scatter_inverse(self):
+        buf = np.arange(32, dtype=np.uint8)
+        lay = RunLayout([(1, 5), (10, 1), (20, 7)], 32)
+        packed = lay.gather(buf)
+        out = np.zeros(32, dtype=np.uint8)
+        lay.scatter(packed, out)
+        assert np.array_equal(lay.gather(out), packed)
+        # untouched bytes stay zero
+        mask = np.zeros(32, dtype=bool)
+        for off, ln in lay.runs:
+            mask[off:off + ln] = True
+        assert (out[~mask] == 0).all()
+
+    def test_gather_into_provided(self):
+        buf = np.arange(16, dtype=np.uint8)
+        lay = RunLayout([(0, 4)], 16)
+        out = np.zeros(4, dtype=np.uint8)
+        lay.gather(buf, out=out)
+        assert out.tolist() == [0, 1, 2, 3]
+
+    def test_empty_layout(self):
+        lay = RunLayout([], 8)
+        assert lay.gather(np.zeros(8, np.uint8)).shape == (0,)
+        lay.scatter(np.zeros(0, np.uint8), np.zeros(8, np.uint8))
+
+
+@st.composite
+def layouts(draw):
+    nbytes = draw(st.integers(16, 512))
+    nruns = draw(st.integers(0, 20))
+    runs = []
+    for _ in range(nruns):
+        ln = draw(st.integers(1, 16))
+        off = draw(st.integers(0, nbytes - ln))
+        runs.append((off, ln))
+    return RunLayout(runs, nbytes)
+
+
+class TestProperties:
+    @given(layouts())
+    def test_gather_scatter_roundtrip(self, lay):
+        rng = np.random.default_rng(7)
+        buf = rng.integers(0, 256, size=lay.buffer_bytes, dtype=np.uint8)
+        packed = lay.gather(buf)
+        assert packed.shape[0] == lay.total_bytes
+        out = np.zeros_like(buf)
+        lay.scatter(packed, out)
+        assert np.array_equal(lay.gather(out), packed)
+
+    @given(layouts())
+    def test_merged_gathers_identically(self, lay):
+        rng = np.random.default_rng(8)
+        buf = rng.integers(0, 256, size=lay.buffer_bytes, dtype=np.uint8)
+        assert np.array_equal(lay.gather(buf), lay.merged().gather(buf))
+
+    @given(layouts())
+    def test_merged_never_more_runs(self, lay):
+        assert lay.merged().run_count <= lay.run_count

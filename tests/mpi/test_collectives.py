@@ -1,0 +1,182 @@
+"""Collective operation tests at several communicator sizes."""
+
+import numpy as np
+import pytest
+
+from repro.core import Field, StructSpec
+from repro.errors import RuntimeAbort
+from repro.mpi import run
+
+SIZES = [1, 2, 3, 4, 7, 8]
+
+
+@pytest.mark.parametrize("n", SIZES)
+class TestBarrier:
+    def test_completes(self, n):
+        def fn(comm):
+            for _ in range(3):
+                comm.barrier()
+            return True
+
+        assert all(run(fn, nprocs=n).results)
+
+    def test_synchronizes_clocks(self, n):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.clock.advance(1.0)  # one slow rank
+            comm.barrier()
+            return comm.clock.now
+
+        res = run(fn, nprocs=n)
+        if n > 1:
+            assert all(t >= 1.0 for t in res.results)
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("root", [0, "last"])
+class TestBcast:
+    def test_numpy(self, n, root):
+        root_ = n - 1 if root == "last" else 0
+
+        def fn(comm):
+            buf = (np.arange(16, dtype=np.int32) if comm.rank == root_
+                   else np.zeros(16, dtype=np.int32))
+            comm.bcast(buf, root=root_)
+            return buf.tolist()
+
+        res = run(fn, nprocs=n)
+        assert all(r == list(range(16)) for r in res.results)
+
+
+class TestBcastCustom:
+    def test_custom_datatype_forwarded_through_tree(self):
+        spec = StructSpec([Field("k", "<i4"),
+                           Field("data", "<f8", shape="dynamic")])
+        dt = spec.custom_datatype()
+
+        class O:
+            pass
+
+        def fn(comm):
+            o = O()
+            if comm.rank == 0:
+                o.k = 11
+                o.data = np.arange(500, dtype=np.float64)
+            comm.bcast(o, root=0, datatype=dt)
+            return int(o.k), float(o.data.sum())
+
+        res = run(fn, nprocs=5)
+        expect = (11, float(np.arange(500).sum()))
+        assert all(r == expect for r in res.results)
+
+
+@pytest.mark.parametrize("n", SIZES)
+class TestGatherScatter:
+    def test_gather(self, n):
+        def fn(comm):
+            mine = np.full(4, comm.rank, dtype=np.int32)
+            recv = np.zeros(4 * n, dtype=np.int32) if comm.rank == 0 else None
+            out = comm.gather(mine, recv, root=0)
+            return out.tolist() if out is not None else None
+
+        res = run(fn, nprocs=n)
+        assert res.results[0] == sum([[r] * 4 for r in range(n)], [])
+        assert all(r is None for r in res.results[1:])
+
+    def test_scatter(self, n):
+        def fn(comm):
+            send = (np.arange(3 * n, dtype=np.float64) if comm.rank == 0
+                    else None)
+            recv = np.zeros(3, dtype=np.float64)
+            comm.scatter(send, recv, root=0)
+            return recv.tolist()
+
+        res = run(fn, nprocs=n)
+        for r, got in enumerate(res.results):
+            assert got == [3 * r, 3 * r + 1, 3 * r + 2]
+
+    def test_allgather(self, n):
+        def fn(comm):
+            mine = np.full(2, comm.rank + 1, dtype=np.int64)
+            recv = np.zeros(2 * n, dtype=np.int64)
+            comm.allgather(mine, recv)
+            return recv.tolist()
+
+        res = run(fn, nprocs=n)
+        expect = sum([[r + 1] * 2 for r in range(n)], [])
+        assert all(r == expect for r in res.results)
+
+
+@pytest.mark.parametrize("n", SIZES)
+class TestReduce:
+    @pytest.mark.parametrize("op,expect_fn", [
+        ("sum", lambda n: n * (n - 1) / 2),
+        ("max", lambda n: n - 1),
+        ("min", lambda n: 0),
+    ])
+    def test_reduce_ops(self, n, op, expect_fn):
+        def fn(comm):
+            mine = np.full(3, float(comm.rank))
+            out = np.zeros(3)
+            res = comm.reduce(mine, out, op=op, root=0)
+            return out.tolist() if res is not None else None
+
+        res = run(fn, nprocs=n)
+        assert res.results[0] == [expect_fn(n)] * 3
+
+    def test_allreduce(self, n):
+        def fn(comm):
+            mine = np.full(2, float(comm.rank + 1))
+            out = np.zeros(2)
+            comm.allreduce(mine, out, op="sum")
+            return out.tolist()
+
+        res = run(fn, nprocs=n)
+        expect = [n * (n + 1) / 2] * 2
+        assert all(r == expect for r in res.results)
+
+    def test_prod(self, n):
+        def fn(comm):
+            mine = np.full(1, 2.0)
+            out = np.zeros(1)
+            comm.allreduce(mine, out, op="prod")
+            return out[0]
+
+        res = run(fn, nprocs=n)
+        assert all(r == 2.0 ** n for r in res.results)
+
+    def test_unknown_op(self, n):
+        def fn(comm):
+            comm.allreduce(np.zeros(1), np.zeros(1), op="xor")
+
+        with pytest.raises(RuntimeAbort):
+            run(fn, nprocs=n, timeout=10)
+
+
+@pytest.mark.parametrize("n", SIZES)
+class TestAlltoall:
+    def test_exchange(self, n):
+        def fn(comm):
+            send = np.arange(n, dtype=np.int64) + 100 * comm.rank
+            recv = np.zeros(n, dtype=np.int64)
+            comm.alltoall(send, recv, count=1)
+            return recv.tolist()
+
+        res = run(fn, nprocs=n)
+        for r in range(n):
+            assert res.results[r] == [100 * s + r for s in range(n)]
+
+
+class TestCollectiveUserTrafficIsolation:
+    def test_collective_does_not_steal_user_messages(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send(np.array([42], dtype=np.int32), dest=1, tag=0)
+                comm.barrier()
+            else:
+                comm.barrier()
+                buf = np.zeros(1, dtype=np.int32)
+                comm.recv(buf, source=0, tag=0)
+                return int(buf[0])
+
+        assert run(fn, nprocs=2).results[1] == 42

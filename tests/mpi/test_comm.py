@@ -1,0 +1,267 @@
+"""Communicator point-to-point tests across all datatype kinds."""
+
+import numpy as np
+import pytest
+
+from repro.core import (BYTE, FLOAT64, INT32, Field, StructSpec, create_struct,
+                        resized, vector)
+from repro.errors import MPIError, RuntimeAbort
+from repro.mpi import ANY_SOURCE, ANY_TAG, run
+from repro.mpi.requests import Request
+
+
+def pair(fn0, fn1, **kw):
+    return run([fn0, fn1], nprocs=2, **kw).results
+
+
+class TestBlockingSendRecv:
+    def test_numpy_inference(self):
+        def s(comm):
+            comm.send(np.arange(10, dtype=np.float64), dest=1, tag=3)
+
+        def r(comm):
+            buf = np.zeros(10, dtype=np.float64)
+            st = comm.recv(buf, source=0, tag=3)
+            return buf, st
+
+        _, (buf, st) = pair(s, r)
+        assert np.array_equal(buf, np.arange(10, dtype=np.float64))
+        assert st.source == 0 and st.tag == 3 and st.nbytes == 80
+        assert st.get_count(FLOAT64) == 10
+
+    def test_bytes_inference(self):
+        def s(comm):
+            comm.send(b"hello world", dest=1)
+
+        def r(comm):
+            buf = bytearray(11)
+            comm.recv(buf, source=0)
+            return bytes(buf)
+
+        assert pair(s, r)[1] == b"hello world"
+
+    def test_explicit_count_datatype(self):
+        def s(comm):
+            comm.send(np.arange(20, dtype=np.int32), dest=1,
+                      datatype=INT32, count=10)
+
+        def r(comm):
+            buf = np.zeros(10, dtype=np.int32)
+            comm.recv(buf, source=0, datatype=INT32, count=10)
+            return buf
+
+        assert pair(s, r)[1].tolist() == list(range(10))
+
+    def test_derived_datatype(self):
+        t = resized(create_struct([3, 1], [0, 16], [INT32, FLOAT64]), 0, 24)
+        sd = np.dtype({"names": ["a", "b", "c", "d"],
+                       "formats": ["<i4", "<i4", "<i4", "<f8"],
+                       "offsets": [0, 4, 8, 16], "itemsize": 24})
+
+        def s(comm):
+            arr = np.zeros(6, dtype=sd)
+            arr["a"] = np.arange(6)
+            arr["d"] = np.arange(6) * 1.5
+            comm.send(arr, dest=1, datatype=t, count=6)
+
+        def r(comm):
+            buf = np.zeros(6, dtype=sd)
+            comm.recv(buf, source=0, datatype=t, count=6)
+            return buf
+
+        got = pair(s, r)[1]
+        assert got["a"].tolist() == list(range(6))
+        assert got["d"].tolist() == [i * 1.5 for i in range(6)]
+
+    def test_vector_datatype_strides(self):
+        t = vector(4, 1, 2, INT32)  # every other int
+
+        def s(comm):
+            comm.send(np.arange(8, dtype=np.int32), dest=1, datatype=t, count=1)
+
+        def r(comm):
+            buf = np.zeros(8, dtype=np.int32)
+            comm.recv(buf, source=0, datatype=t, count=1)
+            return buf
+
+        assert pair(s, r)[1].tolist() == [0, 0, 2, 0, 4, 0, 6, 0]
+
+    def test_custom_datatype_default_count(self):
+        spec = StructSpec([Field("x", "<f8"),
+                           Field("data", "<i4", shape="dynamic")])
+        dt = spec.custom_datatype()
+
+        class O:
+            pass
+
+        def s(comm):
+            o = O()
+            o.x = 2.5
+            o.data = np.arange(4096, dtype=np.int32)
+            comm.send(o, dest=1, datatype=dt)
+
+        def r(comm):
+            o = O()
+            comm.recv(o, source=0, datatype=dt)
+            return o.x, o.data.sum()
+
+        x, total = pair(s, r)[1]
+        assert x == 2.5 and total == np.arange(4096).sum()
+
+    def test_large_rendezvous_payload(self):
+        n = 1 << 20
+
+        def s(comm):
+            comm.send(np.full(n, 7, dtype=np.uint8), dest=1)
+
+        def r(comm):
+            buf = np.zeros(n, dtype=np.uint8)
+            comm.recv(buf, source=0)
+            return int(buf.sum())
+
+        assert pair(s, r)[1] == 7 * n
+
+
+class TestWildcardsAndTags:
+    def test_any_source(self):
+        def s(comm):
+            comm.send(np.array([comm.rank], dtype=np.int32), dest=0, tag=1)
+
+        def r(comm):
+            buf = np.zeros(1, dtype=np.int32)
+            st = comm.recv(buf, source=ANY_SOURCE, tag=1)
+            return st.source
+
+        res = run([r, s, s], nprocs=3)
+        assert res.results[0] in (1, 2)
+
+    def test_any_tag(self):
+        def s(comm):
+            comm.send(np.zeros(1, dtype=np.int32), dest=1, tag=77)
+
+        def r(comm):
+            st = comm.recv(np.zeros(1, dtype=np.int32), source=0, tag=ANY_TAG)
+            return st.tag
+
+        assert pair(s, r)[1] == 77
+
+    def test_tag_separation(self):
+        def s(comm):
+            comm.send(np.array([1], dtype=np.int32), dest=1, tag=1)
+            comm.send(np.array([2], dtype=np.int32), dest=1, tag=2)
+
+        def r(comm):
+            a = np.zeros(1, dtype=np.int32)
+            b = np.zeros(1, dtype=np.int32)
+            comm.recv(b, source=0, tag=2)  # out of order by tag
+            comm.recv(a, source=0, tag=1)
+            return int(a[0]), int(b[0])
+
+        assert pair(s, r)[1] == (1, 2)
+
+    def test_fifo_same_tag(self):
+        def s(comm):
+            for i in range(5):
+                comm.send(np.array([i], dtype=np.int32), dest=1, tag=4)
+
+        def r(comm):
+            out = []
+            for _ in range(5):
+                buf = np.zeros(1, dtype=np.int32)
+                comm.recv(buf, source=0, tag=4)
+                out.append(int(buf[0]))
+            return out
+
+        assert pair(s, r)[1] == [0, 1, 2, 3, 4]
+
+    def test_invalid_peer(self):
+        def bad(comm):
+            comm.send(b"x", dest=5)
+
+        with pytest.raises(RuntimeAbort) as ei:
+            run(bad, nprocs=2, timeout=10)
+        assert all(isinstance(e, MPIError) for e in ei.value.failures.values())
+
+    def test_invalid_tag(self):
+        def bad(comm):
+            comm.send(b"x", dest=1, tag=1 << 31)
+
+        with pytest.raises(RuntimeAbort):
+            run(bad, nprocs=2, timeout=10)
+
+    def test_uninferrable_buffer(self):
+        def bad(comm):
+            comm.send({"not": "a buffer"}, dest=1)
+
+        with pytest.raises(RuntimeAbort):
+            run(bad, nprocs=2, timeout=10)
+
+
+class TestNonblocking:
+    def test_isend_irecv(self):
+        def s(comm):
+            reqs = [comm.isend(np.array([i], dtype=np.int32), dest=1, tag=i)
+                    for i in range(4)]
+            Request.waitall(reqs)
+
+        def r(comm):
+            bufs = [np.zeros(1, dtype=np.int32) for _ in range(4)]
+            reqs = [comm.irecv(b, source=0, tag=i)
+                    for i, b in enumerate(bufs)]
+            Request.waitall(reqs)
+            return [int(b[0]) for b in bufs]
+
+        assert pair(s, r)[1] == [0, 1, 2, 3]
+
+    def test_sendrecv_exchange(self):
+        def fn(comm):
+            mine = np.array([comm.rank], dtype=np.int32)
+            theirs = np.zeros(1, dtype=np.int32)
+            comm.sendrecv(mine, dest=1 - comm.rank, recvbuf=theirs,
+                          source=1 - comm.rank)
+            return int(theirs[0])
+
+        res = run(fn, nprocs=2)
+        assert res.results == [1, 0]
+
+    def test_request_wait_idempotent(self):
+        def s(comm):
+            req = comm.isend(np.zeros(4, dtype=np.uint8), dest=1)
+            req.wait()
+            req.wait()
+
+        def r(comm):
+            buf = np.zeros(4, dtype=np.uint8)
+            req = comm.irecv(buf, source=0)
+            st1 = req.wait()
+            st2 = req.wait()
+            assert st1 is st2
+            return True
+
+        assert pair(s, r)[1]
+
+
+class TestDup:
+    def test_isolated_tag_space(self):
+        def fn(comm):
+            comm2 = comm.dup()
+            if comm.rank == 0:
+                comm.send(np.array([1], dtype=np.int32), dest=1, tag=0)
+                comm2.send(np.array([2], dtype=np.int32), dest=1, tag=0)
+            else:
+                a = np.zeros(1, dtype=np.int32)
+                b = np.zeros(1, dtype=np.int32)
+                comm2.recv(b, source=0, tag=0)  # dup traffic only
+                comm.recv(a, source=0, tag=0)
+                return int(a[0]), int(b[0])
+
+        res = run(fn, nprocs=2)
+        assert res.results[1] == (1, 2)
+
+    def test_dup_ids_agree_across_ranks(self):
+        def fn(comm):
+            return comm.dup().comm_id, comm.dup().comm_id
+
+        res = run(fn, nprocs=3)
+        assert res.results[0] == res.results[1] == res.results[2]
+        assert res.results[0][0] != res.results[0][1]

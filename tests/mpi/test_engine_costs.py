@@ -1,0 +1,205 @@
+"""Virtual-time behaviour of the transfer engine.
+
+These tests pin the cost-model effects each paper figure relies on, at the
+engine level (no bench harness involved).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (BYTE, INT32, create_struct, resized,
+                        type_create_custom)
+from repro.core.regions import Region
+from repro.mpi import EngineConfig, run
+from repro.types import (STRUCT_SIMPLE, make_struct_simple,
+                         struct_simple_datatype)
+from repro.ucp.netsim import DEFAULT_PARAMS
+
+
+def one_way_time(send_fn, recv_fn, params=None, engine_config=None):
+    """Virtual time on the receiving rank after one message."""
+
+    def s(comm):
+        send_fn(comm)
+
+    def r(comm):
+        recv_fn(comm)
+        return comm.clock.now
+
+    res = run([s, r], nprocs=2, params=params, engine_config=engine_config)
+    return res.results[1]
+
+
+def contig_time(nbytes, params=None):
+    return one_way_time(
+        lambda c: c.send(np.zeros(nbytes, np.uint8), dest=1),
+        lambda c: c.recv(np.zeros(nbytes, np.uint8), source=0),
+        params=params)
+
+
+class TestProtocolEffects:
+    def test_latency_floor(self):
+        t = contig_time(1)
+        assert t >= DEFAULT_PARAMS.latency
+
+    def test_rendezvous_dip(self):
+        """Crossing the eager limit costs more time (the Fig. 7 dip)."""
+        lim = DEFAULT_PARAMS.eager_limit
+        below = contig_time(lim)
+        above = contig_time(lim + 64)
+        assert above > below + DEFAULT_PARAMS.rndv_handshake * 0.5
+
+    def test_larger_messages_take_longer(self):
+        assert contig_time(1 << 20) > contig_time(1 << 10)
+
+    def test_eager_limit_override(self):
+        params = DEFAULT_PARAMS.with_overrides(eager_limit=1 << 30)
+        lim = DEFAULT_PARAMS.eager_limit
+        smooth = (one_way_time(
+            lambda c: c.send(np.zeros(lim + 64, np.uint8), dest=1),
+            lambda c: c.recv(np.zeros(lim + 64, np.uint8), source=0),
+            params=params))
+        dipped = contig_time(lim + 64)
+        assert smooth < dipped
+
+
+def region_type(nregions, region_bytes):
+    """Custom type exposing ``nregions`` regions and no packed data."""
+    payload = [np.zeros(region_bytes, np.uint8) for _ in range(nregions)]
+
+    def query_fn(state, buf, count):
+        return 0
+
+    def region_count_fn(state, buf, count):
+        return nregions
+
+    def region_fn(state, buf, count, n):
+        return [Region(p) for p in payload]
+
+    return type_create_custom(query_fn=query_fn,
+                              region_count_fn=region_count_fn,
+                              region_fn=region_fn)
+
+
+class TestIovEffects:
+    def _time(self, nregions, region_bytes):
+        ts = region_type(nregions, region_bytes)
+        tr = region_type(nregions, region_bytes)
+        return one_way_time(
+            lambda c: c.send(object(), dest=1, datatype=ts),
+            lambda c: c.recv(object(), source=0, datatype=tr))
+
+    def test_many_small_regions_cost_more(self):
+        """Same bytes, more entries -> more time (NAS_MG_x vs NAS_MG_y)."""
+        few = self._time(8, 8192)
+        many = self._time(1024, 64)
+        assert many > few
+
+    def test_iov_no_eager_rndv_discontinuity(self):
+        lim = DEFAULT_PARAMS.eager_limit
+        below = self._time(4, lim // 4 - 64)
+        above = self._time(4, lim // 4 + 64)
+        # Far smaller jump than the handshake the contiguous path pays.
+        assert above - below < DEFAULT_PARAMS.rndv_handshake / 2
+
+
+class TestGapPenalty:
+    def test_derived_gapped_slower_than_custom_bytes(self):
+        """The Open MPI gap penalty of Fig. 5, at the engine level."""
+        count = 4096
+        t = struct_simple_datatype()
+        arr = make_struct_simple(count)
+
+        derived = one_way_time(
+            lambda c: c.send(arr, dest=1, datatype=t, count=count),
+            lambda c: c.recv(np.zeros(count, STRUCT_SIMPLE), source=0,
+                             datatype=t, count=count))
+        raw = contig_time(count * 20)
+        assert derived > raw * 1.5
+
+    def test_contiguous_derived_takes_fast_path(self):
+        """A gap-free derived type costs the same as raw bytes (Fig. 6)."""
+        from repro.core import contiguous
+        t = contiguous(1024, INT32)
+        fast = one_way_time(
+            lambda c: c.send(np.zeros(1024, np.int32), dest=1, datatype=t,
+                             count=1),
+            lambda c: c.recv(np.zeros(1024, np.int32), source=0, datatype=t,
+                             count=1))
+        raw = contig_time(4096)
+        assert fast == pytest.approx(raw, rel=0.01)
+
+
+class TestOutOfOrderAblation:
+    def _dtype(self, log, inorder):
+        def query_fn(state, buf, count):
+            return 64
+
+        def pack_fn(state, buf, count, offset, dst):
+            n = min(dst.shape[0], 64 - offset)
+            dst[:n] = offset & 0xFF
+            return int(n)
+
+        def unpack_fn(state, buf, count, offset, src):
+            log.append(offset)
+
+        return type_create_custom(query_fn=query_fn, pack_fn=pack_fn,
+                                  unpack_fn=unpack_fn, inorder=inorder)
+
+    @pytest.mark.parametrize("inorder,expect_sorted", [(True, True),
+                                                       (False, False)])
+    def test_ooo_respects_inorder_flag(self, inorder, expect_sorted):
+        params = DEFAULT_PARAMS.with_overrides(frag_size=16)
+        cfg = EngineConfig(ooo_fragments=True)
+        log = []
+
+        def s(comm):
+            comm.send(object(), dest=1, datatype=self._dtype([], inorder))
+
+        def r(comm):
+            comm.recv(object(), source=0, datatype=self._dtype(log, inorder))
+
+        run([s, r], nprocs=2, params=params, engine_config=cfg)
+        assert len(log) == 4
+        assert (log == sorted(log)) == expect_sorted
+
+    def test_default_delivery_in_order(self):
+        params = DEFAULT_PARAMS.with_overrides(frag_size=16)
+        log = []
+
+        def s(comm):
+            comm.send(object(), dest=1, datatype=self._dtype([], False))
+
+        def r(comm):
+            comm.recv(object(), source=0, datatype=self._dtype(log, False))
+
+        run([s, r], nprocs=2, params=params)
+        assert log == sorted(log)
+
+
+class TestMemoryEffects:
+    def test_derived_send_allocates_bounce(self):
+        count = 100
+        t = struct_simple_datatype()
+        arr = make_struct_simple(count)
+
+        def s(comm):
+            comm.send(arr, dest=1, datatype=t, count=count)
+            return comm.memory.snapshot()["total_allocated"]
+
+        def r(comm):
+            comm.recv(np.zeros(count, STRUCT_SIMPLE), source=0, datatype=t,
+                      count=count)
+
+        res = run([s, r], nprocs=2)
+        assert res.results[0] >= count * 20
+
+    def test_contiguous_send_allocates_nothing(self):
+        def s(comm):
+            comm.send(np.zeros(4096, np.uint8), dest=1)
+            return comm.memory.snapshot()["total_allocated"]
+
+        def r(comm):
+            comm.recv(np.zeros(4096, np.uint8), source=0)
+
+        assert run([s, r], nprocs=2).results[0] == 0

@@ -1,0 +1,88 @@
+"""Extended probe/status: per-component lengths (the paper's Section VI
+wish, implemented).
+
+"Ideally, there should be some way to better handle this length
+information, perhaps by extending MPI_Probe and MPI_Get_count."  Our
+Status carries the wire components' lengths, so a prober can size every
+region without a second message.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Region, type_create_custom
+from repro.mpi import run
+from repro.types import DoubleVec, double_vec_custom_datatype
+
+
+class TestExtendedStatus:
+    def test_probe_reveals_component_lengths(self):
+        dt = double_vec_custom_datatype()
+
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send(DoubleVec.uniform(4096, 1024), dest=1, tag=1,
+                          datatype=dt)
+                return None
+            st = comm.probe(source=0, tag=1)
+            dv = DoubleVec()
+            comm.recv(dv, source=0, tag=1, datatype=dt)
+            return st.entry_lengths, st.packed_entries, st.region_lengths
+
+        entry_lengths, packed, regions = run(fn, nprocs=2).results[1]
+        # header (5*8B) in-band + four 1 KiB sub-vectors as regions.
+        assert packed == 1
+        assert entry_lengths[0] == 40
+        assert regions == (1024, 1024, 1024, 1024)
+
+    def test_recv_status_carries_lengths_too(self):
+        dt = double_vec_custom_datatype()
+
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send(DoubleVec.uniform(2048, 1024), dest=1, tag=1,
+                          datatype=dt)
+                return None
+            dv = DoubleVec()
+            st = comm.recv(dv, source=0, tag=1, datatype=dt)
+            return st.region_lengths
+
+        assert run(fn, nprocs=2).results[1] == (1024, 1024)
+
+    def test_contiguous_message_single_entry(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send(np.zeros(100, np.uint8), dest=1, tag=1)
+                return None
+            st = comm.probe(source=0, tag=1)
+            comm.recv(np.zeros(100, np.uint8), source=0, tag=1)
+            return st.entry_lengths, st.packed_entries
+
+        lengths, packed = run(fn, nprocs=2).results[1]
+        assert lengths == (100,) and packed == 0
+
+    def test_mprobe_sized_dynamic_receive(self):
+        """The full workflow the paper wants: probe, learn region sizes,
+        preallocate, receive — no lengths message, no over-allocation."""
+
+        def region_only_type(get_regions):
+            return type_create_custom(
+                query_fn=lambda s, b, c: 0,
+                region_count_fn=lambda s, b, c: len(get_regions(b)),
+                region_fn=lambda s, b, c, n: [Region(r) for r in get_regions(b)])
+
+        def fn(comm):
+            if comm.rank == 0:
+                payload = [np.arange(n, dtype=np.uint8) for n in (10, 300, 7)]
+                t = region_only_type(lambda b: payload)
+                comm.send(object(), dest=1, tag=2, datatype=t)
+                return None
+            handle, st = comm.mprobe(source=0, tag=2)
+            bufs = [np.zeros(n, np.uint8) for n in st.region_lengths]
+            t = region_only_type(lambda b: bufs)
+            handle.mrecv(object(), datatype=t)
+            return [int(b.sum()) for b in bufs]
+
+        sums = run(fn, nprocs=2).results[1]
+        assert sums == [sum(range(10)), int(np.arange(300, dtype=np.uint8).sum()),
+                        sum(range(7))]

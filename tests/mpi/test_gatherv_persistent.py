@@ -1,0 +1,159 @@
+"""gatherv/scatterv and persistent-request tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RuntimeAbort
+from repro.mpi import run
+from repro.types import STRUCT_SIMPLE, make_struct_simple, struct_simple_datatype
+
+
+class TestGatherv:
+    @pytest.mark.parametrize("n", [2, 3, 5])
+    def test_variable_contributions(self, n):
+        def fn(comm):
+            counts = [r + 1 for r in range(comm.size)]
+            mine = np.full(counts[comm.rank], comm.rank, dtype=np.int32)
+            total = sum(counts)
+            recv = np.zeros(total * 4, dtype=np.uint8) if comm.rank == 0 else None
+            out = comm.gatherv(mine, recv, counts, root=0)
+            if out is None:
+                return None
+            return out.view(np.int32).tolist()
+
+        res = run(fn, nprocs=n)
+        expect = [r for r in range(n) for _ in range(r + 1)]
+        assert res.results[0] == expect
+
+    def test_gatherv_derived_datatype(self):
+        t = struct_simple_datatype()
+
+        def fn(comm):
+            counts = [2, 1, 3]
+            mine = make_struct_simple(counts[comm.rank])
+            mine["b"] += 100 * comm.rank
+            recv = (np.zeros(sum(counts) * 20, dtype=np.uint8)
+                    if comm.rank == 0 else None)
+            out = comm.gatherv(mine, recv, counts, root=0, datatype=t,
+                               count=counts[comm.rank])
+            if out is None:
+                return None
+            rows = out.reshape(sum(counts), 20)
+            return rows[:, 4:8].copy().view(np.int32).reshape(-1).tolist()
+
+        res = run(fn, nprocs=3)
+        # b = 2*idx + 1 + 100*rank, per-rank idx restarting at 0.
+        assert res.results[0] == [1, 3, 101, 201, 203, 205]
+
+    def test_wrong_counts_length(self):
+        def fn(comm):
+            mine = np.zeros(1, dtype=np.int32)
+            recv = np.zeros(8, dtype=np.uint8) if comm.rank == 0 else None
+            comm.gatherv(mine, recv, [1], root=0)  # size-2 comm, 1 count
+
+        with pytest.raises(RuntimeAbort):
+            run(fn, nprocs=2, timeout=10)
+
+
+class TestScatterv:
+    @pytest.mark.parametrize("n", [2, 4])
+    def test_variable_blocks(self, n):
+        def fn(comm):
+            counts = [r + 1 for r in range(comm.size)]
+            if comm.rank == 0:
+                send = np.concatenate(
+                    [np.full(c, r, dtype=np.int64)
+                     for r, c in enumerate(counts)])
+            else:
+                send = None
+            recv = np.zeros(counts[comm.rank], dtype=np.int64)
+            comm.scatterv(send, counts, recv, root=0,
+                          count=counts[comm.rank])
+            return recv.tolist()
+
+        res = run(fn, nprocs=n)
+        for r, got in enumerate(res.results):
+            assert got == [r] * (r + 1)
+
+    def test_roundtrip_with_gatherv(self):
+        def fn(comm):
+            counts = [3, 1, 2][:comm.size]
+            if comm.rank == 0:
+                send = np.arange(sum(counts), dtype=np.float64)
+            else:
+                send = None
+            recv = np.zeros(counts[comm.rank], dtype=np.float64)
+            comm.scatterv(send, counts, recv, root=0, count=counts[comm.rank])
+            back = (np.zeros(sum(counts) * 8, dtype=np.uint8)
+                    if comm.rank == 0 else None)
+            out = comm.gatherv(recv, back, counts, root=0)
+            return out.view(np.float64).tolist() if out is not None else None
+
+        res = run(fn, nprocs=3)
+        assert res.results[0] == list(np.arange(6, dtype=np.float64))
+
+
+class TestPersistentRequests:
+    def test_restartable_halo_pattern(self):
+        iters = 4
+
+        def fn(comm):
+            out = np.zeros(8, dtype=np.int32)
+            inbox = np.zeros(8, dtype=np.int32)
+            if comm.rank == 0:
+                sreq = comm.send_init(out, dest=1, tag=3)
+                history = []
+                for it in range(iters):
+                    out[:] = it
+                    sreq.start().wait()
+                    history.append(it)
+                return history
+            rreq = comm.recv_init(inbox, source=0, tag=3)
+            got = []
+            for _ in range(iters):
+                rreq.start()
+                rreq.wait()
+                got.append(int(inbox[0]))
+            return got
+
+        res = run(fn, nprocs=2)
+        assert res.results[1] == list(range(iters))
+
+    def test_wait_before_start_rejected(self):
+        def fn(comm):
+            req = comm.recv_init(np.zeros(1, dtype=np.int32), source=0, tag=0)
+            req.wait()
+
+        with pytest.raises(RuntimeAbort):
+            run(fn, nprocs=2, timeout=10)
+
+    def test_restart_while_active_rejected(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.barrier()
+                return None
+            req = comm.recv_init(np.zeros(1, dtype=np.int32), source=0, tag=1)
+            req.start()
+            try:
+                req.start()  # still pending: no message will ever arrive
+            finally:
+                comm.barrier()
+
+        with pytest.raises(RuntimeAbort):
+            run(fn, nprocs=2, timeout=10)
+
+    def test_test_reflects_state(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.barrier()
+                comm.send(np.ones(1, dtype=np.int32), dest=1, tag=2)
+                return None
+            req = comm.recv_init(np.zeros(1, dtype=np.int32), source=0, tag=2)
+            before = req.test()
+            req.start()
+            comm.barrier()
+            req.wait()
+            after = req.test()
+            return before, after
+
+        assert run(fn, nprocs=2).results[1] == (False, True)

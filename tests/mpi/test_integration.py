@@ -1,0 +1,176 @@
+"""Cross-module integration stress: mixed traffic over one fabric.
+
+These jobs interleave every transfer path (contiguous, derived, custom
+pack-only, custom with regions, pickle strategies) across multiple ranks,
+tags and communicators in a single run, which exercises tag matching,
+protocol selection and the engine's state handling under interleaving.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Field, StructSpec, create_struct, resized, INT32, FLOAT64
+from repro.mpi import run
+from repro.mpi.requests import Request
+from repro.serial import get_strategy, make_complex_object
+from repro.types import (STRUCT_SIMPLE, DoubleVec, double_vec_custom_datatype,
+                         make_struct_simple, struct_simple_custom_datatype,
+                         struct_simple_datatype)
+
+
+class TestMixedTraffic:
+    def test_all_paths_interleaved_pairwise(self):
+        """Rank 0 fires five different-typed messages; rank 1 receives them
+        out of posting order by tag."""
+
+        spec = StructSpec([Field("k", "<i8"),
+                           Field("data", "<f8", shape="dynamic")])
+
+        class O:
+            pass
+
+        def fn(comm):
+            derived = struct_simple_datatype()
+            custom = struct_simple_custom_datatype()
+            dv_t = double_vec_custom_datatype()
+            sp_t = spec.custom_datatype()
+            if comm.rank == 0:
+                reqs = [
+                    comm.isend(np.arange(100, dtype=np.int32), dest=1, tag=1),
+                    comm.isend(make_struct_simple(32), dest=1, tag=2,
+                               datatype=derived, count=32),
+                    comm.isend(make_struct_simple(32), dest=1, tag=3,
+                               datatype=custom, count=32),
+                    comm.isend(DoubleVec.uniform(50_000, 4096), dest=1, tag=4,
+                               datatype=dv_t),
+                ]
+                o = O(); o.k = 5; o.data = np.linspace(0, 9, 1000)
+                reqs.append(comm.isend(o, dest=1, tag=5, datatype=sp_t))
+                Request.waitall(reqs)
+                return True
+
+            results = {}
+            # Receive in reverse tag order to force unexpected-queue traffic.
+            o = O()
+            comm.recv(o, source=0, tag=5, datatype=sp_t)
+            results["spec"] = (o.k, float(o.data.sum()))
+            dv = DoubleVec()
+            comm.recv(dv, source=0, tag=4, datatype=dv_t)
+            results["dv"] = dv.total_bytes
+            b3 = np.zeros(32, STRUCT_SIMPLE)
+            comm.recv(b3, source=0, tag=3, datatype=custom, count=32)
+            results["custom"] = (b3 == make_struct_simple(32)).all()
+            b2 = np.zeros(32, STRUCT_SIMPLE)
+            comm.recv(b2, source=0, tag=2, datatype=derived, count=32)
+            results["derived"] = (b2 == make_struct_simple(32)).all()
+            b1 = np.zeros(100, np.int32)
+            comm.recv(b1, source=0, tag=1)
+            results["contig"] = b1.sum() == sum(range(100))
+            return results
+
+        res = run(fn, nprocs=2)
+        got = res.results[1]
+        assert got["contig"] and got["derived"] and got["custom"]
+        assert got["dv"] == 50_000
+        assert got["spec"] == (5, pytest.approx(4500.0))
+
+    @pytest.mark.parametrize("nprocs", [3, 5])
+    def test_all_to_all_object_exchange(self, nprocs):
+        """Every rank sends a pickled object to every other rank."""
+
+        def fn(comm):
+            s = get_strategy("pickle-oob-cdt")
+            got = {}
+            # Pairwise ordered exchange: the custom-datatype path is
+            # rendezvous-like, so a blocking send needs its receiver active
+            # (everyone-sends-first would be the classic MPI deadlock).
+            for step in range(1, comm.size):
+                to = (comm.rank + step) % comm.size
+                frm = (comm.rank - step) % comm.size
+                payload = {"from": comm.rank, "arr": np.full(5000, comm.rank)}
+                if comm.rank < to:
+                    s.send(comm, payload, dest=to, tag=comm.rank)
+                    obj = s.recv(comm, source=frm, tag=frm)
+                else:
+                    obj = s.recv(comm, source=frm, tag=frm)
+                    s.send(comm, payload, dest=to, tag=comm.rank)
+                got[frm] = (obj["from"], float(obj["arr"][0]))
+            return got
+
+        res = run(fn, nprocs=nprocs)
+        for rank, got in enumerate(res.results):
+            assert set(got) == set(range(nprocs)) - {rank}
+            for peer, (frm, val) in got.items():
+                assert frm == peer and val == float(peer)
+
+    def test_many_small_messages_fifo_under_load(self):
+        n_msgs = 200
+
+        def fn(comm):
+            if comm.rank == 0:
+                reqs = [comm.isend(np.array([i], dtype=np.int64), dest=1, tag=7)
+                        for i in range(n_msgs)]
+                Request.waitall(reqs)
+                return None
+            out = []
+            for _ in range(n_msgs):
+                buf = np.zeros(1, dtype=np.int64)
+                comm.recv(buf, source=0, tag=7)
+                out.append(int(buf[0]))
+            return out
+
+        assert run(fn, nprocs=2).results[1] == list(range(n_msgs))
+
+    def test_bidirectional_custom_exchange(self):
+        """Both ranks simultaneously send custom-datatype messages."""
+        dv_t = double_vec_custom_datatype()
+
+        def fn(comm):
+            mine = DoubleVec.uniform(30_000 + comm.rank * 1000, 512)
+            theirs = DoubleVec()
+            rreq = comm.irecv(theirs, source=1 - comm.rank, tag=0,
+                              datatype=double_vec_custom_datatype())
+            sreq = comm.isend(mine, dest=1 - comm.rank, tag=0, datatype=dv_t)
+            rreq.wait()
+            sreq.wait()
+            return theirs.total_bytes
+
+        res = run(fn, nprocs=2)
+        assert res.results[0] == 31_000
+        assert res.results[1] == 30_000
+
+    def test_subcommunicator_and_world_traffic_interleave(self):
+        def fn(comm):
+            sub = comm.split(color=comm.rank % 2, key=comm.rank)
+            # World-level broadcast while sub-level allreduce is in flight.
+            token = np.zeros(4, np.float64) if comm.rank else np.ones(4)
+            comm.bcast(token, root=0)
+            local = np.full(2, float(sub.rank))
+            out = np.zeros(2)
+            sub.allreduce(local, out)
+            return token.sum(), out.tolist()
+
+        res = run(fn, nprocs=4)
+        for tok, red in res.results:
+            assert tok == 4.0
+            assert red == [1.0, 1.0]  # ranks 0+1 within each 2-rank group
+
+    def test_virtual_time_consistency_across_mixed_run(self):
+        """Clocks stay monotone and close after heavy mixed traffic."""
+
+        def fn(comm):
+            s = get_strategy("pickle-basic")
+            for i in range(5):
+                if comm.rank == 0:
+                    comm.send(np.zeros(1 << i * 2, np.uint8), dest=1, tag=i)
+                    s.send(comm, make_complex_object(1 << 17), dest=1, tag=50 + i)
+                else:
+                    comm.recv(np.zeros(1 << i * 2, np.uint8), source=0, tag=i)
+                    s.recv(comm, source=0, tag=50 + i)
+            comm.barrier()
+            return comm.clock.now
+
+        res = run(fn, nprocs=2)
+        t0, t1 = res.results
+        assert t0 > 0 and t1 > 0
+        assert abs(t0 - t1) < max(t0, t1) * 0.01  # barrier synchronized

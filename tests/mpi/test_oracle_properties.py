@@ -1,0 +1,114 @@
+"""Oracle property tests: distributed results vs single-process numpy.
+
+Each property generates random shapes/contents, runs the distributed
+operation, and compares against the obvious numpy computation — the
+strongest form of end-to-end check the simulator allows.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import FLOAT64, INT32, pack, subarray
+from repro.mpi import run
+
+
+class TestSubarrayOracle:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(2, 8), st.integers(2, 8), st.data())
+    def test_2d_subarray_equals_numpy_slice(self, nr, nc, data):
+        r0 = data.draw(st.integers(0, nr - 1))
+        c0 = data.draw(st.integers(0, nc - 1))
+        sr = data.draw(st.integers(1, nr - r0))
+        sc = data.draw(st.integers(1, nc - c0))
+        t = subarray([nr, nc], [sr, sc], [r0, c0], FLOAT64)
+        m = np.arange(nr * nc, dtype=np.float64).reshape(nr, nc) * 1.5
+        assert np.array_equal(pack(t, m, 1).view(np.float64),
+                              m[r0:r0 + sr, c0:c0 + sc].ravel())
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(2, 5), st.integers(2, 5), st.integers(2, 5), st.data())
+    def test_3d_subarray_equals_numpy_slice(self, a, b, c, data):
+        s = [data.draw(st.integers(0, d - 1)) for d in (a, b, c)]
+        n = [data.draw(st.integers(1, d - o)) for d, o in zip((a, b, c), s)]
+        t = subarray([a, b, c], n, s, INT32)
+        m = np.arange(a * b * c, dtype=np.int32).reshape(a, b, c)
+        want = m[s[0]:s[0] + n[0], s[1]:s[1] + n[1], s[2]:s[2] + n[2]]
+        assert np.array_equal(pack(t, m, 1).view(np.int32), want.ravel())
+
+
+class TestCollectiveOracles:
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(2, 5), st.integers(1, 16),
+           st.sampled_from(["sum", "min", "max"]))
+    def test_allreduce_matches_numpy(self, nprocs, width, op):
+        rng = np.random.default_rng(width * 31 + nprocs)
+        contributions = rng.integers(-50, 50, size=(nprocs, width)).astype(float)
+
+        def fn(comm):
+            out = np.zeros(width)
+            comm.allreduce(contributions[comm.rank].copy(), out, op=op)
+            return out
+
+        res = run(fn, nprocs=nprocs)
+        want = {"sum": contributions.sum(0), "min": contributions.min(0),
+                "max": contributions.max(0)}[op]
+        for got in res.results:
+            assert np.array_equal(got, want)
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(2, 5), st.integers(1, 8))
+    def test_allgather_matches_concatenation(self, nprocs, width):
+        def fn(comm):
+            mine = np.arange(width, dtype=np.int64) + 1000 * comm.rank
+            out = np.zeros(width * comm.size, dtype=np.int64)
+            comm.allgather(mine, out)
+            return out
+
+        res = run(fn, nprocs=nprocs)
+        want = np.concatenate([np.arange(width, dtype=np.int64) + 1000 * r
+                               for r in range(nprocs)])
+        for got in res.results:
+            assert np.array_equal(got, want)
+
+    @settings(max_examples=6, deadline=None)
+    @given(st.integers(2, 4), st.integers(1, 6))
+    def test_alltoall_is_a_transpose(self, nprocs, width):
+        def fn(comm):
+            send = np.arange(nprocs * width, dtype=np.int64) \
+                + 100_000 * comm.rank
+            recv = np.zeros(nprocs * width, dtype=np.int64)
+            comm.alltoall(send, recv, count=width)
+            return recv
+
+        res = run(fn, nprocs=nprocs)
+        # Block (r, s) of the result at rank r equals block (r) of sender s.
+        for r in range(nprocs):
+            got = res.results[r].reshape(nprocs, width)
+            for s in range(nprocs):
+                want = (np.arange(nprocs * width, dtype=np.int64)
+                        + 100_000 * s).reshape(nprocs, width)[r]
+                assert np.array_equal(got[s], want), (r, s)
+
+
+class TestPickleOracle:
+    @settings(max_examples=6, deadline=None)
+    @given(st.recursive(
+        st.one_of(st.integers(-1000, 1000), st.text(max_size=20),
+                  st.booleans(), st.none()),
+        lambda inner: st.one_of(
+            st.lists(inner, max_size=4),
+            st.dictionaries(st.text(max_size=6), inner, max_size=4)),
+        max_leaves=12))
+    def test_arbitrary_object_graph_roundtrips(self, obj):
+        from repro.serial import get_strategy
+
+        def fn(comm):
+            s = get_strategy("pickle-oob-cdt")
+            if comm.rank == 0:
+                s.send(comm, obj, dest=1)
+                return None
+            return s.recv(comm, source=0)
+
+        assert run(fn, nprocs=2).results[1] == obj

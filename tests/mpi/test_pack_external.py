@@ -1,0 +1,68 @@
+"""MPI_Pack / MPI_Unpack equivalents."""
+
+import numpy as np
+import pytest
+
+from repro.core import FLOAT64, INT32, create_struct, resized, vector
+from repro.errors import MPIError
+from repro.mpi import pack_into, pack_size, unpack_from
+
+
+class TestPackExternal:
+    def test_pack_size(self):
+        t = vector(3, 2, 4, INT32)
+        assert pack_size(1, t) == 24
+        assert pack_size(5, INT32) == 20
+
+    def test_pack_then_unpack(self):
+        t = vector(3, 2, 4, INT32)
+        src = np.arange(12, dtype=np.int32)
+        out = np.zeros(24, dtype=np.uint8)
+        pos = pack_into(src, 1, t, out, 0)
+        assert pos == 24
+        dst = np.zeros(12, dtype=np.int32)
+        pos2 = unpack_from(out, 0, dst, 1, t)
+        assert pos2 == 24
+        assert dst.tolist() == [0, 1, 0, 0, 4, 5, 0, 0, 8, 9, 0, 0]
+
+    def test_incremental_positions(self):
+        """Mixed types appended into one buffer, mpi4py-style."""
+        out = np.zeros(100, dtype=np.uint8)
+        pos = pack_into(np.array([7], dtype=np.int32), 1, INT32, out, 0)
+        pos = pack_into(np.array([2.5]), 1, FLOAT64, out, pos)
+        assert pos == 12
+        a = np.zeros(1, dtype=np.int32)
+        b = np.zeros(1, dtype=np.float64)
+        p = unpack_from(out, 0, a, 1, INT32)
+        p = unpack_from(out, p, b, 1, FLOAT64)
+        assert p == 12 and a[0] == 7 and b[0] == 2.5
+
+    def test_overflow_detected(self):
+        out = np.zeros(10, dtype=np.uint8)
+        with pytest.raises(MPIError):
+            pack_into(np.arange(4, dtype=np.int32), 4, INT32, out, 0)
+        with pytest.raises(MPIError):
+            unpack_from(out, 8, np.zeros(1, dtype=np.int32), 1, INT32)
+
+    def test_negative_position(self):
+        out = np.zeros(10, dtype=np.uint8)
+        with pytest.raises(MPIError):
+            pack_into(np.zeros(1, dtype=np.int32), 1, INT32, out, -1)
+
+    def test_bytearray_output(self):
+        out = bytearray(8)
+        pack_into(np.array([3.5]), 1, FLOAT64, out, 0)
+        assert np.frombuffer(out, dtype=np.float64)[0] == 3.5
+
+    def test_struct_with_gap(self):
+        t = resized(create_struct([1, 1], [0, 8], [INT32, FLOAT64]), 0, 16)
+        sd = np.dtype({"names": ["a", "d"], "formats": ["<i4", "<f8"],
+                       "offsets": [0, 8], "itemsize": 16})
+        src = np.zeros(2, dtype=sd)
+        src["a"] = [1, 2]
+        src["d"] = [0.5, 1.5]
+        out = np.zeros(pack_size(2, t), dtype=np.uint8)
+        pack_into(src, 2, t, out, 0)
+        dst = np.zeros(2, dtype=sd)
+        unpack_from(out, 0, dst, 2, t)
+        assert (dst == src).all()

@@ -1,0 +1,148 @@
+"""Probe / mprobe / mrecv tests (the machinery behind pickle-basic)."""
+
+import numpy as np
+import pytest
+
+from repro.core import BYTE, Field, StructSpec
+from repro.mpi import ANY_SOURCE, ANY_TAG, run
+
+
+def pair(fn0, fn1, **kw):
+    return run([fn0, fn1], nprocs=2, **kw).results
+
+
+class TestProbe:
+    def test_probe_reports_size_without_consuming(self):
+        def s(comm):
+            comm.send(b"0123456789", dest=1, tag=2)
+
+        def r(comm):
+            st = comm.probe(source=0, tag=2)
+            buf = bytearray(st.nbytes)
+            comm.recv(buf, source=0, tag=2)
+            return st.nbytes, bytes(buf)
+
+        n, data = pair(s, r)[1]
+        assert n == 10 and data == b"0123456789"
+
+    def test_iprobe_miss_returns_none(self):
+        def r(comm):
+            return comm.iprobe(source=0, tag=9)
+
+        def s(comm):
+            pass
+
+        assert pair(s, r)[1] is None
+
+    def test_probe_wildcards(self):
+        def s(comm):
+            comm.send(b"xyz", dest=1, tag=42)
+
+        def r(comm):
+            st = comm.probe(source=ANY_SOURCE, tag=ANY_TAG)
+            return st.source, st.tag, st.nbytes
+
+        assert pair(s, r)[1] == (0, 42, 3)
+
+
+class TestMprobe:
+    def test_mprobe_mrecv(self):
+        def s(comm):
+            comm.send(b"payload!", dest=1, tag=5)
+
+        def r(comm):
+            handle, st = comm.mprobe(source=0, tag=5)
+            buf = bytearray(st.nbytes)
+            handle.mrecv(buf, datatype=BYTE, count=st.nbytes)
+            return bytes(buf)
+
+        assert pair(s, r)[1] == b"payload!"
+
+    def test_mprobe_removes_from_matching(self):
+        def s(comm):
+            comm.send(b"first", dest=1, tag=5)
+            comm.send(b"second", dest=1, tag=5)
+
+        def r(comm):
+            handle, st = comm.mprobe(source=0, tag=5)
+            # A plain recv must now see the *second* message.
+            buf2 = bytearray(6)
+            comm.recv(buf2, source=0, tag=5)
+            buf1 = bytearray(st.nbytes)
+            handle.mrecv(buf1, datatype=BYTE, count=st.nbytes)
+            return bytes(buf1), bytes(buf2)
+
+        assert pair(s, r)[1] == (b"first", b"second")
+
+    def test_mrecv_once_only(self):
+        def s(comm):
+            comm.send(b"x", dest=1, tag=5)
+
+        def r(comm):
+            handle, st = comm.mprobe(source=0, tag=5)
+            buf = bytearray(1)
+            handle.mrecv(buf, datatype=BYTE, count=1)
+            try:
+                handle.mrecv(buf, datatype=BYTE, count=1)
+            except Exception:
+                return "raised"
+            return "no raise"
+
+        assert pair(s, r)[1] == "raised"
+
+    def test_improbe_nonblocking(self):
+        def s(comm):
+            comm.barrier()
+            comm.send(b"late", dest=1, tag=7)
+
+        def r(comm):
+            miss = comm.improbe(source=0, tag=7)
+            comm.barrier()
+            st = comm.probe(source=0, tag=7)  # wait for arrival
+            hit = comm.improbe(source=0, tag=7)
+            assert hit is not None
+            handle, st = hit
+            buf = bytearray(st.nbytes)
+            handle.mrecv(buf, datatype=BYTE, count=st.nbytes)
+            return miss, bytes(buf)
+
+        miss, data = pair(s, r)[1]
+        assert miss is None and data == b"late"
+
+    def test_mrecv_custom_datatype(self):
+        spec = StructSpec([Field("n", "<i8"),
+                           Field("data", "<f8", shape="dynamic")])
+        dt = spec.custom_datatype()
+
+        class O:
+            pass
+
+        def s(comm):
+            o = O()
+            o.n = 3
+            o.data = np.linspace(0, 1, 300)
+            comm.send(o, dest=1, tag=6, datatype=dt)
+
+        def r(comm):
+            handle, st = comm.mprobe(source=0, tag=6)
+            o = O()
+            handle.mrecv(o, datatype=dt)
+            return o.n, o.data.shape[0]
+
+        assert pair(s, r)[1] == (3, 300)
+
+    def test_mrecv_derived_datatype(self):
+        from repro.core import INT32, vector
+        t = vector(3, 1, 2, INT32)
+
+        def s(comm):
+            comm.send(np.arange(6, dtype=np.int32), dest=1, tag=8,
+                      datatype=t, count=1)
+
+        def r(comm):
+            handle, st = comm.mprobe(source=0, tag=8)
+            buf = np.zeros(6, dtype=np.int32)
+            handle.mrecv(buf, datatype=t, count=1)
+            return buf.tolist()
+
+        assert pair(s, r)[1] == [0, 0, 2, 0, 4, 0]

@@ -1,0 +1,96 @@
+"""Request/Status object tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import BYTE, FLOAT64, INT32
+from repro.mpi import run
+from repro.mpi.requests import (ANY_SOURCE, ANY_TAG, CompletedRequest,
+                                Request, Status)
+
+
+class TestStatus:
+    def test_fields(self):
+        st = Status(source=2, tag=9, nbytes=40)
+        assert (st.source, st.tag, st.nbytes) == (2, 9, 40)
+
+    def test_get_count_exact(self):
+        st = Status(0, 0, 40)
+        assert st.get_count(INT32) == 10
+        assert st.get_count(FLOAT64) == 5
+        assert st.get_count(BYTE) == 40
+
+    def test_get_count_partial_is_undefined(self):
+        st = Status(0, 0, 41)
+        assert st.get_count(INT32) == -1  # MPI_UNDEFINED
+
+    def test_get_count_zero_size_type(self):
+        from repro.core import contiguous
+        st = Status(0, 0, 0)
+        assert st.get_count(contiguous(0, INT32)) == 0
+
+    def test_repr(self):
+        assert "source=1" in repr(Status(1, 2, 3))
+
+
+class TestCompletedRequest:
+    def test_born_done(self):
+        st = Status(0, 0, 8)
+        req = CompletedRequest(st)
+        assert req.test()
+        assert req.wait() is st
+
+    def test_none_status(self):
+        assert CompletedRequest().wait() is None
+
+
+class TestWaitallTestall:
+    def test_waitall_returns_statuses(self):
+        def fn(comm):
+            if comm.rank == 0:
+                reqs = [comm.isend(np.full(4, i, np.uint8), dest=1, tag=i)
+                        for i in range(3)]
+                Request.waitall(reqs)
+                return None
+            bufs = [np.zeros(4, np.uint8) for _ in range(3)]
+            reqs = [comm.irecv(b, source=0, tag=i)
+                    for i, b in enumerate(bufs)]
+            stats = Request.waitall(reqs)
+            return [(s.tag, s.nbytes) for s in stats], [int(b[0]) for b in bufs]
+
+        stats, vals = run(fn, nprocs=2).results[1]
+        assert stats == [(0, 4), (1, 4), (2, 4)]
+        assert vals == [0, 1, 2]
+
+    def test_testall_transitions(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.barrier()
+                comm.send(np.zeros(4, np.uint8), dest=1, tag=0)
+                return None
+            req = comm.irecv(np.zeros(4, np.uint8), source=0, tag=0)
+            before = Request.testall([req])
+            comm.barrier()
+            req.wait()
+            after = Request.testall([req])
+            return before, after
+
+        before, after = run(fn, nprocs=2).results[1]
+        assert before is False and after is True
+
+    def test_test_does_not_complete_recv_work(self):
+        """test() only reports matching; delivery happens in wait()."""
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send(np.full(8, 5, np.uint8), dest=1, tag=0)
+                comm.barrier()
+                return None
+            buf = np.zeros(8, np.uint8)
+            req = comm.irecv(buf, source=0, tag=0)
+            comm.barrier()  # message has surely arrived
+            while not req.test():
+                pass
+            st = req.wait()
+            return int(buf[0]), st.nbytes
+
+        assert run(fn, nprocs=2).results[1] == (5, 8)

@@ -1,0 +1,78 @@
+"""SPMD runtime tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RuntimeAbort
+from repro.mpi import run
+from repro.ucp.netsim import LinkParams
+
+
+class TestRun:
+    def test_results_per_rank(self):
+        res = run(lambda comm: comm.rank * 10, nprocs=4)
+        assert res.results == [0, 10, 20, 30]
+
+    def test_size_visible(self):
+        res = run(lambda comm: comm.size, nprocs=3)
+        assert res.results == [3, 3, 3]
+
+    def test_per_rank_functions(self):
+        res = run([lambda c: "a", lambda c: "b"], nprocs=2)
+        assert res.results == ["a", "b"]
+
+    def test_fn_count_mismatch(self):
+        with pytest.raises(ValueError):
+            run([lambda c: None], nprocs=2)
+
+    def test_failure_aggregated(self):
+        def fn(comm):
+            if comm.rank == 1:
+                raise ValueError("rank 1 died")
+            return "ok"
+
+        with pytest.raises(RuntimeAbort) as ei:
+            run(fn, nprocs=2, timeout=10)
+        assert 1 in ei.value.failures
+        assert isinstance(ei.value.failures[1], ValueError)
+
+    def test_deadlock_detected(self):
+        def fn(comm):
+            # Both ranks post a recv that can never match.
+            buf = np.zeros(4, np.uint8)
+            comm.recv(buf, source=1 - comm.rank, tag=9)
+
+        with pytest.raises(RuntimeAbort):
+            run(fn, nprocs=2, timeout=0.5)
+
+    def test_clocks_reported(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send(np.zeros(100, np.uint8), dest=1)
+            else:
+                comm.recv(np.zeros(100, np.uint8), source=0)
+
+        res = run(fn, nprocs=2)
+        assert len(res.clocks) == 2
+        assert res.max_clock > 0
+
+    def test_memory_reported(self):
+        res = run(lambda comm: None, nprocs=2)
+        assert all("peak_bytes" in m for m in res.memory)
+
+    def test_custom_params(self):
+        params = LinkParams(latency=1e-3)
+
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send(np.zeros(8, np.uint8), dest=1)
+            else:
+                comm.recv(np.zeros(8, np.uint8), source=0)
+            return comm.clock.now
+
+        res = run(fn, nprocs=2, params=params)
+        assert res.results[1] >= 1e-3
+
+    def test_single_rank(self):
+        res = run(lambda comm: comm.rank, nprocs=1)
+        assert res.results == [0]

@@ -1,0 +1,189 @@
+"""MPI_Comm_split tests: rank remapping, traffic isolation, collectives."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import ANY_SOURCE, run
+
+
+class TestSplit:
+    def test_even_odd_groups(self):
+        def fn(comm):
+            sub = comm.split(color=comm.rank % 2, key=comm.rank)
+            return sub.rank, sub.size
+
+        res = run(fn, nprocs=6)
+        for world_rank, (r, s) in enumerate(res.results):
+            assert s == 3
+            assert r == world_rank // 2
+
+    def test_key_reverses_order(self):
+        def fn(comm):
+            sub = comm.split(color=0, key=-comm.rank)
+            return sub.rank
+
+        res = run(fn, nprocs=4)
+        assert res.results == [3, 2, 1, 0]
+
+    def test_undefined_color_returns_none(self):
+        def fn(comm):
+            sub = comm.split(color=None if comm.rank == 0 else 1)
+            if comm.rank == 0:
+                return sub is None
+            return sub.size
+
+        res = run(fn, nprocs=3)
+        assert res.results[0] is True
+        assert res.results[1] == res.results[2] == 2
+
+    def test_p2p_within_group_uses_local_ranks(self):
+        def fn(comm):
+            sub = comm.split(color=comm.rank % 2, key=comm.rank)
+            if sub.rank == 0:
+                sub.send(np.array([comm.rank], dtype=np.int32), dest=1, tag=1)
+                return None
+            buf = np.zeros(1, dtype=np.int32)
+            st = sub.recv(buf, source=0, tag=1)
+            return int(buf[0]), st.source
+
+        res = run(fn, nprocs=4)
+        # world 2 is local 1 of the even group; its local-0 peer is world 0.
+        assert res.results[2] == (0, 0)
+        assert res.results[3] == (1, 0)
+
+    def test_any_source_status_is_local(self):
+        def fn(comm):
+            sub = comm.split(color=0, key=comm.rank)
+            if sub.rank == 2:
+                sub.send(b"x", dest=0, tag=5)
+                return None
+            if sub.rank == 0:
+                st = sub.recv(bytearray(1), source=ANY_SOURCE, tag=5)
+                return st.source
+            return None
+
+        res = run(fn, nprocs=3)
+        assert res.results[0] == 2
+
+    def test_groups_are_traffic_isolated(self):
+        def fn(comm):
+            sub = comm.split(color=comm.rank % 2, key=comm.rank)
+            # Both groups run the same local-rank pattern on the same tag.
+            if sub.rank == 0:
+                sub.send(np.array([comm.rank], dtype=np.int32), dest=1, tag=9)
+                return None
+            buf = np.zeros(1, dtype=np.int32)
+            sub.recv(buf, source=0, tag=9)
+            return int(buf[0])
+
+        res = run(fn, nprocs=4)
+        assert res.results[2] == 0  # even group got its own message
+        assert res.results[3] == 1  # odd group got its own
+
+    def test_collectives_on_subcommunicator(self):
+        def fn(comm):
+            sub = comm.split(color=comm.rank % 2, key=comm.rank)
+            mine = np.full(2, float(comm.rank))
+            out = np.zeros(2)
+            sub.allreduce(mine, out, op="sum")
+            sub.barrier()
+            return out.tolist()
+
+        res = run(fn, nprocs=6)
+        assert res.results[0] == [0 + 2 + 4.0] * 2
+        assert res.results[1] == [1 + 3 + 5.0] * 2
+
+    def test_split_of_split(self):
+        def fn(comm):
+            half = comm.split(color=comm.rank // 2, key=comm.rank)
+            solo = half.split(color=half.rank, key=0)
+            return half.size, solo.size
+
+        res = run(fn, nprocs=4)
+        assert all(r == (2, 1) for r in res.results)
+
+    def test_custom_datatype_over_split(self):
+        from repro.core import Field, StructSpec
+        spec = StructSpec([Field("v", "<f8", shape="dynamic")])
+
+        def fn(comm):
+            sub = comm.split(color=comm.rank % 2, key=comm.rank)
+            dt = spec.custom_datatype()
+
+            class O:
+                pass
+
+            if sub.rank == 0:
+                o = O()
+                o.v = np.full(1000, float(comm.rank))
+                sub.send(o, dest=1, datatype=dt)
+                return None
+            o = O()
+            sub.recv(o, source=0, datatype=dt)
+            return float(o.v[0])
+
+        res = run(fn, nprocs=4)
+        assert res.results[2] == 0.0
+        assert res.results[3] == 1.0
+
+
+class TestWaitany:
+    def test_waitany_returns_ready_index(self):
+        from repro.mpi.requests import Request
+
+        def fn(comm):
+            if comm.rank == 0:
+                comm.barrier()
+                comm.send(np.array([7], dtype=np.int32), dest=1, tag=2)
+                comm.send(np.array([8], dtype=np.int32), dest=1, tag=1)
+                return None
+            a = np.zeros(1, dtype=np.int32)
+            b = np.zeros(1, dtype=np.int32)
+            reqs = [comm.irecv(a, source=0, tag=1),
+                    comm.irecv(b, source=0, tag=2)]
+            comm.barrier()
+            i, st = Request.waitany(reqs)
+            j, st2 = Request.waitany(reqs)  # already-complete requests count
+            return sorted([i, j]), int(a[0]), int(b[0])
+
+        idx, a, b = run(fn, nprocs=2).results[1]
+        assert idx == [0, 1]
+        assert (a, b) == (8, 7)
+
+    def test_waitsome(self):
+        from repro.mpi.requests import Request
+
+        def fn(comm):
+            if comm.rank == 0:
+                for t in range(3):
+                    comm.send(np.zeros(2, np.uint8), dest=1, tag=t)
+                return None
+            reqs = [comm.irecv(np.zeros(2, np.uint8), source=0, tag=t)
+                    for t in range(3)]
+            done = []
+            while len(done) < 3:
+                done.extend(i for i, _ in Request.waitsome(
+                    [r for r in reqs]))
+            return len(done) >= 3
+
+        assert run(fn, nprocs=2).results[1]
+
+
+class TestSplitStatusLocalization:
+    def test_probe_and_mprobe_report_local_source(self):
+        def fn(comm):
+            sub = comm.split(color=0, key=comm.rank)
+            if sub.rank == 2:
+                sub.send(b"a", dest=0, tag=6)
+                sub.send(b"b", dest=0, tag=7)
+                return None
+            if sub.rank == 0:
+                st = sub.probe(source=2, tag=6)
+                sub.recv(bytearray(1), source=2, tag=6)
+                handle, st2 = sub.mprobe(source=2, tag=7)
+                handle.mrecv(bytearray(1))
+                return st.source, st2.source
+            return None
+
+        res = run(fn, nprocs=3)
+        assert res.results[0] == (2, 2)

@@ -1,0 +1,120 @@
+"""Cartesian topology tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MPIError, RuntimeAbort
+from repro.mpi import run
+from repro.mpi.topology import CartComm, cart_create, dims_create
+
+
+class TestDimsCreate:
+    @pytest.mark.parametrize("n,ndims,expect", [
+        (12, 2, [4, 3]),
+        (8, 3, [2, 2, 2]),
+        (7, 1, [7]),
+        (6, 2, [3, 2]),
+        (1, 2, [1, 1]),
+    ])
+    def test_balanced(self, n, ndims, expect):
+        assert dims_create(n, ndims) == expect
+
+    def test_fixed_dimension_respected(self):
+        assert dims_create(12, 2, [3, 0]) == [3, 4]
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(MPIError):
+            dims_create(12, 2, [5, 0])
+
+    def test_all_fixed_must_cover(self):
+        assert dims_create(6, 2, [2, 3]) == [2, 3]
+        with pytest.raises(MPIError):
+            dims_create(6, 2, [2, 2])
+
+    def test_bad_args(self):
+        with pytest.raises(MPIError):
+            dims_create(4, 2, [0, 0, 0])
+        with pytest.raises(MPIError):
+            dims_create(4, 2, [-1, 0])
+
+
+class TestCoordinates:
+    def test_row_major_mapping(self):
+        def fn(comm):
+            cart = cart_create(comm, [2, 3])
+            return cart.coords, cart.rank_of(cart.coords)
+
+        res = run(fn, nprocs=6)
+        assert res.results[0] == ([0, 0], 0)
+        assert res.results[4] == ([1, 1], 4)
+        assert res.results[5] == ([1, 2], 5)
+
+    def test_wrong_grid_size(self):
+        def fn(comm):
+            cart_create(comm, [2, 2])
+
+        with pytest.raises(RuntimeAbort):
+            run(fn, nprocs=6, timeout=10)
+
+    def test_periodic_wrap(self):
+        def fn(comm):
+            cart = cart_create(comm, [4], periodic=[True])
+            return cart.shift(0, 1)
+
+        res = run(fn, nprocs=4)
+        assert res.results[0] == (3, 1)
+        assert res.results[3] == (2, 0)
+
+    def test_non_periodic_edges_are_none(self):
+        def fn(comm):
+            cart = cart_create(comm, [4])
+            return cart.shift(0, 1)
+
+        res = run(fn, nprocs=4)
+        assert res.results[0] == (None, 1)
+        assert res.results[3] == (2, None)
+
+
+class TestNeighborExchange:
+    @pytest.mark.parametrize("n,periodic", [(4, False), (4, True), (2, True),
+                                            (3, False)])
+    def test_1d_halo(self, n, periodic):
+        def fn(comm):
+            cart = cart_create(comm, [comm.size], periodic=[periodic])
+            low_face = np.array([10.0 * comm.rank])       # my low halo
+            high_face = np.array([10.0 * comm.rank + 1])  # my high halo
+            from_low = np.full(1, np.nan)
+            from_high = np.full(1, np.nan)
+            cart.neighbor_sendrecv(0, low_face, high_face, from_low,
+                                   from_high, tag=4)
+            return float(from_low[0]), float(from_high[0])
+
+        res = run(fn, nprocs=n)
+        for r, (lo_val, hi_val) in enumerate(res.results):
+            lo, hi = (r - 1) % n, (r + 1) % n
+            if periodic or r > 0:
+                assert lo_val == 10.0 * lo + 1  # low neighbour's high face
+            else:
+                assert np.isnan(lo_val)
+            if periodic or r < n - 1:
+                assert hi_val == 10.0 * hi  # high neighbour's low face
+            else:
+                assert np.isnan(hi_val)
+
+    def test_2d_grid_exchange_both_dims(self):
+        def fn(comm):
+            cart = cart_create(comm, [2, 2], periodic=[True, True])
+            me = float(comm.rank)
+            got = []
+            for dim in range(2):
+                from_low = np.zeros(1)
+                from_high = np.zeros(1)
+                cart.neighbor_sendrecv(dim, np.array([me]), np.array([me]),
+                                       from_low, from_high, tag=dim)
+                got.append((from_low[0], from_high[0]))
+            return got
+
+        res = run(fn, nprocs=4)
+        # rank 0 at (0,0): dim-0 neighbours are rank 2 both ways (wrap),
+        # dim-1 neighbours are rank 1 both ways.
+        assert res.results[0] == [(2.0, 2.0), (1.0, 1.0)]

@@ -1,0 +1,58 @@
+"""Bench object-shape tests."""
+
+import numpy as np
+import pytest
+
+from repro.serial import (COMPLEX_CHUNK_BYTES, ComplexObject,
+                          make_complex_object, make_single_array)
+
+
+class TestSingleArray:
+    def test_size(self):
+        arr = make_single_array(1 << 16)
+        assert arr.nbytes == 1 << 16
+        assert arr.dtype == np.float64
+
+    def test_minimum_one_element(self):
+        assert make_single_array(1).shape == (1,)
+
+    def test_deterministic_per_seed(self):
+        assert np.array_equal(make_single_array(4096, seed=3),
+                              make_single_array(4096, seed=3))
+        assert not np.array_equal(make_single_array(4096, seed=3),
+                                  make_single_array(4096, seed=4))
+
+
+class TestComplexObject:
+    def test_chunking(self):
+        obj = make_complex_object(4 * COMPLEX_CHUNK_BYTES)
+        assert len(obj.chunks) == 4
+        assert all(c.nbytes == COMPLEX_CHUNK_BYTES for c in obj.chunks)
+        assert obj.total_bytes == 4 * COMPLEX_CHUNK_BYTES
+
+    def test_small_total_gets_one_chunk(self):
+        assert len(make_complex_object(10).chunks) == 1
+
+    def test_validate_detects_corruption(self):
+        obj = make_complex_object(2 * COMPLEX_CHUNK_BYTES)
+        assert obj.validate()
+        obj.chunks[1][0] += 1000.0
+        assert not obj.validate()
+
+    def test_validate_detects_missing_checksum(self):
+        obj = make_complex_object(COMPLEX_CHUNK_BYTES)
+        obj.checksums.pop()
+        assert not obj.validate()
+
+    def test_equality(self):
+        a = make_complex_object(COMPLEX_CHUNK_BYTES, seed=1)
+        b = make_complex_object(COMPLEX_CHUNK_BYTES, seed=1)
+        c = make_complex_object(COMPLEX_CHUNK_BYTES, seed=2)
+        assert a == b
+        assert a != c
+
+    def test_carries_real_inband_state(self):
+        obj = make_complex_object(COMPLEX_CHUNK_BYTES)
+        assert obj.name
+        assert obj.iteration == 7
+        assert len(obj.checksums) == len(obj.chunks)

@@ -1,0 +1,89 @@
+"""pickle-5 helper tests (real CPython pickle machinery)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.serial import (buffer_bytes, dumps_inband, dumps_oob, loads_inband,
+                          loads_oob)
+
+
+class TestInband:
+    def test_roundtrip(self):
+        obj = {"a": 1, "b": [1, 2, 3], "c": np.arange(10)}
+        got = loads_inband(dumps_inband(obj))
+        assert got["a"] == 1 and got["b"] == [1, 2, 3]
+        assert np.array_equal(got["c"], obj["c"])
+
+    def test_array_payload_is_inband(self):
+        arr = np.zeros(100_000, dtype=np.float64)
+        assert len(dumps_inband(arr)) >= arr.nbytes
+
+
+class TestOob:
+    def test_large_array_goes_out_of_band(self):
+        arr = np.arange(100_000, dtype=np.float64)
+        header, buffers = dumps_oob(arr)
+        assert len(buffers) == 1
+        assert buffers[0].nbytes == arr.nbytes
+        # The header is tiny metadata, as the paper measures (~120 bytes).
+        assert len(header) < 400
+
+    def test_header_metadata_weight(self):
+        """Paper: 'this metadata header weighs around 120 bytes'."""
+        arr = np.zeros(1 << 20, dtype=np.float64)
+        header, _ = dumps_oob(arr)
+        assert 50 < len(header) < 300
+
+    def test_small_buffers_stay_inband(self):
+        arr = np.arange(10, dtype=np.int32)  # 40 B < threshold
+        header, buffers = dumps_oob(arr, threshold=1024)
+        assert buffers == []
+        assert np.array_equal(loads_oob(header, []), arr)
+
+    def test_threshold_zero_forces_oob(self):
+        arr = np.arange(4, dtype=np.int32)
+        _, buffers = dumps_oob(arr, threshold=0)
+        assert len(buffers) == 1
+
+    def test_zero_copy_no_byte_duplication(self):
+        """Out-of-band buffers are views of the original array."""
+        arr = np.arange(1 << 16, dtype=np.float64)
+        _, buffers = dumps_oob(arr)
+        view = np.frombuffer(buffers[0], dtype=np.float64)
+        assert np.shares_memory(view, arr)
+
+    def test_multiple_arrays(self):
+        obj = [np.arange(5000), np.ones(3000), {"small": 1}]
+        header, buffers = dumps_oob(obj)
+        assert len(buffers) == 2
+        got = loads_oob(header, buffers)
+        assert np.array_equal(got[0], obj[0])
+        assert np.array_equal(got[1], obj[1])
+        assert got[2] == {"small": 1}
+
+    def test_roundtrip_with_copied_buffers(self):
+        """Receivers reconstruct from freshly allocated buffers."""
+        obj = {"x": np.arange(4000, dtype=np.int64)}
+        header, buffers = dumps_oob(obj)
+        copies = [np.frombuffer(bytes(b), dtype=np.uint8) for b in buffers]
+        got = loads_oob(header, copies)
+        assert np.array_equal(got["x"], obj["x"])
+
+    def test_buffer_bytes(self):
+        _, buffers = dumps_oob([np.zeros(1000), np.zeros(500)])
+        assert buffer_bytes(buffers) == 12000
+
+    def test_noncontiguous_array_handled(self):
+        arr = np.arange(20000, dtype=np.float64)[::2]
+        header, buffers = dumps_oob(arr)
+        got = loads_oob(header, buffers)
+        assert np.array_equal(got, arr)
+
+    @given(st.lists(st.integers(0, 5000), min_size=0, max_size=5))
+    def test_roundtrip_random_shapes(self, sizes):
+        obj = [np.arange(n, dtype=np.float32) for n in sizes]
+        header, buffers = dumps_oob(obj)
+        got = loads_oob(header, [bytes(b) for b in buffers])
+        assert all(np.array_equal(a, b) for a, b in zip(got, obj))

@@ -1,0 +1,193 @@
+"""Pickle strategy tests over the MPI layer, including the paper's memory
+claims."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import run
+from repro.serial import (STRATEGIES, BasicPickle, ComplexObject, OobCdtPickle,
+                          OobPickle, bcast_object, get_strategy,
+                          make_complex_object, make_single_array, recvobj,
+                          sendobj)
+
+OBJECTS = {
+    "scalar": lambda: 42,
+    "dict": lambda: {"a": [1, 2], "b": "text", "c": (None, True)},
+    "small-array": lambda: np.arange(10, dtype=np.int16),
+    "big-array": lambda: np.arange(100_000, dtype=np.float64),
+    "nested": lambda: {"arrays": [np.ones(5000), np.zeros(3000)],
+                       "meta": {"k": 1}},
+    "complex-object": lambda: make_complex_object(1 << 19),
+}
+
+
+def transfer(strategy_name, make_obj):
+    def fn(comm):
+        s = get_strategy(strategy_name)
+        if comm.rank == 0:
+            s.send(comm, make_obj(), dest=1, tag=3)
+            return None
+        return s.recv(comm, source=0, tag=3)
+
+    return run(fn, nprocs=2).results[1]
+
+
+def objects_equal(a, b):
+    if isinstance(a, np.ndarray):
+        return np.array_equal(a, b)
+    if isinstance(a, dict):
+        return set(a) == set(b) and all(objects_equal(a[k], b[k]) for k in a)
+    if isinstance(a, (list, tuple)):
+        return len(a) == len(b) and all(objects_equal(x, y)
+                                        for x, y in zip(a, b))
+    return a == b
+
+
+@pytest.mark.parametrize("strategy", sorted(STRATEGIES))
+@pytest.mark.parametrize("obj_name", sorted(OBJECTS))
+class TestRoundtrips:
+    def test_roundtrip(self, strategy, obj_name):
+        want = OBJECTS[obj_name]()
+        got = transfer(strategy, OBJECTS[obj_name])
+        assert objects_equal(got, want)
+
+
+@pytest.mark.parametrize("strategy", sorted(STRATEGIES))
+class TestPingPong:
+    def test_echo(self, strategy):
+        def fn(comm):
+            s = get_strategy(strategy)
+            if comm.rank == 0:
+                obj = make_complex_object(1 << 18)
+                s.send(comm, obj, dest=1)
+                back = s.recv(comm, source=1)
+                return back == obj and back.validate()
+            obj = s.recv(comm, source=0)
+            s.send(comm, obj, dest=0)
+            return True
+
+        assert all(run(fn, nprocs=2).results)
+
+    def test_many_messages_fifo(self, strategy):
+        def fn(comm):
+            s = get_strategy(strategy)
+            if comm.rank == 0:
+                for i in range(5):
+                    s.send(comm, {"seq": i, "pad": np.full(3000, i)}, dest=1)
+                return None
+            return [s.recv(comm, source=0)["seq"] for _ in range(5)]
+
+        assert run(fn, nprocs=2).results[1] == list(range(5))
+
+
+class TestMemoryClaims:
+    """The paper's memory-amplification arguments, measured."""
+
+    def _peaks(self, strategy):
+        nbytes = 1 << 20
+
+        def fn(comm):
+            s = get_strategy(strategy)
+            if comm.rank == 0:
+                s.send(comm, make_single_array(nbytes), dest=1)
+                return comm.memory.snapshot()
+            s.recv(comm, source=0)
+            return comm.memory.snapshot()
+
+        res = run(fn, nprocs=2)
+        return res.results[0], res.results[1], nbytes
+
+    def test_basic_pickle_doubles_sender_memory(self):
+        send, _, n = self._peaks("pickle-basic")
+        # The in-band stream is a transient allocation >= the payload.
+        assert send["total_allocated"] >= n
+
+    def test_oob_cdt_sender_allocates_no_payload_copy(self):
+        send, _, n = self._peaks("pickle-oob-cdt")
+        assert send["total_allocated"] < n // 8
+
+    def test_oob_sender_allocates_no_payload_copy(self):
+        send, _, n = self._peaks("pickle-oob")
+        assert send["total_allocated"] < n // 8
+
+    def test_all_receivers_allocate_payload(self):
+        """Receive-side allocation is unavoidable (the roofline gap)."""
+        for name in STRATEGIES:
+            _, recv, n = self._peaks(name)
+            assert recv["total_allocated"] >= n, name
+
+
+class TestCdtSingleMessage:
+    def test_single_message_pair(self):
+        """pickle-oob-cdt must move everything in ONE message; pickle-oob
+        needs header + lengths + one per buffer."""
+
+        def count_messages(strategy):
+            def fn(comm):
+                s = get_strategy(strategy)
+                obj = {"a": np.ones(50_000), "b": np.zeros(30_000)}
+                if comm.rank == 0:
+                    s.send(comm, obj, dest=1)
+                    return None
+                got = s.recv(comm, source=0)
+                return got
+
+            # Count via the wire message ids seen by the receiver's matcher:
+            # simplest reliable proxy is the unexpected+posted traffic, so
+            # instead instrument by wrapping deposit.
+            from repro.ucp.tagmatch import TagMatcher
+            counts = []
+            orig = TagMatcher.deposit
+
+            def counting(self, msg):
+                counts.append(1)
+                return orig(self, msg)
+
+            TagMatcher.deposit = counting
+            try:
+                run(fn, nprocs=2)
+            finally:
+                TagMatcher.deposit = orig
+            return len(counts)
+
+        n_cdt = count_messages("pickle-oob-cdt")
+        n_oob = count_messages("pickle-oob")
+        assert n_cdt == 1
+        assert n_oob == 2 + 2  # header + lengths + two buffers
+
+
+class TestHighLevel:
+    def test_sendobj_recvobj(self):
+        def fn(comm):
+            if comm.rank == 0:
+                sendobj(comm, {"hello": np.arange(7)}, dest=1)
+                return None
+            return recvobj(comm, source=0)
+
+        got = run(fn, nprocs=2).results[1]
+        assert np.array_equal(got["hello"], np.arange(7))
+
+    @pytest.mark.parametrize("strategy", sorted(STRATEGIES))
+    def test_bcast_object(self, strategy):
+        def fn(comm):
+            obj = {"root": True, "arr": np.arange(2048)} if comm.rank == 0 else None
+            got = bcast_object(comm, obj, root=0, strategy=strategy)
+            return got["root"] and np.array_equal(got["arr"], np.arange(2048))
+
+        assert all(run(fn, nprocs=6).results)
+
+    def test_unknown_strategy(self):
+        with pytest.raises(KeyError):
+            get_strategy("pickle-nope")
+
+    def test_strategy_instance_accepted(self):
+        def fn(comm):
+            s = OobCdtPickle(threshold=64)
+            if comm.rank == 0:
+                s.send(comm, np.arange(1000), dest=1)
+                return None
+            return recvobj(comm, source=0, strategy=s)
+
+        # recvobj with an instance must pair with the instance's wire format.
+        got = run(fn, nprocs=2).results[1]
+        assert np.array_equal(got, np.arange(1000))

@@ -1,0 +1,47 @@
+"""Public API surface: every exported name exists and is documented."""
+
+import importlib
+
+import pytest
+
+PACKAGES = ["repro", "repro.core", "repro.ucp", "repro.mpi", "repro.serial",
+            "repro.types", "repro.ddtbench", "repro.bench"]
+
+
+@pytest.mark.parametrize("pkg", PACKAGES)
+class TestExports:
+    def test_all_names_resolve(self, pkg):
+        mod = importlib.import_module(pkg)
+        for name in getattr(mod, "__all__", []):
+            assert hasattr(mod, name), f"{pkg}.{name} exported but missing"
+
+    def test_package_docstring(self, pkg):
+        mod = importlib.import_module(pkg)
+        assert mod.__doc__ and len(mod.__doc__.strip()) > 20
+
+
+class TestPublicCallablesDocumented:
+    @pytest.mark.parametrize("pkg", PACKAGES[1:])
+    def test_exported_callables_have_docstrings(self, pkg):
+        mod = importlib.import_module(pkg)
+        undocumented = []
+        for name in getattr(mod, "__all__", []):
+            obj = getattr(mod, name)
+            if callable(obj) and not isinstance(obj, type(None).__class__):
+                if not getattr(obj, "__doc__", None):
+                    undocumented.append(name)
+        assert not undocumented, f"{pkg}: missing docstrings: {undocumented}"
+
+
+class TestVersion:
+    def test_version_string(self):
+        import repro
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") >= 1
+
+
+class TestCapiSurface:
+    def test_capi_exports(self):
+        from repro import capi
+        for name in capi.__all__:
+            assert hasattr(capi, name)

@@ -1,0 +1,156 @@
+"""C-flavoured API layer tests (the mpicd-capi analogue)."""
+
+import numpy as np
+import pytest
+
+from repro import capi
+from repro.errors import MPI_ERR_ARG, MPI_SUCCESS
+from repro.mpi import run
+
+
+def listing2_type(payload_holder):
+    """A custom type built with the literal Listing 2-5 conventions."""
+
+    def statefn(context, src, src_count):
+        return MPI_SUCCESS, {"ctx": context}
+
+    def freefn(state):
+        state.clear()
+        return MPI_SUCCESS
+
+    def queryfn(state, buf, count):
+        return MPI_SUCCESS, len(buf.header)
+
+    def packfn(state, buf, count, offset, dst):
+        data = buf.header
+        used = min(len(dst), len(data) - offset)
+        dst[:used] = np.frombuffer(data[offset:offset + used], np.uint8)
+        return MPI_SUCCESS, used
+
+    def unpackfn(state, buf, count, offset, src):
+        buf.header[offset:offset + len(src)] = bytes(src)
+        return MPI_SUCCESS
+
+    def region_countfn(state, buf, count):
+        return MPI_SUCCESS, 1
+
+    def regionfn(state, buf, count, region_count):
+        return MPI_SUCCESS, [buf.payload], [buf.payload.nbytes], None
+
+    err, dtype = capi.MPI_Type_create_custom(
+        statefn=statefn, freefn=freefn, queryfn=queryfn, packfn=packfn,
+        unpackfn=unpackfn, region_countfn=region_countfn, regionfn=regionfn,
+        context="CTX", inorder=1)
+    assert err == MPI_SUCCESS
+    return dtype
+
+
+class Obj:
+    def __init__(self, header=b"", n=0):
+        self.header = bytearray(header)
+        self.payload = np.zeros(n, dtype=np.uint8)
+
+
+class TestTypeCreate:
+    def test_query_required(self):
+        err, dtype = capi.MPI_Type_create_custom()
+        assert err == MPI_ERR_ARG and dtype is None
+
+    def test_inorder_flag(self):
+        err, t = capi.MPI_Type_create_custom(
+            queryfn=lambda s, b, c: (MPI_SUCCESS, 0), inorder=1)
+        assert err == MPI_SUCCESS and t.inorder
+
+    def test_callback_error_code_propagates(self):
+        def queryfn(state, buf, count):
+            return 42, 0  # nonzero error code
+
+        err, t = capi.MPI_Type_create_custom(queryfn=queryfn)
+        assert err == MPI_SUCCESS  # creation itself succeeds
+
+        def fn(comm):
+            if comm.rank == 0:
+                return capi.MPI_Send(comm, object(), 1, t, 1, 0)
+            return None
+
+        from repro.errors import RuntimeAbort
+        # The send aborts with the callback's code (via CallbackError).
+        res = run([lambda c: capi.MPI_Send(c, object(), 1, t, 1, 0),
+                   lambda c: None], nprocs=2)
+        assert res.results[0] == 42
+
+
+class TestPointToPoint:
+    def test_send_recv_custom(self):
+        def fn(comm):
+            t = listing2_type(None)
+            if comm.rank == 0:
+                obj = Obj(b"capi-head", 64)
+                obj.payload[:] = np.arange(64, dtype=np.uint8)
+                err = capi.MPI_Send(comm, obj, 1, t, 1, 7)
+                return err
+            obj = Obj(bytearray(9), 64)
+            err, status = capi.MPI_Recv(comm, obj, 1, t, 0, 7)
+            return err, bytes(obj.header), int(obj.payload.sum()), status.tag
+
+        res = run(fn, nprocs=2)
+        assert res.results[0] == MPI_SUCCESS
+        err, header, total, tag = res.results[1]
+        assert err == MPI_SUCCESS
+        assert header == b"capi-head"
+        assert total == sum(range(64))
+        assert tag == 7
+
+    def test_isend_wait(self):
+        def fn(comm):
+            buf = np.arange(16, dtype=np.uint8)
+            if comm.rank == 0:
+                err, req = capi.MPI_Isend(comm, buf, 16, capi.MPI_BYTE, 1, 0)
+                assert err == MPI_SUCCESS
+                return capi.MPI_Wait(req)[0]
+            out = np.zeros(16, np.uint8)
+            err, req = capi.MPI_Irecv(comm, out, 16, capi.MPI_BYTE, 0, 0)
+            assert err == MPI_SUCCESS
+            err, status = capi.MPI_Wait(req)
+            return err, status.nbytes, out.tolist()
+
+        res = run(fn, nprocs=2)
+        assert res.results[0] == MPI_SUCCESS
+        err, n, data = res.results[1]
+        assert (err, n) == (MPI_SUCCESS, 16)
+        assert data == list(range(16))
+
+    def test_probe_and_wildcards(self):
+        def fn(comm):
+            if comm.rank == 0:
+                capi.MPI_Send(comm, b"xyz", 3, capi.MPI_BYTE, 1, 3)
+                return None
+            err, st = capi.MPI_Probe(comm, capi.MPI_ANY_SOURCE,
+                                     capi.MPI_ANY_TAG)
+            assert err == MPI_SUCCESS
+            buf = bytearray(st.nbytes)
+            capi.MPI_Recv(comm, buf, st.nbytes, capi.MPI_BYTE, st.source,
+                          st.tag)
+            return bytes(buf)
+
+        assert run(fn, nprocs=2).results[1] == b"xyz"
+
+    def test_error_codes_not_exceptions(self):
+        def fn(comm):
+            return capi.MPI_Send(comm, b"x", 1, capi.MPI_BYTE, 99, 0)
+
+        res = run(fn, nprocs=2)
+        from repro import errors
+        assert res.results[0] == errors.MPI_ERR_RANK
+
+    def test_rank_size_barrier(self):
+        def fn(comm):
+            err, rank = capi.MPI_Comm_rank(comm)
+            err2, size = capi.MPI_Comm_size(comm)
+            err3 = capi.MPI_Barrier(comm)
+            return (err, err2, err3, rank, size)
+
+        res = run(fn, nprocs=3)
+        for r, (e1, e2, e3, rank, size) in enumerate(res.results):
+            assert e1 == e2 == e3 == MPI_SUCCESS
+            assert rank == r and size == 3

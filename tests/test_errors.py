@@ -1,0 +1,155 @@
+"""Error hierarchy and failure-injection tests.
+
+The paper stresses that callback error propagation is "crucial for
+serialization libraries that can fail in the case of invalid data"; these
+tests inject failures at every layer and check they surface cleanly instead
+of hanging or corrupting peers.
+"""
+
+import numpy as np
+import pytest
+
+from repro import errors
+from repro.core import Region, type_create_custom
+from repro.errors import (CallbackError, MPIError, RuntimeAbort,
+                          TruncationError, error_name)
+from repro.mpi import run
+
+
+class TestHierarchy:
+    def test_error_names(self):
+        assert error_name(errors.MPI_SUCCESS) == "MPI_SUCCESS"
+        assert error_name(errors.MPI_ERR_TRUNCATE) == "MPI_ERR_TRUNCATE"
+        assert "UNKNOWN" in error_name(424242)
+
+    def test_mpierror_carries_code(self):
+        e = MPIError(errors.MPI_ERR_TYPE, "bad type")
+        assert e.code == errors.MPI_ERR_TYPE
+        assert "MPI_ERR_TYPE" in str(e) and "bad type" in str(e)
+
+    def test_truncation_is_mpierror(self):
+        e = TruncationError("too big")
+        assert isinstance(e, MPIError)
+        assert e.code == errors.MPI_ERR_TRUNCATE
+
+    def test_callback_error_preserves_cause(self):
+        cause = ValueError("corrupt stream")
+        e = CallbackError("pack failed", cause=cause)
+        assert e.__cause__ is cause
+
+    def test_runtime_abort_message(self):
+        e = RuntimeAbort({1: ValueError("x"), 3: KeyError("y")})
+        assert "rank 1" in str(e) and "rank 3" in str(e)
+        assert set(e.failures) == {1, 3}
+
+
+def failing_type(where: str):
+    """A custom type whose ``where`` callback raises."""
+
+    def boom(*a):
+        raise ValueError(f"injected failure in {where}")
+
+    def ok_query(state, buf, count):
+        return 8
+
+    def ok_pack(state, buf, count, offset, dst):
+        n = min(dst.shape[0], 8 - offset)
+        dst[:n] = 7
+        return int(n)
+
+    def ok_unpack(state, buf, count, offset, src):
+        pass
+
+    kw = dict(query_fn=ok_query, pack_fn=ok_pack, unpack_fn=ok_unpack)
+    if where == "query":
+        kw["query_fn"] = boom
+    elif where == "pack":
+        kw["pack_fn"] = boom
+    elif where == "unpack":
+        kw["unpack_fn"] = boom
+    elif where == "state":
+        kw["state_fn"] = boom
+    elif where == "regions":
+        kw["region_count_fn"] = lambda s, b, c: 1
+        kw["region_fn"] = boom
+    return type_create_custom(**kw)
+
+
+class TestSendSideInjection:
+    @pytest.mark.parametrize("where", ["query", "pack", "state", "regions"])
+    def test_send_callback_failure_aborts_cleanly(self, where):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send(object(), dest=1, datatype=failing_type(where))
+            else:
+                # The receive can never be satisfied; fail fast via iprobe.
+                pass
+
+        with pytest.raises(RuntimeAbort) as ei:
+            run(fn, nprocs=2, timeout=10)
+        assert isinstance(ei.value.failures[0], CallbackError)
+        assert where in str(ei.value.failures[0].__cause__)
+
+
+class TestRecvSideInjection:
+    def test_unpack_failure_propagates_and_releases_sender(self):
+        def fn(comm):
+            if comm.rank == 0:
+                # Large enough to matter; iov is rendezvous-like so the
+                # sender blocks until the receiver acts.
+                comm.send(object(), dest=1, datatype=failing_type(None))
+                return "sent"
+            comm.recv(object(), source=0, datatype=failing_type("unpack"))
+
+        with pytest.raises(RuntimeAbort) as ei:
+            run(fn, nprocs=2, timeout=15)
+        # Rank 1 failed with the injected error; rank 0 either finished or
+        # was released with a transport error — it must NOT be deadlocked.
+        assert 1 in ei.value.failures
+        assert isinstance(ei.value.failures[1], CallbackError)
+
+    def test_region_length_mismatch_detected(self):
+        def make(nbytes):
+            payload = np.zeros(nbytes, np.uint8)
+            return type_create_custom(
+                query_fn=lambda s, b, c: 0,
+                region_count_fn=lambda s, b, c: 1,
+                region_fn=lambda s, b, c, n: [Region(payload)])
+
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send(object(), dest=1, datatype=make(100))
+            else:
+                comm.recv(object(), source=0, datatype=make(50))
+
+        with pytest.raises(RuntimeAbort) as ei:
+            run(fn, nprocs=2, timeout=15)
+        assert isinstance(ei.value.failures[1], MPIError)
+
+    def test_truncation_over_mpi(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send(np.zeros(100, np.uint8), dest=1)
+            else:
+                comm.recv(np.zeros(10, np.uint8), source=0, count=10)
+
+        with pytest.raises(RuntimeAbort) as ei:
+            run(fn, nprocs=2, timeout=10)
+        assert isinstance(ei.value.failures[1], TruncationError)
+
+    def test_failure_does_not_poison_other_traffic(self):
+        """A failed transfer on one tag must not corrupt a later one."""
+        def fn(comm):
+            if comm.rank == 0:
+                try:
+                    comm.send(object(), dest=1, datatype=failing_type("pack"),
+                              tag=1)
+                except CallbackError:
+                    pass
+                comm.send(np.full(16, 9, np.uint8), dest=1, tag=2)
+                return None
+            buf = np.zeros(16, np.uint8)
+            comm.recv(buf, source=0, tag=2)
+            return int(buf.sum())
+
+        assert run(fn, nprocs=2).results[1] == 144

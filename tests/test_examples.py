@@ -1,0 +1,45 @@
+"""Every example script must run to completion (they self-verify)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+SCRIPTS = ["quickstart.py", "particle_exchange.py", "halo_exchange.py",
+           "python_objects.py", "capi_pingpong.py", "stencil_cart.py"]
+
+
+@pytest.mark.parametrize("script", SCRIPTS)
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True, text=True, timeout=300)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "examples must report what they did"
+
+
+def test_paper_figures_cli_list():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / "paper_figures.py"), "--list"],
+        capture_output=True, text=True, timeout=60)
+    assert proc.returncode == 0
+    for fid in ("fig1", "fig10", "table1"):
+        assert fid in proc.stdout
+
+
+def test_paper_figures_cli_single():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / "paper_figures.py"), "table1"],
+        capture_output=True, text=True, timeout=120)
+    assert proc.returncode == 0
+    assert "MILC" in proc.stdout
+
+
+def test_paper_figures_cli_unknown():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / "paper_figures.py"), "fig99"],
+        capture_output=True, text=True, timeout=60)
+    assert proc.returncode == 2

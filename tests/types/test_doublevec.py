@@ -1,0 +1,133 @@
+"""double-vector type tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import pack_all, unpack_all
+from repro.mpi import run
+from repro.types import DoubleVec, double_vec_custom_datatype
+
+
+class TestUniform:
+    def test_splits_evenly(self):
+        dv = DoubleVec.uniform(8192, 1024)
+        assert len(dv.vectors) == 8
+        assert all(v.nbytes == 1024 for v in dv.vectors)
+        assert dv.total_bytes == 8192
+
+    def test_remainder_vector(self):
+        dv = DoubleVec.uniform(2500, 1024)
+        assert [v.nbytes for v in dv.vectors] == [1024, 1024, 452]
+
+    def test_small_message_single_subvec(self):
+        """Paper: below the sub-vector size, one sub-vector of message size."""
+        dv = DoubleVec.uniform(256, 1024)
+        assert len(dv.vectors) == 1
+        assert dv.vectors[0].nbytes == 256
+
+    def test_header_bytes(self):
+        dv = DoubleVec.uniform(4096, 1024)
+        assert dv.header_bytes == 8 * (1 + 4)
+
+    def test_equality(self):
+        assert DoubleVec.uniform(1000, 100) == DoubleVec.uniform(1000, 100)
+        assert DoubleVec.uniform(1000, 100) != DoubleVec.uniform(1000, 200)
+        assert DoubleVec() == DoubleVec()
+
+
+class TestManualPack:
+    @pytest.mark.parametrize("total,sub", [(64, 64), (4096, 512), (10000, 999)])
+    def test_roundtrip(self, total, sub):
+        dv = DoubleVec.uniform(total, sub)
+        packed = dv.manual_pack()
+        got = DoubleVec.manual_unpack(packed)
+        assert got == dv
+
+    def test_empty(self):
+        dv = DoubleVec()
+        assert DoubleVec.manual_unpack(dv.manual_pack()) == dv
+
+    def test_packed_layout(self):
+        dv = DoubleVec([np.array([1, 2], dtype=np.int32)])
+        packed = dv.manual_pack()
+        assert int(packed[:8].view("<i8")[0]) == 1      # nvec
+        assert int(packed[8:16].view("<i8")[0]) == 2    # len
+        assert packed[16:].view(np.int32).tolist() == [1, 2]
+
+
+class TestCustomDatatype:
+    def test_header_inband_vectors_as_regions(self):
+        dv = DoubleVec.uniform(4096, 1024)
+        dt = double_vec_custom_datatype()
+        packed, regions = pack_all(dt, dv, 1)
+        assert len(packed) == dv.header_bytes
+        assert [r.nbytes for r in regions] == [1024] * 4
+
+    def test_receive_allocates_from_lengths(self):
+        src = DoubleVec.uniform(5000, 700)
+        dt = double_vec_custom_datatype()
+        packed, regions = pack_all(dt, src, 1)
+        dst = DoubleVec()
+        unpack_all(dt, dst, 1, packed,
+                   [bytes(r.read_bytes()) for r in regions])
+        assert dst == src
+
+    def test_empty_container(self):
+        dt = double_vec_custom_datatype()
+        packed, regions = pack_all(dt, DoubleVec(), 1)
+        assert len(packed) == 8 and regions == []
+
+    def test_zero_length_subvectors(self):
+        src = DoubleVec([np.zeros(0, np.int32), np.arange(3, dtype=np.int32)])
+        dt = double_vec_custom_datatype()
+        packed, regions = pack_all(dt, src, 1)
+        dst = DoubleVec()
+        unpack_all(dt, dst, 1, packed,
+                   [bytes(r.read_bytes()) for r in regions])
+        assert dst == src
+
+    def test_wrong_buffer_type_rejected(self):
+        from repro.errors import CallbackError
+        dt = double_vec_custom_datatype()
+        with pytest.raises(CallbackError):
+            pack_all(dt, "not a doublevec", 1)
+
+    def test_inorder_flag_set(self):
+        assert double_vec_custom_datatype().inorder
+
+    @given(st.lists(st.integers(0, 200), min_size=0, max_size=20),
+           st.integers(1, 64))
+    def test_roundtrip_random_lengths(self, lengths, frag):
+        src = DoubleVec([np.arange(n, dtype=np.int32) * 3 for n in lengths])
+        dt = double_vec_custom_datatype()
+        packed, regions = pack_all(dt, src, 1, frag_size=frag)
+        dst = DoubleVec()
+        unpack_all(dt, dst, 1, packed,
+                   [bytes(r.read_bytes()) for r in regions],
+                   frag_size=frag)
+        assert dst == src
+
+
+class TestOverMPI:
+    @pytest.mark.parametrize("total,sub", [(64, 1024), (100_000, 1024),
+                                           (100_000, 64)])
+    def test_pingpong(self, total, sub):
+        dt = double_vec_custom_datatype()
+
+        def fn(comm):
+            if comm.rank == 0:
+                dv = DoubleVec.uniform(total, sub)
+                comm.send(dv, dest=1, datatype=dt)
+                back = DoubleVec()
+                comm.recv(back, source=1, datatype=dt)
+                return dv == back
+            dv = DoubleVec()
+            comm.recv(dv, source=0, datatype=dt)
+            comm.send(dv, dest=0, datatype=dt)
+            return dv.total_bytes
+
+        res = run(fn, nprocs=2)
+        assert res.results[0] is True
+        assert res.results[1] == total

@@ -1,0 +1,183 @@
+"""Paper struct types: layouts, packing methods, cross-method agreement."""
+
+import numpy as np
+import pytest
+
+from repro.core import pack, pack_all, unpack, unpack_all
+from repro.types import (STRUCT_SIMPLE, STRUCT_SIMPLE_NO_GAP,
+                         STRUCT_SIMPLE_NO_GAP_PACKED, STRUCT_SIMPLE_PACKED,
+                         STRUCT_VEC, STRUCT_VEC_DATA_LEN, STRUCT_VEC_PACKED,
+                         make_struct_simple, make_struct_simple_no_gap,
+                         make_struct_vec, manual_pack_struct_simple,
+                         manual_pack_struct_simple_no_gap,
+                         manual_pack_struct_vec, manual_unpack_struct_simple,
+                         manual_unpack_struct_simple_no_gap,
+                         manual_unpack_struct_vec,
+                         struct_simple_custom_datatype, struct_simple_datatype,
+                         struct_simple_no_gap_custom_datatype,
+                         struct_simple_no_gap_datatype,
+                         struct_vec_custom_datatype, struct_vec_datatype)
+
+
+class TestLayouts:
+    """Byte layouts must match #[repr(C)] exactly (Listings 6-8)."""
+
+    def test_struct_simple(self):
+        assert STRUCT_SIMPLE.itemsize == 24  # 4B gap before d
+        assert [STRUCT_SIMPLE.fields[n][1] for n in "abcd"] == [0, 4, 8, 16]
+        assert STRUCT_SIMPLE_PACKED == 20
+
+    def test_struct_simple_no_gap(self):
+        assert STRUCT_SIMPLE_NO_GAP.itemsize == 16
+        assert [STRUCT_SIMPLE_NO_GAP.fields[n][1] for n in "abc"] == [0, 4, 8]
+        assert STRUCT_SIMPLE_NO_GAP_PACKED == 16
+
+    def test_struct_vec(self):
+        assert STRUCT_VEC.itemsize == 24 + 4 * STRUCT_VEC_DATA_LEN
+        assert STRUCT_VEC.fields["data"][1] == 24
+        assert STRUCT_VEC_PACKED == 20 + 4 * STRUCT_VEC_DATA_LEN
+
+    def test_derived_types_match_layouts(self):
+        assert struct_simple_datatype().extent == 24
+        assert struct_simple_datatype().size == 20
+        assert struct_simple_no_gap_datatype().extent == 16
+        assert struct_simple_no_gap_datatype().size == 16
+        assert struct_simple_no_gap_datatype().is_contiguous
+        assert not struct_simple_datatype().is_contiguous
+        assert struct_vec_datatype().size == STRUCT_VEC_PACKED
+
+    def test_gap_is_the_only_difference(self):
+        """no-gap is contiguous, gapped is not: the Fig. 5 vs 6 contrast."""
+        assert struct_simple_datatype().has_gaps
+        assert not struct_simple_no_gap_datatype().has_gaps
+
+
+@pytest.mark.parametrize("count", [1, 2, 17, 256])
+class TestStructSimpleMethods:
+    def test_manual_roundtrip(self, count):
+        arr = make_struct_simple(count)
+        packed = manual_pack_struct_simple(arr)
+        assert packed.shape[0] == count * 20
+        out = np.zeros(count, STRUCT_SIMPLE)
+        manual_unpack_struct_simple(packed, out)
+        assert (out == arr).all()
+
+    def test_manual_matches_derived_pack(self, count):
+        """manual pack and the datatype engine produce identical streams."""
+        arr = make_struct_simple(count)
+        assert bytes(manual_pack_struct_simple(arr)) == \
+            bytes(pack(struct_simple_datatype(), arr, count))
+
+    def test_custom_roundtrip(self, count):
+        arr = make_struct_simple(count)
+        dt = struct_simple_custom_datatype()
+        packed, regions = pack_all(dt, arr, count)
+        assert len(packed) == count * 20 and not regions
+        out = np.zeros(count, STRUCT_SIMPLE)
+        unpack_all(dt, out, count, packed)
+        assert (out == arr).all()
+
+    def test_custom_matches_manual(self, count):
+        arr = make_struct_simple(count)
+        packed, _ = pack_all(struct_simple_custom_datatype(), arr, count)
+        assert packed == bytes(manual_pack_struct_simple(arr))
+
+
+@pytest.mark.parametrize("count", [1, 3, 64])
+class TestStructNoGapMethods:
+    def test_manual_roundtrip(self, count):
+        arr = make_struct_simple_no_gap(count)
+        packed = manual_pack_struct_simple_no_gap(arr)
+        out = np.zeros(count, STRUCT_SIMPLE_NO_GAP)
+        manual_unpack_struct_simple_no_gap(packed, out)
+        assert (out == arr).all()
+
+    def test_custom_roundtrip(self, count):
+        arr = make_struct_simple_no_gap(count)
+        dt = struct_simple_no_gap_custom_datatype()
+        packed, regions = pack_all(dt, arr, count)
+        assert len(packed) == count * 16 and not regions
+        out = np.zeros(count, STRUCT_SIMPLE_NO_GAP)
+        unpack_all(dt, out, count, packed)
+        assert (out == arr).all()
+
+    def test_pack_is_identity(self, count):
+        """Without a gap the packed stream is the raw memory."""
+        arr = make_struct_simple_no_gap(count)
+        assert bytes(manual_pack_struct_simple_no_gap(arr)) == arr.tobytes()
+
+
+@pytest.mark.parametrize("count", [1, 2, 5])
+class TestStructVecMethods:
+    def test_manual_roundtrip(self, count):
+        arr = make_struct_vec(count)
+        packed = manual_pack_struct_vec(arr)
+        assert packed.shape[0] == count * STRUCT_VEC_PACKED
+        out = np.zeros(count, STRUCT_VEC)
+        manual_unpack_struct_vec(packed, out)
+        assert (out == arr).all()
+
+    def test_manual_matches_derived(self, count):
+        arr = make_struct_vec(count)
+        assert bytes(manual_pack_struct_vec(arr)) == \
+            bytes(pack(struct_vec_datatype(), arr, count))
+
+    def test_custom_regions_per_element(self, count):
+        arr = make_struct_vec(count)
+        dt = struct_vec_custom_datatype()
+        packed, regions = pack_all(dt, arr, count)
+        assert len(packed) == count * 20  # only scalars in-band
+        assert len(regions) == count
+        assert all(r.nbytes == 4 * STRUCT_VEC_DATA_LEN for r in regions)
+
+    def test_custom_roundtrip(self, count):
+        arr = make_struct_vec(count)
+        dt = struct_vec_custom_datatype()
+        packed, regions = pack_all(dt, arr, count)
+        out = np.zeros(count, STRUCT_VEC)
+        unpack_all(dt, out, count, packed,
+                   [bytes(r.read_bytes()) for r in regions])
+        assert (out == arr).all()
+
+    def test_derived_roundtrip(self, count):
+        arr = make_struct_vec(count)
+        t = struct_vec_datatype()
+        p = pack(t, arr, count)
+        out = np.zeros(count, STRUCT_VEC)
+        unpack(t, out, count, p)
+        assert (out == arr).all()
+
+
+class TestOverMPI:
+    def test_all_methods_agree_over_the_wire(self):
+        from repro.mpi import run
+        count = 8
+
+        def fn(comm):
+            arr = make_struct_simple(count)
+            results = {}
+            if comm.rank == 0:
+                comm.send(arr, dest=1, tag=1,
+                          datatype=struct_simple_datatype(), count=count)
+                comm.send(arr, dest=1, tag=2,
+                          datatype=struct_simple_custom_datatype(), count=count)
+                comm.send(manual_pack_struct_simple(arr), dest=1, tag=3)
+            else:
+                a = np.zeros(count, STRUCT_SIMPLE)
+                comm.recv(a, source=0, tag=1,
+                          datatype=struct_simple_datatype(), count=count)
+                b = np.zeros(count, STRUCT_SIMPLE)
+                comm.recv(b, source=0, tag=2,
+                          datatype=struct_simple_custom_datatype(), count=count)
+                packed = np.zeros(count * 20, np.uint8)
+                comm.recv(packed, source=0, tag=3)
+                c = np.zeros(count, STRUCT_SIMPLE)
+                manual_unpack_struct_simple(packed, c)
+                results = dict(a=a, b=b, c=c)
+            return results
+
+        res = run(fn, nprocs=2)
+        got = res.results[1]
+        want = make_struct_simple(count)
+        for k in "abc":
+            assert (got[k] == want).all(), k

@@ -1,0 +1,62 @@
+"""Tag packing/masking tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ucp.constants import (TAG_FULL_MASK, match_mask, pack_tag,
+                                 unpack_tag)
+
+
+class TestPackTag:
+    def test_roundtrip(self):
+        t = pack_tag(3, 17, 12345)
+        assert unpack_tag(t) == (3, 17, 12345)
+
+    def test_zero(self):
+        assert unpack_tag(pack_tag(0, 0, 0)) == (0, 0, 0)
+
+    def test_ranges_enforced(self):
+        with pytest.raises(ValueError):
+            pack_tag(0, 0, 1 << 32)
+        with pytest.raises(ValueError):
+            pack_tag(0, 1 << 16, 0)
+        with pytest.raises(ValueError):
+            pack_tag(1 << 16, 0, 0)
+        with pytest.raises(ValueError):
+            pack_tag(0, 0, -1)
+
+    @given(st.integers(0, (1 << 16) - 1), st.integers(0, (1 << 16) - 1),
+           st.integers(0, (1 << 32) - 1))
+    def test_roundtrip_property(self, comm, src, tag):
+        assert unpack_tag(pack_tag(comm, src, tag)) == (comm, src, tag)
+
+    @given(st.integers(0, (1 << 16) - 1), st.integers(0, (1 << 16) - 1),
+           st.integers(0, (1 << 32) - 1))
+    def test_fits_in_64_bits(self, comm, src, tag):
+        assert 0 <= pack_tag(comm, src, tag) <= TAG_FULL_MASK
+
+
+class TestMatchMask:
+    def test_full(self):
+        assert match_mask(False, False) == TAG_FULL_MASK
+
+    @given(st.integers(0, 15), st.integers(0, 99), st.integers(0, 99),
+           st.integers(0, 999), st.integers(0, 999))
+    def test_any_source_ignores_source(self, comm, s1, s2, t1, t2):
+        mask = match_mask(True, False)
+        a = pack_tag(comm, s1, t1)
+        b = pack_tag(comm, s2, t1)
+        c = pack_tag(comm, s1, t2)
+        assert (a & mask) == (b & mask)
+        assert ((a & mask) == (c & mask)) == (t1 == t2)
+
+    @given(st.integers(0, 15), st.integers(0, 99), st.integers(0, 999),
+           st.integers(0, 999))
+    def test_any_tag_ignores_tag(self, comm, src, t1, t2):
+        mask = match_mask(False, True)
+        assert (pack_tag(comm, src, t1) & mask) == (pack_tag(comm, src, t2) & mask)
+
+    def test_comm_never_wildcarded(self):
+        mask = match_mask(True, True)
+        assert (pack_tag(1, 0, 0) & mask) != (pack_tag(2, 0, 0) & mask)

@@ -1,0 +1,273 @@
+"""Transport end-to-end tests: workers, endpoints, delivery, timing."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import TransportError, TruncationError
+from repro.ucp import (ContigData, GenericData, HandlerData, IovData,
+                       UcpConfig, UcpContext, pack_tag)
+from repro.ucp.netsim import LinkParams
+
+
+def make_pair(params=None):
+    config = UcpConfig(params=params) if params else UcpConfig()
+    fab = UcpContext(config).create_fabric(2)
+    return fab.workers
+
+
+def xfer(send_fn, recv_fn, timeout=10):
+    """Run sender and receiver concurrently; re-raise failures."""
+    errors = []
+
+    def wrap(fn):
+        def run():
+            try:
+                fn()
+            except BaseException as e:  # pragma: no cover - surfaced below
+                errors.append(e)
+        return run
+
+    ts = [threading.Thread(target=wrap(send_fn), daemon=True),
+          threading.Thread(target=wrap(recv_fn), daemon=True)]
+    for t in ts:
+        t.start()
+    for t in ts:
+        t.join(timeout=timeout)
+        assert not t.is_alive(), "transfer deadlocked"
+    if errors:
+        raise errors[0]
+
+
+TAG = pack_tag(0, 0, 1)
+
+
+class TestContigTransfer:
+    @pytest.mark.parametrize("n", [0, 1, 100, 32 * 1024, 100_000])
+    def test_roundtrip(self, n):
+        w0, w1 = make_pair()
+        src = np.arange(n, dtype=np.uint8) if n else np.zeros(0, np.uint8)
+        dst = np.zeros(n, np.uint8)
+
+        xfer(lambda: w0.endpoint(1).tag_send(TAG, ContigData(src)).wait(),
+             lambda: w1.tag_recv(TAG, ContigData(dst, writable=True)).wait())
+        assert np.array_equal(src, dst)
+
+    def test_eager_sender_can_reuse_buffer(self):
+        w0, w1 = make_pair()
+        src = np.full(64, 7, np.uint8)
+        req = w0.endpoint(1).tag_send(TAG, ContigData(src))
+        assert req.test()  # eager completes locally
+        src[:] = 99  # reuse before the receiver shows up
+        dst = np.zeros(64, np.uint8)
+        w1.tag_recv(TAG, ContigData(dst, writable=True)).wait()
+        assert (dst == 7).all()  # the wire copy was taken at injection
+
+    def test_rndv_send_blocks_until_receiver(self):
+        w0, w1 = make_pair()
+        n = 100_000  # > eager limit
+        src = np.full(n, 3, np.uint8)
+        req = w0.endpoint(1).tag_send(TAG, ContigData(src))
+        assert not req.test()
+        dst = np.zeros(n, np.uint8)
+        w1.tag_recv(TAG, ContigData(dst, writable=True)).wait()
+        req.wait()
+        assert req.test()
+        assert (dst == 3).all()
+
+    def test_rndv_wait_timeout(self):
+        w0, _ = make_pair()
+        req = w0.endpoint(1).tag_send(TAG, ContigData(np.zeros(100_000, np.uint8)))
+        with pytest.raises(TransportError):
+            req.wait(timeout=0.05)
+
+    def test_truncation_detected(self):
+        w0, w1 = make_pair()
+        src = np.zeros(100, np.uint8)
+        dst = np.zeros(50, np.uint8)
+        with pytest.raises(TruncationError):
+            xfer(lambda: w0.endpoint(1).tag_send(TAG, ContigData(src)).wait(),
+                 lambda: w1.tag_recv(TAG, ContigData(dst, writable=True)).wait())
+
+    def test_shorter_message_into_larger_buffer_ok(self):
+        w0, w1 = make_pair()
+        src = np.full(10, 5, np.uint8)
+        dst = np.zeros(100, np.uint8)
+        xfer(lambda: w0.endpoint(1).tag_send(TAG, ContigData(src)).wait(),
+             lambda: w1.tag_recv(TAG, ContigData(dst, writable=True)).wait())
+        assert (dst[:10] == 5).all() and (dst[10:] == 0).all()
+
+    def test_readonly_recv_rejected(self):
+        _, w1 = make_pair()
+        buf = np.zeros(8, np.uint8)
+        buf.flags.writeable = False
+        with pytest.raises(TransportError):
+            ContigData(buf, writable=True)
+
+
+class TestIovTransfer:
+    def test_scatter_gather(self):
+        w0, w1 = make_pair()
+        parts = [np.arange(n, dtype=np.uint8) for n in (5, 0, 17, 256)]
+        dsts = [np.zeros(n, np.uint8) for n in (5, 0, 17, 256)]
+        xfer(lambda: w0.endpoint(1).tag_send(
+                TAG, IovData(parts, packed_entries=1)).wait(),
+             lambda: w1.tag_recv(TAG, IovData(dsts, writable=True)).wait())
+        for p, d in zip(parts, dsts):
+            assert np.array_equal(p, d)
+
+    def test_entry_count_mismatch(self):
+        w0, w1 = make_pair()
+        with pytest.raises(TruncationError):
+            xfer(lambda: w0.endpoint(1).tag_send(
+                    TAG, IovData([np.zeros(4, np.uint8)] * 2)).wait(),
+                 lambda: w1.tag_recv(
+                    TAG, IovData([np.zeros(4, np.uint8)], writable=True)).wait())
+
+    def test_entry_too_long(self):
+        w0, w1 = make_pair()
+        with pytest.raises(TruncationError):
+            xfer(lambda: w0.endpoint(1).tag_send(
+                    TAG, IovData([np.zeros(8, np.uint8)])).wait(),
+                 lambda: w1.tag_recv(
+                    TAG, IovData([np.zeros(4, np.uint8)], writable=True)).wait())
+
+    def test_header_reports_framing(self):
+        w0, w1 = make_pair()
+        parts = [np.zeros(3, np.uint8), np.zeros(9, np.uint8)]
+        info_holder = []
+
+        def recv():
+            dsts = [np.zeros(3, np.uint8), np.zeros(9, np.uint8)]
+            info_holder.append(
+                w1.tag_recv(TAG, IovData(dsts, writable=True)).wait())
+
+        xfer(lambda: w0.endpoint(1).tag_send(
+                TAG, IovData(parts, packed_entries=1)).wait(), recv)
+        info = info_holder[0]
+        assert info.entry_lengths == (3, 9)
+        assert info.packed_entries == 1
+        assert info.nbytes == 12
+
+    def test_bad_packed_entries(self):
+        with pytest.raises(TransportError):
+            IovData([np.zeros(1, np.uint8)], packed_entries=2)
+
+
+class TestGenericTransfer:
+    def test_pack_pipeline(self):
+        w0, w1 = make_pair()
+        payload = np.arange(50_000, dtype=np.uint8)
+        out = np.zeros_like(payload)
+        offsets = []
+
+        def packfn(off, dst):
+            n = min(dst.shape[0], payload.shape[0] - off)
+            dst[:n] = payload[off:off + n]
+            return int(n)
+
+        def unpackfn(off, src):
+            offsets.append(off)
+            out[off:off + src.shape[0]] = src
+
+        xfer(lambda: w0.endpoint(1).tag_send(
+                TAG, GenericData(payload.shape[0], pack=packfn)).wait(),
+             lambda: w1.tag_recv(
+                TAG, GenericData(payload.shape[0], unpack=unpackfn)).wait())
+        assert np.array_equal(out, payload)
+        assert offsets == sorted(offsets)
+        assert len(offsets) > 1  # actually fragmented
+
+    def test_send_only_generic_cannot_recv(self):
+        _, w1 = make_pair()
+        g = GenericData(10, pack=lambda o, d: len(d))
+        req = w1.tag_recv(TAG, g)
+        w1.endpoint(1)  # no-op, just exercise
+        # deliver directly
+        from repro.ucp.wire import WireHeader, WireMessage
+        msg = WireMessage(WireHeader(tag=TAG, source=0, total_bytes=0),
+                          [], 0.0, 0.0, False, 0.0)
+        with pytest.raises(TransportError):
+            w1.deliver(msg, g)
+
+    def test_needs_some_callback(self):
+        with pytest.raises(TransportError):
+            GenericData(10)
+
+
+class TestHandlerTransfer:
+    def test_handler_runs_on_receiver(self):
+        w0, w1 = make_pair()
+        seen = {}
+
+        def handler(msg):
+            seen["chunks"] = [c.copy() for c in msg.chunks]
+            seen["thread"] = threading.current_thread().name
+            return msg.header.total_bytes
+
+        def recv():
+            threading.current_thread().name = "receiver-thread"
+            w1.tag_recv(TAG, HandlerData(handler)).wait()
+
+        xfer(lambda: w0.endpoint(1).tag_send(
+                TAG, IovData([np.full(4, 9, np.uint8)])).wait(), recv)
+        assert (seen["chunks"][0] == 9).all()
+        assert seen["thread"] == "receiver-thread"
+
+    def test_handler_max_bytes(self):
+        w0, w1 = make_pair()
+        with pytest.raises(TruncationError):
+            xfer(lambda: w0.endpoint(1).tag_send(
+                    TAG, ContigData(np.zeros(100, np.uint8))).wait(),
+                 lambda: w1.tag_recv(
+                    TAG, HandlerData(lambda m: 0, max_bytes=50)).wait())
+
+
+class TestVirtualTime:
+    def test_clocks_advance(self):
+        w0, w1 = make_pair()
+        src, dst = np.zeros(1000, np.uint8), np.zeros(1000, np.uint8)
+        xfer(lambda: w0.endpoint(1).tag_send(TAG, ContigData(src)).wait(),
+             lambda: w1.tag_recv(TAG, ContigData(dst, writable=True)).wait())
+        assert w0.clock.now > 0
+        assert w1.clock.now > w0.clock.now * 0.5  # receiver saw delivery
+
+    def test_receiver_not_before_arrival(self):
+        params = LinkParams(latency=1e-3)  # huge latency
+        w0, w1 = make_pair(params)
+        src, dst = np.zeros(8, np.uint8), np.zeros(8, np.uint8)
+        xfer(lambda: w0.endpoint(1).tag_send(TAG, ContigData(src)).wait(),
+             lambda: w1.tag_recv(TAG, ContigData(dst, writable=True)).wait())
+        assert w1.clock.now >= 1e-3
+
+    def test_probe_charges_time(self):
+        _, w1 = make_pair()
+        before = w1.clock.now
+        w1.tag_probe(TAG)
+        assert w1.clock.now > before
+
+
+class TestMemoryTracker:
+    def test_allocation_accounting(self):
+        w0, _ = make_pair()
+        buf = w0.memory.allocate(1000, w0.clock, w0.model)
+        snap = w0.memory.snapshot()
+        assert snap["live_bytes"] == 1000
+        assert snap["peak_bytes"] == 1000
+        assert snap["allocation_count"] == 1
+        w0.memory.release(buf)
+        assert w0.memory.snapshot()["live_bytes"] == 0
+
+    def test_peak_tracks_maximum(self):
+        w0, _ = make_pair()
+        a = w0.memory.allocate(100)
+        b = w0.memory.allocate(200)
+        w0.memory.release(a)
+        c = w0.memory.allocate(50)
+        assert w0.memory.snapshot()["peak_bytes"] == 300
+
+    def test_negative_alloc_rejected(self):
+        w0, _ = make_pair()
+        with pytest.raises(ValueError):
+            w0.memory.allocate(-1)

@@ -1,0 +1,104 @@
+"""Node-locality link model and message tracing tests."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import run
+from repro.ucp.netsim import DEFAULT_PARAMS, LinkParams
+
+
+def one_way(src, dst, nprocs, params):
+    def fn(comm):
+        if comm.rank == src:
+            comm.send(np.zeros(4096, np.uint8), dest=dst)
+        elif comm.rank == dst:
+            comm.recv(np.zeros(4096, np.uint8), source=src)
+            return comm.clock.now
+        return None
+
+    return run(fn, nprocs=nprocs, params=params).results[dst]
+
+
+class TestNodeLocality:
+    def test_same_node_detection(self):
+        p = DEFAULT_PARAMS.with_overrides(ranks_per_node=2)
+        assert p.same_node(0, 1)
+        assert not p.same_node(1, 2)
+        assert p.same_node(2, 3)
+
+    def test_default_is_all_internode(self):
+        assert not DEFAULT_PARAMS.same_node(0, 1)
+
+    def test_intra_node_faster(self):
+        p = DEFAULT_PARAMS.with_overrides(ranks_per_node=2)
+        intra = one_way(0, 1, 4, p)
+        inter = one_way(0, 2, 4, p)
+        assert intra < inter
+
+    def test_uniform_without_nodes(self):
+        intra = one_way(0, 1, 4, DEFAULT_PARAMS)
+        inter = one_way(0, 2, 4, DEFAULT_PARAMS)
+        assert intra == pytest.approx(inter, rel=1e-9)
+
+    def test_intra_variant_params(self):
+        p = LinkParams(ranks_per_node=4)
+        v = p.intra_node_variant()
+        assert v.latency == p.intra_latency
+        assert v.bandwidth == p.intra_bandwidth
+        assert v.eager_limit == p.eager_limit
+
+
+class TestTracing:
+    def test_trace_disabled_by_default(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send(b"x", dest=1)
+            else:
+                comm.recv(bytearray(1), source=0)
+
+        res = run(fn, nprocs=2)
+        assert res.traces == [[], []]
+
+    def test_send_recv_events_pair_up(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send(np.zeros(100, np.uint8), dest=1, tag=5)
+            else:
+                comm.recv(np.zeros(100, np.uint8), source=0, tag=5)
+
+        res = run(fn, nprocs=2, trace_messages=True)
+        (send,) = res.traces[0]
+        (recv,) = res.traces[1]
+        assert send["event"] == "send" and recv["event"] == "recv"
+        assert send["msg_id"] == recv["msg_id"]
+        assert send["bytes"] == recv["bytes"] == 100
+        assert recv["t"] >= send["t"]
+
+    def test_protocols_visible_in_trace(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send(np.zeros(100, np.uint8), dest=1, tag=1)
+                comm.send(np.zeros(1 << 17, np.uint8), dest=1, tag=2)
+            else:
+                comm.recv(np.zeros(100, np.uint8), source=0, tag=1)
+                comm.recv(np.zeros(1 << 17, np.uint8), source=0, tag=2)
+
+        res = run(fn, nprocs=2, trace_messages=True)
+        protos = [e["protocol"] for e in res.traces[0]]
+        assert protos == ["eager", "rndv"]
+
+    def test_custom_type_iov_trace(self):
+        from repro.types import DoubleVec, double_vec_custom_datatype
+
+        def fn(comm):
+            dt = double_vec_custom_datatype()
+            if comm.rank == 0:
+                comm.send(DoubleVec.uniform(8192, 2048), dest=1, datatype=dt)
+            else:
+                dv = DoubleVec()
+                comm.recv(dv, source=0, datatype=dt)
+
+        res = run(fn, nprocs=2, trace_messages=True)
+        (send,) = res.traces[0]
+        assert send["protocol"] == "iov"
+        assert send["entries"] == 1 + 4  # header fragment + four regions

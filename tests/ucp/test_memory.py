@@ -1,0 +1,68 @@
+"""MemoryTracker unit tests."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.ucp.memory import MemoryTracker
+from repro.ucp.netsim import CostModel, VirtualClock
+
+
+class TestMemoryTracker:
+    def test_allocate_returns_zeroed_buffer(self):
+        t = MemoryTracker()
+        buf = t.allocate(64)
+        assert buf.shape == (64,)
+        assert (buf == 0).all()
+
+    def test_charges_clock_when_given(self):
+        t = MemoryTracker()
+        clock = VirtualClock()
+        model = CostModel()
+        t.allocate(1 << 20, clock, model)
+        assert clock.now == pytest.approx(model.alloc_time(1 << 20))
+
+    def test_no_charge_without_clock(self):
+        t = MemoryTracker()
+        t.allocate(1024)  # must not raise
+
+    def test_release_by_buffer_or_size(self):
+        t = MemoryTracker()
+        buf = t.allocate(100)
+        t.allocate(50)
+        t.release(buf)
+        assert t.snapshot()["live_bytes"] == 50
+        t.release(50)
+        assert t.snapshot()["live_bytes"] == 0
+
+    def test_release_never_negative(self):
+        t = MemoryTracker()
+        t.release(1000)
+        assert t.snapshot()["live_bytes"] == 0
+
+    def test_reset(self):
+        t = MemoryTracker()
+        t.allocate(10)
+        t.reset()
+        snap = t.snapshot()
+        assert snap == {"live_bytes": 0, "peak_bytes": 0,
+                        "total_allocated": 0, "allocation_count": 0}
+
+    def test_thread_safety_of_counters(self):
+        t = MemoryTracker()
+
+        def worker():
+            for _ in range(200):
+                t.allocate(10)
+                t.release(10)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        snap = t.snapshot()
+        assert snap["live_bytes"] == 0
+        assert snap["allocation_count"] == 1600
+        assert snap["total_allocated"] == 16000

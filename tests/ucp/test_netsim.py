@@ -1,0 +1,122 @@
+"""Cost model and virtual clock tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ucp.netsim import DEFAULT_PARAMS, CostModel, LinkParams, VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now == 0.0
+
+    def test_advance(self):
+        c = VirtualClock()
+        assert c.advance(1.5) == 1.5
+        assert c.advance(0.5) == 2.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1)
+
+    def test_merge_forward_only(self):
+        c = VirtualClock(10.0)
+        c.merge(5.0)
+        assert c.now == 10.0
+        c.merge(12.0)
+        assert c.now == 12.0
+
+
+class TestLinkParams:
+    def test_overrides(self):
+        p = DEFAULT_PARAMS.with_overrides(latency=9e-6)
+        assert p.latency == 9e-6
+        assert p.bandwidth == DEFAULT_PARAMS.bandwidth
+        assert DEFAULT_PARAMS.latency != 9e-6  # original untouched
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_PARAMS.latency = 0
+
+
+class TestCostModel:
+    def setup_method(self):
+        self.m = CostModel()
+
+    def test_wire_time_linear(self):
+        assert self.m.wire_time(0) == 0
+        assert self.m.wire_time(12_500_000_000) == pytest.approx(1.0)
+
+    def test_eager_below_rndv_at_tiny_sizes(self):
+        assert self.m.eager_time(64) < self.m.rndv_time(64)
+
+    def test_rndv_wins_at_huge_sizes(self):
+        n = 64 * 1024 * 1024
+        assert self.m.rndv_time(n) < self.m.eager_time(n)
+
+    def test_contig_switches_at_eager_limit(self):
+        lim = self.m.params.eager_limit
+        assert self.m.contig_time(lim) == self.m.eager_time(lim)
+        assert self.m.contig_time(lim + 1) == self.m.rndv_time(lim + 1)
+
+    def test_dip_exists_at_switch(self):
+        """Just past the eager limit the protocol switch hurts (Fig. 7)."""
+        lim = self.m.params.eager_limit
+        assert self.m.contig_time(lim + 1) > self.m.contig_time(lim)
+
+    def test_iov_charges_per_entry(self):
+        one = self.m.iov_time([4096])
+        many = self.m.iov_time([1] * 4096)
+        assert many > one
+
+    def test_iov_smooth_no_threshold(self):
+        """iov time is continuous in total bytes (no protocol switch)."""
+        lim = self.m.params.eager_limit
+        below = self.m.iov_time([lim])
+        above = self.m.iov_time([lim + 1])
+        assert above - below < 1e-9
+
+    def test_typemap_slower_than_copy_for_gapped(self):
+        # 1000 elements of a 2-block 20-byte struct.
+        walk = self.m.typemap_pack_time(2000, 20_000)
+        assert walk > 20_000 / self.m.params.eager_copy_bandwidth
+
+    def test_alloc_has_base_cost(self):
+        assert self.m.alloc_time(0) == pytest.approx(self.m.params.alloc_base)
+
+    def test_pickle_time(self):
+        assert self.m.pickle_time(0) == pytest.approx(self.m.params.pickle_base)
+
+    def test_callback_and_frag_linear(self):
+        assert self.m.callback_time(10) == pytest.approx(
+            10 * self.m.params.callback_overhead)
+        assert self.m.frag_overhead(4) == pytest.approx(
+            4 * self.m.params.per_frag_overhead)
+
+
+class TestMonotonicity:
+    """Cost functions must be monotone in bytes (sanity of every figure)."""
+
+    @given(st.integers(0, 1 << 28), st.integers(0, 1 << 20))
+    def test_eager_monotone(self, n, d):
+        m = CostModel()
+        assert m.eager_time(n + d) >= m.eager_time(n)
+
+    @given(st.integers(0, 1 << 28), st.integers(0, 1 << 20))
+    def test_rndv_monotone(self, n, d):
+        m = CostModel()
+        assert m.rndv_time(n + d) >= m.rndv_time(n)
+
+    @given(st.lists(st.integers(0, 1 << 16), min_size=1, max_size=50))
+    def test_iov_bounded_by_parts(self, sizes):
+        m = CostModel()
+        whole = m.iov_time(sizes)
+        assert whole >= m.wire_time(sum(sizes))
+
+    @given(st.integers(1, 1 << 24))
+    def test_protocol_choice_never_catastrophic(self, n):
+        """contig_time is within 3x of the better protocol."""
+        m = CostModel()
+        best = min(m.eager_time(n), m.rndv_time(n))
+        assert m.contig_time(n) <= 3 * best

@@ -1,0 +1,73 @@
+"""Protocol planning tests: selection and cost-split consistency."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TransportError
+from repro.ucp.dtypes import ContigData, GenericData, IovData
+from repro.ucp.netsim import CostModel
+from repro.ucp.protocols import plan_send
+
+M = CostModel()
+
+
+def contig(n):
+    return ContigData(np.zeros(n, np.uint8))
+
+
+class TestSelection:
+    def test_small_contig_is_eager(self):
+        plan = plan_send(contig(64), M)
+        assert plan.protocol == "eager"
+        assert not plan.rndv
+        assert plan.eager_copy
+
+    def test_large_contig_is_rndv(self):
+        plan = plan_send(contig(M.params.eager_limit + 1), M)
+        assert plan.protocol == "rndv"
+        assert plan.rndv
+        assert not plan.eager_copy
+
+    def test_boundary_is_eager(self):
+        assert plan_send(contig(M.params.eager_limit), M).protocol == "eager"
+
+    def test_iov(self):
+        data = IovData([np.zeros(8, np.uint8), np.zeros(16, np.uint8)])
+        plan = plan_send(data, M)
+        assert plan.protocol == "iov"
+        assert plan.rndv and not plan.eager_copy
+
+    def test_generic(self):
+        g = GenericData(100, pack=lambda off, dst: len(dst))
+        plan = plan_send(g, M, frag_count=3)
+        assert plan.protocol == "generic"
+        assert plan.eager_copy
+
+    def test_unknown_descriptor_rejected(self):
+        with pytest.raises(TransportError):
+            plan_send(object(), M)
+
+
+class TestCostSplitConsistency:
+    """sender + wire + recv must equal the aggregate model times, so the
+    engine and the bench analytics can never disagree."""
+
+    @given(st.integers(0, 1 << 22))
+    def test_contig(self, n):
+        plan = plan_send(contig(n), M)
+        assert plan.total_one_way == pytest.approx(M.contig_time(n), rel=1e-12)
+
+    @given(st.lists(st.integers(1, 1 << 12), min_size=1, max_size=64))
+    def test_iov(self, sizes):
+        data = IovData([np.zeros(s, np.uint8) for s in sizes])
+        plan = plan_send(data, M)
+        assert plan.total_one_way == pytest.approx(M.iov_time(sizes), rel=1e-12)
+
+    @given(st.integers(0, 1 << 16))
+    def test_all_components_nonnegative(self, n):
+        plan = plan_send(contig(n), M)
+        assert plan.sender_cost >= 0
+        assert plan.wire_time >= 0
+        assert plan.recv_cost >= 0
