@@ -1,0 +1,42 @@
+"""Static analysis for repro MPI programs and datatypes.
+
+Three engines behind one CLI (``python -m repro.analyze`` or the
+``repro-analyze`` console script):
+
+* :mod:`~repro.analyze.typecheck` — datatype validity and layout
+  performance checks over typemaps (``RPD1xx``);
+* :mod:`~repro.analyze.contracts` — static signature checks plus a
+  transport-free symbolic harness for the seven custom-datatype callbacks
+  (``RPD2xx``);
+* :mod:`~repro.analyze.lint` — an AST linter for MPI usage mistakes in
+  application source (``RPD3xx``).
+
+All findings are :class:`~repro.analyze.diagnostics.Diagnostic` objects
+carrying a stable ``RPD###`` code, a severity, the nearest ``MPI_ERR_*``
+class, and a fix-it hint.
+"""
+
+from .contracts import (check_callback_signatures, run_contract_harness,
+                        verify_callbacks)
+from .diagnostics import (CODE_TABLE, CodeInfo, Diagnostic, SEVERITIES,
+                          severity_rank, sort_diagnostics)
+from .lint import lint_file, lint_source
+from .cli import main
+from .typecheck import analyze_datatype, assert_valid_datatype
+
+__all__ = [
+    "CODE_TABLE",
+    "CodeInfo",
+    "Diagnostic",
+    "SEVERITIES",
+    "analyze_datatype",
+    "assert_valid_datatype",
+    "check_callback_signatures",
+    "lint_file",
+    "lint_source",
+    "main",
+    "run_contract_harness",
+    "severity_rank",
+    "sort_diagnostics",
+    "verify_callbacks",
+]

@@ -1,0 +1,201 @@
+"""Command-line front end: ``python -m repro.analyze`` / ``repro-analyze``.
+
+Lints every ``.py`` file under the given paths; with ``--import`` it also
+imports each file and analyzes the module-level datatypes it defines (plus
+any ``ANALYZE_CONTRACT_CASES`` harness cases).  Exit status is 1 iff
+findings were reported, 2 on usage errors, 0 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import json
+import os
+import sys
+from typing import Optional
+
+from .contracts import verify_callbacks
+from .diagnostics import CODE_TABLE, Diagnostic, sort_diagnostics
+from .lint import lint_file
+from .typecheck import analyze_datatype
+
+#: JSON schema version; bump only on incompatible output changes.
+SCHEMA_VERSION = 1
+
+
+def _iter_py_files(paths):
+    """Expand files/directories into a sorted, deduplicated .py file list."""
+    seen = []
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(d for d in dirnames
+                                     if d != "__pycache__"
+                                     and not d.startswith("."))
+                for fn in sorted(filenames):
+                    if fn.endswith(".py"):
+                        seen.append(os.path.join(dirpath, fn))
+        elif os.path.isfile(path):
+            seen.append(path)
+        else:
+            raise FileNotFoundError(path)
+    out = []
+    for p in seen:
+        if p not in out:
+            out.append(p)
+    return out
+
+
+def _import_and_analyze(path: str) -> list[Diagnostic]:
+    """Import one file and analyze the datatypes it defines at module level.
+
+    Conventions: every module-level ``Datatype`` binding not starting with
+    ``_`` is checked statically; a module-level ``ANALYZE_CONTRACT_CASES``
+    list of dicts (``dtype``, ``send_buf``, optional ``recv_buf``/``count``/
+    ``frag_size``) additionally runs the symbolic contract harness.
+    """
+    from ..core.datatype import Datatype
+
+    modname = "_repro_analyze_" + os.path.basename(path)[:-3].replace(
+        "-", "_") + f"_{abs(hash(os.path.abspath(path))) % 10 ** 8}"
+    try:
+        spec = importlib.util.spec_from_file_location(modname, path)
+        mod = importlib.util.module_from_spec(spec)
+        sys.modules[modname] = mod
+        spec.loader.exec_module(mod)
+    except Exception as exc:
+        return [Diagnostic("RPD300",
+                           f"import failed: {type(exc).__name__}: {exc}",
+                           file=path)]
+    finally:
+        sys.modules.pop(modname, None)
+
+    diags: list[Diagnostic] = []
+    analyzed: set[int] = set()
+    for name, value in sorted(vars(mod).items()):
+        if name.startswith("_") or not isinstance(value, Datatype):
+            continue
+        if id(value) in analyzed:
+            continue
+        analyzed.add(id(value))
+        diags.extend(analyze_datatype(value, path=path))
+    for case in getattr(mod, "ANALYZE_CONTRACT_CASES", []):
+        try:
+            diags.extend(verify_callbacks(
+                case["dtype"], case.get("send_buf"),
+                recv_buf=case.get("recv_buf"),
+                count=case.get("count", 1),
+                frag_size=case.get("frag_size", 64), path=path))
+        except Exception as exc:
+            diags.append(Diagnostic(
+                "RPD300",
+                f"contract case {case.get('dtype')!r} could not run: "
+                f"{type(exc).__name__}: {exc}", file=path))
+    return diags
+
+
+def _matches(code: str, patterns) -> bool:
+    return any(code.startswith(p) for p in patterns)
+
+
+def _render_json(findings, nfiles: int) -> str:
+    by_code: dict[str, int] = {}
+    by_severity: dict[str, int] = {}
+    for d in findings:
+        by_code[d.code] = by_code.get(d.code, 0) + 1
+        by_severity[d.severity] = by_severity.get(d.severity, 0) + 1
+    doc = {
+        "version": SCHEMA_VERSION,
+        "tool": "repro.analyze",
+        "findings": [d.to_dict() for d in findings],
+        "summary": {
+            "files": nfiles,
+            "findings": len(findings),
+            "by_code": dict(sorted(by_code.items())),
+            "by_severity": dict(sorted(by_severity.items())),
+        },
+    }
+    return json.dumps(doc, indent=2)
+
+
+def _list_codes() -> str:
+    lines = [f"{'code':8s} {'severity':8s} {'mpi error':16s} description"]
+    for info in CODE_TABLE.values():
+        lines.append(f"{info.code:8s} {info.severity:8s} "
+                     f"{info.mpi_error_name:16s} {info.title}")
+    return "\n".join(lines)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser (exposed for the docs and tests)."""
+    p = argparse.ArgumentParser(
+        prog="repro-analyze",
+        description="Static analysis for repro MPI programs and datatypes.")
+    p.add_argument("paths", nargs="*",
+                   help="files or directories to analyze")
+    p.add_argument("--format", choices=("text", "json"), default="text",
+                   help="output format (default: text)")
+    p.add_argument("--strict", action="store_true",
+                   help="also report perf-severity findings")
+    p.add_argument("--select", default="",
+                   help="comma-separated code prefixes to keep "
+                        "(e.g. RPD3,RPD101)")
+    p.add_argument("--ignore", default="",
+                   help="comma-separated code prefixes to drop")
+    p.add_argument("--import", dest="do_import", action="store_true",
+                   help="import each file and analyze module-level "
+                        "datatypes (executes the files!)")
+    p.add_argument("--list-codes", action="store_true",
+                   help="print the diagnostic code table and exit")
+    return p
+
+
+def main(argv: Optional[list] = None) -> int:
+    """Entry point; returns the process exit status."""
+    parser = build_parser()
+    try:
+        ns = parser.parse_args(argv)
+    except SystemExit as exc:
+        return int(exc.code or 0) and 2
+
+    if ns.list_codes:
+        print(_list_codes())
+        return 0
+    if not ns.paths:
+        parser.print_usage(sys.stderr)
+        print("error: no paths given (or use --list-codes)", file=sys.stderr)
+        return 2
+
+    try:
+        files = _iter_py_files(ns.paths)
+    except FileNotFoundError as exc:
+        print(f"error: no such file or directory: {exc}", file=sys.stderr)
+        return 2
+
+    findings: list[Diagnostic] = []
+    for path in files:
+        findings.extend(lint_file(path))
+        if ns.do_import:
+            findings.extend(_import_and_analyze(path))
+
+    if not ns.strict:
+        findings = [d for d in findings if d.severity != "perf"]
+    select = [s for s in ns.select.split(",") if s]
+    ignore = [s for s in ns.ignore.split(",") if s]
+    if select:
+        findings = [d for d in findings if _matches(d.code, select)]
+    if ignore:
+        findings = [d for d in findings if not _matches(d.code, ignore)]
+    findings = sort_diagnostics(findings)
+
+    if ns.format == "json":
+        print(_render_json(findings, len(files)))
+    else:
+        for d in findings:
+            print(d.format_text())
+        summary = (f"{len(findings)} finding(s) in {len(files)} file(s)"
+                   if findings else
+                   f"clean: {len(files)} file(s), no findings")
+        print(summary)
+    return 1 if findings else 0

@@ -1,0 +1,370 @@
+"""Callback contract verification for custom datatypes.
+
+Two layers, both transport-free:
+
+* :func:`check_callback_signatures` — purely static: inspects each callback
+  in a :class:`~repro.core.callbacks.CallbackSet` against the ``Protocol``
+  arities of :mod:`repro.core.callbacks` and flags structural asymmetries
+  (pack without unpack, ``inorder`` without a packed stream).
+* :func:`run_contract_harness` — a symbolic driver that replays the paper's
+  Listing 3–5 choreography on a small synthetic buffer *without* any
+  transport or virtual clock: state → query → pack loop → regions →
+  state-free, optionally followed by an unpack pass into a receive buffer
+  and a re-pack, asserting the cross-callback contracts (query total equals
+  the sum of pack outputs, roundtrip reproduces the stream, region counts
+  match, state is freed exactly once).
+
+:func:`verify_callbacks` combines both.  Running transport-free matters:
+contract violations surface as precise diagnostics at analysis time instead
+of corrupted bytes or mis-charged virtual time deep inside a simulated run
+(see DESIGN.md, "Static analysis").
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from ..core.callbacks import CallbackSet
+from ..core.custom import CustomDatatype
+from ..core.regions import Region
+from .diagnostics import Diagnostic
+
+#: Documented positional-argument count of each callback (Listings 3-5,
+#: after the C out-parameter -> return value translation).
+EXPECTED_ARITY: dict[str, int] = {
+    "query_fn": 3,         # (state, buf, count)
+    "pack_fn": 5,          # (state, buf, count, offset, dst)
+    "unpack_fn": 5,        # (state, buf, count, offset, src)
+    "region_count_fn": 3,  # (state, buf, count)
+    "region_fn": 4,        # (state, buf, count, region_count)
+    "state_fn": 3,         # (context, buf, count)
+    "state_free_fn": 1,    # (state,)
+}
+
+#: Extra bytes of destination space offered beyond the promised total, so a
+#: pack callback that *over*-delivers is observed rather than truncated.
+_PACK_SLACK = 16
+
+#: Hard cap on harness pack/unpack iterations (runaway-callback backstop).
+_MAX_CALLS = 10_000
+
+#: Attribute names whose presence on a state object suggests it owns
+#: resources and therefore needs a ``state_free_fn``.
+_RESOURCE_ATTRS = ("close", "free", "release", "__exit__")
+
+
+class _HarnessAbort(Exception):
+    """Internal: a callback failed; diagnostics were already recorded."""
+
+
+def _arity_problem(fn: Callable, expected: int) -> Optional[str]:
+    """Describe why ``fn`` cannot take ``expected`` positional args, if so."""
+    try:
+        sig = inspect.signature(fn)
+    except (TypeError, ValueError):  # builtins, C callables: trust them
+        return None
+    min_pos = 0
+    max_pos = 0
+    unlimited = False
+    for p in sig.parameters.values():
+        if p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD):
+            max_pos += 1
+            if p.default is p.empty:
+                min_pos += 1
+        elif p.kind is p.VAR_POSITIONAL:
+            unlimited = True
+        elif p.kind is p.KEYWORD_ONLY and p.default is p.empty:
+            return (f"has a required keyword-only parameter {p.name!r}; the "
+                    f"engine passes positionally")
+    if expected < min_pos:
+        return f"requires at least {min_pos} arguments, engine passes {expected}"
+    if not unlimited and expected > max_pos:
+        return f"accepts at most {max_pos} arguments, engine passes {expected}"
+    return None
+
+
+def check_callback_signatures(callbacks: CallbackSet, inorder: bool = False,
+                              subject: str = "", path: Optional[str] = None
+                              ) -> list[Diagnostic]:
+    """Static checks: arities plus structural pack/unpack requirements."""
+    diags: list[Diagnostic] = []
+
+    def emit(code, message, hint=""):
+        diags.append(Diagnostic(code, message, hint=hint, file=path,
+                                subject=subject))
+
+    for name, expected in EXPECTED_ARITY.items():
+        fn = getattr(callbacks, name)
+        if fn is None:
+            continue
+        problem = _arity_problem(fn, expected)
+        if problem:
+            emit("RPD201",
+                 f"{name} {problem} (documented signature takes {expected})",
+                 hint=f"match the {name} Protocol in repro.core.callbacks")
+
+    if (callbacks.pack_fn is None) != (callbacks.unpack_fn is None):
+        have, miss = (("pack_fn", "unpack_fn")
+                      if callbacks.unpack_fn is None
+                      else ("unpack_fn", "pack_fn"))
+        emit("RPD202",
+             f"{have} is provided but {miss} is not; the type can only "
+             f"travel in one direction",
+             hint=f"provide {miss}, or drop both for a regions-only type")
+    if inorder and (callbacks.pack_fn is None or callbacks.unpack_fn is None):
+        emit("RPD203",
+             "inorder=True constrains fragment ordering but the type has no "
+             "packed stream to order",
+             hint="drop inorder, or provide pack_fn/unpack_fn")
+    return diags
+
+
+class _Recorder:
+    """Counts callback invocations and routes failures into diagnostics."""
+
+    def __init__(self, diags: list[Diagnostic], subject: str,
+                 path: Optional[str]):
+        self.diags = diags
+        self.subject = subject
+        self.path = path
+        self.calls: dict[str, int] = {}
+
+    def emit(self, code, message, hint=""):
+        self.diags.append(Diagnostic(code, message, hint=hint, file=self.path,
+                                     subject=self.subject))
+
+    def call(self, name: str, fn: Callable, *args) -> Any:
+        self.calls[name] = self.calls.get(name, 0) + 1
+        try:
+            return fn(*args)
+        except Exception as exc:
+            self.emit("RPD214",
+                      f"{name} raised {type(exc).__name__}: {exc}",
+                      hint="callbacks must report failure via exceptions "
+                           "only for genuinely invalid data; fix the "
+                           "callback or the fixture buffer")
+            raise _HarnessAbort from exc
+
+
+def _pack_stream(rec: _Recorder, cb: CallbackSet, state: Any, buf: Any,
+                 count: int, total: int, frag_size: int) -> Optional[bytes]:
+    """Drive the pack loop with slack space; verify RPD210. None on abort."""
+    packed = bytearray()
+    offset = 0
+    budget = total + _PACK_SLACK
+    for _ in range(_MAX_CALLS):
+        if offset >= budget:
+            break
+        dst = np.zeros(min(frag_size, budget - offset), dtype=np.uint8)
+        used = rec.call("pack_fn", cb.pack_fn, state, buf, count, offset, dst)
+        if not isinstance(used, int) or used < 0 or used > dst.shape[0]:
+            rec.emit("RPD214",
+                     f"pack_fn returned {used!r} for a {dst.shape[0]}-byte "
+                     f"fragment; must return bytes written (0..len(dst))")
+            return None
+        if used == 0:
+            break
+        packed += bytes(dst[:used])
+        offset += used
+    if offset != total:
+        direction = "fewer" if offset < total else "more"
+        rec.emit("RPD210",
+                 f"query_fn promised {total} packed bytes but pack_fn "
+                 f"delivered {offset} ({direction} than promised)",
+                 hint="make query_fn and pack_fn agree on the exact wire "
+                      "size of the buffer")
+        return None
+    return bytes(packed)
+
+
+def _send_pass(rec: _Recorder, cb: CallbackSet, buf: Any, count: int,
+               frag_size: int) -> tuple[Optional[bytes], list[Region]]:
+    """One full send-side choreography; returns (packed, regions)."""
+    state = None
+    allocated = False
+    packed: Optional[bytes] = None
+    regions: list[Region] = []
+    try:
+        if cb.state_fn is not None:
+            state = rec.call("state_fn", cb.state_fn, cb.context, buf, count)
+            allocated = True
+        total = rec.call("query_fn", cb.query_fn, state, buf, count)
+        if not isinstance(total, int) or total < 0:
+            rec.emit("RPD210",
+                     f"query_fn must return a non-negative int on the send "
+                     f"side, got {total!r}")
+            raise _HarnessAbort
+        if total > 0 and cb.pack_fn is not None:
+            packed = _pack_stream(rec, cb, state, buf, count, total, frag_size)
+        elif total == 0:
+            packed = b""
+        if cb.has_regions:
+            n = rec.call("region_count_fn", cb.region_count_fn, state, buf,
+                         count)
+            if not isinstance(n, int) or n < 0:
+                rec.emit("RPD212",
+                         f"region_count_fn must return a non-negative int, "
+                         f"got {n!r}")
+                raise _HarnessAbort
+            got = list(rec.call("region_fn", cb.region_fn, state, buf, count,
+                                n))
+            bad = [r for r in got if not isinstance(r, Region)]
+            if len(got) != n or bad:
+                detail = (f"returned {len(got)} regions"
+                          if len(got) != n else
+                          f"returned a non-Region entry: {bad[0]!r}")
+                rec.emit("RPD212",
+                         f"region_count_fn promised {n} regions but "
+                         f"region_fn {detail}",
+                         hint="the region pair must agree for the same "
+                              "(state, buf, count)")
+                raise _HarnessAbort
+            regions = got
+    except _HarnessAbort:
+        pass
+    finally:
+        if allocated and cb.state_free_fn is not None:
+            try:
+                rec.call("state_free_fn", cb.state_free_fn, state)
+            except _HarnessAbort:
+                pass
+    if allocated and cb.state_free_fn is None and state is not None:
+        owns = [a for a in _RESOURCE_ATTRS if hasattr(state, a)]
+        if owns:
+            rec.emit("RPD213",
+                     f"state_fn returns an object exposing {owns[0]!r} but "
+                     f"no state_free_fn is registered; the resource leaks "
+                     f"after every operation",
+                     hint="register a state_free_fn that releases the state")
+    return packed, regions
+
+
+def _recv_pass(rec: _Recorder, cb: CallbackSet, buf: Any, count: int,
+               packed: bytes, send_regions: list[Region],
+               frag_size: int) -> bool:
+    """Deliver the packed stream and region bytes; True when completed."""
+    state = None
+    allocated = False
+    ok = False
+    try:
+        if cb.state_fn is not None:
+            state = rec.call("state_fn", cb.state_fn, cb.context, buf, count)
+            allocated = True
+        offset = 0
+        while offset < len(packed):
+            step = min(frag_size, len(packed) - offset)
+            frag = np.frombuffer(packed[offset:offset + step], dtype=np.uint8)
+            rec.call("unpack_fn", cb.unpack_fn, state, buf, count, offset,
+                     frag)
+            offset += step
+        if send_regions:
+            n = rec.call("region_count_fn", cb.region_count_fn, state, buf,
+                         count)
+            if n != len(send_regions):
+                rec.emit("RPD212",
+                         f"receive side reports {n} regions for the same "
+                         f"logical buffer the send side split into "
+                         f"{len(send_regions)}")
+                raise _HarnessAbort
+            rregs = list(rec.call("region_fn", cb.region_fn, state, buf,
+                                  count, n))
+            if len(rregs) != n:
+                rec.emit("RPD212",
+                         f"region_count_fn promised {n} regions but "
+                         f"region_fn returned {len(rregs)} on the receive "
+                         f"side")
+                raise _HarnessAbort
+            for i, (sr, rr) in enumerate(zip(send_regions, rregs)):
+                if rr.nbytes != sr.nbytes:
+                    rec.emit("RPD211",
+                             f"region {i} length mismatch after unpack: "
+                             f"send {sr.nbytes} B, receive {rr.nbytes} B",
+                             hint="receive-side regions must be sized from "
+                                  "the just-unpacked in-band metadata")
+                    raise _HarnessAbort
+                rr.writable_view()[:rr.nbytes] = sr.read_bytes()
+        ok = True
+    except _HarnessAbort:
+        pass
+    finally:
+        if allocated and cb.state_free_fn is not None:
+            try:
+                rec.call("state_free_fn", cb.state_free_fn, state)
+            except _HarnessAbort:
+                ok = False
+    return ok
+
+
+def run_contract_harness(dtype: CustomDatatype, send_buf: Any,
+                         recv_buf: Any = None, count: int = 1,
+                         frag_size: int = 64,
+                         path: Optional[str] = None) -> list[Diagnostic]:
+    """Replay the callback choreography on synthetic buffers; no transport.
+
+    ``send_buf`` is a filled application buffer; ``recv_buf`` (optional) is
+    an empty buffer of the same logical shape, enabling the roundtrip and
+    receive-side region checks.
+    """
+    cb = dtype.callbacks
+    diags: list[Diagnostic] = []
+    rec = _Recorder(diags, dtype.name, path)
+
+    packed, regions = _send_pass(rec, cb, send_buf, count, frag_size)
+
+    roundtrip_ok = (packed is not None and recv_buf is not None
+                    and cb.unpack_fn is not None
+                    and not any(d.severity == "error" for d in diags))
+    if roundtrip_ok:
+        if _recv_pass(rec, cb, recv_buf, count, packed, regions, frag_size):
+            repacked, _ = _send_pass(rec, cb, recv_buf, count, frag_size)
+            if repacked is not None and repacked != packed:
+                first = next((i for i, (a, b) in
+                              enumerate(zip(packed, repacked)) if a != b),
+                             min(len(packed), len(repacked)))
+                rec.emit("RPD211",
+                         f"re-packing the unpacked buffer produced a "
+                         f"different stream (first difference at byte "
+                         f"{first} of {len(packed)})",
+                         hint="unpack_fn must reconstruct every field that "
+                              "pack_fn serializes")
+
+    # state lifecycle accounting across all passes (exactly-once per op).
+    allocs = rec.calls.get("state_fn", 0)
+    frees = rec.calls.get("state_free_fn", 0)
+    if cb.state_fn is not None and cb.state_free_fn is not None \
+            and allocs != frees:
+        rec.emit("RPD213",
+                 f"state_fn ran {allocs} time(s) but state_free_fn ran "
+                 f"{frees} time(s); the lifecycle contract is exactly one "
+                 f"free per operation")
+
+    # The re-pack pass repeats the send choreography, so per-pass findings
+    # (e.g. the leak heuristic) can appear twice; report each once.
+    unique: list[Diagnostic] = []
+    for d in diags:
+        if d not in unique:
+            unique.append(d)
+    return unique
+
+
+def verify_callbacks(dtype: CustomDatatype, send_buf: Any = None,
+                     recv_buf: Any = None, count: int = 1,
+                     frag_size: int = 64,
+                     path: Optional[str] = None) -> list[Diagnostic]:
+    """Static signature checks plus (when a buffer is given) the harness.
+
+    The harness is skipped when the static pass already found an arity
+    error — calling a known-misshaped callback would only produce noise.
+    """
+    if isinstance(dtype, CallbackSet):
+        dtype = CustomDatatype(dtype, name="callback-set")
+    diags = check_callback_signatures(dtype.callbacks, inorder=dtype.inorder,
+                                      subject=dtype.name, path=path)
+    if send_buf is not None and not any(d.code == "RPD201" for d in diags):
+        diags += run_contract_harness(dtype, send_buf, recv_buf=recv_buf,
+                                      count=count, frag_size=frag_size,
+                                      path=path)
+    return diags

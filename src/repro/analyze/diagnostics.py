@@ -1,0 +1,167 @@
+"""Diagnostic model and the stable ``RPD###`` code table.
+
+Every finding the analyzers emit is a :class:`Diagnostic` carrying a code
+from :data:`CODE_TABLE`.  Codes are stable across releases (new checks get
+new numbers; retired checks leave holes), severities are fixed per code, and
+each code maps onto the closest MPI error class so findings promoted to
+exceptions (:class:`repro.errors.DiagnosticError`) stay dispatchable by
+``MPI_ERR_*`` value.
+
+Numbering scheme:
+
+* ``RPD1xx`` — datatype/typemap validity and layout performance smells,
+* ``RPD2xx`` — custom-datatype callback contract violations,
+* ``RPD3xx`` — MPI-usage lints on application source files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import (MPI_ERR_ARG, MPI_ERR_BUFFER, MPI_ERR_OTHER,
+                      MPI_ERR_PENDING, MPI_ERR_REQUEST, MPI_ERR_TAG,
+                      MPI_ERR_TYPE, error_name)
+
+#: Severity levels, most severe first.  ``perf`` findings are reported only
+#: under ``--strict`` (they are smells, not bugs).
+SEVERITIES = ("error", "warning", "perf")
+
+_SEVERITY_RANK = {s: i for i, s in enumerate(SEVERITIES)}
+
+
+@dataclass(frozen=True)
+class CodeInfo:
+    """Static metadata of one diagnostic code."""
+
+    code: str
+    severity: str
+    mpi_errno: int
+    title: str
+
+    @property
+    def mpi_error_name(self) -> str:
+        return error_name(self.mpi_errno)
+
+
+def _c(code: str, severity: str, mpi_errno: int, title: str) -> CodeInfo:
+    return CodeInfo(code, severity, mpi_errno, title)
+
+
+#: The full registry.  Text in ``title`` is the generic description; each
+#: emitted Diagnostic carries a specific ``message`` as well.
+CODE_TABLE: dict[str, CodeInfo] = {c.code: c for c in (
+    # -- datatype validity (typecheck.py) --------------------------------
+    _c("RPD101", "error", MPI_ERR_TYPE,
+       "typemap blocks overlap in memory"),
+    _c("RPD102", "error", MPI_ERR_TYPE,
+       "block displacement outside the declared [lb, lb+extent) window"),
+    _c("RPD103", "error", MPI_ERR_TYPE,
+       "non-positive extent on a datatype that carries data"),
+    _c("RPD104", "warning", MPI_ERR_TYPE,
+       "resized extent smaller than the true extent (elements alias)"),
+    _c("RPD105", "warning", MPI_ERR_TYPE,
+       "declaration (pack) order differs from address order"),
+    _c("RPD106", "warning", MPI_ERR_TYPE,
+       "empty typemap: the datatype packs zero bytes"),
+    _c("RPD110", "perf", MPI_ERR_TYPE,
+       "region count per element exceeds the iovec soft limit"),
+    _c("RPD111", "perf", MPI_ERR_TYPE,
+       "many fragments below the efficient scatter/gather entry size"),
+    _c("RPD112", "perf", MPI_ERR_TYPE,
+       "sparse layout: extent vastly exceeds the packed size"),
+    # -- callback contracts (contracts.py) -------------------------------
+    _c("RPD201", "error", MPI_ERR_ARG,
+       "callback signature cannot accept the documented argument count"),
+    _c("RPD202", "warning", MPI_ERR_ARG,
+       "pack_fn/unpack_fn provided asymmetrically"),
+    _c("RPD203", "warning", MPI_ERR_ARG,
+       "inorder datatype without both pack_fn and unpack_fn"),
+    _c("RPD210", "error", MPI_ERR_OTHER,
+       "query packed-size promise disagrees with pack output"),
+    _c("RPD211", "error", MPI_ERR_OTHER,
+       "pack -> unpack -> pack roundtrip does not reproduce the stream"),
+    _c("RPD212", "error", MPI_ERR_OTHER,
+       "region_count_fn promise disagrees with region_fn result"),
+    _c("RPD213", "warning", MPI_ERR_OTHER,
+       "per-operation state is leaked or freed an unexpected number of times"),
+    _c("RPD214", "error", MPI_ERR_OTHER,
+       "callback raised or returned an invalid value during the harness"),
+    # -- MPI-usage lints (lint.py) ---------------------------------------
+    _c("RPD300", "error", MPI_ERR_ARG,
+       "source file could not be parsed or imported"),
+    _c("RPD301", "warning", MPI_ERR_TAG,
+       "send/recv tag constants do not match within the file"),
+    _c("RPD302", "error", MPI_ERR_REQUEST,
+       "nonblocking request is never waited on"),
+    _c("RPD303", "warning", MPI_ERR_BUFFER,
+       "buffer modified between nonblocking post and wait"),
+    _c("RPD304", "warning", MPI_ERR_PENDING,
+       "unconditional blocking send before blocking recv (deadlock risk)"),
+)}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: a code plus its concrete evidence and location."""
+
+    code: str
+    message: str
+    #: Fix-it suggestion; empty when no mechanical fix exists.
+    hint: str = ""
+    #: Source file the finding is attributed to (lint / --import runs).
+    file: Optional[str] = None
+    line: int = 0
+    col: int = 0
+    #: What was analyzed: a datatype name, callback name, or variable.
+    subject: str = ""
+
+    def __post_init__(self):
+        if self.code not in CODE_TABLE:
+            raise KeyError(f"unknown diagnostic code {self.code!r}")
+
+    @property
+    def info(self) -> CodeInfo:
+        return CODE_TABLE[self.code]
+
+    @property
+    def severity(self) -> str:
+        return self.info.severity
+
+    @property
+    def mpi_errno(self) -> int:
+        return self.info.mpi_errno
+
+    def to_dict(self) -> dict:
+        """JSON-stable rendering (schema v1; key set is frozen)."""
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "mpi_error": self.info.mpi_error_name,
+            "message": self.message,
+            "hint": self.hint,
+            "file": self.file,
+            "line": self.line,
+            "col": self.col,
+            "subject": self.subject,
+        }
+
+    def format_text(self) -> str:
+        loc = ""
+        if self.file:
+            loc = f"{self.file}:{self.line}:{self.col}: " if self.line \
+                else f"{self.file}: "
+        subj = f" [{self.subject}]" if self.subject else ""
+        hint = f"\n    hint: {self.hint}" if self.hint else ""
+        return f"{loc}{self.code} {self.severity}: {self.message}{subj}{hint}"
+
+
+def severity_rank(severity: str) -> int:
+    """Sort key: 0 for error, larger for milder levels."""
+    return _SEVERITY_RANK[severity]
+
+
+def sort_diagnostics(diags) -> list[Diagnostic]:
+    """Stable ordering used by every reporter: file, line, col, code."""
+    return sorted(diags, key=lambda d: (d.file or "", d.line, d.col, d.code,
+                                        d.subject))

@@ -61,6 +61,12 @@ class Datatype:
     def typemap(self) -> Typemap:
         raise NotImplementedError
 
+    @property
+    def shortname(self) -> str:
+        """Compact provenance label used inside constructor names and
+        analyzer diagnostics (``MPI_DOUBLE`` -> ``double``)."""
+        return self.name
+
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.name}>"
 
@@ -95,6 +101,16 @@ class PredefinedDatatype(Datatype):
     @property
     def typemap(self) -> Typemap:
         return self._typemap
+
+    @property
+    def shortname(self) -> str:
+        """Lowercased C-style spelling: ``MPI_INT32_T`` -> ``int32``."""
+        n = self.name
+        if n.startswith("MPI_"):
+            n = n[4:]
+        if n.endswith("_T"):
+            n = n[:-2]
+        return n.lower()
 
 
 class DerivedDatatype(Datatype):

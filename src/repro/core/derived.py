@@ -26,13 +26,21 @@ def _base_typemap(base: Datatype) -> Typemap:
     return base.typemap
 
 
+def _fmt_seq(seq: Sequence[int], limit: int = 4) -> str:
+    """Compact list rendering for provenance names: [0,4,8] or '12 entries'."""
+    seq = list(seq)
+    if len(seq) > limit:
+        return f"{len(seq)} entries"
+    return "[" + ",".join(str(v) for v in seq) + "]"
+
+
 def contiguous(count: int, base: Datatype) -> DerivedDatatype:
     """MPI_Type_contiguous: ``count`` consecutive elements of ``base``."""
     if count < 0:
         raise TypeError_(f"contiguous count must be >= 0, got {count}")
     tm = _base_typemap(base).repeat(count)
     return DerivedDatatype(tm, "contiguous",
-                           name=f"contiguous({count}, {base.name})",
+                           name=f"contiguous({count},{base.shortname})",
                            children=(base,), params={"count": count})
 
 
@@ -40,7 +48,7 @@ def vector(count: int, blocklength: int, stride: int, base: Datatype) -> Derived
     """MPI_Type_vector: ``count`` blocks of ``blocklength`` elements, block
     starts ``stride`` *elements* apart."""
     return hvector(count, blocklength, stride * base.extent, base,
-                   _name=f"vector({count}, {blocklength}, {stride}, {base.name})")
+                   _name=f"vector({count},{blocklength},{stride},{base.shortname})")
 
 
 def hvector(count: int, blocklength: int, stride_bytes: int, base: Datatype,
@@ -50,7 +58,7 @@ def hvector(count: int, blocklength: int, stride_bytes: int, base: Datatype,
         raise TypeError_("vector count/blocklength must be >= 0")
     block = _base_typemap(base).repeat(blocklength)
     tm = block.repeat(count, stride_bytes=stride_bytes)
-    name = _name or f"hvector({count}, {blocklength}, {stride_bytes}B, {base.name})"
+    name = _name or f"hvector({count},{blocklength},{stride_bytes}B,{base.shortname})"
     return DerivedDatatype(tm, "hvector" if not _name else "vector",
                            name=name, children=(base,),
                            params={"count": count, "blocklength": blocklength,
@@ -83,8 +91,9 @@ def hindexed(blocklengths: Sequence[int], displacements: Sequence[int],
         tm = Typemap((), lb=0, extent=0)
     else:
         tm = Typemap.concat(parts)
-    return DerivedDatatype(tm, _kind,
-                           name=f"{_kind}({len(blocklengths)} blocks, {base.name})",
+    name = (f"{_kind}({_fmt_seq(blocklengths)},{_fmt_seq(displacements)},"
+            f"{base.shortname})")
+    return DerivedDatatype(tm, _kind, name=name,
                            children=(base,),
                            params={"blocklengths": list(blocklengths),
                                    "displacements": list(displacements)})
@@ -117,8 +126,14 @@ def create_struct(blocklengths: Sequence[int], displacements: Sequence[int],
         tm = Typemap((), lb=0, extent=0)
     else:
         tm = Typemap.concat(parts)
-    return DerivedDatatype(tm, "struct",
-                           name=f"struct({len(types)} fields)",
+    if len(types) > 4:
+        name = f"struct({len(types)} fields)"
+    else:
+        fields = ",".join(
+            (t.shortname if blen == 1 else f"{t.shortname}x{blen}") + f"@{disp}"
+            for blen, disp, t in zip(blocklengths, displacements, types))
+        name = f"struct({fields})"
+    return DerivedDatatype(tm, "struct", name=name,
                            children=tuple(types),
                            params={"blocklengths": list(blocklengths),
                                    "displacements": list(displacements)})
@@ -132,7 +147,7 @@ def resized(base: Datatype, lb: int, extent: int) -> DerivedDatatype:
     """
     tm = _base_typemap(base).resized(lb, extent)
     return DerivedDatatype(tm, "resized",
-                           name=f"resized({base.name}, lb={lb}, extent={extent})",
+                           name=f"resized({base.shortname},lb={lb},extent={extent})",
                            children=(base,), params={"lb": lb, "extent": extent})
 
 
@@ -177,8 +192,9 @@ def subarray(sizes: Sequence[int], subsizes: Sequence[int],
         inner = inner.repeat(subsizes[d], stride_bytes=strides[d])
     offset = sum(starts[d] * strides[d] for d in range(ndims))
     tm = inner.displace(offset).resized(0, total_extent)
-    return DerivedDatatype(tm, "subarray",
-                           name=f"subarray({list(sizes)}, {list(subsizes)}, {list(starts)}, {base.name})",
+    name = (f"subarray({_fmt_seq(sizes)}/{_fmt_seq(subsizes)}"
+            f"@{_fmt_seq(starts)},{base.shortname})")
+    return DerivedDatatype(tm, "subarray", name=name,
                            children=(base,),
                            params={"sizes": list(sizes),
                                    "subsizes": list(subsizes),
@@ -188,4 +204,5 @@ def subarray(sizes: Sequence[int], subsizes: Sequence[int],
 def dup(base: Datatype) -> DerivedDatatype:
     """MPI_Type_dup for derived types."""
     tm = _base_typemap(base)
-    return DerivedDatatype(tm, "dup", name=f"dup({base.name})", children=(base,))
+    return DerivedDatatype(tm, "dup", name=f"dup({base.shortname})",
+                           children=(base,))

@@ -164,8 +164,11 @@ class Typemap:
             blocks.extend(b.shifted(delta) for b in self.blocks)
         if count == 0:
             return Typemap((), lb=self.lb, extent=0)
-        span_lb = self.lb
-        span_extent = stride * (count - 1) + self.extent
+        # A negative stride walks the copies downward in memory (MPI allows
+        # it for hvector); the span then starts at the *last* copy's lb.
+        travel = stride * (count - 1)
+        span_lb = self.lb + min(0, travel)
+        span_extent = abs(travel) + self.extent
         return Typemap(blocks, lb=span_lb, extent=span_extent)
 
     @staticmethod

@@ -20,32 +20,73 @@ MPI_ERR_TAG = 4
 MPI_ERR_COMM = 5
 MPI_ERR_RANK = 6
 MPI_ERR_REQUEST = 7
+MPI_ERR_ROOT = 8
+MPI_ERR_GROUP = 9
+MPI_ERR_OP = 10
+MPI_ERR_TOPOLOGY = 11
+MPI_ERR_DIMS = 12
+MPI_ERR_ARG = 13
+MPI_ERR_UNKNOWN = 14
 MPI_ERR_TRUNCATE = 15
+MPI_ERR_OTHER = 16
 MPI_ERR_INTERN = 17
 MPI_ERR_PENDING = 18
-MPI_ERR_ARG = 13
-MPI_ERR_OTHER = 16
+MPI_ERR_IN_STATUS = 19
+MPI_ERR_NO_MEM = 20
 
+#: Symbolic name for every code above, generated from the module globals so
+#: the table can never fall out of sync with a newly added ``MPI_ERR_*``.
 _ERROR_NAMES = {
-    MPI_SUCCESS: "MPI_SUCCESS",
-    MPI_ERR_BUFFER: "MPI_ERR_BUFFER",
-    MPI_ERR_COUNT: "MPI_ERR_COUNT",
-    MPI_ERR_TYPE: "MPI_ERR_TYPE",
-    MPI_ERR_TAG: "MPI_ERR_TAG",
-    MPI_ERR_COMM: "MPI_ERR_COMM",
-    MPI_ERR_RANK: "MPI_ERR_RANK",
-    MPI_ERR_REQUEST: "MPI_ERR_REQUEST",
-    MPI_ERR_TRUNCATE: "MPI_ERR_TRUNCATE",
-    MPI_ERR_INTERN: "MPI_ERR_INTERN",
-    MPI_ERR_PENDING: "MPI_ERR_PENDING",
-    MPI_ERR_ARG: "MPI_ERR_ARG",
-    MPI_ERR_OTHER: "MPI_ERR_OTHER",
+    value: name
+    for name, value in sorted(vars().items())
+    if name == "MPI_SUCCESS" or name.startswith("MPI_ERR_")
+}
+
+#: One-line descriptions (the MPI_Error_string analogue).
+_ERROR_STRINGS = {
+    MPI_SUCCESS: "no error",
+    MPI_ERR_BUFFER: "invalid buffer pointer",
+    MPI_ERR_COUNT: "invalid count argument",
+    MPI_ERR_TYPE: "invalid datatype argument",
+    MPI_ERR_TAG: "invalid tag argument",
+    MPI_ERR_COMM: "invalid communicator",
+    MPI_ERR_RANK: "invalid rank",
+    MPI_ERR_REQUEST: "invalid request (handle)",
+    MPI_ERR_ROOT: "invalid root",
+    MPI_ERR_GROUP: "invalid group",
+    MPI_ERR_OP: "invalid operation",
+    MPI_ERR_TOPOLOGY: "invalid topology",
+    MPI_ERR_DIMS: "invalid dimension argument",
+    MPI_ERR_ARG: "invalid argument of some other kind",
+    MPI_ERR_UNKNOWN: "unknown error",
+    MPI_ERR_TRUNCATE: "message truncated on receive",
+    MPI_ERR_OTHER: "known error not in this list",
+    MPI_ERR_INTERN: "internal MPI (implementation) error",
+    MPI_ERR_PENDING: "pending request",
+    MPI_ERR_IN_STATUS: "error code is in status",
+    MPI_ERR_NO_MEM: "memory is exhausted",
 }
 
 
 def error_name(code: int) -> str:
     """Return the symbolic name for an MPI error class."""
     return _ERROR_NAMES.get(code, f"MPI_ERR_UNKNOWN({code})")
+
+
+def error_string(code: int) -> str:
+    """Human-readable description of an error class (MPI_Error_string)."""
+    try:
+        return f"{_ERROR_NAMES[code]}: {_ERROR_STRINGS[code]}"
+    except KeyError:
+        return f"MPI_ERR_UNKNOWN({code}): unrecognized error class"
+
+
+def error_code(name: str) -> int:
+    """Inverse of :func:`error_name`; raises KeyError for unknown names."""
+    for code, known in _ERROR_NAMES.items():
+        if known == name:
+            return code
+    raise KeyError(f"unknown MPI error class name {name!r}")
 
 
 class ReproError(Exception):
@@ -93,6 +134,21 @@ class CallbackError(MPIError):
                  code: int = MPI_ERR_OTHER):
         super().__init__(code, message)
         self.__cause__ = cause
+
+
+class DiagnosticError(MPIError):
+    """Static-analysis findings promoted to a hard failure.
+
+    Raised by :mod:`repro.analyze` entry points that run in enforcing mode;
+    carries the diagnostics (each of which maps to an ``MPI_ERR_*`` class via
+    its code table entry) so callers can still dispatch numerically.
+    """
+
+    def __init__(self, message: str = "", code: int = MPI_ERR_TYPE,
+                 diagnostics=()):
+        super().__init__(code, message)
+        #: The :class:`repro.analyze.Diagnostic` findings behind the failure.
+        self.diagnostics = list(diagnostics)
 
 
 class TransportError(ReproError):

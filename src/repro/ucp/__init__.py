@@ -9,7 +9,9 @@ from .constants import (DATATYPE_CONTIG, DATATYPE_GENERIC, DATATYPE_IOV,
                         TAG_FULL_MASK, match_mask, pack_tag, unpack_tag)
 from .dtypes import ContigData, GenericData, HandlerData, IovData
 from .memory import MemoryTracker
-from .netsim import DEFAULT_PARAMS, CostModel, LinkParams, VirtualClock
+from .netsim import (DEFAULT_PARAMS, IOV_REGION_SOFT_LIMIT,
+                     MIN_EFFICIENT_FRAGMENT_BYTES, MIN_EFFICIENT_REGION_BYTES,
+                     CostModel, LinkParams, VirtualClock)
 from .protocols import SendPlan, plan_send
 from .tagmatch import PostedRecv, TagMatcher
 from .context import (Endpoint, Fabric, RecvInfo, RecvRequest, SendRequest,
@@ -22,6 +24,8 @@ __all__ = [
     "ContigData", "IovData", "GenericData", "HandlerData",
     "MemoryTracker",
     "LinkParams", "DEFAULT_PARAMS", "CostModel", "VirtualClock",
+    "IOV_REGION_SOFT_LIMIT", "MIN_EFFICIENT_REGION_BYTES",
+    "MIN_EFFICIENT_FRAGMENT_BYTES",
     "SendPlan", "plan_send",
     "TagMatcher", "PostedRecv",
     "UcpConfig", "UcpContext", "Fabric", "Worker", "Endpoint",

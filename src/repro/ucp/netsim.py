@@ -99,8 +99,39 @@ class LinkParams:
         """Return a copy with some constants replaced (for ablations)."""
         return replace(self, **kw)
 
+    # -- derived thresholds (consumed by repro.analyze) --------------------
+
+    def min_efficient_region_bytes(self) -> int:
+        """Smallest scatter/gather entry worth its per-entry overhead.
+
+        Below this size, ``iov_region_overhead`` exceeds the wire time of
+        the entry itself — the "tiny fragment" pathology the DDT
+        performance literature warns about.
+        """
+        return max(1, int(self.iov_region_overhead * self.bandwidth))
+
+    def iov_region_soft_limit(self) -> int:
+        """Entry count past which per-entry costs dwarf the iovec base cost.
+
+        At this count the aggregate ``iov_region_overhead`` is an order of
+        magnitude above ``iov_base_overhead``; layouts with more regions per
+        element should coalesce or fall back to packing.
+        """
+        return max(1, int(10 * self.iov_base_overhead / self.iov_region_overhead))
+
+    def min_efficient_fragment(self) -> int:
+        """Pipeline fragment below which descriptor overhead dominates."""
+        return max(1, int(self.per_frag_overhead * self.eager_copy_bandwidth))
+
 
 DEFAULT_PARAMS = LinkParams()
+
+#: Threshold constants for the default link, exposed for the static analyzer
+#: (:mod:`repro.analyze`) and for documentation.  Derived, not tunable —
+#: override :class:`LinkParams` fields instead.
+MIN_EFFICIENT_REGION_BYTES = DEFAULT_PARAMS.min_efficient_region_bytes()
+IOV_REGION_SOFT_LIMIT = DEFAULT_PARAMS.iov_region_soft_limit()
+MIN_EFFICIENT_FRAGMENT_BYTES = DEFAULT_PARAMS.min_efficient_fragment()
 
 
 class VirtualClock:

@@ -1,0 +1,108 @@
+"""Fixture corpus: custom datatypes violating one callback contract each.
+
+Module-level datatypes exercise the static checks (RPD201-203); the
+``ANALYZE_CONTRACT_CASES`` entries run the symbolic harness (RPD210-214).
+"""
+
+import numpy as np
+
+from repro.core import type_create_custom
+
+_N = 16  # bytes moved by every well-formed fixture type
+
+
+def _query(state, buf, count):
+    return _N
+
+
+def _pack(state, buf, count, offset, dst):
+    step = min(dst.shape[0], _N - offset)
+    dst[:step] = buf[offset:offset + step]
+    return int(step)
+
+
+def _unpack(state, buf, count, offset, src):
+    buf[offset:offset + src.shape[0]] = src
+
+
+# RPD201: query_fn cannot accept the documented (state, buf, count).
+BAD_ARITY = type_create_custom(query_fn=lambda state: _N,
+                               name="bad-arity")
+
+# RPD202: pack without unpack; the type only travels one way.
+HALF_DUPLEX = type_create_custom(query_fn=_query, pack_fn=_pack,
+                                 name="half-duplex")
+
+# RPD203: inorder constrains a packed stream that does not exist.
+INORDER_NO_PACK = type_create_custom(query_fn=_query, inorder=True,
+                                     name="inorder-no-pack")
+
+
+# RPD210: promises 2*_N bytes, delivers _N.
+LYING_QUERY = type_create_custom(
+    query_fn=lambda state, buf, count: 2 * _N,
+    pack_fn=_pack, unpack_fn=_unpack, name="lying-query")
+
+
+def _lossy_unpack(state, buf, count, offset, src):
+    # Drops the second half of every element: breaks the roundtrip.
+    if offset < _N // 2:
+        keep = min(src.shape[0], _N // 2 - offset)
+        buf[offset:offset + keep] = src[:keep]
+
+
+# RPD211: pack -> unpack -> pack does not reproduce the stream.
+BAD_ROUNDTRIP = type_create_custom(query_fn=_query, pack_fn=_pack,
+                                   unpack_fn=_lossy_unpack,
+                                   name="bad-roundtrip")
+
+# RPD212: region_count_fn promises 2 regions, region_fn returns 1.
+from repro.core import Region  # noqa: E402
+
+
+REGION_LIAR = type_create_custom(
+    query_fn=lambda state, buf, count: 0,
+    region_count_fn=lambda state, buf, count: 2,
+    region_fn=lambda state, buf, count, n: [Region(buf)],
+    name="region-liar")
+
+
+class _Handle:
+    """Stands in for a state owning a real resource (file, registration)."""
+
+    def close(self):
+        pass
+
+
+# RPD213: state owns a resource but no state_free_fn is registered.
+LEAKY_STATE = type_create_custom(
+    query_fn=_query, pack_fn=_pack, unpack_fn=_unpack,
+    state_fn=lambda context, buf, count: _Handle(),
+    name="leaky-state")
+
+
+def _raising_pack(state, buf, count, offset, dst):
+    raise RuntimeError("serializer exploded")
+
+
+# RPD214: a callback raises during the harness.
+RAISER = type_create_custom(query_fn=_query, pack_fn=_raising_pack,
+                            unpack_fn=_unpack, name="raiser")
+
+
+def _buf():
+    return np.arange(_N, dtype=np.uint8)
+
+
+def _zeros():
+    return np.zeros(_N, dtype=np.uint8)
+
+
+#: Harness cases consumed by ``repro-analyze --import``.
+ANALYZE_CONTRACT_CASES = [
+    {"dtype": LYING_QUERY, "send_buf": _buf(), "recv_buf": _zeros()},
+    {"dtype": BAD_ROUNDTRIP, "send_buf": _buf(), "recv_buf": _zeros()},
+    {"dtype": REGION_LIAR, "send_buf": _buf(), "recv_buf": _zeros()},
+    {"dtype": LEAKY_STATE, "send_buf": _buf(), "recv_buf": _zeros()},
+    {"dtype": RAISER, "send_buf": _buf(), "recv_buf": _zeros()},
+]

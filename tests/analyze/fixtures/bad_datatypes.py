@@ -1,0 +1,42 @@
+"""Fixture corpus: one deliberately defective datatype per RPD1xx code.
+
+Imported by the analyzer's ``--import`` mode and by the typecheck tests;
+each module-level binding names the code it must trigger.
+"""
+
+from repro.core import FLOAT64
+from repro.core.datatype import DerivedDatatype
+from repro.core.derived import (contiguous, create_struct, hindexed, resized,
+                                vector)
+from repro.core.typemap import Block, Typemap
+
+# RPD101: stride (1 element = 8 B) smaller than the block (2 elements).
+OVERLAP = vector(3, 2, 1, FLOAT64)
+
+# RPD102: a block at a negative displacement while the declared window
+# starts at 0 (hand-built; the constructors default to natural bounds).
+OUT_OF_BOUNDS = DerivedDatatype(
+    Typemap([Block(-4, 4), Block(0, 8)], lb=0, extent=8), "struct",
+    name="out-of-bounds")
+
+# RPD103: resized to a zero extent while still packing 16 bytes.
+ZERO_EXTENT = resized(contiguous(2, FLOAT64), 0, 0)
+
+# RPD104: resized smaller than the true extent; array elements alias.
+ALIASING_RESIZE = resized(create_struct([1, 1], [0, 8], [FLOAT64, FLOAT64]),
+                          0, 8)
+
+# RPD105: declaration order walks addresses backwards.
+OUT_OF_ORDER = create_struct([1, 1], [8, 0], [FLOAT64, FLOAT64])
+
+# RPD106: all blocks have zero length.
+EMPTY = hindexed([0], [0], FLOAT64)
+
+# RPD110: 1100 scattered 8-byte regions, above the iovec soft limit.
+MANY_REGIONS = hindexed([1] * 1100, [i * 16 for i in range(1100)], FLOAT64)
+
+# RPD111: 64 fragments of 8 bytes, far below the efficient entry size.
+TINY_FRAGMENTS = vector(64, 1, 2, FLOAT64)
+
+# RPD112: 16 packed bytes spread over a ~40 KiB extent (rendezvous-sized).
+SPARSE = vector(2, 1, 5000, FLOAT64)

@@ -1,0 +1,9 @@
+"""Lint fixture: send and recv tags can never match (RPD301)."""
+
+
+def exchange(comm):
+    if comm.rank == 0:
+        comm.send(b"payload", dest=1, tag=7)
+    else:
+        buf = bytearray(7)
+        comm.recv(buf, source=0, tag=8)

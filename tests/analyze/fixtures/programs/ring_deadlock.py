@@ -1,0 +1,8 @@
+"""Lint fixture: head-to-head blocking ring exchange (RPD304)."""
+
+
+def ring_step(comm, outbox, inbox):
+    right = (comm.rank + 1) % comm.size
+    left = (comm.rank - 1) % comm.size
+    comm.send(outbox, dest=right, tag=0)
+    comm.recv(inbox, source=left, tag=0)

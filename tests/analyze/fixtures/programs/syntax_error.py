@@ -1,0 +1,4 @@
+"""Lint fixture: unparseable source (RPD300)."""
+
+def broken(:
+    pass

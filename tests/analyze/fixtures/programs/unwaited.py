@@ -1,0 +1,10 @@
+"""Lint fixture: nonblocking requests that are never waited on (RPD302)."""
+
+
+def fire_and_forget(comm, buf):
+    req = comm.isend(buf, dest=1, tag=0)
+    return buf  # req is never read again
+
+
+def discarded(comm, buf):
+    comm.irecv(buf, source=0, tag=0)

@@ -1,0 +1,7 @@
+"""Lint fixture: buffer modified while a request is in flight (RPD303)."""
+
+
+def clobber(comm, buf):
+    req = comm.isend(buf, dest=1, tag=0)
+    buf[0] = 99  # the send may not have read the buffer yet
+    req.wait()

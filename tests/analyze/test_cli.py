@@ -1,0 +1,101 @@
+"""CLI behavior: exit codes, JSON schema stability, filters."""
+
+import json
+import os
+
+import pytest
+
+from repro.analyze.cli import main
+
+HERE = os.path.dirname(__file__)
+REPO = os.path.abspath(os.path.join(HERE, os.pardir, os.pardir))
+FIXTURES = os.path.join(HERE, "fixtures")
+
+#: Frozen key sets of the v1 JSON schema; changing these is a breaking
+#: change and requires a SCHEMA_VERSION bump.
+TOP_KEYS = {"version", "tool", "findings", "summary"}
+FINDING_KEYS = {"code", "severity", "mpi_error", "message", "hint",
+                "file", "line", "col", "subject"}
+SUMMARY_KEYS = {"files", "findings", "by_code", "by_severity"}
+
+
+def run_json(args, capsys):
+    rc = main(args + ["--format", "json"])
+    return rc, json.loads(capsys.readouterr().out)
+
+
+class TestCleanTree:
+    def test_shipped_paths_clean_under_strict(self, capsys):
+        rc = main([os.path.join(REPO, "examples"),
+                   os.path.join(REPO, "benchmarks"),
+                   os.path.join(REPO, "src", "repro", "types"),
+                   "--strict"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "no findings" in out
+
+
+class TestBadCorpus:
+    def test_at_least_ten_distinct_codes(self, capsys):
+        rc, doc = run_json([FIXTURES, "--import", "--strict"], capsys)
+        assert rc == 1
+        fired = {f["code"] for f in doc["findings"]}
+        assert len(fired) >= 10, f"only {sorted(fired)}"
+        # every family is represented
+        assert any(c.startswith("RPD1") for c in fired)
+        assert any(c.startswith("RPD2") for c in fired)
+        assert any(c.startswith("RPD3") for c in fired)
+
+    def test_perf_codes_hidden_without_strict(self, capsys):
+        rc, doc = run_json([FIXTURES, "--import"], capsys)
+        assert rc == 1
+        assert all(f["severity"] != "perf" for f in doc["findings"])
+
+
+class TestJsonSchema:
+    def test_schema_v1_keys_are_stable(self, capsys):
+        rc, doc = run_json([FIXTURES, "--import", "--strict"], capsys)
+        assert doc["version"] == 1
+        assert doc["tool"] == "repro.analyze"
+        assert set(doc) == TOP_KEYS
+        assert set(doc["summary"]) == SUMMARY_KEYS
+        for f in doc["findings"]:
+            assert set(f) == FINDING_KEYS
+        assert doc["summary"]["findings"] == len(doc["findings"])
+        assert sum(doc["summary"]["by_code"].values()) == len(doc["findings"])
+
+    def test_findings_sorted_by_location(self, capsys):
+        _, doc = run_json([FIXTURES, "--import", "--strict"], capsys)
+        keys = [(f["file"], f["line"], f["col"], f["code"])
+                for f in doc["findings"]]
+        assert keys == sorted(keys)
+
+
+class TestExitCodesAndFilters:
+    def test_no_paths_is_usage_error(self, capsys):
+        assert main([]) == 2
+
+    def test_missing_path_is_usage_error(self, capsys):
+        assert main(["/no/such/dir-zzz"]) == 2
+
+    def test_list_codes(self, capsys):
+        assert main(["--list-codes"]) == 0
+        out = capsys.readouterr().out
+        assert "RPD101" in out and "RPD304" in out
+
+    def test_select_filters_to_one_family(self, capsys):
+        rc, doc = run_json([FIXTURES, "--import", "--strict",
+                            "--select", "RPD3"], capsys)
+        assert rc == 1
+        assert all(f["code"].startswith("RPD3") for f in doc["findings"])
+
+    def test_ignore_can_silence_everything(self, capsys):
+        rc, doc = run_json([FIXTURES, "--import", "--strict",
+                            "--ignore", "RPD"], capsys)
+        assert rc == 0
+        assert doc["findings"] == []
+
+    def test_single_clean_file_exits_zero(self, capsys):
+        rc = main([os.path.join(FIXTURES, "programs", "good_ring.py"),
+                   "--strict"])
+        assert rc == 0

@@ -1,0 +1,120 @@
+"""Callback contract verifier: static checks and the symbolic harness."""
+
+import importlib.util
+import os
+
+import numpy as np
+import pytest
+
+from repro.analyze import (check_callback_signatures, run_contract_harness,
+                           verify_callbacks)
+from repro.types import structs
+from repro.types.doublevec import DoubleVec, double_vec_custom_datatype
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+
+@pytest.fixture(scope="module")
+def bad():
+    path = os.path.join(FIXTURES, "bad_callbacks.py")
+    spec = importlib.util.spec_from_file_location("fx_bad_callbacks", path)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def _codes(diags):
+    return sorted({d.code for d in diags})
+
+
+class TestStaticChecks:
+    def test_bad_arity(self, bad):
+        diags = check_callback_signatures(bad.BAD_ARITY.callbacks,
+                                          subject="bad-arity")
+        assert _codes(diags) == ["RPD201"]
+
+    def test_half_duplex(self, bad):
+        assert "RPD202" in _codes(
+            check_callback_signatures(bad.HALF_DUPLEX.callbacks))
+
+    def test_inorder_without_stream(self, bad):
+        assert "RPD203" in _codes(check_callback_signatures(
+            bad.INORDER_NO_PACK.callbacks, inorder=True))
+
+    def test_keyword_only_params_rejected(self):
+        def q(state, buf, *, count):
+            return 0
+
+        from repro.core import type_create_custom
+        dt = type_create_custom(query_fn=q)
+        assert "RPD201" in _codes(check_callback_signatures(dt.callbacks))
+
+
+class TestHarness:
+    def _case(self, bad, name):
+        for case in bad.ANALYZE_CONTRACT_CASES:
+            if case["dtype"].name == name:
+                return case
+        raise KeyError(name)
+
+    @pytest.mark.parametrize("name,expected", [
+        ("lying-query", "RPD210"),
+        ("bad-roundtrip", "RPD211"),
+        ("region-liar", "RPD212"),
+        ("leaky-state", "RPD213"),
+        ("raiser", "RPD214"),
+    ])
+    def test_expected_code_fires(self, bad, name, expected):
+        case = self._case(bad, name)
+        diags = run_contract_harness(case["dtype"], case["send_buf"],
+                                     recv_buf=case["recv_buf"])
+        assert expected in _codes(diags)
+
+    def test_harness_skipped_on_arity_error(self, bad):
+        diags = verify_callbacks(bad.BAD_ARITY,
+                                 send_buf=np.zeros(16, np.uint8))
+        assert _codes(diags) == ["RPD201"]  # no RPD214 noise from calling it
+
+    def test_state_freed_exactly_once_per_pass(self, bad):
+        frees = []
+        from repro.core import type_create_custom
+        dt = type_create_custom(
+            query_fn=lambda s, b, c: 4,
+            pack_fn=lambda s, b, c, o, d: (d.__setitem__(slice(0, 4 - o),
+                                                         b[o:4]),
+                                           int(min(d.shape[0], 4 - o)))[1],
+            unpack_fn=lambda s, b, c, o, src:
+                b.__setitem__(slice(o, o + src.shape[0]), src),
+            state_fn=lambda ctx, b, c: object(),
+            state_free_fn=lambda s: frees.append(s))
+        diags = run_contract_harness(dt, np.arange(4, dtype=np.uint8),
+                                     recv_buf=np.zeros(4, np.uint8))
+        assert diags == []
+        # one free per choreography pass: send, recv, re-pack
+        assert len(frees) == 3
+
+
+class TestShippedTypesClean:
+    def test_struct_simple_custom(self):
+        dt = structs.struct_simple_custom_datatype()
+        send = structs.make_struct_simple(4)
+        recv = np.zeros(4, dtype=structs.STRUCT_SIMPLE)
+        assert verify_callbacks(dt, send, recv, count=4) == []
+
+    def test_struct_simple_no_gap_custom(self):
+        dt = structs.struct_simple_no_gap_custom_datatype()
+        send = structs.make_struct_simple_no_gap(4)
+        recv = np.zeros(4, dtype=structs.STRUCT_SIMPLE_NO_GAP)
+        assert verify_callbacks(dt, send, recv, count=4) == []
+
+    def test_struct_vec_custom(self):
+        dt = structs.struct_vec_custom_datatype()
+        send = structs.make_struct_vec(3)
+        recv = np.zeros(3, dtype=structs.STRUCT_VEC)
+        assert verify_callbacks(dt, send, recv, count=3) == []
+
+    def test_double_vec_custom(self):
+        dt = double_vec_custom_datatype()
+        send = DoubleVec([np.arange(40, dtype=np.int32),
+                          np.arange(7, dtype=np.int32)])
+        assert verify_callbacks(dt, send, DoubleVec(), count=1) == []

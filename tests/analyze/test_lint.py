@@ -1,0 +1,89 @@
+"""MPI-usage linter: fixture programs fire, the shipped tree lints clean."""
+
+import glob
+import os
+
+import pytest
+
+from repro.analyze import lint_file, lint_source
+
+HERE = os.path.dirname(__file__)
+PROGRAMS = os.path.join(HERE, "fixtures", "programs")
+REPO = os.path.abspath(os.path.join(HERE, os.pardir, os.pardir))
+
+
+def codes(path):
+    return sorted({d.code for d in lint_file(path)})
+
+
+class TestFixturePrograms:
+    @pytest.mark.parametrize("name,expected", [
+        ("bad_tags.py", ["RPD301"]),
+        ("unwaited.py", ["RPD302"]),
+        ("write_before_wait.py", ["RPD303"]),
+        ("ring_deadlock.py", ["RPD304"]),
+        ("syntax_error.py", ["RPD300"]),
+        ("good_ring.py", []),
+    ])
+    def test_expected_codes(self, name, expected):
+        assert codes(os.path.join(PROGRAMS, name)) == expected
+
+    def test_findings_carry_locations(self):
+        diags = lint_file(os.path.join(PROGRAMS, "ring_deadlock.py"))
+        assert diags[0].file.endswith("ring_deadlock.py")
+        assert diags[0].line > 0
+
+
+class TestConservatism:
+    """Patterns that look risky but are fine must not be flagged."""
+
+    def test_dynamic_tag_disarms_tag_rule(self):
+        src = ("def f(comm, step, buf):\n"
+               "    comm.send(buf, dest=1, tag=step)\n"
+               "    comm.recv(buf, source=0, tag=77)\n")
+        assert all(d.code != "RPD301" for d in lint_source(src))
+
+    def test_any_tag_recv_matches_everything(self):
+        src = ("def f(comm, buf, ANY_TAG):\n"
+               "    if comm.rank:\n"
+               "        comm.send(buf, dest=1, tag=9)\n"
+               "    else:\n"
+               "        comm.recv(buf, source=0, tag=ANY_TAG)\n")
+        assert lint_source(src) == []
+
+    def test_requests_in_list_not_flagged(self):
+        src = ("def f(comm, buf):\n"
+               "    reqs = []\n"
+               "    reqs.append(comm.isend(buf, dest=1, tag=0))\n"
+               "    reqs.append(comm.irecv(buf, source=0, tag=0))\n"
+               "    for r in reqs:\n"
+               "        r.wait()\n")
+        assert lint_source(src) == []
+
+    def test_rank_guarded_send_recv_not_deadlock(self):
+        src = ("def f(comm, buf):\n"
+               "    if comm.rank == 0:\n"
+               "        comm.send(buf, dest=1, tag=0)\n"
+               "    else:\n"
+               "        comm.recv(buf, source=0, tag=0)\n")
+        assert lint_source(src) == []
+
+    def test_conditional_mutation_not_flagged(self):
+        src = ("def f(comm, buf, redo):\n"
+               "    req = comm.isend(buf, dest=1, tag=0)\n"
+               "    if redo:\n"
+               "        buf[0] = 1\n"
+               "    req.wait()\n"
+               "    comm.recv(buf, source=0, tag=0)\n")
+        assert all(d.code != "RPD303" for d in lint_source(src))
+
+
+class TestShippedTreeClean:
+    @pytest.mark.parametrize("path", sorted(
+        glob.glob(os.path.join(REPO, "examples", "*.py"))
+        + glob.glob(os.path.join(REPO, "benchmarks", "*.py"))
+        + glob.glob(os.path.join(REPO, "src", "repro", "**", "*.py"),
+                    recursive=True)),
+        ids=lambda p: os.path.relpath(p, REPO))
+    def test_file_lints_clean(self, path):
+        assert lint_file(path) == []

@@ -1,0 +1,93 @@
+"""Datatype validity checker: bad corpus fires, shipped types are clean."""
+
+import importlib.util
+import os
+
+import pytest
+
+from repro.analyze import analyze_datatype, assert_valid_datatype
+from repro.core import FLOAT64, INT32
+from repro.core.derived import create_struct, hindexed, hvector, resized
+from repro.errors import DiagnosticError
+from repro.types import structs
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+
+def _load_fixture(name):
+    path = os.path.join(FIXTURES, name + ".py")
+    spec = importlib.util.spec_from_file_location("fx_" + name, path)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+@pytest.fixture(scope="module")
+def bad():
+    return _load_fixture("bad_datatypes")
+
+
+def codes(dtype):
+    return sorted({d.code for d in analyze_datatype(dtype)})
+
+
+class TestBadCorpus:
+    @pytest.mark.parametrize("attr,expected", [
+        ("OVERLAP", "RPD101"),
+        ("OUT_OF_BOUNDS", "RPD102"),
+        ("ZERO_EXTENT", "RPD103"),
+        ("ALIASING_RESIZE", "RPD104"),
+        ("OUT_OF_ORDER", "RPD105"),
+        ("EMPTY", "RPD106"),
+        ("MANY_REGIONS", "RPD110"),
+        ("TINY_FRAGMENTS", "RPD111"),
+        ("SPARSE", "RPD112"),
+    ])
+    def test_expected_code_fires(self, bad, attr, expected):
+        assert expected in codes(getattr(bad, attr))
+
+    def test_every_diagnostic_has_hint_and_subject(self, bad):
+        for attr in ("OVERLAP", "ZERO_EXTENT", "MANY_REGIONS"):
+            for d in analyze_datatype(getattr(bad, attr)):
+                assert d.hint
+                assert d.subject
+
+    def test_assert_valid_raises_on_errors_only(self, bad):
+        with pytest.raises(DiagnosticError) as ei:
+            assert_valid_datatype(bad.OVERLAP)
+        assert ei.value.diagnostics[0].code == "RPD101"
+        # warnings do not raise
+        assert_valid_datatype(bad.OUT_OF_ORDER)
+
+
+class TestEdgeCases:
+    def test_zero_length_blocks_are_clean(self):
+        dt = hindexed([2, 0, 1], [0, 32, 64], FLOAT64)
+        assert analyze_datatype(dt) == []
+
+    def test_negative_stride_hvector_classified(self):
+        dt = hvector(3, 2, -16, INT32)
+        assert codes(dt) == ["RPD105"]
+        # the fixed repeat() keeps the bounds sane
+        assert dt.lb == -32 and dt.extent == 40
+
+    def test_resized_below_true_extent_warns(self):
+        inner = create_struct([1, 1], [0, 8], [FLOAT64, FLOAT64])
+        assert "RPD104" in codes(resized(inner, 0, 8))
+
+    def test_single_block_struct_is_clean(self):
+        dt = create_struct([4], [0], [FLOAT64])
+        assert analyze_datatype(dt) == []
+
+    def test_predefined_is_clean(self):
+        assert analyze_datatype(FLOAT64) == []
+
+
+class TestShippedTypes:
+    @pytest.mark.parametrize("factory", [
+        structs.struct_simple_datatype,
+        structs.struct_simple_no_gap_datatype,
+        structs.struct_vec_datatype,
+    ])
+    def test_shipped_derived_types_clean(self, factory):
+        assert analyze_datatype(factory()) == []

@@ -5,7 +5,7 @@ import importlib
 import pytest
 
 PACKAGES = ["repro", "repro.core", "repro.ucp", "repro.mpi", "repro.serial",
-            "repro.types", "repro.ddtbench", "repro.bench"]
+            "repro.types", "repro.ddtbench", "repro.bench", "repro.analyze"]
 
 
 @pytest.mark.parametrize("pkg", PACKAGES)

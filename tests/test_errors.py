@@ -16,11 +16,40 @@ from repro.errors import (CallbackError, MPIError, RuntimeAbort,
 from repro.mpi import run
 
 
+def _all_error_classes():
+    """Every (name, code) the module defines, MPI_SUCCESS included."""
+    return sorted((n, v) for n, v in vars(errors).items()
+                  if n == "MPI_SUCCESS" or n.startswith("MPI_ERR_"))
+
+
 class TestHierarchy:
     def test_error_names(self):
         assert error_name(errors.MPI_SUCCESS) == "MPI_SUCCESS"
         assert error_name(errors.MPI_ERR_TRUNCATE) == "MPI_ERR_TRUNCATE"
         assert "UNKNOWN" in error_name(424242)
+
+    def test_every_class_round_trips(self):
+        classes = _all_error_classes()
+        assert len(classes) >= 21  # MPI_SUCCESS + the MPI_ERR_* table
+        for name, code in classes:
+            assert error_name(code) == name
+            assert errors.error_code(name) == code
+            s = errors.error_string(code)
+            assert s.startswith(name + ": ") and len(s) > len(name) + 2
+
+    def test_error_string_unknown_code(self):
+        assert errors.error_string(424242) == \
+            "MPI_ERR_UNKNOWN(424242): unrecognized error class"
+        with pytest.raises(KeyError):
+            errors.error_code("MPI_ERR_NOPE")
+
+    def test_diagnostic_error_carries_findings(self):
+        from repro.analyze import Diagnostic
+        d = Diagnostic("RPD101", "blocks overlap")
+        e = errors.DiagnosticError("bad type", code=errors.MPI_ERR_TYPE,
+                                   diagnostics=[d])
+        assert e.code == errors.MPI_ERR_TYPE
+        assert e.diagnostics[0].code == "RPD101"
 
     def test_mpierror_carries_code(self):
         e = MPIError(errors.MPI_ERR_TYPE, "bad type")
