@@ -153,6 +153,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[list] = None) -> int:
     """Entry point; returns the process exit status."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "sanitize":
+        # Subcommand dispatch: the dynamic sanitizer shares this CLI so the
+        # static pass and the runtime verifier form one tool.
+        from ..sanitize.cli import main as sanitize_main
+        return sanitize_main(argv[1:])
     parser = build_parser()
     try:
         ns = parser.parse_args(argv)

@@ -21,7 +21,7 @@ from typing import Optional
 
 from ..errors import (MPI_ERR_ARG, MPI_ERR_BUFFER, MPI_ERR_OTHER,
                       MPI_ERR_PENDING, MPI_ERR_REQUEST, MPI_ERR_TAG,
-                      MPI_ERR_TYPE, error_name)
+                      MPI_ERR_TRUNCATE, MPI_ERR_TYPE, error_name)
 
 #: Severity levels, most severe first.  ``perf`` findings are reported only
 #: under ``--strict`` (they are smells, not bugs).
@@ -98,6 +98,29 @@ CODE_TABLE: dict[str, CodeInfo] = {c.code: c for c in (
        "buffer modified between nonblocking post and wait"),
     _c("RPD304", "warning", MPI_ERR_PENDING,
        "unconditional blocking send before blocking recv (deadlock risk)"),
+    # -- runtime sanitizer (repro.sanitize) ------------------------------
+    _c("RPD400", "error", MPI_ERR_BUFFER,
+       "buffers of concurrent requests overlap with a writer"),
+    _c("RPD401", "error", MPI_ERR_BUFFER,
+       "send buffer modified while the send was in flight"),
+    _c("RPD402", "error", MPI_ERR_BUFFER,
+       "receive buffer modified between post and delivery"),
+    _c("RPD410", "error", MPI_ERR_TYPE,
+       "send and receive type signatures do not match"),
+    _c("RPD411", "error", MPI_ERR_TRUNCATE,
+       "message longer than the matched receive (truncation)"),
+    _c("RPD420", "warning", MPI_ERR_REQUEST,
+       "request never completed before its rank finished"),
+    _c("RPD421", "warning", MPI_ERR_PENDING,
+       "message was sent but never received"),
+    _c("RPD430", "error", MPI_ERR_OTHER,
+       "packed-size promise disagrees between sender and receiver"),
+    _c("RPD431", "error", MPI_ERR_OTHER,
+       "region count/length disagreement on live traffic"),
+    _c("RPD432", "warning", MPI_ERR_OTHER,
+       "custom-datatype per-operation state is allocated but never freed"),
+    _c("RPD440", "error", MPI_ERR_PENDING,
+       "distributed deadlock: cyclic or hopeless wait-for dependency"),
 )}
 
 

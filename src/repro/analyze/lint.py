@@ -31,6 +31,11 @@ _WILDCARD_NAMES = {"ANY_TAG", "MPI_ANY_TAG"}
 _WILDCARD = "any"
 _UNKNOWN = "unknown"
 
+#: List methods that stash a request into an aggregate rather than
+#: completing it; the base-name load in ``reqs.append(...)`` is part of
+#: the collection, not a read.
+_AGG_MUTATORS = {"append", "extend", "insert"}
+
 
 def _call_kind(call: ast.Call) -> tuple[Optional[str], bool]:
     """Classify a call as (kind, is_capi); kind None when not MPI traffic."""
@@ -179,6 +184,67 @@ def _stmt_calls(stmt: ast.stmt):
         todo.extend(ast.iter_child_nodes(node))
 
 
+def _has_nb_call(expr: ast.AST) -> bool:
+    """True when an isend/irecv call appears anywhere under ``expr``."""
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Call):
+            kind, _ = _call_kind(node)
+            if kind in ("isend", "irecv"):
+                return True
+    return False
+
+
+def _walk_scope(scope):
+    """Walk a scope's AST without entering nested function/class bodies."""
+    todo = list(ast.iter_child_nodes(scope))
+    while todo:
+        node = todo.pop()
+        yield node
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef, ast.Lambda)):
+            todo.extend(ast.iter_child_nodes(node))
+
+
+def _aggregate_uses(scope) -> tuple[dict, set]:
+    """Request-aggregate collection sites and genuine reads in a scope.
+
+    Returns ``(collected, read)``.  ``collected`` maps a plain name to the
+    (line, col) where a nonblocking request first entered an aggregate
+    bound to it: a list/tuple/comprehension literal, an
+    ``append``/``extend``/``insert`` call, or ``+=``.  ``read`` holds every
+    name loaded anywhere under the scope *except* as the base of one of
+    those collecting calls — so passing the aggregate to
+    waitall/waitany/waitsome, iterating it in a wait loop, indexing it, or
+    returning it all count as completion-capable reads.
+    """
+    collected: dict[str, tuple[int, int]] = {}
+    collecting_nodes: set[int] = set()
+    for node in _walk_scope(scope):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                and isinstance(node.targets[0], ast.Name) \
+                and not isinstance(node.value, ast.Call) \
+                and _has_nb_call(node.value):
+            collected.setdefault(node.targets[0].id,
+                                 (node.lineno, node.col_offset))
+        elif isinstance(node, ast.AugAssign) \
+                and isinstance(node.target, ast.Name) \
+                and _has_nb_call(node.value):
+            collected.setdefault(node.target.id,
+                                 (node.lineno, node.col_offset))
+        elif isinstance(node, ast.Call) \
+                and isinstance(node.func, ast.Attribute) \
+                and node.func.attr in _AGG_MUTATORS \
+                and isinstance(node.func.value, ast.Name):
+            collecting_nodes.add(id(node.func.value))
+            if any(_has_nb_call(a) for a in node.args):
+                collected.setdefault(node.func.value.id,
+                                     (node.lineno, node.col_offset))
+    read = {n.id for n in ast.walk(scope)
+            if isinstance(n, ast.Name) and isinstance(n.ctx, ast.Load)
+            and id(n) not in collecting_nodes}
+    return collected, read
+
+
 def _loads_in(node: ast.AST) -> set:
     """Names read anywhere under ``node`` (including nested functions)."""
     return {n.id for n in ast.walk(node)
@@ -214,9 +280,12 @@ def _check_scope(scope, body, path: Optional[str]) -> list[Diagnostic]:
 
     # -- RPD302: nonblocking request never waited ------------------------
     # Flag (a) a bare-expression isend/irecv (the request is discarded on
-    # the spot) and (b) a request assigned to a plain name that is never
-    # read again in the scope.  Anything fancier (lists of requests,
-    # attributes, waitall helpers) reads the name and so passes.
+    # the spot); (b) a request assigned to a plain name that is never
+    # read again in the scope; and (c) requests collected into an
+    # aggregate (list literal, comprehension, append/extend, ``+=``)
+    # whose name is never read outside those collecting calls.  Aggregate
+    # completion — waitall(reqs), waitany/waitsome loops, ``for r in
+    # reqs: r.wait()`` — reads the name and so passes.
     scope_loads = _loads_in(scope)
     for stmt, _cond in stmts:
         if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
@@ -241,6 +310,16 @@ def _check_scope(scope, body, path: Optional[str]) -> list[Diagnostic]:
                     hint=f"call {stmt.targets[0].id}.wait() before the "
                          f"buffer is reused",
                     file=path, line=stmt.lineno, col=stmt.col_offset))
+    collected, agg_reads = _aggregate_uses(scope)
+    for name in sorted(collected):
+        if name not in agg_reads:
+            line, col = collected[name]
+            diags.append(Diagnostic(
+                "RPD302",
+                f"requests collected in {name!r} are never completed "
+                f"(the aggregate is never read again)",
+                hint=f"pass {name} to waitall(), or wait() on each request",
+                file=path, line=line, col=col))
 
     # -- RPD303: buffer mutated between post and wait --------------------
     # Track `req = comm.isend(buf, ...)` where both are plain names; any

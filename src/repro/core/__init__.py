@@ -14,6 +14,8 @@ from .datatype import (BYTE, CHAR, COMPLEX64, COMPLEX128, FLOAT32, FLOAT64,
                        UINT32, UINT64, Datatype, DerivedDatatype,
                        PredefinedDatatype, from_numpy_dtype)
 from .typemap import Block, Typemap, scalar_typemap
+from .signature import (format_signature, signature_bytes,
+                        signature_compatible)
 from .derived import (contiguous, create_struct, dup, hindexed, hvector,
                       indexed, indexed_block, resized, subarray, vector)
 from .packing import (pack, pack_window, packed_size, required_span, unpack,
@@ -41,6 +43,8 @@ __all__ = [
     "Datatype", "PredefinedDatatype", "DerivedDatatype", "CustomDatatype",
     # typemap algebra
     "Block", "Typemap", "scalar_typemap",
+    # type signatures
+    "signature_compatible", "signature_bytes", "format_signature",
     # derived constructors
     "contiguous", "vector", "hvector", "indexed", "hindexed", "indexed_block",
     "create_struct", "resized", "subarray", "dup",

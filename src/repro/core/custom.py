@@ -67,6 +67,10 @@ class CustomDatatype(Datatype):
     def typemap(self):
         raise MPIError(MPI_ERR_TYPE, "custom datatypes have no typemap")
 
+    def signature(self, count: int = 1):
+        """Custom datatypes serialize per-buffer; no static signature."""
+        return None
+
 
 def type_create_custom(query_fn: QueryFn,
                        pack_fn: Optional[PackFn] = None,

@@ -61,6 +61,37 @@ class Datatype:
     def typemap(self) -> Typemap:
         raise NotImplementedError
 
+    def signature(self, count: int = 1) -> Optional[tuple]:
+        """Canonical flattened type signature of ``count`` elements.
+
+        Returns run-length ``(basic, n)`` pairs where ``basic`` is a numpy
+        style scalar code (``"f8"``, ``"i4"``, ``"u1"``...), e.g.
+        ``(("i4", 2), ("f8", 1))`` for a struct of two ints and a double.
+        Displacements are erased, so two datatypes with equal signatures
+        move the same scalar sequence regardless of layout — MPI's
+        send/recv matching rule, used by the runtime sanitizer.  Custom
+        (callback-driven) datatypes have no static signature and return
+        ``None``.
+        """
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        sig = self.typemap.signature()
+        if count == 0 or not sig:
+            return ()
+        if count == 1:
+            return sig
+        if len(sig) == 1:
+            code, n = sig[0]
+            return ((code, n * count),)
+        runs: list[list] = []
+        for _ in range(count):
+            for code, n in sig:
+                if runs and runs[-1][0] == code:
+                    runs[-1][1] += n
+                else:
+                    runs.append([code, n])
+        return tuple((c, n) for c, n in runs)
+
     @property
     def shortname(self) -> str:
         """Compact provenance label used inside constructor names and
@@ -80,7 +111,9 @@ class PredefinedDatatype(Datatype):
         #: raw types (which use uint8).
         self.np_dtype = np.dtype(np_dtype) if np_dtype is not None else np.dtype(np.uint8)
         self._size = int(self.np_dtype.itemsize)
-        self._typemap = scalar_typemap(self._size)
+        #: numpy-style scalar code ("f8", "i4", ...), the signature atom.
+        self.scalar_code = f"{self.np_dtype.kind}{self._size}"
+        self._typemap = scalar_typemap(self._size, scalar=self.scalar_code)
 
     @property
     def size(self) -> int:

@@ -1,0 +1,92 @@
+"""Type-signature compatibility — MPI's send/recv matching rule.
+
+A signature (from :meth:`repro.core.Datatype.signature`) is a run-length
+sequence of ``(scalar_code, count)`` pairs.  MPI requires the receiver's
+signature to start with the sender's (a receive may be *longer* than the
+message, never shorter, and the scalar sequence must agree element by
+element).  ``MPI_BYTE`` is the traditional escape hatch: a stream declared
+as raw bytes on either side matches any scalar sequence of a compatible
+byte length, which keeps pack/unpack and serialization codes legal.
+
+The runtime sanitizer attaches the sender's signature to the wire envelope
+and evaluates :func:`signature_compatible` at match time.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+#: One signature: (("f8", 4), ("i4", 1), ...) — or None when unknown.
+Signature = Tuple[Tuple[str, int], ...]
+
+
+def scalar_width(code: str) -> int:
+    """Byte width of a scalar code ("f8" -> 8); 1 when unparsable."""
+    digits = "".join(ch for ch in code if ch.isdigit())
+    return int(digits) if digits else 1
+
+
+def signature_bytes(sig: Sequence[tuple]) -> int:
+    """Total bytes a signature covers."""
+    return sum(scalar_width(code) * n for code, n in sig)
+
+
+def is_untyped(sig: Sequence[tuple]) -> bool:
+    """True when every run is raw bytes (MPI_BYTE / handwritten typemaps)."""
+    return all(code == "u1" for code, _ in sig)
+
+
+def format_signature(sig: Optional[Sequence[tuple]]) -> str:
+    """Compact rendering for diagnostics: ``f8 x4 + i4 x1``."""
+    if sig is None:
+        return "<dynamic>"
+    if not sig:
+        return "<empty>"
+    return " + ".join(f"{code} x{n}" for code, n in sig)
+
+
+def signature_compatible(send: Optional[Signature],
+                         recv: Optional[Signature]) -> tuple[bool, str]:
+    """Can a message with signature ``send`` land in a receive of ``recv``?
+
+    Returns ``(ok, reason)``; ``reason`` is empty when compatible.  Either
+    side being ``None`` (custom datatype, unknown) is compatible.  An
+    untyped (all-bytes) side matches anything with enough room; typed
+    sides must agree scalar by scalar, with the receive allowed to be
+    longer (MPI's partial-receive rule).
+    """
+    if send is None or recv is None:
+        return True, ""
+    if is_untyped(send) or is_untyped(recv):
+        sb, rb = signature_bytes(send), signature_bytes(recv)
+        if sb > rb:
+            return False, (f"sender moves {sb} bytes but the receive "
+                           f"buffer covers only {rb}")
+        return True, ""
+    i = j = 0
+    left_s = left_r = 0
+    pos = 0  # scalar index, for the diagnostic
+    while True:
+        if left_s == 0:
+            if i == len(send):
+                return True, ""  # send exhausted; recv may be longer
+            left_s = send[i][1]
+        if left_r == 0:
+            if j == len(recv):
+                return False, (f"sender signature [{format_signature(send)}] "
+                               f"is longer than receiver signature "
+                               f"[{format_signature(recv)}]")
+            left_r = recv[j][1]
+        if send[i][0] != recv[j][0]:
+            return False, (f"scalar {pos}: sender has {send[i][0]}, "
+                           f"receiver expects {recv[j][0]} "
+                           f"(sender [{format_signature(send)}] vs receiver "
+                           f"[{format_signature(recv)}])")
+        step = min(left_s, left_r)
+        left_s -= step
+        left_r -= step
+        pos += step
+        if left_s == 0:
+            i += 1
+        if left_r == 0:
+            j += 1

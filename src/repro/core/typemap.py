@@ -34,11 +34,18 @@ class Block:
     nscalars:
         How many predefined scalars the run covers (cost-model metadata;
         a gap-free merged run of 3 ints has length 12 and nscalars 3).
+    scalar:
+        Numpy-style code of the predefined scalar this run is made of
+        (``"f8"``, ``"i4"``, ...); the empty string means untyped bytes.
+        Carried so :meth:`Typemap.signature` can reconstruct the MPI type
+        signature for sanitizer matching; blocks of different scalars are
+        never merged into each other's code.
     """
 
     offset: int
     length: int
     nscalars: int = 1
+    scalar: str = ""
 
     def __post_init__(self):
         if self.length <= 0:
@@ -51,7 +58,8 @@ class Block:
         return self.offset + self.length
 
     def shifted(self, delta: int) -> "Block":
-        return Block(self.offset + delta, self.length, self.nscalars)
+        return Block(self.offset + delta, self.length, self.nscalars,
+                     self.scalar)
 
 
 class Typemap:
@@ -137,10 +145,32 @@ class Typemap:
             if merged and merged[-1].end == b.offset:
                 prev = merged[-1]
                 merged[-1] = Block(prev.offset, prev.length + b.length,
-                                   prev.nscalars + b.nscalars)
+                                   prev.nscalars + b.nscalars,
+                                   prev.scalar if prev.scalar == b.scalar
+                                   else "")
             else:
                 merged.append(b)
         return tuple(merged)
+
+    def signature(self) -> tuple[tuple[str, int], ...]:
+        """Canonical MPI type signature: run-length ``(scalar, count)`` pairs.
+
+        The signature is the pack-order sequence of predefined scalars with
+        displacements erased (MPI's definition); adjacent runs of the same
+        scalar are coalesced.  Blocks without a scalar code count as raw
+        bytes (``"u1"``).
+        """
+        runs: list[list] = []
+        for b in self.blocks:
+            if b.scalar:
+                code, n = b.scalar, b.nscalars
+            else:
+                code, n = "u1", b.length
+            if runs and runs[-1][0] == code:
+                runs[-1][1] += n
+            else:
+                runs.append([code, n])
+        return tuple((c, n) for c, n in runs)
 
     # -- algebra ----------------------------------------------------------
 
@@ -205,6 +235,10 @@ class Typemap:
                 f"lb={self.lb}, extent={self.extent})")
 
 
-def scalar_typemap(nbytes: int, offset: int = 0) -> Typemap:
-    """Typemap of a single predefined scalar of ``nbytes`` bytes."""
-    return Typemap((Block(offset, nbytes, 1),))
+def scalar_typemap(nbytes: int, offset: int = 0, scalar: str = "") -> Typemap:
+    """Typemap of a single predefined scalar of ``nbytes`` bytes.
+
+    ``scalar`` is the numpy-style type code carried through the algebra for
+    signature reconstruction (empty for untyped bytes).
+    """
+    return Typemap((Block(offset, nbytes, 1, scalar),))

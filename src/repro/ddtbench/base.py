@@ -189,6 +189,9 @@ class Workload:
         def state_fn(context, buf, count):
             return _State()
 
+        def state_free_fn(state):
+            state.packed = None
+
         def query_fn(state, buf, count):
             return layout.total_bytes
 
@@ -209,6 +212,7 @@ class Workload:
 
         return type_create_custom(query_fn=query_fn, pack_fn=pack_fn,
                                   unpack_fn=unpack_fn, state_fn=state_fn,
+                                  state_free_fn=state_free_fn,
                                   name=f"custom-pack:{self.name}")
 
     def custom_region_datatype(self) -> CustomDatatype:

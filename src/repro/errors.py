@@ -151,6 +151,19 @@ class DiagnosticError(MPIError):
         self.diagnostics = list(diagnostics)
 
 
+class DeadlockError(MPIError):
+    """The runtime sanitizer detected a distributed deadlock.
+
+    Raised in every blocked rank once a wait-for cycle (or a wait on a
+    terminated rank) is proven, releasing the job in bounded time instead
+    of hitting the wall-clock timeout.  The full cycle evidence lives in
+    the job's sanitizer report (diagnostic RPD440).
+    """
+
+    def __init__(self, message: str = ""):
+        super().__init__(MPI_ERR_PENDING, message)
+
+
 class TransportError(ReproError):
     """Failure inside the simulated UCP transport."""
 
@@ -160,5 +173,8 @@ class RuntimeAbort(ReproError):
 
     def __init__(self, failures: dict[int, BaseException]):
         self.failures = dict(failures)
+        #: Sanitizer findings gathered before the abort (set by the runtime
+        #: when the job ran with ``sanitize=True``).
+        self.sanitizer_report = None
         detail = "; ".join(f"rank {r}: {type(e).__name__}: {e}" for r, e in sorted(failures.items()))
         super().__init__(f"{len(failures)} rank(s) failed: {detail}")

@@ -57,7 +57,7 @@ def _send(comm: Communicator, dest: int, tag: int, buf, count, dtype) -> None:
 def _recv(comm: Communicator, source: int, tag: int, buf, count, dtype) -> Status:
     tag64 = pack_tag(comm.comm_id & 0xFFFF, source, tag)
     req = comm.engine.start_recv(tag64, match_mask(False, False), buf, count,
-                                 dtype)
+                                 dtype, peers=(comm._world(source),))
     return req.wait()
 
 

@@ -215,7 +215,16 @@ class Communicator:
         self._check_tag(tag, allow_any=True)
         buf, count, datatype = self._resolve(buf, count, datatype)
         tag64, mask = self._recv_pattern(source, tag)
-        return self.engine.start_recv(tag64, mask, buf, count, datatype)
+        return self.engine.start_recv(tag64, mask, buf, count, datatype,
+                                      peers=self._recv_peers(source))
+
+    def _recv_peers(self, source: int) -> Optional[tuple[int, ...]]:
+        """World ranks that could satisfy a receive from ``source`` — the
+        wait-for targets the sanitizer's deadlock detector needs.  None
+        means any rank in the job (COMM_WORLD wildcard)."""
+        if source == ANY_SOURCE:
+            return tuple(self._group) if self._group is not None else None
+        return (self._world(source),)
 
     def recv(self, buf: Any, source: int = ANY_SOURCE, tag: int = ANY_TAG,
              datatype: Optional[Datatype] = None,

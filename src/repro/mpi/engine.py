@@ -33,7 +33,7 @@ from ..core.custom import (CustomDatatype, CustomRecvOperation,
                            CustomSendOperation)
 from ..core.datatype import Datatype
 from ..core.packing import pack, packed_size, unpack
-from ..errors import TruncationError
+from ..errors import MPIError, TruncationError
 from ..ucp.context import Worker
 from ..ucp.dtypes import ContigData, HandlerData, IovData
 from ..ucp.wire import WireMessage
@@ -71,13 +71,31 @@ class TransferEngine:
         (the custom/IOV path is already rendezvous-like, so the flag only
         changes contiguous transfers)."""
         ep = self.worker.endpoint(dest)
+        san = self.worker.sanitizer
         if isinstance(dtype, CustomDatatype):
-            return self._send_custom(ep, tag64, buf, count, dtype)
-        if dtype.is_contiguous:
+            req = self._send_custom(ep, tag64, buf, count, dtype)
+        elif dtype.is_contiguous:
             nbytes = packed_size(dtype, count)
-            return Request(ep.tag_send(tag64, ContigData(buf, nbytes),
-                                       force_rndv=sync))
-        return self._send_derived(ep, tag64, buf, count, dtype, sync=sync)
+            sig = dtype.signature(count) if san is not None else None
+            treq = ep.tag_send(tag64, ContigData(buf, nbytes),
+                               force_rndv=sync, signature=sig)
+            req = Request(treq)
+        else:
+            req = self._send_derived(ep, tag64, buf, count, dtype, sync=sync)
+        if san is not None:
+            self._sanitize_send(san, req, buf, count, dtype, dest, tag64)
+        return req
+
+    def _sanitize_send(self, san, req: Request, buf, count: int,
+                       dtype: Datatype, dest: int, tag64: int) -> None:
+        """Register the send with the sanitizer (shadow buffer + label)."""
+        if isinstance(dtype, CustomDatatype):
+            san.check_custom_lifecycle(self.worker.index, dtype)
+        san.on_send_posted(self.worker.index, req, buf, dtype, count,
+                           dest, tag64)
+        rec = req._san_record
+        if rec is not None and req._req is not None:
+            req._req.san_detail = rec.label
 
     def _send_derived(self, ep, tag64: int, buf, count: int,
                       dtype: Datatype, sync: bool = False) -> Request:
@@ -88,7 +106,10 @@ class TransferEngine:
         pack(dtype, buf, count, out=temp)
         nblocks = count * len(dtype.typemap.merged_blocks())
         clock.advance(self.model.typemap_pack_time(nblocks, nbytes))
-        req = ep.tag_send(tag64, ContigData(temp, nbytes), force_rndv=sync)
+        sig = dtype.signature(count) if self.worker.sanitizer is not None \
+            else None
+        req = ep.tag_send(tag64, ContigData(temp, nbytes), force_rndv=sync,
+                          signature=sig)
         self.worker.memory.release(temp)  # transport copied or owns the ref
         return Request(req)
 
@@ -117,25 +138,46 @@ class TransferEngine:
     # ------------------------------------------------------------------
 
     def start_recv(self, tag64: int, mask: int, buf, count: int,
-                   dtype: Datatype) -> Request:
+                   dtype: Datatype, peers=None) -> Request:
+        san = self.worker.sanitizer
         if isinstance(dtype, CustomDatatype):
             desc = HandlerData(self._custom_recv_handler(buf, count, dtype))
-            treq = self.worker.tag_recv(tag64, desc, mask)
-            return Request(treq)
-        if dtype.is_contiguous:
+            treq = self.worker.tag_recv(tag64, desc, mask, peers=peers)
+            req = Request(treq)
+        elif dtype.is_contiguous:
             nbytes = packed_size(dtype, count)
-            treq = self.worker.tag_recv(tag64, ContigData(buf, nbytes, writable=True),
-                                        mask)
-            return Request(treq)
-        return self._recv_derived(tag64, mask, buf, count, dtype)
+            desc = ContigData(buf, nbytes, writable=True)
+            if san is not None:
+                desc.expected_signature = dtype.signature(count)
+            treq = self.worker.tag_recv(tag64, desc, mask, peers=peers)
+            req = Request(treq)
+        else:
+            req = self._recv_derived(tag64, mask, buf, count, dtype,
+                                     peers=peers)
+        if san is not None:
+            self._sanitize_recv(san, req, buf, count, dtype, peers, tag64)
+        return req
+
+    def _sanitize_recv(self, san, req: Request, buf, count: int,
+                       dtype: Datatype, peers, tag64: int) -> None:
+        """Register the receive with the sanitizer (shadow buffer + label)."""
+        if isinstance(dtype, CustomDatatype):
+            san.check_custom_lifecycle(self.worker.index, dtype)
+        san.on_recv_posted(self.worker.index, req, buf, dtype, count,
+                           peers, tag64)
+        rec = req._san_record
+        if rec is not None and req._req is not None:
+            req._req.san_detail = rec.label
 
     def _recv_derived(self, tag64: int, mask: int, buf, count: int,
-                      dtype: Datatype) -> Request:
+                      dtype: Datatype, peers=None) -> Request:
         nbytes = packed_size(dtype, count)
         clock = self.worker.clock
         temp = self.worker.memory.allocate(nbytes, clock, self.model)
-        treq = self.worker.tag_recv(tag64, ContigData(temp, nbytes, writable=True),
-                                    mask)
+        desc = ContigData(temp, nbytes, writable=True)
+        if self.worker.sanitizer is not None:
+            desc.expected_signature = dtype.signature(count)
+        treq = self.worker.tag_recv(tag64, desc, mask, peers=peers)
 
         def on_complete() -> Status:
             info = treq.wait()
@@ -170,14 +212,33 @@ class TransferEngine:
         k = hdr.packed_entries
         chunks = msg.chunks
         clock = self.worker.clock
+        san = self.worker.sanitizer
         with CustomRecvOperation(dtype, buf, count) as op:
+            if san is not None:
+                # Contract check on live traffic: what the receiver's query
+                # callback promises must be what the sender actually packed.
+                # Recv-side queries may legitimately fail on not-yet-filled
+                # objects; only a successful, definite promise is compared.
+                try:
+                    promised = op.expected_packed_size()
+                except Exception:
+                    promised = -1
+                actual = sum(int(n) for n in hdr.entry_lengths[:k])
+                san.check_packed_promise(self.worker.index, hdr.source,
+                                         dtype, promised, actual)
             packed = list(zip(self._offsets(hdr.entry_lengths[:k]), chunks[:k]))
             if self.config.ooo_fragments and not dtype.inorder and len(packed) > 1:
                 packed = packed[::-1]
             for offset, chunk in packed:
                 op.unpack_fragment(offset, chunk)
             region_lens = list(hdr.entry_lengths[k:])
-            regions = op.recv_regions(region_lens)
+            try:
+                regions = op.recv_regions(region_lens)
+            except MPIError as exc:
+                if san is not None:
+                    san.report_region_mismatch(self.worker.index,
+                                               hdr.source, dtype, exc)
+                raise
             for chunk, region in zip(chunks[k:], regions):
                 region.writable_view()[: chunk.shape[0]] = chunk
             clock.advance(self.model.callback_time(op.ncallbacks)

@@ -69,6 +69,10 @@ class Request:
     receive-side unpack work and to free custom-datatype state).
     """
 
+    #: Sanitizer-side shadow record (class default keeps the normal path
+    #: attribute-cheap; the engine sets an instance value when sanitizing).
+    _san_record = None
+
     def __init__(self, transport_req: SendRequest | RecvRequest | None,
                  on_complete: Optional[Callable[[], Optional[Status]]] = None):
         self._req = transport_req
@@ -88,6 +92,10 @@ class Request:
         """Complete the operation; returns a Status for receives."""
         if self._done:
             return self._status
+        if self._san_record is not None:
+            # Pre-delivery checksum check (a receive buffer must not have
+            # been touched between the post and now).
+            self._san_record.before_wait()
         if self._req is not None:
             result = self._req.wait(timeout=timeout)
         else:
@@ -97,6 +105,8 @@ class Request:
         elif isinstance(result, RecvInfo):
             self._status = Status.from_recv_info(result)
         self._done = True
+        if self._san_record is not None:
+            self._san_record.after_wait()
         return self._status
 
     @staticmethod

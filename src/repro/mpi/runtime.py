@@ -44,6 +44,9 @@ class JobResult:
     memory: list[dict[str, int]] = field(default_factory=list)
     #: Per-rank message traces (when tracing was enabled).
     traces: list[list[dict]] = field(default_factory=list)
+    #: Sanitizer findings (a SanitizeReport when the job ran with
+    #: ``sanitize=True``; None otherwise).
+    sanitizer_report: Any = None
 
     @property
     def max_clock(self) -> float:
@@ -55,7 +58,8 @@ def run(fn: Callable[[Communicator], Any] | Sequence[Callable[[Communicator], An
         params: Optional[LinkParams] = None,
         engine_config: Optional[EngineConfig] = None,
         timeout: float = 120.0,
-        trace_messages: bool = False) -> JobResult:
+        trace_messages: bool = False,
+        sanitize: bool = False) -> JobResult:
     """Run an SPMD job.
 
     Parameters
@@ -71,6 +75,12 @@ def run(fn: Callable[[Communicator], Any] | Sequence[Callable[[Communicator], An
         Engine-level knobs (e.g. out-of-order fragment delivery).
     timeout:
         Wall-clock seconds before the job is declared deadlocked.
+    sanitize:
+        Attach the :mod:`repro.sanitize` dynamic verifier.  Findings land
+        on ``JobResult.sanitizer_report`` (clean runs) or on the raised
+        :class:`~repro.errors.RuntimeAbort`'s ``sanitizer_report``.  With
+        the sanitizer attached, distributed deadlocks are detected and
+        aborted in bounded time instead of burning the whole ``timeout``.
     """
     if callable(fn):
         fns = [fn] * nprocs
@@ -82,6 +92,13 @@ def run(fn: Callable[[Communicator], Any] | Sequence[Callable[[Communicator], An
     config = UcpConfig(params=params if params is not None else LinkParams(),
                        trace_messages=trace_messages)
     fabric = UcpContext(config).create_fabric(nprocs)
+
+    san = None
+    if sanitize:
+        from ..sanitize import JobSanitizer
+        san = JobSanitizer(nprocs)
+        for w in fabric.workers:
+            w.sanitizer = san
 
     results: list[Any] = [None] * nprocs
     failures: dict[int, BaseException] = {}
@@ -95,6 +112,11 @@ def run(fn: Callable[[Communicator], Any] | Sequence[Callable[[Communicator], An
         except BaseException as exc:  # report, don't kill the interpreter
             with failures_lock:
                 failures[rank] = exc
+            if san is not None:
+                san.rank_failed(rank)
+        else:
+            if san is not None:
+                san.finalize_rank(rank)
 
     threads = [threading.Thread(target=worker_main, args=(r,),
                                 name=f"mpi-rank-{r}", daemon=True)
@@ -108,11 +130,24 @@ def run(fn: Callable[[Communicator], Any] | Sequence[Callable[[Communicator], An
             deadline_hit = True
     if deadline_hit:
         alive = [t.name for t in threads if t.is_alive()]
-        raise RuntimeAbort(failures or {
+        abort = RuntimeAbort(failures or {
             -1: TimeoutError(f"ranks still running after {timeout}s "
                              f"(deadlock?): {alive}")})
+        if san is not None:
+            abort.sanitizer_report = san.report(aborted=True,
+                                                failures=failures)
+        raise abort
     if failures:
-        raise RuntimeAbort(failures)
+        abort = RuntimeAbort(failures)
+        if san is not None:
+            abort.sanitizer_report = san.report(aborted=True,
+                                                failures=failures)
+        raise abort
+
+    report = None
+    if san is not None:
+        san.finalize_job(fabric)
+        report = san.report()
 
     return JobResult(
         results=results,
@@ -120,4 +155,5 @@ def run(fn: Callable[[Communicator], Any] | Sequence[Callable[[Communicator], An
         clocks=[w.clock.now for w in fabric.workers],
         memory=[w.memory.snapshot() for w in fabric.workers],
         traces=[list(w.trace) for w in fabric.workers],
+        sanitizer_report=report,
     )

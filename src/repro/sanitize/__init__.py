@@ -1,0 +1,24 @@
+"""repro.sanitize — a MUST-style dynamic verifier for the simulated fabric.
+
+Opt-in via ``repro.mpi.run(..., sanitize=True)`` or the
+``repro-analyze sanitize`` CLI.  Checks performed on live traffic:
+
+* happens-before buffer-access tracking (RPD400-RPD402),
+* send/recv type-signature matching on the wire (RPD410, RPD411),
+* request-leak and lost-message detection at job end (RPD420, RPD421),
+* custom-datatype callback contract enforcement (RPD430-RPD432),
+* distributed deadlock detection in bounded time (RPD440).
+"""
+
+from ..errors import DeadlockError
+from .buffers import BufferRecord, BufferTracker
+from .job import JobSanitizer
+from .report import SanitizeReport
+
+__all__ = [
+    "BufferRecord",
+    "BufferTracker",
+    "DeadlockError",
+    "JobSanitizer",
+    "SanitizeReport",
+]

@@ -1,0 +1,188 @@
+"""Shadow buffer-ownership tracking (the happens-before checker).
+
+MPI forbids touching a buffer between posting a nonblocking operation and
+completing it.  The tracker records, per rank, which byte ranges are owned
+by in-flight requests:
+
+* at post time an *acquire* checks the new ranges against every live
+  record (an overlap involving a writer is RPD400) and checksums the
+  owned bytes;
+* at wait time the checksum is recomputed — a changed send buffer is
+  RPD401, a receive buffer changed before delivery is RPD402;
+* completion releases the ranges.
+
+Ownership is **block-accurate**: a derived datatype owns only the bytes
+its typemap touches, so concurrent operations on interleaved columns of
+one array (the ddtbench halo pattern) neither collide nor perturb each
+other's checksums.  All calls for one rank happen on that rank's own
+thread, so the per-rank state needs no locking.  Buffers that expose no
+byte view (custom-datatype objects) are tracked by identity only: overlap
+is same-object, and no checksum is taken.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any, Optional
+
+import numpy as np
+
+
+def _u8_or_none(buf: Any) -> Optional[np.ndarray]:
+    """Flat uint8 view of a buffer, or None when it has no byte layout."""
+    try:
+        if isinstance(buf, np.ndarray):
+            if not buf.flags.c_contiguous:
+                return None
+            return buf.view(np.uint8).reshape(-1)
+        mv = memoryview(buf)
+        if not mv.contiguous:
+            return None
+        return np.frombuffer(mv, dtype=np.uint8)
+    except (TypeError, ValueError):
+        return None
+
+
+def _merge(ranges: list) -> list:
+    """Coalesce a sorted list of [start, end) pairs."""
+    out: list = []
+    for s, e in ranges:
+        if out and s <= out[-1][1]:
+            out[-1] = (out[-1][0], max(out[-1][1], e))
+        else:
+            out.append((s, e))
+    return out
+
+
+class BufferRecord:
+    """One in-flight request's claim on (parts of) a buffer.
+
+    ``ranges`` are [start, end) byte offsets into the buffer's flat view —
+    the bytes the operation's datatype actually touches.  None claims the
+    whole view.
+    """
+
+    __slots__ = ("rank", "writer", "label", "view", "ranges", "abs_ranges",
+                 "obj_id", "crc")
+
+    def __init__(self, rank: int, buf: Any, writer: bool, label: str,
+                 ranges: Optional[list] = None):
+        self.rank = rank
+        self.writer = writer
+        self.label = label
+        view = _u8_or_none(buf)
+        self.view = view
+        self.obj_id = None
+        if view is None:
+            # No byte layout: identity tracking, no checksum.
+            self.ranges = []
+            self.abs_ranges = []
+            self.obj_id = id(buf)
+            self.crc = None
+            return
+        n = view.shape[0]
+        if ranges is None:
+            rel = [(0, n)] if n else []
+        else:
+            rel = []
+            for s, e in ranges:
+                s, e = max(int(s), 0), min(int(e), n)
+                if s < e:
+                    rel.append((s, e))
+            rel = _merge(sorted(rel))
+        self.ranges = rel
+        if rel:
+            base = view.__array_interface__["data"][0]
+            self.abs_ranges = [(base + s, base + e) for s, e in rel]
+            self.crc = self._crc()
+        else:
+            # Zero bytes claimed: inert record (never overlaps or changes).
+            self.abs_ranges = []
+            self.crc = None
+
+    def _crc(self) -> int:
+        c = 0
+        for s, e in self.ranges:
+            c = zlib.crc32(self.view[s:e], c)
+        return c
+
+    def overlaps(self, other: "BufferRecord") -> bool:
+        if self.obj_id is not None or other.obj_id is not None:
+            return self.obj_id is not None and self.obj_id == other.obj_id
+        a, b = self.abs_ranges, other.abs_ranges
+        i = j = 0
+        while i < len(a) and j < len(b):
+            if a[i][0] < b[j][1] and b[j][0] < a[i][1]:
+                return True
+            if a[i][1] <= b[j][1]:
+                i += 1
+            else:
+                j += 1
+        return False
+
+    def changed(self) -> bool:
+        """Recompute the checksum; True when owned bytes moved underneath."""
+        if self.crc is None:
+            return False
+        return self._crc() != self.crc
+
+
+class BufferTracker:
+    """Per-rank shadow ownership map, reporting through the job sanitizer."""
+
+    def __init__(self, job):
+        self._job = job
+        self._active: dict[int, list[BufferRecord]] = {}
+
+    def acquire(self, rank: int, buf: Any, writer: bool, label: str,
+                ranges: Optional[list] = None) -> BufferRecord:
+        rec = BufferRecord(rank, buf, writer, label, ranges=ranges)
+        live = self._active.setdefault(rank, [])
+        for other in live:
+            if (rec.writer or other.writer) and rec.overlaps(other):
+                self._job.emit(
+                    "RPD400",
+                    f"{label} overlaps the buffer of an incomplete "
+                    f"{other.label}; concurrent requests may not share "
+                    f"bytes when either writes",
+                    rank=rank,
+                    hint="complete the earlier request (wait) before "
+                         "posting an operation on an overlapping buffer")
+                break
+        live.append(rec)
+        return rec
+
+    def verify_send(self, rec: BufferRecord) -> None:
+        if rec.changed():
+            self._job.emit(
+                "RPD401",
+                f"send buffer of {rec.label} was modified while the send "
+                f"was in flight; the receiver may observe the new bytes "
+                f"(rendezvous) or the old ones (eager)",
+                rank=rec.rank,
+                hint="wait on the send request before reusing its buffer")
+
+    def verify_recv(self, rec: BufferRecord) -> None:
+        if rec.changed():
+            self._job.emit(
+                "RPD402",
+                f"receive buffer of {rec.label} was modified between the "
+                f"post and delivery; incoming data will overwrite those "
+                f"writes",
+                rank=rec.rank,
+                hint="do not touch a receive buffer until the request "
+                     "completes")
+        # Delivery rewrites the bytes legitimately from here on.
+        rec.crc = None
+
+    def release(self, rec: BufferRecord) -> None:
+        live = self._active.get(rec.rank)
+        if live is not None:
+            try:
+                live.remove(rec)
+            except ValueError:
+                pass
+
+    def drop_rank(self, rank: int) -> None:
+        """Forget a finished rank's records (leaks are reported per request)."""
+        self._active.pop(rank, None)

@@ -1,0 +1,263 @@
+"""``repro-analyze sanitize`` — run programs under the dynamic sanitizer.
+
+Program convention: a file defines ``main(comm)`` (the same entry the
+examples use for ``repro.mpi.run``) and optionally a module-level rank
+count (``NPROCS``/``NRANKS``/``PROCS``).  Files without a ``main(comm)``
+entry are skipped with a notice, so whole directories (``examples/``) can
+be swept.  ``--ddtbench`` instead runs the DDTBench workload registry as
+sanitized pingpongs over every practicable transfer method.
+
+Exit status: 0 clean, 1 findings (error severity by default; any severity
+under ``--strict``) or an aborted job, 2 usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import dataclasses
+import importlib.util
+import inspect
+import io
+import json
+import os
+import sys
+from typing import Optional
+
+from ..analyze.diagnostics import Diagnostic, sort_diagnostics
+from ..errors import RuntimeAbort
+from .report import SCHEMA_VERSION, SanitizeReport
+
+#: Module attributes consulted (in order) for a program's rank count.
+_NPROC_ATTRS = ("NPROCS", "NRANKS", "PROCS")
+
+#: Transfer methods the ddtbench sweep exercises.
+_DDT_METHODS = ("derived", "custom-pack", "custom-region")
+
+
+def _load_entry(path: str):
+    """Import a program file; returns (fn, nprocs, error).
+
+    ``fn`` is None with a human reason in ``error`` when the file defines
+    no ``main(comm)``-style entry (not a failure — the file is skipped).
+    """
+    modname = "_repro_sanitize_" + os.path.basename(path)[:-3].replace(
+        "-", "_") + f"_{abs(hash(os.path.abspath(path))) % 10 ** 8}"
+    try:
+        spec = importlib.util.spec_from_file_location(modname, path)
+        mod = importlib.util.module_from_spec(spec)
+        sys.modules[modname] = mod
+        with contextlib.redirect_stdout(io.StringIO()):
+            spec.loader.exec_module(mod)
+    except Exception as exc:
+        sys.modules.pop(modname, None)
+        return None, 0, f"import failed: {type(exc).__name__}: {exc}"
+    sys.modules.pop(modname, None)
+
+    fn = getattr(mod, "main", None)
+    if callable(fn):
+        try:
+            params = list(inspect.signature(fn).parameters.values())
+        except (TypeError, ValueError):
+            params = []
+        required = [p for p in params if p.default is inspect.Parameter.empty
+                    and p.kind in (p.POSITIONAL_ONLY,
+                                   p.POSITIONAL_OR_KEYWORD)]
+        if len(required) == 1 and required[0].name == "comm":
+            nprocs = next((int(getattr(mod, a)) for a in _NPROC_ATTRS
+                           if isinstance(getattr(mod, a, None), int)), 2)
+            return fn, nprocs, ""
+    return None, 0, "no main(comm) entry"
+
+
+def run_program(path: str, nprocs: Optional[int] = None,
+                timeout: float = 60.0) -> Optional[SanitizeReport]:
+    """Run one program file under the sanitizer; None when skipped."""
+    from ..mpi import run
+
+    fn, module_nprocs, error = _load_entry(path)
+    if fn is None:
+        if error.startswith("import failed"):
+            return SanitizeReport(
+                nprocs=0, aborted=True, failures={-1: error}, program=path)
+        return None
+    n = nprocs or module_nprocs
+    try:
+        # The program's own prints are not part of the tool's output
+        # (they would corrupt --format json); swallow them.
+        with contextlib.redirect_stdout(io.StringIO()):
+            result = run(fn, nprocs=n, sanitize=True, timeout=timeout)
+        report = result.sanitizer_report
+    except RuntimeAbort as exc:
+        report = exc.sanitizer_report or SanitizeReport(
+            nprocs=n, aborted=True,
+            failures={r: f"{type(e).__name__}: {e}"
+                      for r, e in exc.failures.items()})
+    report.program = path
+    return report
+
+
+def run_ddtbench(names=None, timeout: float = 60.0
+                 ) -> list[SanitizeReport]:
+    """Sanitized pingpong of every registry workload x transfer method."""
+    from ..ddtbench import WORKLOADS, make_workload
+    from ..mpi import run
+
+    reports = []
+    for name in (names or sorted(WORKLOADS)):
+        probe = make_workload(name)
+        for method in _DDT_METHODS:
+            if method == "custom-region" and not probe.meta.memory_regions:
+                continue
+
+            def fn(comm, _name=name, _method=method):
+                w = make_workload(_name)
+                if _method == "derived":
+                    dt = w.derived_datatype()
+                elif _method == "custom-pack":
+                    dt = w.custom_pack_datatype()
+                else:
+                    dt = w.custom_region_datatype()
+                if comm.rank == 0:
+                    comm.send(w.make_send_buffer(), dest=1,
+                              datatype=dt, count=1)
+                else:
+                    rb = w.make_recv_buffer()
+                    comm.recv(rb, source=0, datatype=dt, count=1)
+
+            label = f"ddtbench:{name}:{method}"
+            try:
+                with contextlib.redirect_stdout(io.StringIO()):
+                    result = run(fn, nprocs=2, sanitize=True,
+                                 timeout=timeout)
+                report = result.sanitizer_report
+            except RuntimeAbort as exc:
+                report = exc.sanitizer_report or SanitizeReport(
+                    nprocs=2, aborted=True,
+                    failures={r: f"{type(e).__name__}: {e}"
+                              for r, e in exc.failures.items()})
+            report.program = label
+            reports.append(report)
+    return reports
+
+
+def _stamped(report: SanitizeReport) -> list[Diagnostic]:
+    """The report's findings with the program path on each diagnostic."""
+    return [dataclasses.replace(d, file=report.program)
+            for d in report.diagnostics]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-analyze sanitize",
+        description="Run MPI programs on the simulated fabric with the "
+                    "dynamic sanitizer attached.")
+    p.add_argument("programs", nargs="*",
+                   help="program files or directories (main(comm) entries)")
+    p.add_argument("--nprocs", type=int, default=None,
+                   help="override the rank count (default: the program's "
+                        "NPROCS/NRANKS/PROCS, else 2)")
+    p.add_argument("--timeout", type=float, default=60.0,
+                   help="wall-clock seconds per job (default: 60)")
+    p.add_argument("--format", choices=("text", "json"), default="text",
+                   help="output format (default: text)")
+    p.add_argument("--strict", action="store_true",
+                   help="exit nonzero on warnings too, not just errors")
+    p.add_argument("--ddtbench", action="store_true",
+                   help="also run the DDTBench workload registry as "
+                        "sanitized pingpongs")
+    p.add_argument("--workloads", default="",
+                   help="comma-separated ddtbench workload names "
+                        "(default: all)")
+    return p
+
+
+def _iter_programs(paths) -> list[str]:
+    out = []
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(d for d in dirnames
+                                     if d != "__pycache__"
+                                     and not d.startswith("."))
+                for fn in sorted(filenames):
+                    if fn.endswith(".py"):
+                        out.append(os.path.join(dirpath, fn))
+        elif os.path.isfile(path):
+            out.append(path)
+        else:
+            raise FileNotFoundError(path)
+    return out
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = build_parser()
+    try:
+        ns = parser.parse_args(argv)
+    except SystemExit as exc:
+        return int(exc.code or 0) and 2
+
+    if not ns.programs and not ns.ddtbench:
+        parser.print_usage(sys.stderr)
+        print("error: no programs given (or use --ddtbench)",
+              file=sys.stderr)
+        return 2
+
+    try:
+        files = _iter_programs(ns.programs)
+    except FileNotFoundError as exc:
+        print(f"error: no such file or directory: {exc}", file=sys.stderr)
+        return 2
+
+    reports: list[SanitizeReport] = []
+    skipped: list[str] = []
+    for path in files:
+        report = run_program(path, nprocs=ns.nprocs, timeout=ns.timeout)
+        if report is None:
+            skipped.append(path)
+        else:
+            reports.append(report)
+    if ns.ddtbench:
+        names = [w for w in ns.workloads.split(",") if w] or None
+        reports.extend(run_ddtbench(names, timeout=ns.timeout))
+
+    findings = sort_diagnostics(
+        [d for rep in reports for d in _stamped(rep)])
+    aborted = [rep for rep in reports if rep.aborted]
+    if ns.strict:
+        failing = findings
+    else:
+        failing = [d for d in findings if d.severity == "error"]
+
+    if ns.format == "json":
+        by_code: dict[str, int] = {}
+        for d in findings:
+            by_code[d.code] = by_code.get(d.code, 0) + 1
+        doc = {
+            "version": SCHEMA_VERSION,
+            "tool": "repro.sanitize",
+            "findings": [d.to_dict() for d in findings],
+            "summary": {
+                "programs": len(reports),
+                "skipped": skipped,
+                "findings": len(findings),
+                "aborted": [rep.program for rep in aborted],
+                "failures": {str(r): msg for rep in aborted
+                             for r, msg in sorted(rep.failures.items())},
+                "by_code": dict(sorted(by_code.items())),
+            },
+        }
+        print(json.dumps(doc, indent=2))
+    else:
+        for d in findings:
+            print(d.format_text())
+        for rep in aborted:
+            for r, msg in sorted(rep.failures.items()):
+                print(f"{rep.program}: rank {r} failed: {msg}")
+        for path in skipped:
+            print(f"skipped (no main(comm) entry): {path}")
+        verdict = "clean" if not findings and not aborted else \
+            f"{len(findings)} finding(s)"
+        print(f"{verdict}: {len(reports)} sanitized job(s), "
+              f"{len(skipped)} skipped")
+    return 1 if failing or aborted else 0

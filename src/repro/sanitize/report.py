@@ -1,0 +1,70 @@
+"""The sanitizer's result object: diagnostics plus job-level verdicts."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..analyze.diagnostics import Diagnostic, sort_diagnostics
+
+#: JSON schema version shared with ``repro.analyze`` (PR 1's schema v1).
+SCHEMA_VERSION = 1
+
+
+@dataclass
+class SanitizeReport:
+    """Everything the sanitizer learned about one job."""
+
+    nprocs: int
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    #: True when the job was aborted (rank failure or detected deadlock).
+    aborted: bool = False
+    #: Per-rank failure summaries ("DeadlockError: ...") when aborted.
+    failures: dict[int, str] = field(default_factory=dict)
+    #: Source file the job came from (CLI runs); stamped onto findings.
+    program: Optional[str] = None
+
+    def __post_init__(self):
+        self.diagnostics = sort_diagnostics(self.diagnostics)
+
+    @property
+    def clean(self) -> bool:
+        return not self.diagnostics and not self.aborted
+
+    def codes(self) -> set[str]:
+        return {d.code for d in self.diagnostics}
+
+    def by_code(self, code: str) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.code == code]
+
+    def to_dict(self) -> dict:
+        """JSON rendering (same envelope as ``repro.analyze --format json``)."""
+        by_code: dict[str, int] = {}
+        by_severity: dict[str, int] = {}
+        for d in self.diagnostics:
+            by_code[d.code] = by_code.get(d.code, 0) + 1
+            by_severity[d.severity] = by_severity.get(d.severity, 0) + 1
+        return {
+            "version": SCHEMA_VERSION,
+            "tool": "repro.sanitize",
+            "findings": [d.to_dict() for d in self.diagnostics],
+            "summary": {
+                "nprocs": self.nprocs,
+                "findings": len(self.diagnostics),
+                "aborted": self.aborted,
+                "failures": {str(r): msg for r, msg in
+                             sorted(self.failures.items())},
+                "by_code": dict(sorted(by_code.items())),
+                "by_severity": dict(sorted(by_severity.items())),
+            },
+        }
+
+    def format_text(self) -> str:
+        lines = [d.format_text() for d in self.diagnostics]
+        if self.aborted:
+            for r, msg in sorted(self.failures.items()):
+                lines.append(f"rank {r} failed: {msg}")
+        lines.append(f"{len(self.diagnostics)} finding(s) over "
+                     f"{self.nprocs} rank(s)"
+                     + (" [job aborted]" if self.aborted else ""))
+        return "\n".join(lines)

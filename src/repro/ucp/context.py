@@ -29,7 +29,7 @@ from . import constants
 from .dtypes import ContigData, GenericData, HandlerData, IovData
 from .memory import MemoryTracker
 from .netsim import DEFAULT_PARAMS, CostModel, LinkParams, VirtualClock
-from .protocols import plan_send
+from .protocols import plan_send, wait_semantics
 from .tagmatch import PostedRecv, TagMatcher
 from .wire import WireHeader, WireMessage, copy_chunks
 
@@ -82,9 +82,15 @@ class Fabric:
 class SendRequest:
     """Handle for an injected message."""
 
-    def __init__(self, worker: "Worker", msg: WireMessage):
+    def __init__(self, worker: "Worker", msg: WireMessage,
+                 dst: int | None = None):
         self._worker = worker
         self.msg = msg
+        #: Destination worker index — the wait-for target of a blocking
+        #: rendezvous wait (filled by Endpoint.tag_send).
+        self.dst = dst
+        #: Human label for sanitizer deadlock evidence (set by the engine).
+        self.san_detail = ""
 
     def test(self) -> bool:
         if not self.msg.rndv:
@@ -94,7 +100,18 @@ class SendRequest:
     def wait(self, timeout: float | None = None) -> None:
         """Block until the message no longer needs the send buffer."""
         if self.msg.rndv:
-            if not self.msg.completed.wait(timeout=timeout):
+            san = self._worker.sanitizer
+            if san is not None and self.dst is not None:
+                base = self.san_detail or (
+                    f"send of {self.msg.total_bytes} bytes to rank {self.dst}")
+                detail = (f"{base} — "
+                          f"{wait_semantics(self.msg.header.protocol, True)}")
+                if not san.wait_event(self._worker.index, self.msg.completed,
+                                      (self.dst,), detail,
+                                      self._worker.clock.now, timeout=timeout):
+                    raise TransportError(
+                        "send wait timed out (receiver never arrived)")
+            elif not self.msg.completed.wait(timeout=timeout):
                 raise TransportError("send wait timed out (receiver never arrived)")
             # Rendezvous completion happens at the receiver's clock.
             self._worker.clock.merge(self.msg.completion_time)
@@ -117,10 +134,16 @@ class RecvInfo:
 class RecvRequest:
     """Handle for a posted receive; delivery runs inside :meth:`wait`."""
 
-    def __init__(self, worker: "Worker", posted: PostedRecv, data):
+    def __init__(self, worker: "Worker", posted: PostedRecv, data,
+                 peers=None):
         self._worker = worker
         self._posted = posted
         self._data = data
+        #: Worker indices that could satisfy this receive (None = any rank);
+        #: the wait-for targets of a blocking wait under the sanitizer.
+        self.peers = peers
+        #: Human label for sanitizer deadlock evidence (set by the engine).
+        self.san_detail = ""
         self.info: Optional[RecvInfo] = None
 
     def test(self) -> bool:
@@ -130,7 +153,16 @@ class RecvRequest:
     def wait(self, timeout: float | None = None) -> RecvInfo:
         if self.info is not None:
             return self.info
-        if not self._posted.matched.wait(timeout=timeout):
+        san = self._worker.sanitizer
+        if san is not None:
+            targets = self.peers if self.peers is not None \
+                else range(len(self._worker.fabric.workers))
+            detail = self.san_detail or "recv (posted tag match)"
+            if not san.wait_event(self._worker.index, self._posted.matched,
+                                  targets, detail, self._worker.clock.now,
+                                  timeout=timeout):
+                raise TransportError("recv wait timed out (no matching send)")
+        elif not self._posted.matched.wait(timeout=timeout):
             raise TransportError("recv wait timed out (no matching send)")
         self.info = self._worker.deliver(self._posted.msg, self._data)
         return self.info
@@ -147,6 +179,9 @@ class Worker:
         self.clock = VirtualClock()
         self.matcher = TagMatcher()
         self.memory = MemoryTracker()
+        #: Job-level sanitizer (attached by ``repro.mpi.run(sanitize=True)``;
+        #: None means every check is skipped at zero cost).
+        self.sanitizer = None
         #: Message trace (populated when the config enables tracing).
         self.trace: list[dict] = []
 
@@ -158,10 +193,16 @@ class Worker:
     # -- receive ------------------------------------------------------------
 
     def tag_recv(self, tag: int, data,
-                 mask: int = constants.TAG_FULL_MASK) -> RecvRequest:
-        """Post a receive; complete it with ``RecvRequest.wait()``."""
+                 mask: int = constants.TAG_FULL_MASK,
+                 peers=None) -> RecvRequest:
+        """Post a receive; complete it with ``RecvRequest.wait()``.
+
+        ``peers`` optionally names the worker indices that could satisfy
+        this receive (wait-for targets for the sanitizer's deadlock
+        detector); None means any rank.
+        """
         posted = self.matcher.post(tag, mask)
-        return RecvRequest(self, posted, data)
+        return RecvRequest(self, posted, data, peers=peers)
 
     def tag_probe(self, tag: int, mask: int = constants.TAG_FULL_MASK,
                   remove: bool = False, block: bool = False,
@@ -198,6 +239,10 @@ class Worker:
             raise
 
     def _deliver(self, msg: WireMessage, data) -> RecvInfo:
+        if self.sanitizer is not None:
+            # Signature-match and truncation checks run before any data
+            # moves, so a finding is reported even when delivery raises.
+            self.sanitizer.on_deliver(self.index, msg, data)
         arrival = msg.delivery_time(self.clock.now)
         self.clock.merge(arrival)
         self.clock.advance(msg.recv_cost)
@@ -264,12 +309,15 @@ class Endpoint:
         self.src = src
         self.dst = dst
 
-    def tag_send(self, tag: int, data, force_rndv: bool = False) -> SendRequest:
+    def tag_send(self, tag: int, data, force_rndv: bool = False,
+                 signature=None) -> SendRequest:
         """Inject a message toward this endpoint's destination.
 
         ``force_rndv`` requests synchronous-send semantics: the message
         always takes the rendezvous path, so the sender's ``wait()`` cannot
-        return before the matching receive ran.
+        return before the matching receive ran.  ``signature`` is the
+        sender's canonical type signature, carried on the envelope for the
+        sanitizer's type-matching check.
         """
         worker = self.src
         model = worker.fabric.pair_model(worker.index, self.dst.index)
@@ -290,7 +338,8 @@ class Endpoint:
             total_bytes=sum(c.shape[0] for c in entries),
             entry_lengths=tuple(c.shape[0] for c in entries),
             packed_entries=packed_entries,
-            protocol=plan.protocol)
+            protocol=plan.protocol,
+            signature=signature)
         msg = WireMessage(header, chunks, send_ready=worker.clock.now,
                           wire_time=plan.wire_time, rndv=plan.rndv,
                           recv_cost=plan.recv_cost)
@@ -302,4 +351,4 @@ class Endpoint:
                 "entries": len(header.entry_lengths),
                 "t": worker.clock.now})
         self.dst.matcher.deposit(msg)
-        return SendRequest(worker, msg)
+        return SendRequest(worker, msg, dst=self.dst.index)

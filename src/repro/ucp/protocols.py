@@ -97,3 +97,19 @@ def plan_send(data, model: CostModel, frag_count: int = 0,
             recv_cost=0.5 * p.msg_overhead + 0.5 * oh,
             rndv=False, eager_copy=True)
     raise TransportError(f"cannot plan a send for descriptor {type(data).__name__}")
+
+
+def wait_semantics(protocol: str, rndv: bool) -> str:
+    """Why a send's ``wait()`` can block under this protocol.
+
+    Used by the sanitizer as evidence text in wait-for edges: eager sends
+    complete at injection and can never participate in a deadlock cycle,
+    while rendezvous-like protocols block until the matching receive runs.
+    """
+    if not rndv:
+        return "eager: wait cannot block"
+    if protocol == "iov":
+        return "iov rendezvous: regions are pulled when the receive runs"
+    if protocol == "rndv":
+        return "rendezvous: blocks until the matching receive runs"
+    return f"{protocol}: rendezvous-like, blocks on the receiver"

@@ -124,3 +124,12 @@ class TagMatcher:
         """(posted, unexpected) queue depths — for tests and debugging."""
         with self._lock:
             return len(self._posted), len(self._unexpected)
+
+    def unmatched_messages(self) -> list[WireMessage]:
+        """Snapshot of deposited messages no receive ever claimed.
+
+        Used by the sanitizer's end-of-job sweep (RPD421): anything still
+        here when every rank finished was sent and silently lost.
+        """
+        with self._lock:
+            return list(self._unexpected)

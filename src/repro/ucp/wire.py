@@ -39,6 +39,11 @@ class WireHeader:
     packed_entries: int = 0
     #: Protocol chosen by the sender ("eager" / "rndv" / "iov" / "generic").
     protocol: str = "eager"
+    #: Canonical type signature of the send — an RLE tuple of
+    #: ``(scalar_code, count)`` pairs, or None when the sender cannot state
+    #: one statically (custom datatypes).  Carried on the envelope so the
+    #: sanitizer can enforce MPI type-matching rules at match time.
+    signature: tuple | None = None
     msg_id: int = field(default_factory=lambda: next(_msg_ids))
 
 

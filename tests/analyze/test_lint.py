@@ -78,6 +78,84 @@ class TestConservatism:
         assert all(d.code != "RPD303" for d in lint_source(src))
 
 
+class TestAggregateCompletion:
+    """RPD302 must understand waitall/waitany/waitsome-style completion:
+    requests collected into lists are fine as long as the aggregate is
+    read again, and leaked when it never is."""
+
+    def test_comprehension_with_waitall_clean(self):
+        src = ("def f(comm, bufs, peers):\n"
+               "    reqs = [comm.isend(bufs[d], dest=d) for d in peers]\n"
+               "    comm.waitall(reqs)\n")
+        assert lint_source(src) == []
+
+    def test_append_with_waitall_clean(self):
+        src = ("def f(comm, buf, peers):\n"
+               "    reqs = []\n"
+               "    for d in peers:\n"
+               "        reqs.append(comm.isend(buf, dest=d))\n"
+               "    waitall(reqs)\n")
+        assert lint_source(src) == []
+
+    def test_append_with_waitany_loop_clean(self):
+        src = ("def f(comm, buf, peers):\n"
+               "    reqs = []\n"
+               "    for d in peers:\n"
+               "        reqs.append(comm.irecv(buf, source=d))\n"
+               "    while reqs:\n"
+               "        i, _ = waitany(reqs)\n"
+               "        reqs.pop(i)\n")
+        assert lint_source(src) == []
+
+    def test_augassign_with_waitsome_clean(self):
+        src = ("def f(comm, buf, peers):\n"
+               "    reqs = []\n"
+               "    reqs += [comm.isend(buf, dest=d) for d in peers]\n"
+               "    while reqs:\n"
+               "        done, reqs = waitsome(reqs)\n")
+        assert lint_source(src) == []
+
+    def test_per_element_wait_loop_clean(self):
+        src = ("def f(comm, bufs, peers):\n"
+               "    reqs = [comm.irecv(bufs[d], source=d) for d in peers]\n"
+               "    for r in reqs:\n"
+               "        r.wait()\n")
+        assert lint_source(src) == []
+
+    def test_returned_aggregate_clean(self):
+        src = ("def f(comm, buf, peers):\n"
+               "    reqs = [comm.isend(buf, dest=d) for d in peers]\n"
+               "    return reqs\n")
+        assert lint_source(src) == []
+
+    def test_comprehension_never_read_flagged(self):
+        src = ("def f(comm, bufs, peers):\n"
+               "    reqs = [comm.isend(bufs[d], dest=d) for d in peers]\n")
+        diags = lint_source(src)
+        assert [d.code for d in diags] == ["RPD302"]
+        assert "reqs" in diags[0].message
+
+    def test_append_never_read_flagged(self):
+        src = ("def f(comm, buf, peers):\n"
+               "    reqs = []\n"
+               "    for d in peers:\n"
+               "        reqs.append(comm.isend(buf, dest=d))\n")
+        assert [d.code for d in lint_source(src)] == ["RPD302"]
+
+    def test_augassign_never_read_flagged(self):
+        src = ("def f(comm, buf, peers):\n"
+               "    reqs = []\n"
+               "    reqs += [comm.isend(buf, dest=d) for d in peers]\n")
+        assert [d.code for d in lint_source(src)] == ["RPD302"]
+
+    def test_appending_other_lists_untouched(self):
+        # The collecting-call carve-out must not hide genuine reads of
+        # unrelated aggregates.
+        src = ("def f(comm, out, results):\n"
+               "    results.append(out)\n")
+        assert lint_source(src) == []
+
+
 class TestShippedTreeClean:
     @pytest.mark.parametrize("path", sorted(
         glob.glob(os.path.join(REPO, "examples", "*.py"))

@@ -1,0 +1,113 @@
+"""Datatype.signature(): the canonical flattened type signature.
+
+MPI's matching rule cares only about the scalar *sequence* a datatype
+moves — constructors and displacements are erased.  These tests pin the
+equality/commutation laws plus :func:`signature_compatible` semantics.
+"""
+
+import pytest
+
+from repro.core import (BYTE, FLOAT32, FLOAT64, INT32, INT64, contiguous,
+                        create_struct, format_signature, indexed, resized,
+                        signature_bytes, signature_compatible,
+                        type_create_custom, vector)
+
+
+class TestSignatureLaws:
+    def test_predefined(self):
+        assert FLOAT64.signature() == (("f8", 1),)
+        assert FLOAT64.signature(4) == (("f8", 4),)
+        assert FLOAT64.signature(0) == ()
+
+    def test_contiguous_equals_flat_count(self):
+        # sig(contiguous(n, T)) == sig(T, n): constructors are erased.
+        assert contiguous(6, INT32).signature() == INT32.signature(6)
+        assert contiguous(3, FLOAT64).signature(2) == FLOAT64.signature(6)
+
+    def test_layout_erasure_vector_indexed(self):
+        # A strided vector and a scattered indexed type moving the same
+        # scalars have the same signature as the contiguous equivalent.
+        v = vector(4, 2, 8, FLOAT64)  # 4 blocks of 2 doubles, stride 8
+        ix = indexed([2, 2, 2, 2], [0, 16, 32, 48], FLOAT64)
+        assert v.signature() == FLOAT64.signature(8)
+        assert ix.signature() == v.signature()
+
+    def test_resized_does_not_change_signature(self):
+        t = contiguous(4, INT32)
+        assert resized(t, 0, 64).signature() == t.signature()
+
+    def test_struct_commutation_with_concatenation(self):
+        # sig(struct(a, b)) == sig(a) + sig(b) with adjacent runs merged.
+        s = create_struct([2, 1], [0, 8], [INT32, FLOAT64])
+        assert s.signature() == (("i4", 2), ("f8", 1))
+        assert s.signature(2) == (("i4", 2), ("f8", 1), ("i4", 2), ("f8", 1))
+
+    def test_adjacent_runs_merge(self):
+        s = create_struct([1, 1], [0, 4], [INT32, INT32])
+        assert s.signature() == (("i4", 2),)
+        assert s.signature(3) == (("i4", 6),)
+
+    def test_custom_datatype_has_no_static_signature(self):
+        dt = type_create_custom(
+            query_fn=lambda state, buf, count: 0,
+            pack_fn=lambda state, buf, count, offset, dst: 0,
+            unpack_fn=lambda state, buf, count, offset, src: None,
+            name="custom:sig-test")
+        assert dt.signature() is None
+        assert dt.signature(5) is None
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            FLOAT64.signature(-1)
+
+
+class TestCompatibility:
+    def test_equal_signatures_match(self):
+        s = create_struct([2, 1], [0, 8], [INT32, FLOAT64]).signature()
+        ok, reason = signature_compatible(s, s)
+        assert ok and reason == ""
+
+    def test_layout_differs_signature_matches(self):
+        v = vector(4, 2, 8, FLOAT64)
+        ok, _ = signature_compatible(v.signature(),
+                                     contiguous(8, FLOAT64).signature())
+        assert ok
+
+    def test_prefix_rule_longer_receive_ok(self):
+        ok, _ = signature_compatible(FLOAT64.signature(4),
+                                     FLOAT64.signature(8))
+        assert ok
+
+    def test_prefix_rule_shorter_receive_rejected(self):
+        ok, reason = signature_compatible(FLOAT64.signature(8),
+                                          FLOAT64.signature(4))
+        assert not ok and "longer" in reason
+
+    def test_scalar_mismatch_rejected(self):
+        ok, reason = signature_compatible(FLOAT64.signature(4),
+                                          INT64.signature(4))
+        assert not ok and "f8" in reason and "i8" in reason
+
+    def test_run_length_boundaries_do_not_matter(self):
+        # (i4 x2)(i4 x2) vs (i4 x4): same scalar sequence.
+        ok, _ = signature_compatible((("i4", 2), ("i4", 2)), (("i4", 4),))
+        assert ok
+
+    def test_byte_side_is_leniency_escape_hatch(self):
+        ok, _ = signature_compatible(FLOAT64.signature(4),
+                                     BYTE.signature(32))
+        assert ok
+        ok, reason = signature_compatible(FLOAT64.signature(4),
+                                          BYTE.signature(16))
+        assert not ok and "32" in reason
+
+    def test_unknown_side_matches_anything(self):
+        assert signature_compatible(None, FLOAT64.signature(2)) == (True, "")
+        assert signature_compatible(FLOAT32.signature(2), None) == (True, "")
+
+    def test_helpers(self):
+        sig = create_struct([2, 1], [0, 8], [INT32, FLOAT64]).signature()
+        assert signature_bytes(sig) == 16
+        assert format_signature(sig) == "i4 x2 + f8 x1"
+        assert format_signature(None) == "<dynamic>"
+        assert format_signature(()) == "<empty>"

@@ -1,0 +1,17 @@
+"""Seeded bug: the send buffer is overwritten while an isend is in flight.
+
+Expected sanitizer finding: RPD401.
+"""
+
+import numpy as np
+
+
+def main(comm):
+    if comm.rank == 0:
+        buf = np.arange(1024, dtype=np.float64)
+        req = comm.isend(buf, dest=1, tag=1)
+        buf[:] = -1.0  # BUG: reuses the buffer before the send completes
+        req.wait()
+    else:
+        inbox = np.empty(1024)
+        comm.recv(inbox, source=0, tag=1)

@@ -1,0 +1,15 @@
+"""Seeded bug: a nonblocking send whose request is never completed.
+
+Expected sanitizer finding: RPD420.
+"""
+
+import numpy as np
+
+
+def main(comm):
+    if comm.rank == 0:
+        buf = np.arange(256, dtype=np.float64)
+        comm.isend(buf, dest=1, tag=5)  # BUG: request never waited on
+    else:
+        inbox = np.empty(256)
+        comm.recv(inbox, source=0, tag=5)

@@ -1,0 +1,40 @@
+"""Seeded bug: a custom datatype whose packed size depends on the local
+buffer, so sender and receiver disagree on the wire footprint.
+
+The sender packs 2 doubles (its query promises 16 bytes); the receiver's
+buffer holds 3 doubles, so its query callback promises 24 bytes for the
+same transfer.
+
+Expected sanitizer finding: RPD430.
+"""
+
+import numpy as np
+
+from repro.core import type_create_custom
+
+
+def _dtype():
+    def query_fn(state, buf, count):
+        return 8 * len(buf)  # BUG: promises the *local* buffer's size
+
+    def pack_fn(state, buf, count, offset, dst):
+        raw = buf.view(np.uint8).reshape(-1)
+        step = min(dst.shape[0], raw.shape[0] - offset)
+        dst[:step] = raw[offset:offset + step]
+        return int(step)
+
+    def unpack_fn(state, buf, count, offset, src):
+        raw = buf.view(np.uint8).reshape(-1)
+        raw[offset:offset + src.shape[0]] = src
+
+    return type_create_custom(query_fn=query_fn, pack_fn=pack_fn,
+                              unpack_fn=unpack_fn, name="custom:lying-size")
+
+
+def main(comm):
+    dt = _dtype()
+    if comm.rank == 0:
+        comm.send(np.array([1.0, 2.0]), dest=1, tag=4, datatype=dt, count=1)
+    else:
+        buf = np.zeros(3)
+        comm.recv(buf, source=0, tag=4, datatype=dt, count=1)

@@ -1,0 +1,15 @@
+"""Seeded bug: the receive buffer is smaller than the incoming message.
+
+Expected sanitizer finding: RPD411 (the oversized delivery also aborts
+the receiving rank with a TruncationError).
+"""
+
+import numpy as np
+
+
+def main(comm):
+    if comm.rank == 0:
+        comm.send(np.arange(16, dtype=np.float64), dest=1, tag=2)
+    else:
+        small = np.zeros(8)  # BUG: sender ships 16 doubles
+        comm.recv(small, source=0, tag=2)

@@ -1,0 +1,20 @@
+"""Seeded bug: head-to-head blocking ring exchange over the eager limit.
+
+Every rank blocks in a rendezvous send to its right neighbour before any
+rank reaches its receive — the classic send/send cycle.
+
+Expected sanitizer finding: RPD440 (job aborted in bounded time).
+"""
+
+import numpy as np
+
+NPROCS = 3
+
+
+def main(comm):
+    right = (comm.rank + 1) % comm.size
+    left = (comm.rank - 1) % comm.size
+    outbox = np.full(8192, float(comm.rank))  # 64 KiB: forces rendezvous
+    inbox = np.empty(8192)
+    comm.send(outbox, dest=right, tag=6)  # BUG: all ranks send first
+    comm.recv(inbox, source=left, tag=6)

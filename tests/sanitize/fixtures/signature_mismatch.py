@@ -1,0 +1,17 @@
+"""Seeded bug: send and receive disagree on the scalar type sequence.
+
+Both sides cover 32 bytes, so nothing is truncated — the bug is purely a
+type-matching violation (doubles reinterpreted as ints).
+
+Expected sanitizer finding: RPD410.
+"""
+
+import numpy as np
+
+
+def main(comm):
+    if comm.rank == 0:
+        comm.send(np.arange(4, dtype=np.float64), dest=1, tag=3)
+    else:
+        buf = np.zeros(8, dtype=np.int32)  # BUG: typed as i4, sender sent f8
+        comm.recv(buf, source=0, tag=3)

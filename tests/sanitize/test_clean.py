@@ -1,0 +1,33 @@
+"""The shipped workloads are sanitize-clean.
+
+Every example program with a ``main(comm)`` entry and every DDTBench
+registry workload (over each practicable transfer method) must run under
+the sanitizer without a single finding — the same gate CI enforces with
+``repro-analyze sanitize --strict``.
+"""
+
+import os
+
+import pytest
+
+from repro.ddtbench import WORKLOADS
+from repro.sanitize.cli import run_ddtbench, run_program
+
+EXAMPLES = os.path.abspath(os.path.join(
+    os.path.dirname(__file__), os.pardir, os.pardir, "examples"))
+
+EXAMPLE_FILES = sorted(f for f in os.listdir(EXAMPLES) if f.endswith(".py"))
+
+
+@pytest.mark.parametrize("name", EXAMPLE_FILES)
+def test_example_sanitizes_clean(name):
+    report = run_program(os.path.join(EXAMPLES, name), timeout=60.0)
+    if report is None:
+        pytest.skip(f"{name} has no main(comm) entry")
+    assert report.clean, report.format_text()
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_ddtbench_workload_sanitizes_clean(name):
+    for report in run_ddtbench([name], timeout=60.0):
+        assert report.clean, f"{report.program}:\n{report.format_text()}"

@@ -1,0 +1,73 @@
+"""Acceptance: the analyze-corpus ring deadlock is caught in bounded time.
+
+``tests/analyze/fixtures/programs/ring_deadlock.py`` is the static
+linter's RPD304 fixture; run for real over the rendezvous threshold it
+actually deadlocks, and the sanitizer must report RPD440 with the
+wait-for cycle and a per-rank stack — long before the job timeout.
+"""
+
+import importlib.util
+import os
+import time
+
+import numpy as np
+
+from repro.errors import RuntimeAbort
+from repro.mpi import run
+
+FIXTURE = os.path.abspath(os.path.join(
+    os.path.dirname(__file__), os.pardir, "analyze", "fixtures",
+    "programs", "ring_deadlock.py"))
+
+
+def _load_ring_step():
+    spec = importlib.util.spec_from_file_location("_ring_deadlock", FIXTURE)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod.ring_step
+
+
+class TestRingDeadlockAcceptance:
+    def test_rpd440_with_cycle_and_stacks_in_bounded_time(self):
+        ring_step = _load_ring_step()
+
+        def fn(comm):
+            outbox = np.full(8192, float(comm.rank))  # 64 KiB: rendezvous
+            inbox = np.empty(8192)
+            ring_step(comm, outbox, inbox)
+
+        start = time.monotonic()
+        try:
+            run(fn, nprocs=3, sanitize=True, timeout=120.0)
+            raise AssertionError("ring did not deadlock")
+        except RuntimeAbort as exc:
+            elapsed = time.monotonic() - start
+            rep = exc.sanitizer_report
+        # Bounded time: detection latency, not the 120 s job timeout.
+        assert elapsed < 10.0, f"took {elapsed:.1f}s"
+        assert rep is not None and rep.aborted
+        (diag,) = rep.by_code("RPD440")
+        msg = diag.message
+        assert "rank 0 -> rank 1 -> rank 2 -> rank 0" in msg
+        # Per-rank detail: every rank's blocking op, virtual-clock stamp,
+        # and a stack that reaches the user's frame in the fixture.
+        for r in range(3):
+            assert f"rank {r}: send of 8192 x double" in msg
+        assert "virtual t=" in msg
+        assert "ring_deadlock.py" in msg and "in ring_step" in msg
+        # Every blocked rank raised a DeadlockError, not a timeout.
+        assert rep.failures
+        assert all("Deadlock" in f for f in rep.failures.values())
+
+    def test_sized_under_eager_limit_completes(self):
+        ring_step = _load_ring_step()
+
+        def fn(comm):
+            outbox = np.full(8, float(comm.rank))  # eager: no deadlock
+            inbox = np.empty(8)
+            ring_step(comm, outbox, inbox)
+            return float(inbox[0])
+
+        result = run(fn, nprocs=3, sanitize=True, timeout=60.0)
+        assert result.sanitizer_report.clean
+        assert result.results == [2.0, 0.0, 1.0]
