@@ -1,6 +1,6 @@
 """Static analysis for repro MPI programs and datatypes.
 
-Three engines behind one CLI (``python -m repro.analyze`` or the
+Four engines behind one CLI (``python -m repro.analyze`` or the
 ``repro-analyze`` console script):
 
 * :mod:`~repro.analyze.typecheck` — datatype validity and layout
@@ -9,29 +9,38 @@ Three engines behind one CLI (``python -m repro.analyze`` or the
   transport-free symbolic harness for the seven custom-datatype callbacks
   (``RPD2xx``);
 * :mod:`~repro.analyze.lint` — an AST linter for MPI usage mistakes in
-  application source (``RPD3xx``).
+  application source (``RPD3xx``);
+* :mod:`~repro.analyze.flow` — a rank-symbolic abstract interpreter that
+  statically verifies the whole communication structure of ``main(comm)``
+  programs (``RPD5xx``; the ``repro-analyze flow`` subcommand).
 
 All findings are :class:`~repro.analyze.diagnostics.Diagnostic` objects
 carrying a stable ``RPD###`` code, a severity, the nearest ``MPI_ERR_*``
-class, and a fix-it hint.
+class, and a fix-it hint.  ``# noqa: RPD###`` on the flagged line
+suppresses a finding in place (:mod:`~repro.analyze.suppress`).
 """
 
 from .contracts import (check_callback_signatures, run_contract_harness,
                         verify_callbacks)
 from .diagnostics import (CODE_TABLE, CodeInfo, Diagnostic, SEVERITIES,
                           severity_rank, sort_diagnostics)
+from .flow import FlowReport, analyze_flow_file, analyze_flow_source
 from .lint import lint_file, lint_source
-from .cli import main
+from .cli import flow_main, main
 from .typecheck import analyze_datatype, assert_valid_datatype
 
 __all__ = [
     "CODE_TABLE",
     "CodeInfo",
     "Diagnostic",
+    "FlowReport",
     "SEVERITIES",
     "analyze_datatype",
+    "analyze_flow_file",
+    "analyze_flow_source",
     "assert_valid_datatype",
     "check_callback_signatures",
+    "flow_main",
     "lint_file",
     "lint_source",
     "main",

@@ -16,8 +16,10 @@ import sys
 from typing import Optional
 
 from .contracts import verify_callbacks
-from .diagnostics import CODE_TABLE, Diagnostic, sort_diagnostics
+from .diagnostics import (CODE_TABLE, STRICT_ONLY_SEVERITIES, Diagnostic,
+                          sort_diagnostics)
 from .lint import lint_file
+from .suppress import apply_suppressions
 from .typecheck import analyze_datatype
 
 #: JSON schema version; bump only on incompatible output changes.
@@ -119,6 +121,66 @@ def _render_json(findings, nfiles: int) -> str:
     return json.dumps(doc, indent=2)
 
 
+def _gh_escape(text: str, *, prop: bool = False) -> str:
+    """GitHub Actions workflow-command escaping."""
+    text = text.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+    if prop:
+        text = text.replace(":", "%3A").replace(",", "%2C")
+    return text
+
+
+_GH_LEVELS = {"error": "error", "warning": "warning",
+              "perf": "notice", "notice": "notice"}
+
+
+def _render_github(findings) -> str:
+    """One ``::error file=…,line=…,col=…`` annotation per finding."""
+    lines = []
+    for d in findings:
+        level = _GH_LEVELS.get(d.severity, "notice")
+        props = []
+        if d.file:
+            props.append(f"file={_gh_escape(d.file, prop=True)}")
+        if d.line:
+            props.append(f"line={d.line}")
+            props.append(f"col={d.col + 1}")   # annotations are 1-based
+        props.append(f"title={d.code}")
+        message = d.message + (f" [{d.subject}]" if d.subject else "")
+        lines.append(f"::{level} {','.join(props)}::{_gh_escape(message)}")
+    return "\n".join(lines)
+
+
+def _emit(findings, nfiles: int, fmt: str) -> None:
+    if fmt == "json":
+        print(_render_json(findings, nfiles))
+    elif fmt == "github":
+        out = _render_github(findings)
+        if out:
+            print(out)
+        print(f"{len(findings)} finding(s) in {nfiles} file(s)"
+              if findings else f"clean: {nfiles} file(s), no findings")
+    else:
+        for d in findings:
+            print(d.format_text())
+        print(f"{len(findings)} finding(s) in {nfiles} file(s)"
+              if findings else f"clean: {nfiles} file(s), no findings")
+
+
+def _parse_nprocs(spec: str):
+    out = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        n = int(part)
+        if n < 2:
+            raise ValueError(f"nprocs must be >= 2, got {n}")
+        out.append(n)
+    if not out:
+        raise ValueError("empty --nprocs list")
+    return out
+
+
 def _list_codes() -> str:
     lines = [f"{'code':8s} {'severity':8s} {'mpi error':16s} description"]
     for info in CODE_TABLE.values():
@@ -134,10 +196,15 @@ def build_parser() -> argparse.ArgumentParser:
         description="Static analysis for repro MPI programs and datatypes.")
     p.add_argument("paths", nargs="*",
                    help="files or directories to analyze")
-    p.add_argument("--format", choices=("text", "json"), default="text",
-                   help="output format (default: text)")
+    p.add_argument("--format", choices=("text", "json", "github"),
+                   default="text",
+                   help="output format (default: text); 'github' emits "
+                        "GitHub Actions workflow annotations")
     p.add_argument("--strict", action="store_true",
-                   help="also report perf-severity findings")
+                   help="also report perf- and notice-severity findings")
+    p.add_argument("--no-flow", action="store_true",
+                   help="skip the communication-flow verifier on files "
+                        "that define main(comm)")
     p.add_argument("--select", default="",
                    help="comma-separated code prefixes to keep "
                         "(e.g. RPD3,RPD101)")
@@ -160,6 +227,8 @@ def main(argv: Optional[list] = None) -> int:
         # static pass and the runtime verifier form one tool.
         from ..sanitize.cli import main as sanitize_main
         return sanitize_main(argv[1:])
+    if argv and argv[0] == "flow":
+        return flow_main(argv[1:])
     parser = build_parser()
     try:
         ns = parser.parse_args(argv)
@@ -182,27 +251,102 @@ def main(argv: Optional[list] = None) -> int:
 
     findings: list[Diagnostic] = []
     for path in files:
-        findings.extend(lint_file(path))
+        per_file = lint_file(path)
+        if not ns.no_flow:
+            from .flow import analyze_flow_file
+            report = analyze_flow_file(path)
+            if report.has_main:
+                if report.complete:
+                    # The rank- and tag-aware static matching supersedes
+                    # the per-file tag heuristic.
+                    per_file = [d for d in per_file if d.code != "RPD301"]
+                per_file.extend(report.findings)
         if ns.do_import:
-            findings.extend(_import_and_analyze(path))
+            per_file.extend(_import_and_analyze(path))
+        kept, notices = apply_suppressions(per_file, path)
+        findings.extend(kept)
+        findings.extend(notices)
 
+    findings = _filter_findings(findings, ns)
+    _emit(findings, len(files), ns.format)
+    return 1 if findings else 0
+
+
+def _filter_findings(findings, ns) -> list[Diagnostic]:
+    """Shared severity/select/ignore post-processing."""
     if not ns.strict:
-        findings = [d for d in findings if d.severity != "perf"]
+        findings = [d for d in findings
+                    if d.severity not in STRICT_ONLY_SEVERITIES]
     select = [s for s in ns.select.split(",") if s]
     ignore = [s for s in ns.ignore.split(",") if s]
     if select:
         findings = [d for d in findings if _matches(d.code, select)]
     if ignore:
         findings = [d for d in findings if not _matches(d.code, ignore)]
-    findings = sort_diagnostics(findings)
+    return sort_diagnostics(findings)
 
-    if ns.format == "json":
-        print(_render_json(findings, len(files)))
-    else:
-        for d in findings:
-            print(d.format_text())
-        summary = (f"{len(findings)} finding(s) in {len(files)} file(s)"
-                   if findings else
-                   f"clean: {len(files)} file(s), no findings")
-        print(summary)
+
+def build_flow_parser() -> argparse.ArgumentParser:
+    """Parser of the ``repro-analyze flow`` subcommand."""
+    p = argparse.ArgumentParser(
+        prog="repro-analyze flow",
+        description="Static communication-flow verification of main(comm) "
+                    "programs (RPD5xx).")
+    p.add_argument("paths", nargs="*",
+                   help="files or directories to verify")
+    p.add_argument("--nprocs", default="",
+                   help="comma-separated job sizes to evaluate (default: "
+                        "the size the file pins, else 2,3,4 plus symbolic-"
+                        "N witnesses)")
+    p.add_argument("--format", choices=("text", "json", "github"),
+                   default="text", help="output format (default: text)")
+    p.add_argument("--strict", action="store_true",
+                   help="also report notice-severity findings "
+                        "(RPD530 incomplete analysis, RPD590 unused noqa)")
+    p.add_argument("--select", default="",
+                   help="comma-separated code prefixes to keep")
+    p.add_argument("--ignore", default="",
+                   help="comma-separated code prefixes to drop")
+    return p
+
+
+def flow_main(argv: Optional[list] = None) -> int:
+    """Entry point of ``repro-analyze flow``."""
+    from .flow import analyze_flow_file
+
+    parser = build_flow_parser()
+    try:
+        ns = parser.parse_args(argv if argv is not None else sys.argv[1:])
+    except SystemExit as exc:
+        return int(exc.code or 0) and 2
+    if not ns.paths:
+        parser.print_usage(sys.stderr)
+        print("error: no paths given", file=sys.stderr)
+        return 2
+    nprocs = None
+    if ns.nprocs:
+        try:
+            nprocs = _parse_nprocs(ns.nprocs)
+        except ValueError as exc:
+            print(f"error: invalid --nprocs: {exc}", file=sys.stderr)
+            return 2
+    try:
+        files = _iter_py_files(ns.paths)
+    except FileNotFoundError as exc:
+        print(f"error: no such file or directory: {exc}", file=sys.stderr)
+        return 2
+
+    findings: list[Diagnostic] = []
+    analyzed = 0
+    for path in files:
+        report = analyze_flow_file(path, nprocs=nprocs)
+        if not report.has_main:
+            continue
+        analyzed += 1
+        kept, notices = apply_suppressions(report.findings, path)
+        findings.extend(kept)
+        findings.extend(notices)
+
+    findings = _filter_findings(findings, ns)
+    _emit(findings, analyzed, ns.format)
     return 1 if findings else 0

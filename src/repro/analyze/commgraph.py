@@ -1,0 +1,522 @@
+"""Static communication graph: matching and scheduling of per-rank traces.
+
+:mod:`repro.analyze.flow` abstractly interprets a ``main(comm)`` program
+once per rank and produces one *trace* (an ordered list of the operations
+below) per rank.  This module replays those traces against each other with
+MPI's matching rules — FIFO per (source, dest, communicator) channel,
+wildcard receives, eager/rendezvous send completion, synchronizing
+collectives — and turns everything that cannot line up into ``RPD5xx``
+diagnostics:
+
+* ``RPD500`` — the replay wedges with a cycle in the wait-for graph,
+* ``RPD501``/``RPD502`` — sends/receives that no peer ever matches,
+* ``RPD510``/``RPD511`` — matched pairs whose static type signatures
+  disagree (same :func:`repro.core.signature.signature_compatible` rules
+  the runtime sanitizer applies to wire envelopes),
+* ``RPD520`` — ranks reach different collectives, or the same collectives
+  in different orders.
+
+The replay is deterministic: wildcard receives take the earliest posted
+candidate, which is sufficient for the verifier's job of proving a
+*consistent* program sound (programs that rely on racy wildcard orders are
+beyond the static subset and are left to the runtime sanitizer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..core.signature import (format_signature, is_untyped, signature_bytes,
+                              signature_compatible)
+from ..ucp.netsim import DEFAULT_PARAMS
+from .diagnostics import Diagnostic
+
+#: Wildcard sentinel shared with :mod:`repro.mpi.requests`.
+ANY = -1
+
+#: Eager/rendezvous threshold used for blocking-send completion; mirrors
+#: the simulated fabric so the static verdict and the sanitizer agree.
+EAGER_LIMIT = DEFAULT_PARAMS.eager_limit
+
+
+@dataclass
+class P2POp:
+    """One point-to-point operation (send or recv) in a rank's trace."""
+
+    kind: str                       # "send" | "recv"
+    peer: int                       # world dest/source rank; ANY for wildcard
+    tag: int                        # ANY for MPI_ANY_TAG
+    comm: tuple                     # communicator key (shared across ranks)
+    blocking: bool = True
+    sync: bool = False              # ssend/issend: never eager
+    signature: Optional[tuple] = None   # run-length (code, n) or None
+    nbytes: Optional[int] = None    # packed bytes moved/accepted, if known
+    req: Optional[int] = None       # request id for nonblocking ops
+    escaped: bool = False           # request left the analyzable subset
+    line: int = 0
+    col: int = 0
+    # filled by the replay:
+    rank: int = -1
+    seq: int = -1
+
+    def describe(self) -> str:
+        peer = "ANY" if self.peer == ANY else str(self.peer)
+        tag = "ANY" if self.tag == ANY else str(self.tag)
+        role = "dest" if self.kind == "send" else "source"
+        return f"{self.kind}({role}={peer}, tag={tag})"
+
+
+@dataclass
+class WaitOp:
+    """Completion point for previously posted nonblocking requests."""
+
+    reqs: tuple                     # request ids this wait completes
+    line: int = 0
+    col: int = 0
+
+
+@dataclass
+class CollOp:
+    """One collective call; ``detail`` carries root/op for comparison."""
+
+    name: str
+    comm: tuple
+    members: tuple                  # world ranks participating
+    detail: str = ""                # e.g. "root=0" or "op=sum"
+    line: int = 0
+    col: int = 0
+
+    def describe(self) -> str:
+        det = f", {self.detail}" if self.detail else ""
+        return f"{self.name}(){det}" if not det else f"{self.name}({self.detail})"
+
+
+@dataclass
+class _ReqState:
+    op: P2POp
+    completed: bool = False
+    matched: Optional[P2POp] = None
+
+
+@dataclass
+class _RankState:
+    trace: list
+    idx: int = 0
+    done: bool = False
+    blocked: Optional[tuple] = None     # ("wait", [req ids]) | ("coll", op)
+    coll_slots: dict = field(default_factory=dict)  # comm key -> next slot
+
+
+def classify_mismatch(send_sig, recv_sig, send_bytes, recv_bytes):
+    """Classify a send/recv pairing: (code, reason) or (None, "").
+
+    ``RPD511`` when the scalar prefixes agree but the message is longer
+    than the receive (MPI truncation); ``RPD510`` when the scalar
+    sequences themselves disagree.  Unknown signatures fall back to the
+    byte capacities when both are known.
+    """
+    ok, reason = signature_compatible(send_sig, recv_sig)
+    if not ok:
+        if send_sig is not None and recv_sig is not None and (
+                is_untyped(send_sig) or is_untyped(recv_sig)
+                or signature_bytes(send_sig) > signature_bytes(recv_sig)
+                and _is_prefix(recv_sig, send_sig)):
+            return "RPD511", reason
+        return "RPD510", reason
+    if send_bytes is not None and recv_bytes is not None \
+            and send_bytes > recv_bytes:
+        return "RPD511", (f"message of {send_bytes} bytes does not fit "
+                          f"the {recv_bytes}-byte receive")
+    return None, ""
+
+
+def _is_prefix(short_sig, long_sig) -> bool:
+    """True when ``short_sig``'s scalar sequence is a prefix of ``long_sig``."""
+    i = j = 0
+    left_l = left_s = 0
+    while True:
+        if left_s == 0:
+            if i == len(short_sig):
+                return True
+            left_s = short_sig[i][1]
+        if left_l == 0:
+            if j == len(long_sig):
+                return False
+            left_l = long_sig[j][1]
+        if short_sig[i][0] != long_sig[j][0]:
+            return False
+        step = min(left_s, left_l)
+        left_s -= step
+        left_l -= step
+        if left_s == 0:
+            i += 1
+        if left_l == 0:
+            j += 1
+
+
+class TraceReplay:
+    """Replays one set of per-rank traces and collects diagnostics."""
+
+    def __init__(self, traces: dict, path: Optional[str] = None,
+                 context: str = ""):
+        #: rank -> list of ops.  Ops are mutated (rank/seq stamped), so the
+        #: caller hands over ownership.
+        self.traces = traces
+        self.path = path
+        self.context = context          # e.g. "nprocs=3"
+        self.nprocs = len(traces)
+        self.diags: list[Diagnostic] = []
+        self._seq = 0
+        self._reqs: dict[tuple, _ReqState] = {}
+        self._op_state: dict[int, _ReqState] = {}   # id(op) -> state
+        self._pending_sends: list[P2POp] = []
+        self._pending_recvs: list[P2POp] = []
+        self._coll_arrivals: dict = {}   # (comm, slot) -> {rank: CollOp}
+        self._coll_reported: set = set()
+        self._ranks = {r: _RankState(trace) for r, trace in traces.items()}
+
+    # -- reporting ------------------------------------------------------
+
+    def _note(self) -> str:
+        return f" [{self.context}]" if self.context else ""
+
+    def emit(self, code: str, message: str, hint: str = "", line: int = 0,
+             col: int = 0, subject: str = "") -> None:
+        self.diags.append(Diagnostic(
+            code, message + self._note(), hint=hint, file=self.path,
+            line=line, col=col, subject=subject))
+
+    # -- matching -------------------------------------------------------
+
+    def _compatible(self, send: P2POp, recv: P2POp) -> bool:
+        return (send.comm == recv.comm
+                and send.peer == recv.rank
+                and recv.peer in (ANY, send.rank)
+                and recv.tag in (ANY, send.tag))
+
+    def _channel_blocked(self, send: P2POp) -> bool:
+        """Non-overtaking: an earlier unmatched send on the same
+        (source, dest, comm, tag-matchable) channel must match first."""
+        for other in self._pending_sends:
+            if other is send:
+                return False
+            if (other.rank == send.rank and other.peer == send.peer
+                    and other.comm == send.comm and other.tag == send.tag):
+                return True
+        return False
+
+    def _match(self, send: P2POp, recv: P2POp) -> None:
+        self._pending_sends.remove(send)
+        self._pending_recvs.remove(recv)
+        sstate = self._op_state.get(id(send))
+        rstate = self._op_state.get(id(recv))
+        if sstate:
+            sstate.completed = True
+            sstate.matched = recv
+        if rstate:
+            rstate.completed = True
+            rstate.matched = send
+        code, reason = classify_mismatch(send.signature, recv.signature,
+                                         send.nbytes, recv.nbytes)
+        if code:
+            self.emit(
+                code,
+                f"rank {recv.rank} receive matches the send posted by rank "
+                f"{send.rank} at line {send.line}, but {reason}",
+                hint="send and receive must describe the same scalar "
+                     "sequence (MPI type-matching rules)"
+                if code == "RPD510" else
+                "post a receive at least as large as the message",
+                line=recv.line, col=recv.col)
+
+    def _try_match_recv(self, recv: P2POp) -> bool:
+        for send in self._pending_sends:
+            if self._compatible(send, recv) \
+                    and not self._channel_blocked(send):
+                self._match(send, recv)
+                return True
+        return False
+
+    def _try_match_send(self, send: P2POp) -> bool:
+        if self._channel_blocked(send):
+            return False
+        for recv in self._pending_recvs:
+            if self._compatible(send, recv):
+                self._match(send, recv)
+                return True
+        return False
+
+    def _send_completed(self, send: P2POp, state: _ReqState) -> bool:
+        """Eager sends complete at post; rendezvous on match."""
+        if state.completed:
+            return True
+        if not send.sync and (send.nbytes is None
+                              or send.nbytes <= EAGER_LIMIT):
+            return True
+        return False
+
+    # -- execution ------------------------------------------------------
+
+    def _post(self, rank: int, op) -> Optional[tuple]:
+        """Execute one op for ``rank``; returns a blocked marker or None."""
+        if isinstance(op, P2POp):
+            if op.req is None:
+                op = replace(op)  # keep anonymous ops distinct per post
+            op.rank = rank
+            op.seq = self._seq
+            self._seq += 1
+            state = _ReqState(op)
+            key = (rank, op.req if op.req is not None
+                   else ("anon", op.seq))
+            self._reqs[key] = state
+            self._op_state[id(op)] = state
+            if op.kind == "send":
+                self._pending_sends.append(op)
+                self._try_match_send(op)
+            else:
+                self._pending_recvs.append(op)
+                self._try_match_recv(op)
+            if op.blocking:
+                return ("wait", [key])
+            return None
+        if isinstance(op, WaitOp):
+            keys = [(rank, r) for r in op.reqs]
+            return ("wait", keys)
+        if isinstance(op, CollOp):
+            st = self._ranks[rank]
+            slot = st.coll_slots.get(op.comm, 0)
+            st.coll_slots[op.comm] = slot + 1
+            self._coll_arrivals.setdefault((op.comm, slot), {})[rank] = op
+            return ("coll", (op.comm, slot, op))
+        raise TypeError(f"unknown trace op {op!r}")
+
+    def _wait_satisfied(self, rank: int, keys) -> bool:
+        for key in keys:
+            state = self._reqs.get(key)
+            if state is None:
+                continue
+            if state.op.escaped:
+                continue
+            if state.op.kind == "send":
+                if not self._send_completed(state.op, state):
+                    return False
+            elif not state.completed:
+                return False
+        return True
+
+    def _coll_satisfied(self, comm_slot) -> bool:
+        comm, slot, op = comm_slot
+        arrivals = self._coll_arrivals.get((comm, slot), {})
+        return set(arrivals) >= set(op.members)
+
+    def _check_coll_agreement(self, comm, slot) -> None:
+        if (comm, slot) in self._coll_reported:
+            return
+        arrivals = self._coll_arrivals.get((comm, slot), {})
+        kinds = {(op.name, op.detail) for op in arrivals.values()}
+        if len(kinds) > 1:
+            self._coll_reported.add((comm, slot))
+            per_rank = "; ".join(
+                f"rank {r}: {arrivals[r].describe()} at line "
+                f"{arrivals[r].line}" for r in sorted(arrivals))
+            first = arrivals[min(arrivals)]
+            self.emit(
+                "RPD520",
+                f"collective #{slot + 1} on this communicator diverges "
+                f"across ranks: {per_rank}",
+                hint="every rank of the communicator must call the same "
+                     "collective sequence with the same root/op",
+                line=first.line, col=first.col)
+
+    def _advance(self) -> bool:
+        """One scheduling sweep; True when any rank made progress."""
+        progress = False
+        for rank in sorted(self._ranks):
+            st = self._ranks[rank]
+            while not st.done:
+                if st.blocked is not None:
+                    kind, detail = st.blocked
+                    if kind == "wait" and self._wait_satisfied(rank, detail):
+                        st.blocked = None
+                    elif kind == "coll" and self._coll_satisfied(detail):
+                        comm, slot, _ = detail
+                        self._check_coll_agreement(comm, slot)
+                        st.blocked = None
+                    else:
+                        break
+                    progress = True
+                    continue
+                if st.idx >= len(st.trace):
+                    st.done = True
+                    progress = True
+                    break
+                op = st.trace[st.idx]
+                st.idx += 1
+                st.blocked = self._post(rank, op)
+                progress = True
+        return progress
+
+    # -- stuck-state analysis ------------------------------------------
+
+    def _blocked_detail(self, rank: int):
+        """(waited-on ranks, human description, line, col) for a blocked rank."""
+        st = self._ranks[rank]
+        kind, detail = st.blocked
+        if kind == "coll":
+            comm, slot, op = detail
+            arrivals = self._coll_arrivals.get((comm, slot), {})
+            missing = sorted(set(op.members) - set(arrivals))
+            return (missing, f"{op.name} collective waiting for rank(s) "
+                    f"{missing}", op.line, op.col)
+        # wait on requests: the first incomplete one names the edge
+        for key in detail:
+            state = self._reqs.get(key)
+            if state is None or state.op.escaped:
+                continue
+            op = state.op
+            if op.kind == "send":
+                if not self._send_completed(op, state):
+                    return ([op.peer], op.describe(), op.line, op.col)
+            elif not state.completed:
+                targets = ([op.peer] if op.peer != ANY
+                           else [r for r in self._ranks if r != rank])
+                return (targets, op.describe(), op.line, op.col)
+        return ([], "wait", 0, 0)
+
+    def _report_stuck(self) -> None:
+        blocked = {r: self._blocked_detail(r)
+                   for r, st in self._ranks.items()
+                   if not st.done and st.blocked is not None}
+        if not blocked:
+            return
+        # Cycle search over live wait-for edges.
+        edges = {r: [t for t in targets if t in blocked]
+                 for r, (targets, _, _, _) in blocked.items()}
+        cycle = _find_cycle(edges)
+        if cycle:
+            chain = " -> ".join(
+                f"rank {r}: {blocked[r][1]} at line {blocked[r][2]}"
+                for r in cycle)
+            first = cycle[0]
+            self.emit(
+                "RPD500",
+                f"static deadlock: {len(cycle)} rank(s) block each other "
+                f"in a cycle: {chain} -> rank {cycle[0]}",
+                hint="break the cycle: post receives first (irecv), use "
+                     "sendrecv, or order by rank parity",
+                line=blocked[first][2], col=blocked[first][3])
+            return
+        # Hopeless waits: blocked on ranks that already terminated (or on
+        # nobody at all).  Walk the chains back to the root causes.
+        roots = [r for r, (targets, _, _, _) in blocked.items()
+                 if not any(t in blocked for t in targets)]
+        for rank in sorted(roots):
+            targets, desc, line, col = blocked[rank]
+            st = self._ranks[rank]
+            kind, detail = st.blocked
+            if kind == "coll":
+                comm, slot, op = detail
+                arrivals = self._coll_arrivals.get((comm, slot), {})
+                missing = sorted(set(op.members) - set(arrivals))
+                if (comm, slot) not in self._coll_reported:
+                    self._coll_reported.add((comm, slot))
+                    self.emit(
+                        "RPD520",
+                        f"rank {rank} blocks in {op.name} but rank(s) "
+                        f"{missing} finish without reaching this "
+                        f"collective",
+                        hint="every rank of the communicator must reach "
+                             "the same collectives in the same order",
+                        line=line, col=col)
+                continue
+            if desc.startswith("send"):
+                self.emit(
+                    "RPD501",
+                    f"rank {rank} blocks in {desc}: the destination "
+                    f"terminates without posting a matching receive",
+                    hint="add the matching recv, or make the tags/"
+                         "communicators agree",
+                    line=line, col=col)
+            else:
+                self.emit(
+                    "RPD502",
+                    f"rank {rank} blocks in {desc}: no matching send is "
+                    f"ever posted by the source rank(s)",
+                    hint="add the matching send, or make the tags/"
+                         "communicators agree",
+                    line=line, col=col)
+
+    def _report_leftovers(self) -> None:
+        """Unmatched nonblocking traffic after every rank terminated."""
+        by_site: dict[tuple, list[P2POp]] = {}
+        for op in self._pending_sends + self._pending_recvs:
+            if op.escaped:
+                continue
+            by_site.setdefault((op.kind, op.line, op.col), []).append(op)
+        for (kind, line, col), ops in sorted(by_site.items()):
+            ranks = sorted({op.rank for op in ops})
+            op = ops[0]
+            if kind == "send":
+                self.emit(
+                    "RPD501",
+                    f"{op.describe()} posted by rank(s) {ranks} is never "
+                    f"received: no rank posts a matching receive",
+                    hint="add the matching recv, or make the tags/"
+                         "communicators agree",
+                    line=line, col=col)
+            else:
+                self.emit(
+                    "RPD502",
+                    f"{op.describe()} posted by rank(s) {ranks} can never "
+                    f"be matched: no rank posts a matching send",
+                    hint="add the matching send, or make the tags/"
+                         "communicators agree",
+                    line=line, col=col)
+
+    # -- entry point ----------------------------------------------------
+
+    def run(self) -> list[Diagnostic]:
+        while self._advance():
+            pass
+        if all(st.done for st in self._ranks.values()):
+            self._report_leftovers()
+        else:
+            self._report_stuck()
+        return self.diags
+
+
+def _find_cycle(edges: dict) -> Optional[list]:
+    """First cycle in a small digraph, as the list of nodes on it."""
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {n: WHITE for n in edges}
+    stack: list = []
+
+    def visit(node):
+        color[node] = GRAY
+        stack.append(node)
+        for succ in edges.get(node, ()):
+            if succ not in color:
+                continue
+            if color[succ] == GRAY:
+                return stack[stack.index(succ):]
+            if color[succ] == WHITE:
+                found = visit(succ)
+                if found:
+                    return found
+        stack.pop()
+        color[node] = BLACK
+        return None
+
+    for node in sorted(edges):
+        if color[node] == WHITE:
+            found = visit(node)
+            if found:
+                return found
+    return None
+
+
+def replay(traces: dict, path: Optional[str] = None,
+           context: str = "") -> list[Diagnostic]:
+    """Match one trace set; convenience wrapper over :class:`TraceReplay`."""
+    return TraceReplay(traces, path=path, context=context).run()

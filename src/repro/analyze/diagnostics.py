@@ -11,7 +11,10 @@ Numbering scheme:
 
 * ``RPD1xx`` — datatype/typemap validity and layout performance smells,
 * ``RPD2xx`` — custom-datatype callback contract violations,
-* ``RPD3xx`` — MPI-usage lints on application source files.
+* ``RPD3xx`` — MPI-usage lints on application source files,
+* ``RPD4xx`` — dynamic findings from the runtime sanitizer,
+* ``RPD5xx`` — whole-program communication-flow verification
+  (:mod:`repro.analyze.flow`), plus tool notices (``RPD590``).
 """
 
 from __future__ import annotations
@@ -19,13 +22,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from ..errors import (MPI_ERR_ARG, MPI_ERR_BUFFER, MPI_ERR_OTHER,
-                      MPI_ERR_PENDING, MPI_ERR_REQUEST, MPI_ERR_TAG,
-                      MPI_ERR_TRUNCATE, MPI_ERR_TYPE, error_name)
+from ..errors import (MPI_ERR_ARG, MPI_ERR_BUFFER, MPI_ERR_COMM,
+                      MPI_ERR_OTHER, MPI_ERR_PENDING, MPI_ERR_REQUEST,
+                      MPI_ERR_TAG, MPI_ERR_TRUNCATE, MPI_ERR_TYPE,
+                      error_name)
 
-#: Severity levels, most severe first.  ``perf`` findings are reported only
-#: under ``--strict`` (they are smells, not bugs).
-SEVERITIES = ("error", "warning", "perf")
+#: Severity levels, most severe first.  ``perf`` findings (smells) and
+#: ``notice`` findings (tool status, e.g. incomplete analysis or an unused
+#: suppression) are reported only under ``--strict``.
+SEVERITIES = ("error", "warning", "perf", "notice")
+
+#: Severities hidden unless ``--strict`` is given.
+STRICT_ONLY_SEVERITIES = frozenset({"perf", "notice"})
 
 _SEVERITY_RANK = {s: i for i, s in enumerate(SEVERITIES)}
 
@@ -121,6 +129,23 @@ CODE_TABLE: dict[str, CodeInfo] = {c.code: c for c in (
        "custom-datatype per-operation state is allocated but never freed"),
     _c("RPD440", "error", MPI_ERR_PENDING,
        "distributed deadlock: cyclic or hopeless wait-for dependency"),
+    # -- static communication-flow verifier (flow.py / commgraph.py) ------
+    _c("RPD500", "error", MPI_ERR_PENDING,
+       "static deadlock: cycle in the blocking wait-for graph"),
+    _c("RPD501", "warning", MPI_ERR_PENDING,
+       "send is never received by any rank"),
+    _c("RPD502", "error", MPI_ERR_PENDING,
+       "receive can never be matched by any send"),
+    _c("RPD510", "error", MPI_ERR_TYPE,
+       "static type-signature mismatch between matched send and receive"),
+    _c("RPD511", "error", MPI_ERR_TRUNCATE,
+       "message statically larger than the matched receive (truncation)"),
+    _c("RPD520", "error", MPI_ERR_COMM,
+       "ranks reach different collectives, or in different orders"),
+    _c("RPD530", "notice", MPI_ERR_OTHER,
+       "flow analysis incomplete: a value escaped the abstract domain"),
+    _c("RPD590", "notice", MPI_ERR_OTHER,
+       "unused noqa suppression"),
 )}
 
 
@@ -170,9 +195,11 @@ class Diagnostic:
         }
 
     def format_text(self) -> str:
+        # Columns are stored 0-based (AST col_offset; JSON keeps the raw
+        # value) but rendered 1-based, the flake8/editor convention.
         loc = ""
         if self.file:
-            loc = f"{self.file}:{self.line}:{self.col}: " if self.line \
+            loc = f"{self.file}:{self.line}:{self.col + 1}: " if self.line \
                 else f"{self.file}: "
         subj = f" [{self.subject}]" if self.subject else ""
         hint = f"\n    hint: {self.hint}" if self.hint else ""

@@ -91,10 +91,49 @@ def _tag_of(call: ast.Call, kind: str, is_capi: bool) -> Union[int, str]:
     return 0 if kind in ("send", "isend") else _WILDCARD
 
 
+def _comm_key(call: ast.Call, is_capi: bool) -> str:
+    """Textual identity of the communicator a call operates on.
+
+    Tags live in per-communicator spaces — a ``comm.dup()``/``comm.split()``
+    child never matches traffic on its parent — so sends and receives are
+    grouped by the expression the traffic goes through: the method-call
+    base (``comm`` in ``comm.send(...)``, ``sub`` in ``sub.recv(...)``) or
+    the first positional argument for the capi spellings.  Aliased
+    communicators split into separate (conservatively unchecked one-sided)
+    groups; that errs toward silence, never false positives.
+    """
+    if is_capi:
+        expr = call.args[0] if call.args else None
+    else:
+        expr = call.func.value if isinstance(call.func, ast.Attribute) \
+            else None
+    if expr is None:
+        return "<expr>"
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        parts = [expr.attr]
+        base = expr.value
+        while isinstance(base, ast.Attribute):
+            parts.append(base.attr)
+            base = base.value
+        if isinstance(base, ast.Name):
+            parts.append(base.id)
+            return ".".join(reversed(parts))
+    try:
+        return ast.unparse(expr)
+    except Exception:
+        return "<expr>"
+
+
 def _check_tags(tree: ast.Module, path: Optional[str]) -> list[Diagnostic]:
-    """RPD301: send tags with no matching recv tag in the file (and back)."""
-    sends: list[tuple[Union[int, str], ast.Call]] = []
-    recvs: list[tuple[Union[int, str], ast.Call]] = []
+    """RPD301: send tags with no matching recv tag on the same communicator.
+
+    Matching is per communicator key (see :func:`_comm_key`): a send on a
+    duplicated communicator must find its receive on that communicator,
+    and tags on different communicators never cross-satisfy each other.
+    """
+    groups: dict[str, tuple[list, list]] = {}
     for node in ast.walk(tree):
         if not isinstance(node, ast.Call):
             continue
@@ -102,32 +141,38 @@ def _check_tags(tree: ast.Module, path: Optional[str]) -> list[Diagnostic]:
         if kind is None:
             continue
         tag = _tag_of(node, kind, is_capi)
+        sends, recvs = groups.setdefault(_comm_key(node, is_capi),
+                                         ([], []))
         (sends if kind in ("send", "isend") else recvs).append((tag, node))
-    if not sends or not recvs:
-        return []  # one-sided files (drivers, helpers) are out of scope
-    send_tags = {t for t, _ in sends}
-    recv_tags = {t for t, _ in recvs}
-    if _UNKNOWN in send_tags | recv_tags:
-        return []  # a dynamic tag anywhere disarms the whole rule
-    diags = []
-    if _WILDCARD not in recv_tags:
-        for tag, call in sends:
-            if tag not in recv_tags:
+    diags: list[Diagnostic] = []
+    for key in sorted(groups):
+        sends, recvs = groups[key]
+        if not sends or not recvs:
+            continue  # one-sided traffic (drivers, helpers) is out of scope
+        send_tags = {t for t, _ in sends}
+        recv_tags = {t for t, _ in recvs}
+        if _UNKNOWN in send_tags | recv_tags:
+            continue  # a dynamic tag disarms the rule for this communicator
+        if _WILDCARD not in recv_tags:
+            for tag, call in sends:
+                if tag not in recv_tags:
+                    diags.append(Diagnostic(
+                        "RPD301",
+                        f"send with tag={tag} has no recv accepting tag "
+                        f"{tag} on communicator {key!r} (its recv tags: "
+                        f"{sorted(t for t in recv_tags)})",
+                        hint="align the tag constants, or recv with "
+                             "tag=ANY_TAG",
+                        file=path, line=call.lineno, col=call.col_offset))
+        for tag, call in recvs:
+            if tag != _WILDCARD and tag not in send_tags:
                 diags.append(Diagnostic(
                     "RPD301",
-                    f"send with tag={tag} has no recv accepting tag {tag} "
-                    f"in this file (recv tags: "
-                    f"{sorted(t for t in recv_tags)})",
-                    hint="align the tag constants, or recv with tag=ANY_TAG",
+                    f"recv with tag={tag} can never match: no send uses "
+                    f"tag {tag} on communicator {key!r} (its send tags: "
+                    f"{sorted(send_tags)})",
+                    hint="align the tag constants on both sides",
                     file=path, line=call.lineno, col=call.col_offset))
-    for tag, call in recvs:
-        if tag != _WILDCARD and tag not in send_tags:
-            diags.append(Diagnostic(
-                "RPD301",
-                f"recv with tag={tag} can never match: no send uses tag "
-                f"{tag} in this file (send tags: {sorted(send_tags)})",
-                hint="align the tag constants on both sides",
-                file=path, line=call.lineno, col=call.col_offset))
     return diags
 
 

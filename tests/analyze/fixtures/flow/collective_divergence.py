@@ -1,0 +1,20 @@
+"""Flow fixture: collective order divergence (RPD520).
+
+Rank 0 runs ``barrier`` then ``bcast``; every other rank runs them in the
+opposite order, so the ranks' first collectives on the communicator
+disagree.
+"""
+
+import numpy as np
+
+NPROCS = 3
+
+
+def main(comm):
+    buf = np.zeros(16)
+    if comm.rank == 0:
+        comm.barrier()
+        comm.bcast(buf, root=0)
+    else:
+        comm.bcast(buf, root=0)
+        comm.barrier()

@@ -1,0 +1,21 @@
+"""Flow fixture: a tag escapes the abstract domain (RPD530).
+
+The tag comes from the environment, so the static verifier cannot know
+it; instead of guessing it reports the analysis incomplete and matching
+falls back to the per-file lint heuristics.
+"""
+
+import os
+
+import numpy as np
+
+NPROCS = 2
+
+
+def main(comm):
+    tag = int(os.environ.get("EXCHANGE_TAG", "0"))
+    if comm.rank == 0:
+        comm.send(np.zeros(4), dest=1, tag=tag)
+    else:
+        inbox = np.empty(4)
+        comm.recv(inbox, source=0, tag=tag)

@@ -1,0 +1,19 @@
+"""Flow fixture: rank-conditional missing receive (RPD501).
+
+Every nonzero rank sends a small (eager) message to rank 0, but rank 0
+only ever posts a single receive — at any job size beyond 2, the other
+senders' messages are never received.
+"""
+
+import numpy as np
+
+NPROCS = 4
+
+
+def main(comm):
+    if comm.rank != 0:
+        payload = np.arange(4, dtype="<f8")
+        comm.send(payload, dest=0, tag=3)
+    else:
+        inbox = np.empty(4)
+        comm.recv(inbox, source=1, tag=3)

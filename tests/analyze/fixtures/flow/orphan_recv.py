@@ -1,0 +1,18 @@
+"""Flow fixture: receive that no send can ever match (RPD502).
+
+Rank 1 sends with tag 7, but rank 0 blocks in a receive for tag 9; the
+sender terminates (the small send completes eagerly) and rank 0 waits
+forever.
+"""
+
+import numpy as np
+
+NPROCS = 2
+
+
+def main(comm):
+    if comm.rank == 1:
+        comm.send(np.zeros(8), dest=0, tag=7)
+    else:
+        inbox = np.empty(8)
+        comm.recv(inbox, source=1, tag=9)

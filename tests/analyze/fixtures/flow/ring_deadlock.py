@@ -1,0 +1,20 @@
+"""Flow fixture: classic ring deadlock (RPD500).
+
+Every rank blocks in a rendezvous-size ``send`` to its right neighbor
+before any rank reaches the ``recv`` — the wait-for graph is one big
+cycle.  The dynamic sanitizer reports the same program as RPD440.
+"""
+
+import numpy as np
+
+NPROCS = 3
+
+
+def main(comm):
+    right = (comm.rank + 1) % comm.size
+    left = (comm.rank - 1) % comm.size
+    outbox = np.full(8192, float(comm.rank))   # 64 KiB: over the eager limit
+    inbox = np.empty(8192)
+    comm.send(outbox, dest=right, tag=6)
+    comm.recv(inbox, source=left, tag=6)
+    return float(inbox[0])

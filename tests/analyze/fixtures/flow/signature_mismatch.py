@@ -1,0 +1,18 @@
+"""Flow fixture: static type-signature mismatch across a branch (RPD510).
+
+The sender describes four float64 values, the receiver eight int32 —
+the byte counts agree, but MPI type matching compares scalar sequences,
+not sizes.
+"""
+
+import numpy as np
+
+NPROCS = 2
+
+
+def main(comm):
+    if comm.rank == 0:
+        comm.send(np.zeros(4, dtype="<f8"), dest=1, tag=1)
+    else:
+        inbox = np.zeros(8, dtype="<i4")
+        comm.recv(inbox, source=0, tag=1)

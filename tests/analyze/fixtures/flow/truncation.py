@@ -1,0 +1,17 @@
+"""Flow fixture: message statically larger than the receive (RPD511).
+
+Same element type on both sides, but the sender ships 100 doubles into a
+50-double receive — MPI truncation, an error at delivery time.
+"""
+
+import numpy as np
+
+NPROCS = 2
+
+
+def main(comm):
+    if comm.rank == 0:
+        comm.send(np.zeros(100), dest=1, tag=2)
+    else:
+        inbox = np.zeros(50)
+        comm.recv(inbox, source=0, tag=2)

@@ -1,0 +1,277 @@
+"""Communication-flow verifier: corpus codes, clean trees, CLI surface."""
+
+import json
+import os
+
+import pytest
+
+from repro.analyze.cli import main
+from repro.analyze.flow import analyze_flow_source
+
+HERE = os.path.dirname(__file__)
+REPO = os.path.abspath(os.path.join(HERE, os.pardir, os.pardir))
+FLOW_FIXTURES = os.path.join(HERE, "fixtures", "flow")
+
+#: fixture basename -> (code, 1-based line) that must fire there.
+CORPUS = {
+    "ring_deadlock.py": ("RPD500", 18),
+    "missing_recv.py": ("RPD501", 16),
+    "orphan_recv.py": ("RPD502", 18),
+    "signature_mismatch.py": ("RPD510", 18),
+    "truncation.py": ("RPD511", 17),
+    "collective_divergence.py": ("RPD520", 16),
+    "domain_escape.py": ("RPD530", 18),
+}
+
+
+def run_flow_json(args, capsys):
+    rc = main(["flow"] + args + ["--format", "json"])
+    return rc, json.loads(capsys.readouterr().out)
+
+
+class TestSeededCorpus:
+    def test_every_code_fires_at_expected_location(self, capsys):
+        rc, doc = run_flow_json([FLOW_FIXTURES, "--strict"], capsys)
+        assert rc == 1
+        fired = {(os.path.basename(f["file"]), f["code"], f["line"])
+                 for f in doc["findings"]}
+        for name, (code, line) in CORPUS.items():
+            assert (name, code, line) in fired, \
+                f"{name}: expected {code} at line {line}, got " \
+                f"{sorted(t for t in fired if t[0] == name)}"
+
+    def test_incomplete_analysis_is_strict_only(self, capsys):
+        rc, doc = run_flow_json([os.path.join(FLOW_FIXTURES,
+                                              "domain_escape.py")], capsys)
+        # without --strict the RPD530 notice is hidden
+        assert rc == 0
+        assert doc["findings"] == []
+
+    def test_deadlock_agrees_with_dynamic_sanitizer(self, capsys):
+        """Every static deadlock must reproduce under the runtime fabric."""
+        rc = main(["sanitize",
+                   os.path.join(FLOW_FIXTURES, "ring_deadlock.py"),
+                   "--strict", "--format", "json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert rc == 1
+        assert "RPD440" in {f["code"] for f in doc["findings"]}
+
+
+class TestCleanTrees:
+    def test_examples_are_flow_clean_under_strict(self, capsys):
+        rc = main(["flow", os.path.join(REPO, "examples"), "--strict"])
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        assert "no findings" in out
+
+    def test_ddtbench_is_flow_clean_under_strict(self, capsys):
+        rc = main(["flow", os.path.join(REPO, "src", "repro", "ddtbench"),
+                   "--strict"])
+        assert rc == 0
+
+
+RING_SRC = """
+import numpy as np
+
+def main(comm):
+    right = (comm.rank + 1) % comm.size
+    left = (comm.rank - 1) % comm.size
+    outbox = np.zeros(8)
+    inbox = np.empty(8)
+    rreq = comm.irecv(inbox, source=left, tag=0)
+    sreq = comm.isend(outbox, dest=right, tag=0)
+    rreq.wait()
+    sreq.wait()
+"""
+
+
+class TestInterpreter:
+    def test_unpinned_program_gets_symbolic_witnesses(self):
+        report = analyze_flow_source(RING_SRC, path="ring.py")
+        assert report.has_main and report.complete
+        assert report.nprocs_used == (2, 3, 4, 6, 7)
+        assert report.findings == []
+
+    def test_run_nprocs_literal_pins_the_size(self):
+        report = analyze_flow_source(
+            RING_SRC + "\nif __name__ == '__main__':\n"
+                       "    from repro.mpi import run\n"
+                       "    run(main, nprocs=5)\n",
+            path="ring.py")
+        assert report.complete
+        assert report.nprocs_used == (5,)
+
+    def test_explicit_nprocs_overrides_everything(self):
+        report = analyze_flow_source(RING_SRC, path="ring.py",
+                                     nprocs=[3])
+        assert report.nprocs_used == (3,)
+
+    def test_files_without_main_are_skipped(self):
+        report = analyze_flow_source("x = 1\n", path="x.py")
+        assert not report.has_main
+        assert report.findings == []
+
+    def test_dup_traffic_does_not_match_parent(self):
+        src = """
+import numpy as np
+
+def main(comm):
+    sub = comm.dup()
+    if comm.rank == 0:
+        comm.send(np.zeros(4), dest=1, tag=1)
+    else:
+        inbox = np.empty(4)
+        sub.recv(inbox, source=0, tag=1)
+"""
+        report = analyze_flow_source(src, path="dup.py", nprocs=[2])
+        assert report.complete
+        codes = {d.code for d in report.findings}
+        # the recv on the duplicated communicator can never be matched
+        assert "RPD502" in codes
+
+    def test_mismatch_found_only_at_witness_size(self):
+        # Correct at 2/3/4 (the special case covers them), wrong for
+        # general N: the symbolic witnesses catch it.
+        src = """
+import numpy as np
+
+def main(comm):
+    if comm.size > 4:
+        if comm.rank == 0:
+            comm.send(np.zeros(4), dest=1, tag=9)
+    else:
+        pass
+"""
+        report = analyze_flow_source(src, path="n.py")
+        assert report.complete
+        assert "RPD501" in {d.code for d in report.findings}
+
+
+class TestSuppressions:
+    def test_noqa_silences_a_flow_finding(self, tmp_path, capsys):
+        src = open(os.path.join(FLOW_FIXTURES, "orphan_recv.py")).read()
+        src = src.replace("comm.recv(inbox, source=1, tag=9)",
+                          "comm.recv(inbox, source=1, tag=9)  # noqa: RPD502")
+        p = tmp_path / "suppressed.py"
+        p.write_text(src)
+        rc, doc = run_flow_json([str(p), "--strict"], capsys)
+        assert rc == 0, doc
+        assert doc["findings"] == []
+
+    def test_unused_noqa_is_reported_under_strict(self, tmp_path, capsys):
+        p = tmp_path / "stale.py"
+        p.write_text(RING_SRC + "\nX = 1  # noqa: RPD502\n")
+        rc, doc = run_flow_json([str(p), "--strict"], capsys)
+        assert rc == 1
+        assert {f["code"] for f in doc["findings"]} == {"RPD590"}
+        # hidden without --strict
+        rc2 = main(["flow", str(p)])
+        capsys.readouterr()
+        assert rc2 == 0
+
+    def test_noqa_works_in_the_linter_too(self, tmp_path, capsys):
+        p = tmp_path / "lint_noqa.py"
+        p.write_text(
+            "def f(comm, buf):\n"
+            "    comm.isend(buf, dest=1)  # noqa: RPD302\n")
+        rc = main([str(p)])
+        capsys.readouterr()
+        assert rc == 0
+
+    def test_noqa_in_string_literal_is_not_a_directive(self, tmp_path,
+                                                       capsys):
+        p = tmp_path / "s.py"
+        p.write_text("def f(comm, buf):\n"
+                     "    comm.isend(buf, dest=1, tag=ord('#'))\n"
+                     "    x = '# noqa'\n")
+        rc = main([str(p), "--strict"])
+        out = capsys.readouterr().out
+        assert "RPD590" not in out
+        assert rc == 1  # the RPD302 still fires
+
+
+class TestGithubFormat:
+    def test_annotations_carry_file_line_col_title(self, capsys):
+        rc = main(["flow",
+                   os.path.join(FLOW_FIXTURES, "signature_mismatch.py"),
+                   "--format", "github"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        line = next(l for l in out.splitlines() if l.startswith("::"))
+        assert line.startswith("::error ")
+        assert "file=" in line and ",line=18,col=9,title=RPD510::" in line
+
+    def test_message_newlines_are_escaped(self, capsys):
+        from repro.analyze.cli import _render_github
+        from repro.analyze.diagnostics import Diagnostic
+        out = _render_github([Diagnostic(
+            "RPD500", "a\nb %", file="f.py", line=3, col=4)])
+        assert out == "::error file=f.py,line=3,col=5,title=RPD500::a%0Ab %25"
+
+
+class TestDefaultRunIntegration:
+    def test_flow_supersedes_rpd301_when_complete(self, capsys):
+        path = os.path.join(FLOW_FIXTURES, "orphan_recv.py")
+        rc = main([path, "--format", "json"])
+        doc = json.loads(capsys.readouterr().out)
+        codes = {f["code"] for f in doc["findings"]}
+        assert rc == 1
+        assert "RPD502" in codes
+        assert "RPD301" not in codes   # handed off to the flow verdict
+
+    def test_no_flow_falls_back_to_tag_heuristic(self, capsys):
+        path = os.path.join(FLOW_FIXTURES, "orphan_recv.py")
+        rc = main([path, "--no-flow", "--format", "json"])
+        doc = json.loads(capsys.readouterr().out)
+        codes = {f["code"] for f in doc["findings"]}
+        assert rc == 1
+        assert "RPD301" in codes
+        assert not any(c.startswith("RPD5") for c in codes)
+
+    def test_incomplete_flow_keeps_the_heuristics(self, tmp_path, capsys):
+        # mismatched tags AND an abstract tag: flow reports RPD530 and the
+        # RPD301 heuristic stays armed for the concrete pair.
+        p = tmp_path / "half.py"
+        p.write_text("""
+import os
+import numpy as np
+
+def main(comm):
+    t = int(os.environ["T"])
+    if comm.rank == 0:
+        comm.send(np.zeros(2), dest=1, tag=t)
+    elif comm.rank == 1:
+        comm.recv(np.empty(2), source=0, tag=t)
+""")
+        rc = main([str(p), "--strict", "--format", "json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert rc == 1
+        assert "RPD530" in {f["code"] for f in doc["findings"]}
+
+
+class TestFlowCliUsage:
+    def test_no_paths_is_usage_error(self, capsys):
+        assert main(["flow"]) == 2
+
+    def test_bad_nprocs_is_usage_error(self, capsys):
+        assert main(["flow", FLOW_FIXTURES, "--nprocs", "1"]) == 2
+        assert main(["flow", FLOW_FIXTURES, "--nprocs", "zap"]) == 2
+
+    def test_missing_path_is_usage_error(self, capsys):
+        assert main(["flow", "/no/such/flow-dir-zzz"]) == 2
+
+    def test_nprocs_narrows_the_configs(self, capsys):
+        # at nprocs=2 the missing_recv pattern is complete: rank 1's send
+        # is received, nothing is pending
+        rc = main(["flow", os.path.join(FLOW_FIXTURES, "missing_recv.py"),
+                   "--nprocs", "2", "--strict"])
+        capsys.readouterr()
+        assert rc == 0
+
+    def test_json_schema_matches_v1(self, capsys):
+        rc, doc = run_flow_json([FLOW_FIXTURES, "--strict"], capsys)
+        assert doc["version"] == 1
+        assert set(doc) == {"version", "tool", "findings", "summary"}
+        for f in doc["findings"]:
+            assert set(f) == {"code", "severity", "mpi_error", "message",
+                              "hint", "file", "line", "col", "subject"}

@@ -165,3 +165,75 @@ class TestShippedTreeClean:
         ids=lambda p: os.path.relpath(p, REPO))
     def test_file_lints_clean(self, path):
         assert lint_file(path) == []
+
+
+class TestCommunicatorAwareTags:
+    """RPD301 matches tags per communicator, not per file."""
+
+    def test_dup_child_tag_space_is_isolated(self):
+        # Tags agree within each communicator; the old file-global rule
+        # already passed this, the per-comm rule must too.
+        src = ("def main(comm):\n"
+               "    sub = comm.dup()\n"
+               "    if comm.rank == 0:\n"
+               "        comm.send(b'x', dest=1, tag=1)\n"
+               "        sub.send(b'y', dest=1, tag=2)\n"
+               "    else:\n"
+               "        comm.recv(bytearray(1), source=0, tag=1)\n"
+               "        sub.recv(bytearray(1), source=0, tag=2)\n")
+        assert lint_source(src) == []
+
+    def test_tags_do_not_cross_match_between_communicators(self):
+        # File-globally the tag sets {5,6} match on both sides; per
+        # communicator every pairing is wrong and all four calls fire.
+        src = ("def main(comm):\n"
+               "    sub = comm.dup()\n"
+               "    if comm.rank == 0:\n"
+               "        comm.send(b'x', dest=1, tag=5)\n"
+               "        sub.send(b'y', dest=1, tag=6)\n"
+               "    else:\n"
+               "        comm.recv(bytearray(1), source=0, tag=6)\n"
+               "        sub.recv(bytearray(1), source=0, tag=5)\n")
+        diags = lint_source(src)
+        assert [d.code for d in diags] == ["RPD301"] * 4
+        assert all("communicator" in d.message for d in diags)
+
+    def test_unknown_tag_only_disarms_its_own_communicator(self):
+        src = ("def main(comm, t):\n"
+               "    sub = comm.dup()\n"
+               "    if comm.rank == 0:\n"
+               "        comm.send(b'x', dest=1, tag=t)\n"
+               "        sub.send(b'y', dest=1, tag=3)\n"
+               "    else:\n"
+               "        comm.recv(bytearray(1), source=0, tag=7)\n"
+               "        sub.recv(bytearray(1), source=0, tag=4)\n")
+        diags = lint_source(src)
+        # comm's dynamic tag disarms comm; sub's 3-vs-4 still fires
+        assert [d.code for d in diags] == ["RPD301", "RPD301"]
+        assert all("'sub'" in d.message for d in diags)
+
+
+class TestReporterLocation:
+    """Diagnostics carry the AST column and render it 1-based."""
+
+    def test_col_populated_and_rendered_one_based(self):
+        src = ("def f(comm, buf):\n"
+               "    req = comm.isend(buf, dest=1)\n")
+        diags = lint_source(src, path="prog.py")
+        assert [d.code for d in diags] == ["RPD302"]
+        d = diags[0]
+        assert (d.line, d.col) == (2, 4)          # 0-based storage
+        assert d.format_text().startswith("prog.py:2:5: ")  # 1-based text
+        assert d.to_dict()["col"] == 4            # JSON keeps 0-based
+
+    def test_tag_mismatch_points_at_the_call(self):
+        src = ("def main(comm):\n"
+               "    if comm.rank == 0:\n"
+               "        comm.send(b'x', dest=1, tag=1)\n"
+               "    else:\n"
+               "        comm.recv(bytearray(1), source=0, tag=2)\n")
+        diags = lint_source(src, path="prog.py")
+        locs = {(d.line, d.col) for d in diags}
+        assert locs == {(3, 8), (5, 8)}
+        assert {d.format_text().split(" ")[0] for d in diags} == \
+            {"prog.py:3:9:", "prog.py:5:9:"}
