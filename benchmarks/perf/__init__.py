@@ -1,0 +1,8 @@
+"""Wall-clock perf-regression harness (see docs/performance.md).
+
+Unlike ``benchmarks/fig*.py`` — which measure *virtual* time on the
+simulated fabric — this package measures real elapsed time of the engine
+itself: pack/unpack throughput over the derived-type corpus, the fragment
+pipeline, end-to-end ``run()`` message rate, and a DDTBench subset.  Results
+land in ``BENCH_perf.json`` at the repo root.
+"""

@@ -1,0 +1,77 @@
+"""Derived-type corpus for the wall-clock harness.
+
+Each entry is a non-contiguous layout the paper's figures exercise (plus one
+contiguous control): the struct types of Figs. 3-7, a classic strided
+vector, and the DDTBench workloads whose derived types dominate Fig. 10.
+Entries carry everything a throughput loop needs: the datatype, a filled
+source buffer, the element count, and the packed size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core import FLOAT64, Datatype, vector
+from repro.core.packing import packed_size, required_span
+from repro.ddtbench.registry import make_workload
+from repro.types import (make_struct_simple, make_struct_simple_no_gap,
+                         struct_simple_datatype,
+                         struct_simple_no_gap_datatype)
+
+
+@dataclass
+class CorpusEntry:
+    name: str
+    dtype: Datatype
+    src: np.ndarray
+    count: int
+    #: Contiguous layouts are reported but exempt from the speedup gate —
+    #: both engines are a single memcpy there.
+    contiguous: bool = False
+
+    @property
+    def packed_bytes(self) -> int:
+        return packed_size(self.dtype, self.count)
+
+
+def _struct_simple(target_bytes: int) -> CorpusEntry:
+    t = struct_simple_datatype()
+    count = max(1, target_bytes // t.size)
+    return CorpusEntry("struct-simple", t, make_struct_simple(count), count)
+
+
+def _struct_simple_no_gap(target_bytes: int) -> CorpusEntry:
+    t = struct_simple_no_gap_datatype()
+    count = max(1, target_bytes // t.size)
+    return CorpusEntry("struct-simple-no-gap", t,
+                       make_struct_simple_no_gap(count), count,
+                       contiguous=True)
+
+
+def _vector(target_bytes: int) -> CorpusEntry:
+    # 16 doubles taken every other position — a 2-D column slab.
+    t = vector(16, 1, 2, FLOAT64)
+    count = max(1, target_bytes // t.size)
+    rng = np.random.default_rng(7)
+    src = rng.integers(0, 255, required_span(t, count), dtype=np.uint8)
+    return CorpusEntry("vector-f64", t, src, count)
+
+
+def _ddtbench(name: str) -> CorpusEntry:
+    w = make_workload(name)
+    return CorpusEntry(f"ddtbench-{name}", w.derived_datatype(),
+                       w.make_send_buffer(), 1)
+
+
+def build_corpus(target_bytes: int) -> list[CorpusEntry]:
+    """The harness corpus; ``target_bytes`` sizes the synthetic entries."""
+    return [
+        _struct_simple(target_bytes),
+        _struct_simple_no_gap(target_bytes),
+        _vector(target_bytes),
+        _ddtbench("WRF_x_vec"),
+        _ddtbench("WRF_y_vec"),
+        _ddtbench("MILC"),
+    ]

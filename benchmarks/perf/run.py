@@ -1,0 +1,304 @@
+"""Wall-clock perf harness: pack plans vs the retained reference engine.
+
+Measures real elapsed time (``time.perf_counter``), not virtual fabric time:
+
+* whole-message ``pack``/``unpack`` throughput over the derived-type corpus,
+* the fragment pipeline at ``frag_size`` granularity — :class:`PackCursor` /
+  :class:`UnpackCursor` against the pre-plan per-fragment window engine,
+* end-to-end ``repro.mpi.run()`` message rate with a derived datatype,
+* a DDTBench round-trip subset.
+
+Every sample is the median of ``k`` trials.  Results are written to
+``BENCH_perf.json`` at the repo root.  With ``--check`` the harness enforces
+the regression gates: windowed pack/unpack on non-contiguous types must beat
+the reference engine by the required factor, and throughput must stay above
+the checked-in floors in ``baseline.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/run.py [--quick] [--check]
+                                                 [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT))
+
+from benchmarks.perf.corpus import CorpusEntry, build_corpus  # noqa: E402
+from repro.core.packing import (pack, pack_reference, pack_window_reference,
+                                unpack, unpack_reference,
+                                unpack_window_reference)  # noqa: E402
+from repro.core.packplan import PackCursor, UnpackCursor  # noqa: E402
+from repro.core.typecache import clear_plan_cache  # noqa: E402
+from repro.ddtbench.registry import make_workload  # noqa: E402
+from repro.mpi.runtime import run  # noqa: E402
+from repro.types import struct_simple_datatype  # noqa: E402
+
+FRAG_SIZE = 8192          # the fabric's pipeline granularity (LinkParams)
+MIN_TRIAL_SECONDS = 4e-3  # calibrate reps until one trial takes this long
+SPEEDUP_FLOOR = 2.0       # windowed plan-vs-reference gate (--check)
+BASELINE_PATH = Path(__file__).with_name("baseline.json")
+
+
+def _median_seconds(fn, k: int) -> float:
+    """Median of ``k`` timed trials of ``fn()``, reps auto-calibrated so a
+    single trial is long enough for the clock."""
+    reps = 1
+    while True:
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            fn()
+        elapsed = time.perf_counter() - t0
+        if elapsed >= MIN_TRIAL_SECONDS or reps >= 4096:
+            break
+        reps *= 2 if elapsed <= 0 else max(
+            2, int(MIN_TRIAL_SECONDS / max(elapsed, 1e-9) * 1.3))
+    trials = []
+    for _ in range(k):
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            fn()
+        trials.append((time.perf_counter() - t0) / reps)
+    return statistics.median(trials)
+
+
+def _mb_per_s(nbytes: int, seconds: float) -> float:
+    return nbytes / seconds / 1e6
+
+
+# ---------------------------------------------------------------------------
+# sections
+# ---------------------------------------------------------------------------
+
+def bench_whole_message(entry: CorpusEntry, k: int) -> dict:
+    """Whole-message pack and unpack: plan engine vs reference."""
+    d, src, n = entry.dtype, entry.src, entry.count
+    nbytes = entry.packed_bytes
+    out = np.empty(nbytes, dtype=np.uint8)
+    packed = pack(d, src, n)
+    dst = np.empty(np.asarray(src).nbytes, dtype=np.uint8).reshape(-1)
+
+    plan_pack = _median_seconds(lambda: pack(d, src, n, out=out), k)
+    ref_pack = _median_seconds(lambda: pack_reference(d, src, n, out=out), k)
+    plan_unpack = _median_seconds(lambda: unpack(d, dst, n, packed), k)
+    ref_unpack = _median_seconds(lambda: unpack_reference(d, dst, n, packed), k)
+    return {
+        "bytes": nbytes,
+        "pack": {"plan_mb_s": _mb_per_s(nbytes, plan_pack),
+                 "ref_mb_s": _mb_per_s(nbytes, ref_pack),
+                 "speedup": ref_pack / plan_pack},
+        "unpack": {"plan_mb_s": _mb_per_s(nbytes, plan_unpack),
+                   "ref_mb_s": _mb_per_s(nbytes, ref_unpack),
+                   "speedup": ref_unpack / plan_unpack},
+    }
+
+
+def bench_windowed(entry: CorpusEntry, k: int) -> dict:
+    """The fragment pipeline: cursors vs per-fragment window calls."""
+    d, src, n = entry.dtype, entry.src, entry.count
+    total = entry.packed_bytes
+    packed = pack(d, src, n)
+    dst = np.empty(np.asarray(src).nbytes, dtype=np.uint8).reshape(-1)
+
+    def plan_pack_pipeline():
+        with PackCursor(d, src, n) as cur:
+            off = 0
+            while off < total:
+                ln = min(FRAG_SIZE, total - off)
+                cur.window(off, ln)
+                off += ln
+
+    def ref_pack_pipeline():
+        off = 0
+        while off < total:
+            ln = min(FRAG_SIZE, total - off)
+            pack_window_reference(d, src, n, off, ln)
+            off += ln
+
+    def plan_unpack_pipeline():
+        with UnpackCursor(d, dst, n) as cur:
+            off = 0
+            while off < total:
+                ln = min(FRAG_SIZE, total - off)
+                cur.write(off, packed[off:off + ln])
+                off += ln
+
+    def ref_unpack_pipeline():
+        off = 0
+        while off < total:
+            ln = min(FRAG_SIZE, total - off)
+            unpack_window_reference(d, dst, n, off, packed[off:off + ln])
+            off += ln
+
+    plan_p = _median_seconds(plan_pack_pipeline, k)
+    ref_p = _median_seconds(ref_pack_pipeline, k)
+    plan_u = _median_seconds(plan_unpack_pipeline, k)
+    ref_u = _median_seconds(ref_unpack_pipeline, k)
+    return {
+        "bytes": total, "frag_size": FRAG_SIZE,
+        "window_pack": {"plan_mb_s": _mb_per_s(total, plan_p),
+                        "ref_mb_s": _mb_per_s(total, ref_p),
+                        "speedup": ref_p / plan_p},
+        "window_unpack": {"plan_mb_s": _mb_per_s(total, plan_u),
+                          "ref_mb_s": _mb_per_s(total, ref_u),
+                          "speedup": ref_u / plan_u},
+    }
+
+
+def _pingpong_main(iters: int, count: int):
+    dtype = struct_simple_datatype()
+    from repro.types import make_struct_simple
+
+    def main(comm):
+        sbuf = make_struct_simple(count)
+        rbuf = make_struct_simple(count)
+        if comm.rank == 0:
+            for _ in range(iters):
+                comm.send(sbuf, 1, 11, datatype=dtype, count=count)
+                comm.recv(rbuf, 1, 12, datatype=dtype, count=count)
+        else:
+            for _ in range(iters):
+                comm.recv(rbuf, 0, 11, datatype=dtype, count=count)
+                comm.send(rbuf, 0, 12, datatype=dtype, count=count)
+
+    return main
+
+
+def bench_message_rate(k: int, iters: int) -> dict:
+    """End-to-end ``run()``: derived-datatype pingpong messages per second
+    of wall-clock time (thread spawn included), plus the pool counters the
+    job observed."""
+    count = 128  # ~2.5 KiB packed: an eager-path message
+    result = run(_pingpong_main(iters, count), nprocs=2)
+    seconds = _median_seconds(
+        lambda: run(_pingpong_main(iters, count), nprocs=2), k)
+    pool = result.memory[0].get("pool", {})
+    return {"iters": iters, "count": count,
+            "msgs_per_s": (2 * iters) / seconds,
+            "seconds": seconds,
+            "rank0_pool_hits": pool.get("hits", 0),
+            "rank0_pool_misses": pool.get("misses", 0)}
+
+
+def _ddt_roundtrip_main(name: str):
+    def main(comm):
+        w = make_workload(name)
+        dtype = w.derived_datatype()
+        if comm.rank == 0:
+            comm.send(w.make_send_buffer(), 1, 21, datatype=dtype, count=1)
+            comm.recv(w.make_recv_buffer(), 1, 22, datatype=dtype, count=1)
+        else:
+            rbuf = w.make_recv_buffer()
+            comm.recv(rbuf, 0, 21, datatype=dtype, count=1)
+            comm.send(rbuf, 0, 22, datatype=dtype, count=1)
+
+    return main
+
+
+def bench_ddtbench(names: list[str], k: int) -> dict:
+    """Round-trip one element of each workload's derived type end-to-end."""
+    out = {}
+    for name in names:
+        seconds = _median_seconds(
+            lambda name=name: run(_ddt_roundtrip_main(name), nprocs=2), k)
+        out[name] = {"seconds": seconds}
+    return out
+
+
+# ---------------------------------------------------------------------------
+# gates
+# ---------------------------------------------------------------------------
+
+def check_results(report: dict) -> list[str]:
+    """The --check gates; returns a list of human-readable failures."""
+    failures = []
+    for name, entry in report["corpus"].items():
+        if entry["contiguous"]:
+            continue
+        for section in ("window_pack", "window_unpack"):
+            sp = entry[section]["speedup"]
+            if sp < SPEEDUP_FLOOR:
+                failures.append(
+                    f"{section}/{name}: plan speedup {sp:.2f}x is below the "
+                    f"required {SPEEDUP_FLOOR:.1f}x")
+    if BASELINE_PATH.exists():
+        floors = json.loads(BASELINE_PATH.read_text())["floors_mb_s"]
+        for key, floor in floors.items():
+            section, _, name = key.partition("/")
+            entry = report["corpus"].get(name)
+            if entry is None or section not in entry:
+                continue
+            got = entry[section]["plan_mb_s"]
+            if got < floor:
+                failures.append(
+                    f"{key}: {got:.0f} MB/s is below the baseline floor "
+                    f"{floor:.0f} MB/s (>2x regression)")
+    else:
+        failures.append(f"baseline file missing: {BASELINE_PATH}")
+    return failures
+
+
+# ---------------------------------------------------------------------------
+# entry point
+# ---------------------------------------------------------------------------
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="smaller corpus and fewer trials (CI smoke mode)")
+    ap.add_argument("--check", action="store_true",
+                    help="enforce speedup and baseline-floor gates")
+    ap.add_argument("--out", type=Path,
+                    default=REPO_ROOT / "BENCH_perf.json",
+                    help="where to write the JSON report")
+    args = ap.parse_args(argv)
+
+    k = 3 if args.quick else 5
+    target = (1 << 18) if args.quick else (1 << 20)
+    ddt_names = ["WRF_x_vec", "MILC"] if args.quick \
+        else ["WRF_x_vec", "WRF_y_vec", "MILC"]
+
+    clear_plan_cache()
+    report = {"schema": 1, "mode": "quick" if args.quick else "full",
+              "k": k, "target_bytes": target, "corpus": {}}
+    for entry in build_corpus(target):
+        stats = {"contiguous": entry.contiguous}
+        stats.update(bench_whole_message(entry, k))
+        stats.update(bench_windowed(entry, k))
+        report["corpus"][entry.name] = stats
+        w = stats["window_pack"]
+        print(f"{entry.name:24s} {stats['bytes']:>9d} B  "
+              f"window_pack {w['plan_mb_s']:8.0f} MB/s "
+              f"(ref {w['ref_mb_s']:8.0f}, {w['speedup']:5.2f}x)")
+
+    report["message_rate"] = bench_message_rate(k, iters=50 if args.quick
+                                                else 200)
+    print(f"{'derived pingpong':24s} "
+          f"{report['message_rate']['msgs_per_s']:8.0f} msgs/s")
+    report["ddtbench_roundtrip"] = bench_ddtbench(ddt_names, k)
+
+    failures = check_results(report) if args.check else []
+    report["checks"] = {"enforced": args.check, "failures": failures}
+
+    args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.out}")
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

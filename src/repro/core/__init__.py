@@ -18,8 +18,11 @@ from .signature import (format_signature, signature_bytes,
                         signature_compatible)
 from .derived import (contiguous, create_struct, dup, hindexed, hvector,
                       indexed, indexed_block, resized, subarray, vector)
-from .packing import (pack, pack_window, packed_size, required_span, unpack,
-                      unpack_window)
+from .packing import (pack, pack_reference, pack_window,
+                      pack_window_reference, packed_size, required_span,
+                      unpack, unpack_reference, unpack_window,
+                      unpack_window_reference)
+from .packplan import PackCursor, PackPlan, UnpackCursor
 from .regions import Region, region_lengths, total_region_bytes
 from .callbacks import (CallbackSet, OperationState, PackFn, QueryFn,
                         RegionCountFn, RegionFn, StateFn, StateFreeFn,
@@ -32,7 +35,8 @@ from .adapters import MPISerializable, datatype_for
 from .introspect import (equivalent, get_contents, get_envelope, marshal,
                          unmarshal)
 from .typecache import (cache_info, cached_datatype, clear_datatype_cache,
-                        datatype_of, register_datatype)
+                        clear_plan_cache, datatype_of, pack_plan,
+                        plan_cache_info, register_datatype)
 
 __all__ = [
     # predefined types
@@ -51,6 +55,11 @@ __all__ = [
     # pack engine
     "pack", "unpack", "pack_window", "unpack_window", "packed_size",
     "required_span",
+    # pre-plan reference engine (equivalence tests, benchmarks/perf)
+    "pack_reference", "unpack_reference", "pack_window_reference",
+    "unpack_window_reference",
+    # compiled pack plans
+    "PackPlan", "PackCursor", "UnpackCursor",
     # regions
     "Region", "region_lengths", "total_region_bytes",
     # custom API
@@ -69,4 +78,6 @@ __all__ = [
     # type cache
     "register_datatype", "datatype_of", "cached_datatype",
     "clear_datatype_cache", "cache_info",
+    # plan cache
+    "pack_plan", "plan_cache_info", "clear_plan_cache",
 ]

@@ -1,0 +1,430 @@
+"""Compiled pack plans and streaming pack/unpack cursors.
+
+The stand-in datatype engine used to re-derive its layout on every call:
+``pack()``/``unpack()`` recomputed ``Typemap.merged_blocks()`` plus the
+strided-2D view parameters per invocation, and the fragment-pipeline
+primitives re-packed boundary elements for every window.  TEMPI's core
+observation (PAPERS.md) is that compiling a datatype to a canonical
+representation *once* and reusing it is what makes non-contiguous transfers
+fast; this module is that compiler.
+
+* :class:`PackPlan` — everything layout-derived and count-independent,
+  compiled once per ``(typemap identity, count-class)`` and cached through
+  :func:`repro.core.typecache.pack_plan`: the merged block list, the
+  column-slice table of the strided 2-D walk, an optional fancy-gather
+  column index for block-rich types, and the contiguous fast-path decision.
+* :class:`PackCursor` / :class:`UnpackCursor` — per-request streaming state
+  for the GENERIC fragment pipeline.  A cursor packs (or scatters) each
+  element range exactly once into a pooled scratch buffer; successive
+  windows slice the retained scratch instead of re-packing the boundary
+  elements of every fragment.
+
+Plans change *wall-clock* execution only.  The bytes produced are identical
+to the retained reference implementation (asserted property-style by
+``tests/core/test_packplan.py``) and the virtual-time cost model charged by
+:mod:`repro.mpi.engine` is untouched.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import MPI_ERR_BUFFER, MPIError
+from .datatype import Datatype
+
+#: Count classes a plan may be compiled for.  ``COUNT_ONE`` plans execute a
+#: flat slice loop (no strided view setup); ``COUNT_MANY`` plans execute the
+#: vectorized strided-2D walk.
+COUNT_ONE = 1
+COUNT_MANY = 2
+
+#: Merged-block count at or above which the 2-D walk considers a single
+#: fancy-indexed gather/scatter instead of one strided copy per block.
+_GATHER_MIN_BLOCKS = 32
+#: Fancy indexing gathers byte-by-byte, so it only beats the per-block slice
+#: loop when the blocks are too small to amortize a memcpy each.
+_GATHER_MAX_BLOCK_LEN = 4
+#: Never materialize gather indices for elements larger than this (the index
+#: array costs 8 bytes per packed byte).
+_GATHER_MAX_SIZE = 1 << 16
+
+_NEGATIVE_DISPL_MSG = "negative displacements are not supported"
+
+#: PackCursor lookahead: each scratch materialization packs at least this
+#: many bytes ahead, so an 8 KiB fragment pipeline slices most windows out
+#: of scratch instead of paying per-fragment pack overhead.
+_CURSOR_BATCH_BYTES = 1 << 16
+
+
+def count_class(count: int) -> int:
+    """The plan count-class a pack of ``count`` elements executes under."""
+    return COUNT_ONE if count == 1 else COUNT_MANY
+
+
+class PackPlan:
+    """A typemap compiled to its executable packing form.
+
+    Instances are immutable and shareable across threads; compile through
+    :func:`repro.core.typecache.pack_plan`, which caches one plan per
+    ``(typemap identity, count-class)`` in an LRU.
+    """
+
+    __slots__ = ("size", "extent", "row_span", "true_ub", "contiguous",
+                 "negative_lb", "nblocks", "col_slices", "gather_cols",
+                 "count_cls")
+
+    def __init__(self, tm, count_cls: int = COUNT_MANY):
+        self.count_cls = count_cls
+        self.size = tm.size
+        self.extent = tm.extent
+        self.true_ub = tm.true_ub
+        self.row_span = max(tm.true_ub, tm.extent)
+        self.contiguous = tm.is_contiguous
+        self.negative_lb = tm.true_lb < 0
+        merged = tm.merged_blocks()
+        self.nblocks = len(merged)
+        # Column-slice table: (packed_lo, packed_hi, mem_lo, mem_hi) per
+        # merged block, both for the 2-D columns and the count==1 flat loop.
+        slices = []
+        pos = 0
+        for b in merged:
+            slices.append((pos, pos + b.length, b.offset, b.end))
+            pos += b.length
+        self.col_slices: tuple[tuple[int, int, int, int], ...] = tuple(slices)
+        # Fancy gather/scatter index: one numpy call instead of a per-block
+        # python loop.  Only safe when rows of the strided view are disjoint
+        # (row_span <= extent); overlapping elements must keep the reference
+        # per-block write order.
+        self.gather_cols: np.ndarray | None = None
+        if (count_cls == COUNT_MANY
+                and not self.contiguous
+                and self.nblocks >= _GATHER_MIN_BLOCKS
+                and self.size <= _GATHER_MAX_SIZE
+                and self.size <= self.nblocks * _GATHER_MAX_BLOCK_LEN
+                and self.row_span <= tm.extent):
+            self.gather_cols = np.concatenate(
+                [np.arange(b.offset, b.end, dtype=np.intp) for b in merged])
+
+    # -- execution ---------------------------------------------------------
+    # Callers (repro.core.packing) validate buffer sizes and handle count==0
+    # so the error messages stay byte-identical to the reference engine.
+
+    def _full_rows(self, nbytes: int, count: int) -> int:
+        """Rows coverable by the strided 2-D view (the last element may stop
+        at its true upper bound, short of a full extent)."""
+        if nbytes >= (count - 1) * self.extent + self.row_span:
+            return count
+        return count - 1
+
+    def pack_into(self, src: np.ndarray, count: int, out: np.ndarray) -> None:
+        """Pack ``count`` elements from ``src`` into the flat ``out``."""
+        size = self.size
+        if self.contiguous:
+            total = size * count
+            out[:total] = src[:total]
+            return
+        if self.negative_lb:
+            raise MPIError(MPI_ERR_BUFFER, _NEGATIVE_DISPL_MSG)
+        ext = self.extent
+        slices = self.col_slices
+        if count == 1:
+            for pos, pend, off, oend in slices:
+                out[pos:pend] = src[off:oend]
+            return
+        full_rows = self._full_rows(src.shape[0], count)
+        if full_rows:
+            rows = np.lib.stride_tricks.as_strided(
+                src, shape=(full_rows, self.row_span), strides=(ext, 1),
+                writeable=False)
+            out2d = out[: full_rows * size].reshape(full_rows, size)
+            if self.gather_cols is not None:
+                np.take(rows, self.gather_cols, axis=1, out=out2d)
+            else:
+                for pos, pend, off, oend in slices:
+                    out2d[:, pos:pend] = rows[:, off:oend]
+        for i in range(full_rows, count):
+            base = i * ext
+            p = i * size
+            for pos, pend, off, oend in slices:
+                out[p + pos:p + pend] = src[base + off:base + oend]
+
+    def unpack_into(self, dst: np.ndarray, count: int,
+                    packed: np.ndarray) -> None:
+        """Scatter the flat ``packed`` stream into ``count`` elements."""
+        size = self.size
+        if self.contiguous:
+            total = size * count
+            dst[:total] = packed[:total]
+            return
+        if self.negative_lb:
+            raise MPIError(MPI_ERR_BUFFER, _NEGATIVE_DISPL_MSG)
+        ext = self.extent
+        slices = self.col_slices
+        if count == 1:
+            for pos, pend, off, oend in slices:
+                dst[off:oend] = packed[pos:pend]
+            return
+        full_rows = self._full_rows(dst.shape[0], count)
+        if full_rows:
+            rows = np.lib.stride_tricks.as_strided(
+                dst, shape=(full_rows, self.row_span), strides=(ext, 1))
+            src2d = packed[: full_rows * size].reshape(full_rows, size)
+            if self.gather_cols is not None:
+                rows[:, self.gather_cols] = src2d
+            else:
+                for pos, pend, off, oend in slices:
+                    rows[:, off:oend] = src2d[:, pos:pend]
+        for i in range(full_rows, count):
+            base = i * ext
+            p = i * size
+            for pos, pend, off, oend in slices:
+                dst[base + off:base + oend] = packed[p + pos:p + pend]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "contig" if self.contiguous else f"{self.nblocks} blocks"
+        return (f"PackPlan({kind}, size={self.size}, extent={self.extent}, "
+                f"cls={self.count_cls})")
+
+
+# ---------------------------------------------------------------------------
+# streaming cursors (the GENERIC fragment pipeline)
+# ---------------------------------------------------------------------------
+
+def _scratch_alloc(pool, nbytes: int) -> np.ndarray:
+    if pool is None:
+        return np.empty(nbytes, dtype=np.uint8)
+    return pool.acquire(nbytes)
+
+
+def _scratch_free(pool, buf) -> None:
+    if pool is not None and buf is not None:
+        pool.release(buf)
+
+
+class PackCursor:
+    """Per-request pack state over the packed stream of one send.
+
+    ``window(offset, length)`` returns the packed bytes of the half-open
+    window — the :func:`repro.core.packing.pack_window` contract — but packs
+    every element at most once: the scratch holding the most recently packed
+    element range is retained, so the element straddling a fragment boundary
+    is served from scratch instead of being re-packed by the next fragment.
+
+    ``pool`` (optional) is any object with ``acquire(nbytes)``/``release``
+    — in the simulator the per-worker :class:`repro.ucp.memory.BufferPool`.
+    Use as a context manager (or call :meth:`close`) to return the scratch.
+    """
+
+    def __init__(self, dtype: Datatype, buf, count: int, pool=None):
+        from .packing import _as_u8  # local import: packing imports us
+        from .typecache import pack_plan
+        self.dtype = dtype
+        self.count = count
+        self.total = dtype.size * count
+        self._src = _as_u8(buf)
+        self._plan = pack_plan(dtype, count if count else 1)
+        self._pool = pool
+        self._scratch: np.ndarray | None = None
+        self._e0 = 0  # element range currently materialized in scratch
+        self._e1 = 0
+
+    # -- context management ------------------------------------------------
+
+    def __enter__(self) -> "PackCursor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        _scratch_free(self._pool, self._scratch)
+        self._scratch = None
+        self._e0 = self._e1 = 0
+
+    # -- the pipeline primitive -------------------------------------------
+
+    def window(self, offset: int, length: int) -> np.ndarray:
+        """Packed bytes of ``[offset, offset + length)``; a view, valid
+        until the next :meth:`window` call."""
+        size = self._plan.size
+        if offset < 0 or length < 0 or offset + length > self.total:
+            raise MPIError(
+                MPI_ERR_BUFFER,
+                f"pack window [{offset}, {offset + length}) outside "
+                f"[0, {self.total})")
+        if length == 0 or size == 0:
+            return np.empty(0, dtype=np.uint8)
+        if self._plan.contiguous:
+            return self._src[offset:offset + length]
+        first = offset // size
+        last = (offset + length - 1) // size
+        if not (self._e0 <= first and last < self._e1):
+            # Materialize with lookahead: pack whole batches so successive
+            # fragments slice scratch instead of packing per window.
+            batch = max(last + 1 - first, _CURSOR_BATCH_BYTES // size, 1)
+            self._materialize(first, min(self.count, first + batch))
+        lo = offset - self._e0 * size
+        return self._scratch[lo:lo + length]
+
+    def pack(self, offset: int, dst: np.ndarray) -> int:
+        """GenericData-style pack callback: fill ``dst``, return bytes
+        written (``pack(offset, dst) -> used``)."""
+        w = self.window(offset, min(int(dst.shape[0]),
+                                    self.total - offset))
+        dst[: w.shape[0]] = w
+        return int(w.shape[0])
+
+    def _materialize(self, e0: int, e1: int) -> None:
+        """Ensure scratch holds the packed bytes of elements ``[e0, e1)``,
+        re-using (not re-packing) any overlap with the current range."""
+        plan = self._plan
+        size = plan.size
+        ext = plan.extent
+        nbytes = (e1 - e0) * size
+        fresh = _scratch_alloc(self._pool, nbytes)
+        pack_from = e0
+        if (self._scratch is not None and self._e0 <= e0 < self._e1
+                and e1 > self._e1):
+            # Forward overlap (the boundary element of the previous
+            # fragment): copy its packed bytes instead of re-walking it.
+            keep = self._e1 - e0
+            fresh[: keep * size] = \
+                self._scratch[(e0 - self._e0) * size:
+                              (e0 - self._e0) * size + keep * size]
+            pack_from = self._e1
+        if pack_from < e1:
+            sub = self._src[pack_from * ext:]
+            plan.pack_into(sub, e1 - pack_from,
+                           fresh[(pack_from - e0) * size:])
+        _scratch_free(self._pool, self._scratch)
+        self._scratch = fresh
+        self._e0, self._e1 = e0, e1
+
+
+class UnpackCursor:
+    """Per-request unpack state over the packed stream of one receive.
+
+    Fragments written in increasing-offset order (the pipeline's guarantee)
+    accumulate in an element-aligned staging scratch and scatter in whole
+    batches — one plan execution per ~:data:`_CURSOR_BATCH_BYTES`, not one
+    per fragment — so boundary elements are never read-modify-written per
+    fragment.  Out-of-order writes fall back to the stateless
+    :func:`repro.core.packing.unpack_window`.
+
+    The cursor buffers: call :meth:`flush` (or :meth:`close`, or use as a
+    context manager) after the last fragment to scatter the tail.
+    """
+
+    def __init__(self, dtype: Datatype, buf, count: int, pool=None):
+        from .packing import _as_u8
+        from .typecache import pack_plan
+        self.dtype = dtype
+        self.count = count
+        self.total = dtype.size * count
+        self._buf = buf
+        self._dst = _as_u8(buf, writable=True)
+        self._plan = pack_plan(dtype, count if count else 1)
+        self._pool = pool
+        self._pos = 0  # next expected in-order stream offset
+        size = self._plan.size
+        self._cap = max(_CURSOR_BATCH_BYTES // size, 1) * size if size else 0
+        self._stage: np.ndarray | None = None
+        self._start = 0  # stream offset of _stage[0]; element-aligned
+        self._fill = 0
+
+    def __enter__(self) -> "UnpackCursor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        self.flush()
+        _scratch_free(self._pool, self._stage)
+        self._stage = None
+
+    def write(self, offset: int, frag) -> None:
+        """Deliver one packed fragment at ``offset`` (GenericData-style
+        unpack callback signature)."""
+        from .packing import unpack_window
+        data = np.asarray(frag, dtype=np.uint8)
+        length = int(data.shape[0])
+        size = self._plan.size
+        if offset < 0 or offset + length > self.total:
+            raise MPIError(
+                MPI_ERR_BUFFER,
+                f"unpack window [{offset}, {offset + length}) outside "
+                f"[0, {self.total})")
+        if length == 0 or size == 0:
+            return
+        if offset != self._pos or self._plan.negative_lb:
+            # Random access (out-of-order ablation): stateless fallback.
+            self.flush()
+            unpack_window(self.dtype, self._buf, self.count, offset, data)
+            self._pos = offset + length
+            return
+        if self._plan.contiguous:
+            self._dst[offset:offset + length] = data
+            self._pos += length
+            return
+        pos = 0
+        head = (-self._pos) % size
+        if head and self._fill == 0:
+            # Re-entering mid-element (after an out-of-order flush): finish
+            # the boundary element statelessly, then stage from the next.
+            take = min(head, length)
+            unpack_window(self.dtype, self._buf, self.count, self._pos,
+                          data[:take])
+            self._pos += take
+            pos = take
+        ext = self._plan.extent
+        while pos < length:
+            if self._fill == 0:
+                # Big in-order runs scatter straight from the fragment.
+                whole = (length - pos) // size
+                if whole * size >= self._cap:
+                    elem = self._pos // size
+                    self._plan.unpack_into(self._dst[elem * ext:], whole,
+                                           data[pos:pos + whole * size])
+                    pos += whole * size
+                    self._pos += whole * size
+                    continue
+                self._start = self._pos
+            if self._stage is None:
+                self._stage = _scratch_alloc(self._pool, self._cap)
+            take = min(length - pos, self._cap - self._fill)
+            self._stage[self._fill:self._fill + take] = data[pos:pos + take]
+            self._fill += take
+            self._pos += take
+            pos += take
+            if self._fill == self._cap:
+                self._drain()
+
+    def _drain(self) -> None:
+        """Scatter the staged whole elements; keep the partial tail."""
+        if not self._fill:
+            return
+        size = self._plan.size
+        whole = self._fill // size
+        if whole:
+            elem = self._start // size
+            self._plan.unpack_into(self._dst[elem * self._plan.extent:],
+                                   whole, self._stage[: whole * size])
+            rem = self._fill - whole * size
+            if rem:
+                self._stage[:rem] = \
+                    self._stage[whole * size: whole * size + rem]
+            self._start += whole * size
+            self._fill = rem
+
+    def flush(self) -> None:
+        """Scatter everything staged; a trailing partial element goes
+        through a read-modify-write that preserves the bytes outside it."""
+        self._drain()
+        if not self._fill:
+            return
+        from .packing import unpack_window
+        unpack_window(self.dtype, self._buf, self.count, self._start,
+                      self._stage[: self._fill])
+        self._start += self._fill
+        self._fill = 0

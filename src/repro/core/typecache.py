@@ -5,14 +5,24 @@ and caches it for later usage (Section II.D).  :func:`cached_datatype` gives
 Python classes the same ergonomics: decorate a zero-argument factory — or
 register one per class — and every call site shares a single committed
 datatype instance.
+
+The module also hosts the **pack-plan cache**: :func:`pack_plan` compiles a
+:class:`repro.core.packplan.PackPlan` at most once per ``(typemap identity,
+count-class)`` and serves it from an LRU.  Keys use ``id(typemap)`` — the
+typemap is immutable, so identity is a sound (and hash-free) cache key — and
+a ``weakref.finalize`` hook evicts entries when the typemap is collected, so
+a recycled ``id()`` can never alias a freed datatype's plan.
 """
 
 from __future__ import annotations
 
 import threading
+import weakref
+from collections import OrderedDict
 from typing import Any, Callable
 
 from .datatype import Datatype
+from .packplan import COUNT_MANY, COUNT_ONE, PackPlan, count_class
 
 _lock = threading.Lock()
 _cache: dict[Any, Datatype] = {}
@@ -74,3 +84,77 @@ def cache_info() -> dict[str, int]:
     """(registered, instantiated) counts — for tests and debugging."""
     with _lock:
         return {"registered": len(_factories), "instantiated": len(_cache)}
+
+
+# ---------------------------------------------------------------------------
+# pack-plan LRU
+# ---------------------------------------------------------------------------
+
+#: Upper bound on cached plans; 2 count-classes x 128 live datatypes covers
+#: every benchmark and any plausible application working set.
+PLAN_CACHE_MAXSIZE = 256
+
+_plan_lock = threading.Lock()
+_plans: OrderedDict[tuple[int, int], PackPlan] = OrderedDict()
+_plan_finalizers: dict[int, weakref.finalize] = {}
+_plan_stats = {"hits": 0, "misses": 0, "evictions": 0}
+
+
+def _evict_typemap_plans(tm_id: int) -> None:
+    """weakref.finalize hook: drop every plan of a collected typemap.
+
+    CPython runs finalizers before the object's memory is released, so this
+    always fires before ``id(tm)`` can be reused by a new typemap.
+    """
+    with _plan_lock:
+        _plan_finalizers.pop(tm_id, None)
+        for cls in (COUNT_ONE, COUNT_MANY):
+            if _plans.pop((tm_id, cls), None) is not None:
+                _plan_stats["evictions"] += 1
+
+
+def pack_plan(dtype: Datatype, count: int) -> PackPlan:
+    """The compiled plan for packing ``count`` elements of ``dtype``.
+
+    Compiled on first use per ``(typemap identity, count-class)`` and cached
+    in an LRU of :data:`PLAN_CACHE_MAXSIZE` entries.
+    """
+    tm = dtype.typemap
+    key = (id(tm), count_class(count))
+    with _plan_lock:
+        plan = _plans.get(key)
+        if plan is not None:
+            _plans.move_to_end(key)
+            _plan_stats["hits"] += 1
+            return plan
+        _plan_stats["misses"] += 1
+    # Compile outside the lock (pure function of the immutable typemap; a
+    # concurrent duplicate compile is harmless).
+    plan = PackPlan(tm, key[1])
+    with _plan_lock:
+        _plans[key] = plan
+        _plans.move_to_end(key)
+        if key[0] not in _plan_finalizers:
+            _plan_finalizers[key[0]] = weakref.finalize(
+                tm, _evict_typemap_plans, key[0])
+        while len(_plans) > PLAN_CACHE_MAXSIZE:
+            _plans.popitem(last=False)
+            _plan_stats["evictions"] += 1
+    return plan
+
+
+def plan_cache_info() -> dict[str, int]:
+    """Plan-cache statistics: size, hits, misses, evictions."""
+    with _plan_lock:
+        return {"size": len(_plans), **_plan_stats}
+
+
+def clear_plan_cache() -> None:
+    """Drop every cached plan and reset the statistics."""
+    with _plan_lock:
+        _plans.clear()
+        for fin in _plan_finalizers.values():
+            fin.detach()
+        _plan_finalizers.clear()
+        for k in _plan_stats:
+            _plan_stats[k] = 0

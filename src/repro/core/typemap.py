@@ -77,11 +77,18 @@ class Typemap:
         Rust ``#[repr(C)]`` types have it).
     """
 
-    __slots__ = ("blocks", "lb", "extent")
+    __slots__ = ("blocks", "lb", "extent", "_merged", "_signature",
+                 "__weakref__")
 
     def __init__(self, blocks: Iterable[Block], lb: int | None = None,
                  extent: int | None = None):
         self.blocks: tuple[Block, ...] = tuple(blocks)
+        #: Lazily memoized merged_blocks()/signature() results.  A typemap is
+        #: immutable after construction, so both are computed at most once
+        #: per instance (they used to be recomputed on every pack and every
+        #: sanitizer envelope stamp).
+        self._merged: tuple[Block, ...] | None = None
+        self._signature: tuple[tuple[str, int], ...] | None = None
         if not self.blocks and (lb is None or extent is None):
             raise ValueError("empty typemap requires explicit lb and extent")
         nat_lb = min((b.offset for b in self.blocks), default=0)
@@ -139,7 +146,21 @@ class Typemap:
         return not self.is_contiguous
 
     def merged_blocks(self) -> tuple[Block, ...]:
-        """Coalesce blocks that are adjacent both in pack order and memory."""
+        """Coalesce blocks that are adjacent both in pack order and memory.
+
+        Memoized on the instance (the structure is immutable); use
+        :meth:`compute_merged_blocks` to force the uncached walk.
+        """
+        if self._merged is None:
+            self._merged = self.compute_merged_blocks()
+        return self._merged
+
+    def compute_merged_blocks(self) -> tuple[Block, ...]:
+        """The uncached merge walk (one pass over ``blocks``).
+
+        Kept public so the retained reference pack implementation (see
+        :mod:`repro.core.packing`) can reproduce pre-plan per-call costs.
+        """
         merged: list[Block] = []
         for b in self.blocks:
             if merged and merged[-1].end == b.offset:
@@ -158,8 +179,10 @@ class Typemap:
         The signature is the pack-order sequence of predefined scalars with
         displacements erased (MPI's definition); adjacent runs of the same
         scalar are coalesced.  Blocks without a scalar code count as raw
-        bytes (``"u1"``).
+        bytes (``"u1"``).  Memoized on the instance.
         """
+        if self._signature is not None:
+            return self._signature
         runs: list[list] = []
         for b in self.blocks:
             if b.scalar:
@@ -170,7 +193,8 @@ class Typemap:
                 runs[-1][1] += n
             else:
                 runs.append([code, n])
-        return tuple((c, n) for c, n in runs)
+        self._signature = tuple((c, n) for c, n in runs)
+        return self._signature
 
     # -- algebra ----------------------------------------------------------
 

@@ -415,14 +415,14 @@ class MessageHandle:
         # Derived path: receive packed, then unpack.
         nbytes = packed_size(datatype, count)
         worker = self._comm.worker
-        temp = worker.memory.allocate(nbytes, worker.clock, worker.model)
+        temp = worker.memory.acquire(nbytes, worker.clock, worker.model)
         info = worker.msg_recv(self._msg, ContigData(temp, nbytes, writable=True))
         from ..core.packing import unpack
         nelem = info.nbytes // datatype.size if datatype.size else 0
         unpack(datatype, buf, nelem, temp[: info.nbytes])
         nblocks = nelem * len(datatype.typemap.merged_blocks())
         worker.clock.advance(worker.model.typemap_pack_time(nblocks, info.nbytes))
-        worker.memory.release(temp)
+        worker.memory.recycle(temp)
         return self._comm._localize(Status.from_recv_info(info))
 
 

@@ -102,7 +102,7 @@ class TransferEngine:
         """Pack through the typemap engine, then send contiguous."""
         nbytes = packed_size(dtype, count)
         clock = self.worker.clock
-        temp = self.worker.memory.allocate(nbytes, clock, self.model)
+        temp = self.worker.memory.acquire(nbytes, clock, self.model)
         pack(dtype, buf, count, out=temp)
         nblocks = count * len(dtype.typemap.merged_blocks())
         clock.advance(self.model.typemap_pack_time(nblocks, nbytes))
@@ -111,6 +111,10 @@ class TransferEngine:
         req = ep.tag_send(tag64, ContigData(temp, nbytes), force_rndv=sync,
                           signature=sig)
         self.worker.memory.release(temp)  # transport copied or owns the ref
+        if not req.msg.rndv:
+            # Eager staging copied the bytes; the bounce buffer is free now.
+            # Rendezvous keeps a live view — delivery returns it instead.
+            self.worker.memory.pool.release(temp)
         return Request(req)
 
     def _send_custom(self, ep, tag64: int, buf, count: int,
@@ -173,7 +177,7 @@ class TransferEngine:
                       dtype: Datatype, peers=None) -> Request:
         nbytes = packed_size(dtype, count)
         clock = self.worker.clock
-        temp = self.worker.memory.allocate(nbytes, clock, self.model)
+        temp = self.worker.memory.acquire(nbytes, clock, self.model)
         desc = ContigData(temp, nbytes, writable=True)
         if self.worker.sanitizer is not None:
             desc.expected_signature = dtype.signature(count)
@@ -190,7 +194,7 @@ class TransferEngine:
             unpack(dtype, buf, nelem, temp[:got])
             nblocks = nelem * len(dtype.typemap.merged_blocks())
             clock.advance(self.model.typemap_pack_time(nblocks, got))
-            self.worker.memory.release(temp)
+            self.worker.memory.recycle(temp)
             return Status.from_recv_info(info)
 
         return Request(treq, on_complete=on_complete)

@@ -224,6 +224,20 @@ class Worker:
         """Receive a message previously removed by an mprobe."""
         return self.deliver(msg, data)
 
+    def _release_chunks(self, msg: WireMessage) -> None:
+        """Return a delivered message's staging chunks to the sender's pool.
+
+        Only eager staging and pooled bounce buffers actually come back —
+        rendezvous chunks that are live views of the sender's user buffers
+        are not pool-owned and the release is a no-op for them.  Callback
+        descriptors (GENERIC, handler) may retain chunk references, so only
+        the CONTIG/IOV copy paths release.
+        """
+        pool = self.fabric.worker(msg.header.source).memory.pool
+        for chunk in msg.chunks:
+            pool.release(chunk)
+        msg.chunks = []
+
     # -- delivery (receiver thread only) ------------------------------------
 
     def deliver(self, msg: WireMessage, data) -> RecvInfo:
@@ -259,6 +273,7 @@ class Worker:
                 n = chunk.shape[0]
                 view[pos:pos + n] = chunk
                 pos += n
+            self._release_chunks(msg)
         elif isinstance(data, IovData):
             entries = data.entries()
             if len(msg.chunks) != len(entries):
@@ -271,6 +286,7 @@ class Worker:
                         f"iov entry of {chunk.shape[0]} bytes into a "
                         f"{entry.shape[0]}-byte entry")
                 entry[: chunk.shape[0]] = chunk
+            self._release_chunks(msg)
         elif isinstance(data, GenericData):
             if data.unpack is None:
                 raise TransportError("GenericData has no unpack callback (send-only)")
@@ -322,7 +338,8 @@ class Endpoint:
         worker = self.src
         model = worker.fabric.pair_model(worker.index, self.dst.index)
         if isinstance(data, GenericData):
-            frags = data.pack_entries(worker.config.frag_size)
+            frags = data.pack_entries(worker.config.frag_size,
+                                      pool=worker.memory.pool)
             plan = plan_send(data, model, frag_count=len(frags))
             entries = frags
             packed_entries = len(frags)
@@ -332,7 +349,16 @@ class Endpoint:
             packed_entries = getattr(data, "packed_entries", 0)
 
         worker.clock.advance(plan.sender_cost)
-        chunks = copy_chunks(entries) if plan.eager_copy else entries
+        pool = worker.memory.pool
+        if plan.eager_copy:
+            chunks = copy_chunks(entries, pool=pool)
+            if isinstance(data, GenericData):
+                # Pipeline fragments are transient scratch; once staged on
+                # the wire they go straight back to the pool.
+                for frag in entries:
+                    pool.release(frag)
+        else:
+            chunks = entries
         header = WireHeader(
             tag=tag, source=worker.index,
             total_bytes=sum(c.shape[0] for c in entries),

@@ -112,14 +112,20 @@ class GenericData:
     def total_bytes(self) -> int:
         return self._total
 
-    def pack_entries(self, frag_size: int) -> list[np.ndarray]:
-        """Run the pack pipeline; returns the fragment list."""
+    def pack_entries(self, frag_size: int, pool=None) -> list[np.ndarray]:
+        """Run the pack pipeline; returns the fragment list.
+
+        With ``pool`` the fragment scratch is pool-acquired; the caller owns
+        the fragments and returns them once they are staged on the wire.
+        """
         if self.pack is None:
             raise TransportError("GenericData has no pack callback (recv-only)")
         frags: list[np.ndarray] = []
         offset = 0
         while offset < self._total:
-            dst = np.empty(min(frag_size, self._total - offset), dtype=np.uint8)
+            nbytes = min(frag_size, self._total - offset)
+            dst = (np.empty(nbytes, dtype=np.uint8) if pool is None
+                   else pool.acquire(nbytes))
             used = self.pack(offset, dst)
             if not isinstance(used, int) or used <= 0 or used > dst.shape[0]:
                 raise TransportError(f"generic pack returned invalid used={used!r}")

@@ -1,4 +1,4 @@
-"""Allocation accounting for the simulated node.
+"""Allocation accounting and buffer pooling for the simulated node.
 
 The paper repeatedly points at *memory* costs, not just wire costs: full
 serialization "can potentially double memory usage", and receive-side
@@ -7,6 +7,14 @@ allocations are why no pickle strategy reaches the roofline in Figs. 8-9.
 serialization strategy makes, both to charge virtual time for it and to let
 tests assert the memory-amplification properties the paper claims (e.g. the
 basic-pickle path allocates ~2x the payload, the out-of-band path does not).
+
+:class:`BufferPool` recycles those transient buffers (packed bounce buffers,
+fragment scratch, eager wire staging) through size-classed free lists so the
+hot send/receive path stops hitting the allocator.  Pooling is a *wall-clock*
+optimization only: :meth:`MemoryTracker.acquire` charges exactly the same
+accounting and virtual time as :meth:`MemoryTracker.allocate`, so every
+figure and every memory assertion is unchanged whether a buffer came from
+the pool or the allocator.
 """
 
 from __future__ import annotations
@@ -18,6 +26,117 @@ import numpy as np
 from .netsim import CostModel, VirtualClock
 
 
+class BufferPool:
+    """Size-classed free lists of uint8 scratch buffers.
+
+    ``acquire(n)`` returns a length-``n`` view of a power-of-two backing
+    array, reusing a pooled one when available; ``release(buf)`` returns the
+    backing array (resolved through the numpy ``base`` chain, so any view of
+    a pooled buffer can be released).  Buffers come back **dirty** — every
+    pool user overwrites before reading.
+
+    The pool is intentionally forgiving at the release boundary, because the
+    transport returns whatever chunks a message carried: releasing a buffer
+    the pool does not own (a user buffer riding a rendezvous send) or
+    releasing twice (the engine and the delivery path both letting go of a
+    bounce buffer) is a silent no-op, guarded by the outstanding set.
+
+    Thread contract: ``acquire`` is called only by the owning rank's thread;
+    ``release`` may be called from any rank's thread (delivery returns eager
+    staging to the *sender's* pool), hence the lock.
+    """
+
+    #: Smallest class; sub-64-byte requests share one class.
+    MIN_CLASS = 64
+
+    def __init__(self, max_per_class: int = 8,
+                 max_pooled_class: int = 1 << 24):
+        self._lock = threading.Lock()
+        self._free: dict[int, list[np.ndarray]] = {}
+        #: Backing arrays currently handed out, keyed by id().  The strong
+        #: reference keeps the id stable until release; anything never
+        #: released lives exactly as long as it would have unpooled.
+        self._out: dict[int, np.ndarray] = {}
+        self.max_per_class = max_per_class
+        #: Classes above this are never cached (release drops them).
+        self.max_pooled_class = max_pooled_class
+        self.hits = 0
+        self.misses = 0
+        self.returned = 0
+        self.dropped = 0
+
+    @classmethod
+    def class_size(cls, nbytes: int) -> int:
+        """The power-of-two size class serving an ``nbytes`` request."""
+        return max(cls.MIN_CLASS, 1 << (nbytes - 1).bit_length()) \
+            if nbytes > 1 else cls.MIN_CLASS
+
+    def acquire(self, nbytes: int) -> np.ndarray:
+        """A uint8 buffer of exactly ``nbytes`` (a view of a pooled class)."""
+        if nbytes < 0:
+            raise ValueError(f"negative acquire: {nbytes}")
+        if nbytes == 0:
+            return np.empty(0, dtype=np.uint8)
+        size = self.class_size(nbytes)
+        with self._lock:
+            free = self._free.get(size)
+            if free:
+                root = free.pop()
+                self.hits += 1
+            else:
+                root = None
+                self.misses += 1
+        if root is None:
+            root = np.empty(size, dtype=np.uint8)
+        with self._lock:
+            self._out[id(root)] = root
+        return root[:nbytes]
+
+    def release(self, buf) -> bool:
+        """Return ``buf``'s backing array to the pool.
+
+        Returns False (and does nothing) for buffers the pool does not
+        currently own — foreign arrays and double releases.
+        """
+        root = buf
+        while isinstance(root, np.ndarray) and isinstance(root.base,
+                                                          np.ndarray):
+            root = root.base
+        if not isinstance(root, np.ndarray):
+            return False
+        with self._lock:
+            owned = self._out.pop(id(root), None)
+            if owned is None:
+                return False
+            self.returned += 1
+            size = owned.shape[0]
+            if size <= self.max_pooled_class:
+                free = self._free.setdefault(size, [])
+                if len(free) < self.max_per_class:
+                    free.append(owned)
+                    return True
+            self.dropped += 1
+            return True
+
+    def snapshot(self) -> dict[str, int]:
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses,
+                    "returned": self.returned, "dropped": self.dropped,
+                    "outstanding": len(self._out),
+                    "pooled_buffers": sum(len(v) for v in
+                                          self._free.values()),
+                    "pooled_bytes": sum(k * len(v) for k, v in
+                                        self._free.items())}
+
+    def clear(self) -> None:
+        """Drop the free lists and reset the statistics."""
+        with self._lock:
+            self._free.clear()
+            self._out.clear()
+            self.hits = self.misses = 0
+            self.returned = self.dropped = 0
+
+
 class MemoryTracker:
     """Counts live and cumulative transient bytes per rank."""
 
@@ -27,20 +146,40 @@ class MemoryTracker:
         self.peak_bytes = 0
         self.total_allocated = 0
         self.allocation_count = 0
+        self.pool = BufferPool()
+
+    def _account(self, nbytes: int) -> None:
+        with self._lock:
+            self.live_bytes += nbytes
+            self.peak_bytes = max(self.peak_bytes, self.live_bytes)
+            self.total_allocated += nbytes
+            self.allocation_count += 1
 
     def allocate(self, nbytes: int, clock: VirtualClock | None = None,
                  model: CostModel | None = None) -> np.ndarray:
         """Allocate a fresh uint8 buffer, charging first-touch cost."""
         if nbytes < 0:
             raise ValueError(f"negative allocation: {nbytes}")
-        with self._lock:
-            self.live_bytes += nbytes
-            self.peak_bytes = max(self.peak_bytes, self.live_bytes)
-            self.total_allocated += nbytes
-            self.allocation_count += 1
+        self._account(nbytes)
         if clock is not None and model is not None:
             clock.advance(model.alloc_time(nbytes))
         return np.zeros(nbytes, dtype=np.uint8)
+
+    def acquire(self, nbytes: int, clock: VirtualClock | None = None,
+                model: CostModel | None = None) -> np.ndarray:
+        """Pool-backed :meth:`allocate`.
+
+        Identical accounting and virtual-time charge — an acquired buffer is
+        indistinguishable from an allocated one to the cost model and to
+        every memory assertion — but the bytes come from :attr:`pool` when
+        it has a fit (and come back dirty, not zeroed; callers overwrite).
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative allocation: {nbytes}")
+        self._account(nbytes)
+        if clock is not None and model is not None:
+            clock.advance(model.alloc_time(nbytes))
+        return self.pool.acquire(nbytes)
 
     def release(self, buf_or_nbytes) -> None:
         """Return bytes to the tracker (buffers are garbage-collected)."""
@@ -49,12 +188,19 @@ class MemoryTracker:
         with self._lock:
             self.live_bytes = max(0, self.live_bytes - nbytes)
 
-    def snapshot(self) -> dict[str, int]:
+    def recycle(self, buf) -> None:
+        """Release ``buf`` from the accounting *and* return it to the pool."""
+        self.release(buf)
+        self.pool.release(buf)
+
+    def snapshot(self) -> dict:
         with self._lock:
-            return {"live_bytes": self.live_bytes,
+            snap = {"live_bytes": self.live_bytes,
                     "peak_bytes": self.peak_bytes,
                     "total_allocated": self.total_allocated,
                     "allocation_count": self.allocation_count}
+        snap["pool"] = self.pool.snapshot()
+        return snap
 
     def reset(self) -> None:
         with self._lock:
@@ -62,3 +208,4 @@ class MemoryTracker:
             self.peak_bytes = 0
             self.total_allocated = 0
             self.allocation_count = 0
+        self.pool.clear()

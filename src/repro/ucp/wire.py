@@ -107,6 +107,20 @@ class WireMessage:
         self.completed.set()
 
 
-def copy_chunks(buffers: Sequence[np.ndarray]) -> list[np.ndarray]:
-    """Eager-copy a list of buffer views into private chunks."""
-    return [np.array(b, dtype=np.uint8, copy=True) for b in buffers]
+def copy_chunks(buffers: Sequence[np.ndarray],
+                pool=None) -> list[np.ndarray]:
+    """Eager-copy a list of buffer views into private chunks.
+
+    With ``pool`` (a :class:`repro.ucp.memory.BufferPool`) the staging chunks
+    are pool-acquired instead of freshly allocated; the delivery path returns
+    them to the sender's pool once the payload has been scattered.
+    """
+    if pool is None:
+        return [np.array(b, dtype=np.uint8, copy=True) for b in buffers]
+    out = []
+    for b in buffers:
+        src = np.asarray(b, dtype=np.uint8).reshape(-1)
+        chunk = pool.acquire(src.shape[0])
+        chunk[:] = src
+        out.append(chunk)
+    return out

@@ -1,0 +1,326 @@
+"""Pack-plan engine tests: equivalence with the reference engine, cursor
+pipelines, and plan-cache behaviour."""
+
+import gc
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (FLOAT64, INT32, PackCursor, UnpackCursor,
+                        clear_plan_cache, create_struct, pack, pack_plan,
+                        pack_reference, pack_window, pack_window_reference,
+                        packed_size, plan_cache_info, required_span, resized,
+                        unpack, unpack_reference, unpack_window,
+                        unpack_window_reference, vector)
+from repro.ddtbench.registry import make_workload
+from repro.errors import MPIError
+from repro.types import make_struct_simple, struct_simple_datatype
+
+
+def corpus():
+    """(name, dtype, src, count) tuples spanning the layouts we ship."""
+    entries = []
+    t = struct_simple_datatype()
+    entries.append(("struct-simple", t, make_struct_simple(64), 64))
+    v = vector(16, 1, 2, FLOAT64)
+    rng = np.random.default_rng(3)
+    entries.append(("vector-f64", v,
+                    rng.integers(0, 256, required_span(v, 32),
+                                 dtype=np.uint8), 32))
+    for name in ("WRF_x_vec", "WRF_y_vec", "MILC", "NAS_MG_x"):
+        w = make_workload(name)
+        entries.append((f"ddtbench-{name}", w.derived_datatype(),
+                        w.make_send_buffer(), 1))
+    return entries
+
+
+def short_final_t():
+    """extent 16 but true_ub 4: the buffer may stop 12 bytes short."""
+    return resized(create_struct([1], [0], [INT32]), 0, 16)
+
+
+class TestPlanEquivalence:
+    @pytest.mark.parametrize("name,t,src,count",
+                             corpus(), ids=[e[0] for e in corpus()])
+    def test_pack_matches_reference(self, name, t, src, count):
+        assert bytes(pack(t, src, count)) == \
+            bytes(pack_reference(t, src, count))
+
+    @pytest.mark.parametrize("name,t,src,count",
+                             corpus(), ids=[e[0] for e in corpus()])
+    def test_unpack_matches_reference(self, name, t, src, count):
+        packed = pack(t, src, count)
+        span = required_span(t, count)
+        a = np.full(span, 0xA5, dtype=np.uint8)
+        b = np.full(span, 0xA5, dtype=np.uint8)
+        unpack(t, a, count, packed)
+        unpack_reference(t, b, count, packed)
+        assert bytes(a) == bytes(b)
+
+    @pytest.mark.parametrize("name,t,src,count",
+                             corpus(), ids=[e[0] for e in corpus()])
+    def test_unaligned_windows_match_reference(self, name, t, src, count):
+        total = packed_size(t, count)
+        # Deliberately element-misaligned offsets and lengths.
+        for off, ln in [(0, min(7, total)), (3, min(11, total - 3)),
+                        (total // 2 - 1, min(13, total - total // 2 + 1)),
+                        (max(0, total - 5), min(5, total))]:
+            w = pack_window(t, src, count, off, ln)
+            r = pack_window_reference(t, src, count, off, ln)
+            assert bytes(w) == bytes(r), (off, ln)
+
+    def test_count_zero(self):
+        t = struct_simple_datatype()
+        empty = np.zeros(0, dtype=np.uint8)
+        assert pack(t, empty, 0).shape == (0,)
+        assert bytes(pack(t, empty, 0)) == bytes(pack_reference(t, empty, 0))
+        unpack(t, empty, 0, np.zeros(0, dtype=np.uint8))  # must not raise
+
+    def test_short_final_element(self):
+        """A buffer ending at the last element's true_ub (< extent)."""
+        t = short_final_t()
+        count = 5
+        span = required_span(t, count)
+        assert span == 4 * 16 + 4
+        rng = np.random.default_rng(9)
+        src = rng.integers(0, 256, span, dtype=np.uint8)
+        p = pack(t, src, count)
+        assert bytes(p) == bytes(pack_reference(t, src, count))
+        out = np.zeros(span, dtype=np.uint8)
+        unpack(t, out, count, p)
+        ref = np.zeros(span, dtype=np.uint8)
+        unpack_reference(t, ref, count, p)
+        assert bytes(out) == bytes(ref)
+
+    def test_error_messages_match_reference(self):
+        t = struct_simple_datatype()
+        src = make_struct_simple(4)
+        with pytest.raises(MPIError) as plan_err:
+            pack(t, src, 4, out=np.zeros(1, dtype=np.uint8))
+        with pytest.raises(MPIError) as ref_err:
+            pack_reference(t, src, 4, out=np.zeros(1, dtype=np.uint8))
+        assert str(plan_err.value) == str(ref_err.value)
+
+
+class TestCursors:
+    @pytest.mark.parametrize("frag", [1, 7, 64, 8192])
+    def test_pack_cursor_tiles_full_pack(self, frag):
+        t = struct_simple_datatype()
+        src = make_struct_simple(100)
+        full = pack(t, src, 100)
+        total = full.shape[0]
+        with PackCursor(t, src, 100) as cur:
+            off = 0
+            while off < total:
+                ln = min(frag, total - off)
+                assert bytes(cur.window(off, ln)) == \
+                    bytes(full[off:off + ln]), off
+                off += ln
+
+    def test_pack_cursor_random_fragments(self):
+        t = struct_simple_datatype()
+        src = make_struct_simple(200)
+        full = pack(t, src, 200)
+        total = full.shape[0]
+        rng = np.random.default_rng(11)
+        with PackCursor(t, src, 200) as cur:
+            off = 0
+            while off < total:
+                ln = min(int(rng.integers(1, 9000)), total - off)
+                assert bytes(cur.window(off, ln)) == bytes(full[off:off + ln])
+                off += ln
+
+    @pytest.mark.parametrize("frag", [1, 7, 64, 8192])
+    def test_unpack_cursor_in_order(self, frag):
+        t = struct_simple_datatype()
+        src = make_struct_simple(100)
+        full = pack(t, src, 100)
+        total = full.shape[0]
+        dst = np.zeros(required_span(t, 100), dtype=np.uint8)
+        with UnpackCursor(t, dst, 100) as cur:
+            off = 0
+            while off < total:
+                ln = min(frag, total - off)
+                cur.write(off, full[off:off + ln])
+                off += ln
+        assert bytes(pack(t, dst, 100)) == bytes(full)
+
+    def test_unpack_cursor_out_of_order(self):
+        """Shuffled fragments fall back to the stateless path but must
+        still reassemble correctly."""
+        t = struct_simple_datatype()
+        src = make_struct_simple(100)
+        full = pack(t, src, 100)
+        total = full.shape[0]
+        rng = np.random.default_rng(13)
+        frags = []
+        off = 0
+        while off < total:
+            ln = min(int(rng.integers(1, 1500)), total - off)
+            frags.append((off, full[off:off + ln]))
+            off += ln
+        rng.shuffle(frags)
+        dst = np.zeros(required_span(t, 100), dtype=np.uint8)
+        with UnpackCursor(t, dst, 100) as cur:
+            for off, data in frags:
+                cur.write(off, data)
+        assert bytes(pack(t, dst, 100)) == bytes(full)
+
+    def test_cursors_on_ddtbench_count_one(self):
+        """count=1 workloads exercise the intra-element windowed paths."""
+        w = make_workload("MILC")
+        t = w.derived_datatype()
+        src = w.make_send_buffer()
+        full = pack(t, src, 1)
+        total = full.shape[0]
+        with PackCursor(t, src, 1) as cur:
+            off = 0
+            while off < total:
+                ln = min(8192, total - off)
+                assert bytes(cur.window(off, ln)) == bytes(full[off:off + ln])
+                off += ln
+        dst = np.zeros(required_span(t, 1), dtype=np.uint8)
+        with UnpackCursor(t, dst, 1) as cur:
+            off = 0
+            while off < total:
+                ln = min(8192, total - off)
+                cur.write(off, full[off:off + ln])
+                off += ln
+        assert bytes(pack(t, dst, 1)) == bytes(full)
+
+    def test_pack_cursor_window_out_of_range(self):
+        t = struct_simple_datatype()
+        src = make_struct_simple(4)
+        with PackCursor(t, src, 4) as cur:
+            with pytest.raises(MPIError):
+                cur.window(79, 5)
+
+
+# -- property-based ----------------------------------------------------------
+
+@st.composite
+def random_struct(draw):
+    nfields = draw(st.integers(1, 5))
+    fields = []
+    offset = 0
+    for _ in range(nfields):
+        offset += draw(st.integers(0, 8))
+        ftype = draw(st.sampled_from([INT32, FLOAT64]))
+        blen = draw(st.integers(1, 4))
+        fields.append((blen, offset, ftype))
+        offset += blen * ftype.size
+    extent = offset + draw(st.integers(0, 8))
+    t = create_struct([f[0] for f in fields], [f[1] for f in fields],
+                      [f[2] for f in fields])
+    return resized(t, 0, extent)
+
+
+class TestPlanProperties:
+    @given(random_struct(), st.integers(0, 24))
+    def test_pack_equals_reference(self, t, count):
+        rng = np.random.default_rng(0)
+        src = rng.integers(0, 256, max(t.extent * count, 1), dtype=np.uint8)
+        assert bytes(pack(t, src, count)) == \
+            bytes(pack_reference(t, src, count))
+
+    @given(random_struct(), st.integers(1, 16), st.integers(1, 97))
+    def test_cursor_windows_tile_reference_pack(self, t, count, step):
+        rng = np.random.default_rng(1)
+        src = rng.integers(0, 256, t.extent * count, dtype=np.uint8)
+        full = pack_reference(t, src, count)
+        total = full.shape[0]
+        with PackCursor(t, src, count) as cur:
+            off = 0
+            while off < total:
+                ln = min(step, total - off)
+                assert bytes(cur.window(off, ln)) == bytes(full[off:off + ln])
+                off += ln
+
+    @settings(deadline=None)
+    @given(random_struct(), st.integers(1, 16), st.integers(1, 97))
+    def test_unpack_cursor_matches_reference_windows(self, t, count, step):
+        rng = np.random.default_rng(2)
+        src = rng.integers(0, 256, t.extent * count, dtype=np.uint8)
+        full = pack_reference(t, src, count)
+        total = full.shape[0]
+        a = np.full(t.extent * count, 0xEE, dtype=np.uint8)
+        b = np.full(t.extent * count, 0xEE, dtype=np.uint8)
+        with UnpackCursor(t, a, count) as cur:
+            off = 0
+            while off < total:
+                ln = min(step, total - off)
+                cur.write(off, full[off:off + ln])
+                off += ln
+        off = 0
+        while off < total:
+            ln = min(step, total - off)
+            unpack_window_reference(t, b, count, off, full[off:off + ln])
+            off += ln
+        assert bytes(a) == bytes(b)
+
+
+# -- plan cache --------------------------------------------------------------
+
+class TestPlanCache:
+    def setup_method(self):
+        clear_plan_cache()
+
+    def teardown_method(self):
+        clear_plan_cache()
+
+    def test_hit_on_repeated_pack(self):
+        t = struct_simple_datatype()
+        src = make_struct_simple(8)
+        pack(t, src, 8)
+        info = plan_cache_info()
+        assert info["misses"] >= 1
+        hits_before = info["hits"]
+        pack(t, src, 8)
+        assert plan_cache_info()["hits"] > hits_before
+
+    def test_count_classes_are_distinct_plans(self):
+        t = struct_simple_datatype()
+        p1 = pack_plan(t, 1)
+        pn = pack_plan(t, 8)
+        assert p1 is not pn
+        assert pack_plan(t, 1) is p1
+        assert pack_plan(t, 200) is pn
+
+    def test_eviction_on_datatype_collection(self):
+        """Freeing a datatype must drop its plans — no stale aliasing if a
+        later typemap reuses the same id()."""
+        t = resized(create_struct([3, 1], [0, 16], [INT32, FLOAT64]), 0, 24)
+        pack_plan(t, 4)
+        assert plan_cache_info()["size"] == 1
+        evictions_before = plan_cache_info()["evictions"]
+        del t
+        gc.collect()
+        info = plan_cache_info()
+        assert info["size"] == 0
+        assert info["evictions"] == evictions_before + 1
+
+    def test_fresh_datatype_gets_fresh_plan(self):
+        def make():
+            return resized(create_struct([3, 1], [0, 16],
+                                         [INT32, FLOAT64]), 0, 24)
+
+        t1 = make()
+        plan1 = pack_plan(t1, 4)
+        del t1
+        gc.collect()
+        t2 = make()
+        plan2 = pack_plan(t2, 4)
+        assert plan2 is not plan1
+
+    def test_lru_bound(self):
+        from repro.core import typecache
+        keep = []
+        for _ in range(typecache.PLAN_CACHE_MAXSIZE + 10):
+            t = resized(create_struct([1], [0], [INT32]), 0, 8)
+            keep.append(t)  # keep alive: eviction must come from the LRU cap
+            pack_plan(t, 1)
+        info = plan_cache_info()
+        assert info["size"] == typecache.PLAN_CACHE_MAXSIZE
+        assert info["evictions"] >= 10

@@ -1,11 +1,11 @@
-"""MemoryTracker unit tests."""
+"""MemoryTracker and BufferPool unit tests."""
 
 import threading
 
 import numpy as np
 import pytest
 
-from repro.ucp.memory import MemoryTracker
+from repro.ucp.memory import BufferPool, MemoryTracker
 from repro.ucp.netsim import CostModel, VirtualClock
 
 
@@ -44,10 +44,14 @@ class TestMemoryTracker:
     def test_reset(self):
         t = MemoryTracker()
         t.allocate(10)
+        t.recycle(t.acquire(10))
         t.reset()
         snap = t.snapshot()
+        pool = snap.pop("pool")
         assert snap == {"live_bytes": 0, "peak_bytes": 0,
                         "total_allocated": 0, "allocation_count": 0}
+        assert pool["hits"] == pool["misses"] == 0
+        assert pool["pooled_buffers"] == pool["outstanding"] == 0
 
     def test_thread_safety_of_counters(self):
         t = MemoryTracker()
@@ -66,3 +70,87 @@ class TestMemoryTracker:
         assert snap["live_bytes"] == 0
         assert snap["allocation_count"] == 1600
         assert snap["total_allocated"] == 16000
+
+
+class TestBufferPool:
+    def test_class_size_rounding(self):
+        assert BufferPool.class_size(1) == 64
+        assert BufferPool.class_size(64) == 64
+        assert BufferPool.class_size(65) == 128
+        assert BufferPool.class_size(8192) == 8192
+        assert BufferPool.class_size(8193) == 16384
+
+    def test_acquire_release_reuses_backing(self):
+        p = BufferPool()
+        a = p.acquire(100)
+        assert a.shape == (100,)
+        root = a.base
+        assert p.release(a)
+        b = p.acquire(90)  # same 128-byte class
+        assert b.base is root
+        assert p.hits == 1 and p.misses == 1
+
+    def test_zero_byte_acquire(self):
+        p = BufferPool()
+        assert p.acquire(0).shape == (0,)
+        assert p.misses == 0  # not a pool transaction
+
+    def test_release_resolves_view_chains(self):
+        p = BufferPool()
+        a = p.acquire(100)
+        assert p.release(a[10:50][5:])  # view of a view
+        assert p.snapshot()["pooled_buffers"] == 1
+
+    def test_double_release_is_noop(self):
+        p = BufferPool()
+        a = p.acquire(32)
+        assert p.release(a)
+        assert not p.release(a)
+        assert p.snapshot()["pooled_buffers"] == 1
+
+    def test_foreign_release_is_noop(self):
+        p = BufferPool()
+        assert not p.release(np.zeros(64, dtype=np.uint8))
+        assert not p.release("not a buffer")
+        assert p.snapshot()["pooled_buffers"] == 0
+
+    def test_per_class_cap_drops_excess(self):
+        p = BufferPool(max_per_class=2)
+        bufs = [p.acquire(64) for _ in range(4)]
+        for b in bufs:
+            assert p.release(b)
+        snap = p.snapshot()
+        assert snap["pooled_buffers"] == 2
+        assert snap["dropped"] == 2
+
+    def test_oversize_class_never_pooled(self):
+        p = BufferPool(max_pooled_class=1024)
+        a = p.acquire(4096)
+        assert p.release(a)
+        snap = p.snapshot()
+        assert snap["pooled_buffers"] == 0
+        assert snap["dropped"] == 1
+
+    def test_outstanding_tracking(self):
+        p = BufferPool()
+        a = p.acquire(10)
+        b = p.acquire(10)
+        assert p.snapshot()["outstanding"] == 2
+        p.release(a)
+        assert p.snapshot()["outstanding"] == 1
+        p.clear()
+        assert p.snapshot()["outstanding"] == 0
+        del b
+
+    def test_acquire_charges_like_allocate(self):
+        """Pool hits and misses must be invisible to the cost model."""
+        t = MemoryTracker()
+        clock, model = VirtualClock(), CostModel()
+        t.recycle(t.acquire(1 << 20))  # prime the pool
+        before = clock.now
+        t.acquire(1 << 20, clock, model)  # pool hit
+        assert clock.now - before == pytest.approx(model.alloc_time(1 << 20))
+        snap = t.snapshot()
+        assert snap["allocation_count"] == 2
+        assert snap["total_allocated"] == 2 << 20
+        assert snap["pool"]["hits"] == 1
