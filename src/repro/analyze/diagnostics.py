@@ -23,9 +23,9 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..errors import (MPI_ERR_ARG, MPI_ERR_BUFFER, MPI_ERR_COMM,
-                      MPI_ERR_OTHER, MPI_ERR_PENDING, MPI_ERR_REQUEST,
-                      MPI_ERR_TAG, MPI_ERR_TRUNCATE, MPI_ERR_TYPE,
-                      error_name)
+                      MPI_ERR_OTHER, MPI_ERR_PENDING, MPI_ERR_PROC_FAILED,
+                      MPI_ERR_REQUEST, MPI_ERR_TAG, MPI_ERR_TRUNCATE,
+                      MPI_ERR_TYPE, error_name)
 
 #: Severity levels, most severe first.  ``perf`` findings (smells) and
 #: ``notice`` findings (tool status, e.g. incomplete analysis or an unused
@@ -129,6 +129,12 @@ CODE_TABLE: dict[str, CodeInfo] = {c.code: c for c in (
        "custom-datatype per-operation state is allocated but never freed"),
     _c("RPD440", "error", MPI_ERR_PENDING,
        "distributed deadlock: cyclic or hopeless wait-for dependency"),
+    _c("RPD450", "error", MPI_ERR_PROC_FAILED,
+       "fragment lost on the wire with no reliability protocol to recover it"),
+    _c("RPD451", "error", MPI_ERR_OTHER,
+       "corrupted payload delivered to the application (CRC mismatch)"),
+    _c("RPD452", "error", MPI_ERR_PROC_FAILED,
+       "reliability retry budget exhausted; transfer abandoned"),
     # -- static communication-flow verifier (flow.py / commgraph.py) ------
     _c("RPD500", "error", MPI_ERR_PENDING,
        "static deadlock: cycle in the blocking wait-for graph"),

@@ -33,6 +33,12 @@ MPI_ERR_INTERN = 17
 MPI_ERR_PENDING = 18
 MPI_ERR_IN_STATUS = 19
 MPI_ERR_NO_MEM = 20
+# ULFM-style fault-tolerance classes (MPI 4.x / User-Level Failure
+# Mitigation): surfaced by the fault-injected fabric when a peer process
+# crashed or a transfer could not be recovered by the reliability protocol.
+MPI_ERR_PROC_FAILED = 21
+MPI_ERR_REVOKED = 22
+MPI_ERR_PROC_FAILED_PENDING = 23
 
 #: Symbolic name for every code above, generated from the module globals so
 #: the table can never fall out of sync with a newly added ``MPI_ERR_*``.
@@ -65,6 +71,10 @@ _ERROR_STRINGS = {
     MPI_ERR_PENDING: "pending request",
     MPI_ERR_IN_STATUS: "error code is in status",
     MPI_ERR_NO_MEM: "memory is exhausted",
+    MPI_ERR_PROC_FAILED: "a peer process has failed",
+    MPI_ERR_REVOKED: "the communicator has been revoked",
+    MPI_ERR_PROC_FAILED_PENDING: "a pending operation may never complete "
+                                 "because a potential peer has failed",
 }
 
 
@@ -162,6 +172,57 @@ class DeadlockError(MPIError):
 
     def __init__(self, message: str = ""):
         super().__init__(MPI_ERR_PENDING, message)
+
+
+class ProcFailedError(MPIError):
+    """A peer process crashed or a transfer could not be recovered.
+
+    The ULFM ``MPI_ERR_PROC_FAILED`` class: raised by waits that depend on
+    a crashed rank, by sends whose reliability retry budget ran out, and by
+    receives matching a message the sender could not get through.  Carries
+    the world ranks believed to have failed (``failed_ranks``) so
+    applications running under ``MPI_ERRORS_RETURN`` can shrink around
+    them.
+    """
+
+    def __init__(self, message: str = "", failed_ranks=()):
+        super().__init__(MPI_ERR_PROC_FAILED, message)
+        self.failed_ranks = tuple(sorted(failed_ranks))
+
+
+class ProcFailedPendingError(MPIError):
+    """A wildcard (ANY_SOURCE) operation may never complete.
+
+    The ULFM ``MPI_ERR_PROC_FAILED_PENDING`` class: some — but not all —
+    potential senders of a wildcard receive have failed, so the operation
+    is still matchable but can no longer be guaranteed to complete.
+    """
+
+    def __init__(self, message: str = "", failed_ranks=()):
+        super().__init__(MPI_ERR_PROC_FAILED_PENDING, message)
+        self.failed_ranks = tuple(sorted(failed_ranks))
+
+
+class RevokedError(MPIError):
+    """Operation on a communicator that has been revoked (ULFM)."""
+
+    def __init__(self, message: str = ""):
+        super().__init__(MPI_ERR_REVOKED, message)
+
+
+class RankCrashError(ReproError):
+    """A fault plan killed this rank at a scheduled virtual time.
+
+    Deliberately *not* an :class:`MPIError`: the crashed process does not
+    observe an MPI error class — it simply stops.  Peers observe the crash
+    as :class:`ProcFailedError` through the failure detector.
+    """
+
+    def __init__(self, rank: int, vtime: float):
+        self.rank = rank
+        self.vtime = vtime
+        super().__init__(f"rank {rank} crashed by fault plan at "
+                         f"virtual t={vtime:.3e}s")
 
 
 class TransportError(ReproError):

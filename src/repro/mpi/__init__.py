@@ -16,8 +16,8 @@ Quickstart::
     print(run(main).results[1])
 """
 
-from .comm import (MAX_USER_TAG, Communicator, MessageHandle,
-                   PersistentRequest)
+from .comm import (ERRORS_ARE_FATAL, ERRORS_RETURN, MAX_USER_TAG,
+                   Communicator, MessageHandle, PersistentRequest)
 from .engine import EngineConfig, TransferEngine
 from .pack_external import pack_into, pack_size, unpack_from
 from .requests import ANY_SOURCE, ANY_TAG, CompletedRequest, Request, Status
@@ -26,6 +26,7 @@ from .topology import CartComm, cart_create, dims_create
 
 __all__ = [
     "Communicator", "MessageHandle", "PersistentRequest", "MAX_USER_TAG",
+    "ERRORS_ARE_FATAL", "ERRORS_RETURN",
     "TransferEngine", "EngineConfig",
     "Request", "CompletedRequest", "Status", "ANY_SOURCE", "ANY_TAG",
     "run", "JobResult",

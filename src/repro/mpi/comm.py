@@ -27,12 +27,23 @@ from .requests import ANY_SOURCE, ANY_TAG, Request, Status
 #: collectives and other internal protocols.
 MAX_USER_TAG = 1 << 30
 
+#: Error-handler policies (the MPI_Errhandler analogues).  FATAL — the MPI
+#: default — turns any MPI error on this communicator into a job-wide
+#: abort: on a fault-injected fabric the failure detector poisons every
+#: other rank's blocking waits, so the whole job terminates promptly.
+#: RETURN hands the error to the caller as a raised :class:`MPIError` and
+#: lets the rank keep using the communicator (ULFM-style continuation).
+ERRORS_ARE_FATAL = "MPI_ERRORS_ARE_FATAL"
+ERRORS_RETURN = "MPI_ERRORS_RETURN"
+
+
 class Communicator:
     """An MPI communicator bound to one rank's worker thread."""
 
     def __init__(self, worker: Worker, size: int, comm_id: int = 0,
                  engine_config: EngineConfig | None = None,
-                 group: tuple[int, ...] | None = None):
+                 group: tuple[int, ...] | None = None,
+                 errhandler: str = ERRORS_ARE_FATAL):
         self.worker = worker
         self._size = size
         #: Communicator ids must agree across ranks; COMM_WORLD is 0 and
@@ -43,10 +54,40 @@ class Communicator:
         #: For split communicators: world rank of each local rank, in local
         #: rank order.  None means the identity mapping (COMM_WORLD).
         self._group = group
+        self._errhandler = errhandler
         self.engine = TransferEngine(worker, engine_config)
         if group is not None and worker.index not in group:
             raise MPIError(MPI_ERR_COMM,
                            f"worker {worker.index} not in group {group}")
+
+    # -- error handlers ------------------------------------------------------
+
+    def set_errhandler(self, handler: str) -> None:
+        """MPI_Comm_set_errhandler: choose FATAL or RETURN semantics."""
+        if handler not in (ERRORS_ARE_FATAL, ERRORS_RETURN):
+            raise MPIError(MPI_ERR_COMM,
+                           f"unknown error handler {handler!r}")
+        self._errhandler = handler
+
+    def get_errhandler(self) -> str:
+        """MPI_Comm_get_errhandler."""
+        return self._errhandler
+
+    def _handle_mpi_error(self, exc: MPIError) -> None:
+        """Apply this communicator's error handler to a raised MPI error.
+
+        Called by :class:`~repro.mpi.requests.Request` just before the
+        error propagates.  Under ``MPI_ERRORS_ARE_FATAL`` on a
+        fault-injected fabric this aborts the whole job through the
+        failure detector; the exception is then re-raised in this rank
+        either way (Python has no way to "not return" from the call).
+        """
+        if self._errhandler != ERRORS_ARE_FATAL:
+            return
+        fi = self.worker.fabric.injector
+        if fi is not None:
+            fi.detector.abort_job(
+                f"rank {self.rank} (comm {self.comm_id}): {exc}")
 
     # -- introspection ------------------------------------------------------
 
@@ -92,7 +133,8 @@ class Communicator:
         child_id = (self.comm_id * 31 + self._dup_count + 1) % (1 << 16)
         self._dup_count += 1
         return Communicator(self.worker, self._size, comm_id=child_id,
-                            engine_config=self.engine.config)
+                            engine_config=self.engine.config,
+                            errhandler=self._errhandler)
 
     def split(self, color: Optional[int], key: int = 0) -> Optional["Communicator"]:
         """MPI_Comm_split: partition by color, order by (key, parent rank).
@@ -117,7 +159,8 @@ class Communicator:
         child_id = (self.comm_id * 131 + self._split_count * 31
                     + int(color) + 7) % (1 << 16)
         return Communicator(self.worker, self._size, comm_id=child_id,
-                            engine_config=self.engine.config, group=group)
+                            engine_config=self.engine.config, group=group,
+                            errhandler=self._errhandler)
 
     # -- argument handling ----------------------------------------------------
 
@@ -181,8 +224,10 @@ class Communicator:
         self._check_peer(dest)
         self._check_tag(tag)
         buf, count, datatype = self._resolve(buf, count, datatype)
-        return self.engine.start_send(self._world(dest), self._send_tag64(tag),
-                                      buf, count, datatype)
+        req = self.engine.start_send(self._world(dest), self._send_tag64(tag),
+                                     buf, count, datatype)
+        req._errctx = self
+        return req
 
     def send(self, buf: Any, dest: int, tag: int = 0,
              datatype: Optional[Datatype] = None,
@@ -198,8 +243,10 @@ class Communicator:
         self._check_peer(dest)
         self._check_tag(tag)
         buf, count, datatype = self._resolve(buf, count, datatype)
-        return self.engine.start_send(self._world(dest), self._send_tag64(tag),
-                                      buf, count, datatype, sync=True)
+        req = self.engine.start_send(self._world(dest), self._send_tag64(tag),
+                                     buf, count, datatype, sync=True)
+        req._errctx = self
+        return req
 
     def ssend(self, buf: Any, dest: int, tag: int = 0,
               datatype: Optional[Datatype] = None,
@@ -215,8 +262,10 @@ class Communicator:
         self._check_tag(tag, allow_any=True)
         buf, count, datatype = self._resolve(buf, count, datatype)
         tag64, mask = self._recv_pattern(source, tag)
-        return self.engine.start_recv(tag64, mask, buf, count, datatype,
-                                      peers=self._recv_peers(source))
+        req = self.engine.start_recv(tag64, mask, buf, count, datatype,
+                                     peers=self._recv_peers(source))
+        req._errctx = self
+        return req
 
     def _recv_peers(self, source: int) -> Optional[tuple[int, ...]]:
         """World ranks that could satisfy a receive from ``source`` — the

@@ -184,20 +184,30 @@ class TransferEngine:
         treq = self.worker.tag_recv(tag64, desc, mask, peers=peers)
 
         def on_complete() -> Status:
-            info = treq.wait()
-            got = info.nbytes
-            if got % max(dtype.size, 1):
-                raise TruncationError(
-                    f"received {got} bytes, not a whole number of "
-                    f"{dtype.size}-byte elements")
-            nelem = got // dtype.size if dtype.size else 0
-            unpack(dtype, buf, nelem, temp[:got])
-            nblocks = nelem * len(dtype.typemap.merged_blocks())
-            clock.advance(self.model.typemap_pack_time(nblocks, got))
+            try:
+                info = treq.wait()
+                got = info.nbytes
+                if got % max(dtype.size, 1):
+                    raise TruncationError(
+                        f"received {got} bytes, not a whole number of "
+                        f"{dtype.size}-byte elements")
+                nelem = got // dtype.size if dtype.size else 0
+                unpack(dtype, buf, nelem, temp[:got])
+                nblocks = nelem * len(dtype.typemap.merged_blocks())
+                clock.advance(self.model.typemap_pack_time(nblocks, got))
+            except BaseException:
+                # Failed delivery (truncation, peer failure, poisoned
+                # message) must not strand the bounce buffer in the pool's
+                # outstanding set.
+                self.worker.memory.recycle(temp)
+                raise
             self.worker.memory.recycle(temp)
             return Status.from_recv_info(info)
 
-        return Request(treq, on_complete=on_complete)
+        def on_cancel() -> None:
+            self.worker.memory.recycle(temp)
+
+        return Request(treq, on_complete=on_complete, on_cancel=on_cancel)
 
     def _custom_recv_handler(self, buf, count: int, dtype: CustomDatatype):
         """Build the delivery handler that runs on the receiving thread."""

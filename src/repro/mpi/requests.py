@@ -4,7 +4,8 @@ from __future__ import annotations
 
 from typing import Callable, Optional, Sequence
 
-from ..errors import MPI_ERR_REQUEST, MPIError
+from ..errors import (MPI_ERR_IN_STATUS, MPI_ERR_REQUEST, MPI_SUCCESS,
+                      MPIError)
 from ..ucp.constants import unpack_tag
 from ..ucp.context import RecvInfo, RecvRequest, SendRequest
 
@@ -34,6 +35,13 @@ class Status:
         self.entry_lengths = tuple(entry_lengths)
         #: How many leading entries are in-band packed data.
         self.packed_entries = packed_entries
+        #: Per-request error class (``MPI_ERR_IN_STATUS`` convention):
+        #: ``MPI_SUCCESS`` on clean completion, the failing ``MPI_ERR_*``
+        #: code when :meth:`Request.waitall` aggregated an error.
+        self.error = MPI_SUCCESS
+        #: True when this status belongs to a successfully cancelled
+        #: request (the MPI_Test_cancelled convention).
+        self.cancelled = False
 
     @property
     def region_lengths(self) -> tuple[int, ...]:
@@ -74,11 +82,20 @@ class Request:
     _san_record = None
 
     def __init__(self, transport_req: SendRequest | RecvRequest | None,
-                 on_complete: Optional[Callable[[], Optional[Status]]] = None):
+                 on_complete: Optional[Callable[[], Optional[Status]]] = None,
+                 on_cancel: Optional[Callable[[], None]] = None):
         self._req = transport_req
         self._on_complete = on_complete
+        #: Cleanup hook run exactly once on a successful cancel (the engine
+        #: uses it to return bounce buffers to the pool).
+        self._on_cancel = on_cancel
+        #: Error-handler context (the owning Communicator); consulted when
+        #: a wait raises an MPI error so ``MPI_ERRORS_ARE_FATAL`` can abort
+        #: the whole job.
+        self._errctx = None
         self._status: Optional[Status] = None
         self._done = False
+        self.cancelled = False
 
     def test(self) -> bool:
         """Non-blocking completion check (does not run delivery work)."""
@@ -96,24 +113,84 @@ class Request:
             # Pre-delivery checksum check (a receive buffer must not have
             # been touched between the post and now).
             self._san_record.before_wait()
-        if self._req is not None:
-            result = self._req.wait(timeout=timeout)
-        else:
-            result = None
-        if self._on_complete is not None:
-            self._status = self._on_complete()
-        elif isinstance(result, RecvInfo):
-            self._status = Status.from_recv_info(result)
+        try:
+            if self._req is not None:
+                result = self._req.wait(timeout=timeout)
+            else:
+                result = None
+            if self._on_complete is not None:
+                self._status = self._on_complete()
+            elif isinstance(result, RecvInfo):
+                self._status = Status.from_recv_info(result)
+        except MPIError as exc:
+            self._done = True
+            if self._errctx is not None:
+                self._errctx._handle_mpi_error(exc)
+            raise
         self._done = True
         if self._san_record is not None:
             self._san_record.after_wait()
         return self._status
 
+    def cancel(self) -> bool:
+        """Cancel the operation if it has not completed (MPI_Cancel).
+
+        Returns True when the cancel won the race: the transport operation
+        is withdrawn, any bounce buffers go back to the pool (via the
+        engine's ``on_cancel`` hook), and a later :meth:`wait` returns a
+        Status with ``cancelled=True`` (the MPI_Test_cancelled convention).
+        False (no effect) once the operation matched or completed — in MPI
+        terms the operation completes normally.
+        """
+        if self._done:
+            return False
+        treq = self._req
+        if treq is None or not hasattr(treq, "cancel"):
+            return False
+        if not treq.cancel():
+            return False
+        self.cancelled = True
+        self._done = True
+        st = Status(source=-1, tag=-1, nbytes=0)
+        st.cancelled = True
+        self._status = st
+        if self._on_cancel is not None:
+            self._on_cancel()
+        if self._san_record is not None:
+            self._san_record.mark_cancelled()
+        return True
+
     @staticmethod
     def waitall(requests: Sequence["Request"],
                 timeout: float | None = None) -> list[Optional[Status]]:
-        """Complete every request (MPI_Waitall)."""
-        return [r.wait(timeout=timeout) for r in requests]
+        """Complete every request (MPI_Waitall).
+
+        On MPI errors, every remaining request is still waited (so no work
+        is silently abandoned) and a single ``MPI_ERR_IN_STATUS`` error is
+        raised carrying one Status per request — clean completions hold
+        ``MPI_SUCCESS`` in ``Status.error``, failures hold the failing
+        error class.  The raised exception exposes them as ``.statuses``
+        and the underlying exceptions as ``.errors`` (index -> exception).
+        """
+        statuses: list[Optional[Status]] = [None] * len(requests)
+        errors: dict[int, MPIError] = {}
+        for i, r in enumerate(requests):
+            try:
+                statuses[i] = r.wait(timeout=timeout)
+            except MPIError as exc:
+                errors[i] = exc
+                st = Status(source=-1, tag=-1, nbytes=0)
+                st.error = exc.code
+                statuses[i] = st
+        if errors:
+            agg = MPIError(
+                MPI_ERR_IN_STATUS,
+                f"{len(errors)} of {len(requests)} request(s) failed: " +
+                "; ".join(f"[{i}] {e}" for i, e in sorted(errors.items())))
+            agg.statuses = statuses
+            agg.errors = errors
+            raise agg
+        return statuses
 
     @staticmethod
     def testall(requests: Sequence["Request"]) -> bool:

@@ -25,8 +25,9 @@ import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Sequence
 
-from ..errors import RuntimeAbort
+from ..errors import RankCrashError, RuntimeAbort
 from ..ucp.context import Fabric, UcpConfig, UcpContext
+from ..ucp.faults import FaultPlan, ReliabilityConfig
 from ..ucp.netsim import LinkParams
 from .comm import Communicator
 from .engine import EngineConfig
@@ -47,6 +48,16 @@ class JobResult:
     #: Sanitizer findings (a SanitizeReport when the job ran with
     #: ``sanitize=True``; None otherwise).
     sanitizer_report: Any = None
+    #: Per-rank reliability counters (:class:`repro.ucp.faults.
+    #: ReliabilityStats` snapshots); empty on a pristine fabric.
+    reliability: list[dict] = field(default_factory=list)
+    #: Per-channel fault/recovery event logs (``"src->dst"`` ->
+    #: event dicts); deterministic for a given fault-plan seed.
+    fault_trace: dict[str, list] = field(default_factory=dict)
+    #: Ranks the fault plan crashed.  A scheduled crash is not an
+    #: application failure: surviving ranks' results are still returned
+    #: (their ``results`` entry), the crashed rank's entry stays None.
+    crashed: list[int] = field(default_factory=list)
 
     @property
     def max_clock(self) -> float:
@@ -59,7 +70,10 @@ def run(fn: Callable[[Communicator], Any] | Sequence[Callable[[Communicator], An
         engine_config: Optional[EngineConfig] = None,
         timeout: float = 120.0,
         trace_messages: bool = False,
-        sanitize: bool = False) -> JobResult:
+        sanitize: bool = False,
+        faults: Optional[FaultPlan | dict] = None,
+        reliability: Optional[ReliabilityConfig | dict | bool] = None
+        ) -> JobResult:
     """Run an SPMD job.
 
     Parameters
@@ -81,6 +95,16 @@ def run(fn: Callable[[Communicator], Any] | Sequence[Callable[[Communicator], An
         :class:`~repro.errors.RuntimeAbort`'s ``sanitizer_report``.  With
         the sanitizer attached, distributed deadlocks are detected and
         aborted in bounded time instead of burning the whole ``timeout``.
+    faults:
+        A :class:`~repro.ucp.faults.FaultPlan` (or its dict form) of
+        seeded wire faults and rank crash/stall events.  None — the
+        default — leaves the fabric pristine and allocates no fault
+        machinery at all.
+    reliability:
+        The recovery protocol: True or a
+        :class:`~repro.ucp.faults.ReliabilityConfig` (or its dict form)
+        enables per-fragment CRC + sequencing with ACK/NACK-driven
+        retransmission, charged through virtual time.
     """
     if callable(fn):
         fns = [fn] * nprocs
@@ -89,9 +113,16 @@ def run(fn: Callable[[Communicator], Any] | Sequence[Callable[[Communicator], An
         if len(fns) != nprocs:
             raise ValueError(f"got {len(fns)} rank functions for nprocs={nprocs}")
 
+    if faults is not None and not isinstance(faults, FaultPlan):
+        faults = FaultPlan.from_dict(faults)
+    if reliability is not None and not isinstance(reliability,
+                                                  ReliabilityConfig):
+        reliability = ReliabilityConfig.from_dict(reliability)
     config = UcpConfig(params=params if params is not None else LinkParams(),
-                       trace_messages=trace_messages)
+                       trace_messages=trace_messages,
+                       faults=faults, reliability=reliability)
     fabric = UcpContext(config).create_fabric(nprocs)
+    injector = fabric.injector
 
     san = None
     if sanitize:
@@ -102,6 +133,7 @@ def run(fn: Callable[[Communicator], Any] | Sequence[Callable[[Communicator], An
 
     results: list[Any] = [None] * nprocs
     failures: dict[int, BaseException] = {}
+    crashes: dict[int, BaseException] = {}
     failures_lock = threading.Lock()
 
     def worker_main(rank: int) -> None:
@@ -109,12 +141,29 @@ def run(fn: Callable[[Communicator], Any] | Sequence[Callable[[Communicator], An
                             engine_config=engine_config)
         try:
             results[rank] = fns[rank](comm)
+        except RankCrashError as exc:
+            # A crash *scheduled by the fault plan* is part of the
+            # experiment, not an application failure: record it, drop the
+            # rank's in-flight state, and let the survivors finish.
+            with failures_lock:
+                crashes[rank] = exc
+            if injector is not None:
+                injector.drop_rank(rank)
+            if san is not None:
+                san.rank_failed(rank)
         except BaseException as exc:  # report, don't kill the interpreter
             with failures_lock:
                 failures[rank] = exc
+            if injector is not None:
+                # Peers blocked on this rank must not hang on its corpse.
+                injector.detector.mark_dead(
+                    rank, f"{type(exc).__name__}: {exc}")
             if san is not None:
                 san.rank_failed(rank)
         else:
+            if injector is not None:
+                injector.flush_rank(rank)
+                injector.detector.mark_finished(rank)
             if san is not None:
                 san.finalize_rank(rank)
 
@@ -149,11 +198,40 @@ def run(fn: Callable[[Communicator], Any] | Sequence[Callable[[Communicator], An
         san.finalize_job(fabric)
         report = san.report()
 
+    reliability_stats: list[dict] = []
+    fault_trace: dict[str, list] = {}
+    if injector is not None:
+        # Faulted-job teardown: messages nobody will ever claim (sent to a
+        # crashed rank, abandoned transfers) give their staging chunks
+        # back, then any buffer still outstanding is force-reclaimed so
+        # faults never masquerade as pool leaks.  Runs after the sanitizer
+        # sweep so RPD421 findings still see the unclaimed messages.
+        for w in fabric.workers:
+            for msg in w.matcher.unmatched_messages():
+                pool = fabric.worker(msg.header.source).memory.pool
+                for chunk in msg.chunks:
+                    pool.release(chunk)
+                msg.chunks = []
+        for w in fabric.workers:
+            w.memory.pool.reclaim()
+        reliability_stats = [s.snapshot() for s in injector.stats]
+        fault_trace = injector.traces()
+
+    memory = []
+    for i, w in enumerate(fabric.workers):
+        snap = w.memory.snapshot()
+        if injector is not None:
+            snap["reliability"] = reliability_stats[i]
+        memory.append(snap)
+
     return JobResult(
         results=results,
         fabric=fabric,
         clocks=[w.clock.now for w in fabric.workers],
-        memory=[w.memory.snapshot() for w in fabric.workers],
+        memory=memory,
         traces=[list(w.trace) for w in fabric.workers],
         sanitizer_report=report,
+        reliability=reliability_stats,
+        fault_trace=fault_trace,
+        crashed=sorted(crashes),
     )

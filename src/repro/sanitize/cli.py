@@ -36,10 +36,14 @@ _DDT_METHODS = ("derived", "custom-pack", "custom-region")
 
 
 def _load_entry(path: str):
-    """Import a program file; returns (fn, nprocs, error).
+    """Import a program file; returns (fn, nprocs, job_kwargs, error).
 
     ``fn`` is None with a human reason in ``error`` when the file defines
     no ``main(comm)``-style entry (not a failure — the file is skipped).
+    ``job_kwargs`` carries the program's optional fault-injection setup
+    (module-level ``FAULTS`` / ``RELIABILITY``, in the dict/bool forms
+    :func:`repro.mpi.run` accepts), so seeded chaos fixtures run under
+    the sanitizer with their faults live.
     """
     modname = "_repro_sanitize_" + os.path.basename(path)[:-3].replace(
         "-", "_") + f"_{abs(hash(os.path.abspath(path))) % 10 ** 8}"
@@ -51,7 +55,7 @@ def _load_entry(path: str):
             spec.loader.exec_module(mod)
     except Exception as exc:
         sys.modules.pop(modname, None)
-        return None, 0, f"import failed: {type(exc).__name__}: {exc}"
+        return None, 0, {}, f"import failed: {type(exc).__name__}: {exc}"
     sys.modules.pop(modname, None)
 
     fn = getattr(mod, "main", None)
@@ -66,8 +70,15 @@ def _load_entry(path: str):
         if len(required) == 1 and required[0].name == "comm":
             nprocs = next((int(getattr(mod, a)) for a in _NPROC_ATTRS
                            if isinstance(getattr(mod, a, None), int)), 2)
-            return fn, nprocs, ""
-    return None, 0, "no main(comm) entry"
+            job_kwargs = {}
+            faults = getattr(mod, "FAULTS", None)
+            if faults is not None:
+                job_kwargs["faults"] = faults
+            reliability = getattr(mod, "RELIABILITY", None)
+            if reliability is not None:
+                job_kwargs["reliability"] = reliability
+            return fn, nprocs, job_kwargs, ""
+    return None, 0, {}, "no main(comm) entry"
 
 
 def run_program(path: str, nprocs: Optional[int] = None,
@@ -75,7 +86,7 @@ def run_program(path: str, nprocs: Optional[int] = None,
     """Run one program file under the sanitizer; None when skipped."""
     from ..mpi import run
 
-    fn, module_nprocs, error = _load_entry(path)
+    fn, module_nprocs, job_kwargs, error = _load_entry(path)
     if fn is None:
         if error.startswith("import failed"):
             return SanitizeReport(
@@ -86,8 +97,10 @@ def run_program(path: str, nprocs: Optional[int] = None,
         # The program's own prints are not part of the tool's output
         # (they would corrupt --format json); swallow them.
         with contextlib.redirect_stdout(io.StringIO()):
-            result = run(fn, nprocs=n, sanitize=True, timeout=timeout)
+            result = run(fn, nprocs=n, sanitize=True, timeout=timeout,
+                         **job_kwargs)
         report = result.sanitizer_report
+        report.reliability = result.reliability
     except RuntimeAbort as exc:
         report = exc.sanitizer_report or SanitizeReport(
             nprocs=n, aborted=True,
@@ -247,6 +260,10 @@ def main(argv: Optional[list] = None) -> int:
                 "by_code": dict(sorted(by_code.items())),
             },
         }
+        reliability = {rep.program: rep.reliability_totals()
+                       for rep in reports if rep.reliability}
+        if reliability:
+            doc["summary"]["reliability"] = reliability
         print(json.dumps(doc, indent=2))
     else:
         for d in findings:
@@ -254,6 +271,15 @@ def main(argv: Optional[list] = None) -> int:
         for rep in aborted:
             for r, msg in sorted(rep.failures.items()):
                 print(f"{rep.program}: rank {r} failed: {msg}")
+        for rep in reports:
+            if not rep.reliability:
+                continue
+            totals = {k: v for k, v in rep.reliability_totals().items()
+                      if v}
+            shown = ", ".join(
+                f"{k}={v:.3g}" if isinstance(v, float) else f"{k}={v}"
+                for k, v in sorted(totals.items())) or "all zero"
+            print(f"{rep.program}: reliability: {shown}")
         for path in skipped:
             print(f"skipped (no main(comm) entry): {path}")
         verdict = "clean" if not findings and not aborted else \

@@ -69,7 +69,7 @@ class RequestRecord:
     """Sanitizer-side shadow of one nonblocking request."""
 
     __slots__ = ("job", "rank", "kind", "label", "site", "buffer",
-                 "completed")
+                 "completed", "cancelled")
 
     def __init__(self, job: "JobSanitizer", rank: int, kind: str,
                  label: str):
@@ -80,6 +80,7 @@ class RequestRecord:
         self.site = _user_site()
         self.buffer = None
         self.completed = False
+        self.cancelled = False
 
     # Called by Request.wait on the owning thread.
 
@@ -95,6 +96,17 @@ class RequestRecord:
         if self.buffer is not None:
             if self.kind == "send":
                 self.job.buffers.verify_send(self.buffer)
+            self.job.buffers.release(self.buffer)
+
+    def mark_cancelled(self) -> None:
+        """A successful MPI_Cancel: the operation never ran, so no data
+        moved and no completion is owed — release the shadow buffer with
+        no verification and exempt the request from the RPD420 sweep."""
+        if self.completed:
+            return
+        self.completed = True
+        self.cancelled = True
+        if self.buffer is not None:
             self.job.buffers.release(self.buffer)
 
 

@@ -23,6 +23,9 @@ class SanitizeReport:
     failures: dict[int, str] = field(default_factory=dict)
     #: Source file the job came from (CLI runs); stamped onto findings.
     program: Optional[str] = None
+    #: Per-rank reliability counters (``ReliabilityStats`` snapshots) when
+    #: the job ran on a fault-injected fabric; empty otherwise.
+    reliability: list[dict] = field(default_factory=list)
 
     def __post_init__(self):
         self.diagnostics = sort_diagnostics(self.diagnostics)
@@ -37,6 +40,14 @@ class SanitizeReport:
     def by_code(self, code: str) -> list[Diagnostic]:
         return [d for d in self.diagnostics if d.code == code]
 
+    def reliability_totals(self) -> dict[str, int | float]:
+        """Job-wide reliability counters (sum over ranks); empty if none."""
+        totals: dict[str, int | float] = {}
+        for snap in self.reliability:
+            for key, val in snap.items():
+                totals[key] = totals.get(key, 0) + val
+        return totals
+
     def to_dict(self) -> dict:
         """JSON rendering (same envelope as ``repro.analyze --format json``)."""
         by_code: dict[str, int] = {}
@@ -44,7 +55,7 @@ class SanitizeReport:
         for d in self.diagnostics:
             by_code[d.code] = by_code.get(d.code, 0) + 1
             by_severity[d.severity] = by_severity.get(d.severity, 0) + 1
-        return {
+        doc = {
             "version": SCHEMA_VERSION,
             "tool": "repro.sanitize",
             "findings": [d.to_dict() for d in self.diagnostics],
@@ -58,12 +69,23 @@ class SanitizeReport:
                 "by_severity": dict(sorted(by_severity.items())),
             },
         }
+        if self.reliability:
+            doc["summary"]["reliability"] = self.reliability_totals()
+            doc["reliability"] = list(self.reliability)
+        return doc
 
     def format_text(self) -> str:
         lines = [d.format_text() for d in self.diagnostics]
         if self.aborted:
             for r, msg in sorted(self.failures.items()):
                 lines.append(f"rank {r} failed: {msg}")
+        if self.reliability:
+            totals = self.reliability_totals()
+            interesting = {k: v for k, v in totals.items() if v}
+            shown = ", ".join(
+                f"{k}={v:.3g}" if isinstance(v, float) else f"{k}={v}"
+                for k, v in sorted(interesting.items())) or "all zero"
+            lines.append(f"reliability: {shown}")
         lines.append(f"{len(self.diagnostics)} finding(s) over "
                      f"{self.nprocs} rank(s)"
                      + (" [job aborted]" if self.aborted else ""))

@@ -8,6 +8,8 @@ charged from :class:`~repro.ucp.netsim.CostModel`.
 from .constants import (DATATYPE_CONTIG, DATATYPE_GENERIC, DATATYPE_IOV,
                         TAG_FULL_MASK, match_mask, pack_tag, unpack_tag)
 from .dtypes import ContigData, GenericData, HandlerData, IovData
+from .faults import (FailureDetector, FaultInjector, FaultPlan,
+                     ReliabilityConfig, ReliabilityStats)
 from .memory import MemoryTracker
 from .netsim import (DEFAULT_PARAMS, IOV_REGION_SOFT_LIMIT,
                      MIN_EFFICIENT_FRAGMENT_BYTES, MIN_EFFICIENT_REGION_BYTES,
@@ -22,6 +24,8 @@ __all__ = [
     "DATATYPE_CONTIG", "DATATYPE_IOV", "DATATYPE_GENERIC",
     "TAG_FULL_MASK", "pack_tag", "unpack_tag", "match_mask",
     "ContigData", "IovData", "GenericData", "HandlerData",
+    "FaultPlan", "ReliabilityConfig", "ReliabilityStats",
+    "FaultInjector", "FailureDetector",
     "MemoryTracker",
     "LinkParams", "DEFAULT_PARAMS", "CostModel", "VirtualClock",
     "IOV_REGION_SOFT_LIMIT", "MIN_EFFICIENT_REGION_BYTES",

@@ -19,14 +19,18 @@ Threading/time contract:
 
 from __future__ import annotations
 
+import time as _time
 from dataclasses import dataclass, field
 from typing import Optional
 
 import numpy as np
 
-from ..errors import TransportError, TruncationError
+from ..errors import (MPIError, ProcFailedError, ProcFailedPendingError,
+                      TransportError, TruncationError)
 from . import constants
 from .dtypes import ContigData, GenericData, HandlerData, IovData
+from .faults import (FaultInjector, FaultPlan, ReliabilityConfig,
+                     fragment_bounds, fragment_crcs)
 from .memory import MemoryTracker
 from .netsim import DEFAULT_PARAMS, CostModel, LinkParams, VirtualClock
 from .protocols import plan_send, wait_semantics
@@ -42,6 +46,15 @@ class UcpConfig:
     #: Record every message injection/delivery into per-worker trace lists
     #: (useful for debugging protocols and asserted by tests).
     trace_messages: bool = False
+    #: Seeded schedule of wire faults and rank crash/stall events
+    #: (:class:`repro.ucp.faults.FaultPlan`).  None — the default — means a
+    #: pristine fabric: no fault machinery is even constructed, so the
+    #: default path is byte-identical to a build without this feature.
+    faults: Optional[FaultPlan] = None
+    #: Reliability (sequencing/CRC/ACK/retransmission) protocol
+    #: configuration; None means the fabric is treated as already reliable
+    #: (which it is, unless ``faults`` says otherwise).
+    reliability: Optional[ReliabilityConfig] = None
 
     @property
     def frag_size(self) -> int:
@@ -67,6 +80,12 @@ class Fabric:
         self.config = config
         self.model = CostModel(config.params)
         self._intra_model = CostModel(config.params.intra_node_variant())
+        #: Fault/reliability interposer; None on a pristine fabric so the
+        #: default send/recv paths carry zero extra work.
+        self.injector: Optional[FaultInjector] = None
+        if config.faults is not None or config.reliability is not None:
+            self.injector = FaultInjector(nworkers, config.faults,
+                                          config.reliability)
         self.workers = [Worker(i, self) for i in range(nworkers)]
 
     def worker(self, index: int) -> "Worker":
@@ -77,6 +96,33 @@ class Fabric:
         if self.config.params.same_node(src, dst):
             return self._intra_model
         return self.model
+
+
+def _wait_with_detector(worker: "Worker", event, targets, what: str,
+                        timeout: float | None) -> bool:
+    """Block on ``event`` while polling the failure detector.
+
+    Used instead of a bare ``Event.wait`` whenever the fabric has a fault
+    injector: a wait whose every candidate peer crashed (or the whole job
+    aborted under ``MPI_ERRORS_ARE_FATAL``) raises
+    :class:`~repro.errors.ProcFailedError` in bounded time instead of
+    hanging until the job's wall-clock timeout — the ULFM "surviving ranks
+    keep running" guarantee.
+    """
+    detector = worker.fabric.injector.detector
+    deadline = None if timeout is None else _time.monotonic() + timeout
+    while True:
+        if event.is_set():
+            return True
+        detector.check_hopeless(targets, what)
+        poll = 0.005
+        if deadline is not None:
+            remaining = deadline - _time.monotonic()
+            if remaining <= 0.0:
+                return False
+            poll = min(poll, remaining)
+        if event.wait(timeout=poll):
+            return True
 
 
 class SendRequest:
@@ -100,10 +146,18 @@ class SendRequest:
     def wait(self, timeout: float | None = None) -> None:
         """Block until the message no longer needs the send buffer."""
         if self.msg.rndv:
+            fi = self._worker.fabric.injector
             san = self._worker.sanitizer
-            if san is not None and self.dst is not None:
-                base = self.san_detail or (
-                    f"send of {self.msg.total_bytes} bytes to rank {self.dst}")
+            base = self.san_detail or (
+                f"send of {self.msg.total_bytes} bytes to rank {self.dst}")
+            if fi is not None:
+                fi.on_progress(self._worker)
+                targets = (self.dst,) if self.dst is not None else ()
+                if not _wait_with_detector(self._worker, self.msg.completed,
+                                           targets, base, timeout):
+                    raise TransportError(
+                        "send wait timed out (receiver never arrived)")
+            elif san is not None and self.dst is not None:
                 detail = (f"{base} — "
                           f"{wait_semantics(self.msg.header.protocol, True)}")
                 if not san.wait_event(self._worker.index, self.msg.completed,
@@ -115,9 +169,36 @@ class SendRequest:
                 raise TransportError("send wait timed out (receiver never arrived)")
             # Rendezvous completion happens at the receiver's clock.
             self._worker.clock.merge(self.msg.completion_time)
-            if self.msg.error is not None:
+            err = self.msg.error
+            if err is not None:
+                if isinstance(err, MPIError):
+                    # Reliability exhaustion / peer failure: surface the
+                    # MPI error class itself, not a transport wrapper.
+                    raise err
                 raise TransportError(
-                    f"receiver failed to deliver this message: {self.msg.error}")
+                    f"receiver failed to deliver this message: {err}")
+
+    def cancel(self) -> bool:
+        """Withdraw the message if no receive has matched it yet.
+
+        Returns True when the message was retracted from the destination's
+        unexpected queue; its staging chunks go back to the sender's pool
+        so a cancelled send leaves no pool residue.  False (and no effect)
+        once a receive has matched — MPI's "cancel either completes or the
+        operation completes, never both".
+        """
+        if self.dst is None or self.msg.completed.is_set():
+            return False
+        dst_worker = self._worker.fabric.worker(self.dst)
+        if not dst_worker.matcher.retract(self.msg):
+            return False
+        pool = self._worker.memory.pool
+        for chunk in self.msg.chunks:
+            pool.release(chunk)
+        self.msg.chunks = []
+        self.msg.mark_failed(self._worker.clock.now,
+                             TransportError("send cancelled"))
+        return True
 
 
 @dataclass
@@ -153,11 +234,33 @@ class RecvRequest:
     def wait(self, timeout: float | None = None) -> RecvInfo:
         if self.info is not None:
             return self.info
+        fi = self._worker.fabric.injector
         san = self._worker.sanitizer
-        if san is not None:
+        detail = self.san_detail or "recv (posted tag match)"
+        if fi is not None:
+            fi.on_progress(self._worker)
+            wildcard = self.peers is None
+            targets = tuple(self.peers) if self.peers is not None else tuple(
+                r for r in range(len(self._worker.fabric.workers))
+                if r != self._worker.index)
+            try:
+                ok = _wait_with_detector(self._worker, self._posted.matched,
+                                         targets, detail, timeout)
+            except ProcFailedError as exc:
+                # ULFM: a wildcard (ANY_SOURCE) receive whose potential
+                # sender failed is *pending*, not definitively failed —
+                # unless the whole job aborted.
+                if wildcard and exc.failed_ranks \
+                        and fi.detector.aborted is None:
+                    raise ProcFailedPendingError(
+                        f"wildcard {detail}: {exc}",
+                        failed_ranks=exc.failed_ranks) from exc
+                raise
+            if not ok:
+                raise TransportError("recv wait timed out (no matching send)")
+        elif san is not None:
             targets = self.peers if self.peers is not None \
                 else range(len(self._worker.fabric.workers))
-            detail = self.san_detail or "recv (posted tag match)"
             if not san.wait_event(self._worker.index, self._posted.matched,
                                   targets, detail, self._worker.clock.now,
                                   timeout=timeout):
@@ -166,6 +269,18 @@ class RecvRequest:
             raise TransportError("recv wait timed out (no matching send)")
         self.info = self._worker.deliver(self._posted.msg, self._data)
         return self.info
+
+    def cancel(self) -> bool:
+        """Withdraw an unmatched posted receive.
+
+        True when the receive was removed from the matcher before any
+        message matched it; False (and no effect) otherwise.  Data-side
+        cleanup (returning bounce buffers) is the caller's job — see
+        ``repro.mpi.requests.Request.cancel``.
+        """
+        if self.info is not None or self._posted.matched.is_set():
+            return False
+        return self._worker.matcher.cancel(self._posted)
 
 
 class Worker:
@@ -252,7 +367,48 @@ class Worker:
             msg.mark_failed(self.clock.now, exc)
             raise
 
+    def _verify_crcs(self, msg: WireMessage) -> None:
+        """Check the envelope's per-fragment CRCs against the payload.
+
+        Only reachable on a fault-injected fabric (pristine fabrics never
+        stamp ``frag_crcs``).  A mismatch means corruption reached the
+        application — counted per receiver and reported as RPD451 — but
+        the data is still delivered: without the reliability protocol
+        there is nothing to retransmit from.
+        """
+        bounds = fragment_bounds(msg.chunks, self.config.frag_size)
+        actual = fragment_crcs(msg.chunks, bounds)
+        expected = msg.header.frag_crcs
+        if actual == expected:
+            return
+        bad = [i for i, (a, e) in enumerate(zip(actual, expected)) if a != e]
+        fi = self.fabric.injector
+        if fi is not None:
+            fi.stats[self.index].add(corrupted_delivered=len(bad))
+        if self.sanitizer is not None:
+            hdr = msg.header
+            self.sanitizer.emit(
+                "RPD451",
+                f"message #{hdr.seq} from rank {hdr.source}: {len(bad)} "
+                f"fragment(s) failed CRC verification at delivery; "
+                f"corrupted payload reaches the application",
+                rank=self.index,
+                hint="enable the reliability protocol "
+                     "(run(..., reliability=True)) so corrupted fragments "
+                     "are NACKed and retransmitted")
+
     def _deliver(self, msg: WireMessage, data) -> RecvInfo:
+        fi = self.fabric.injector
+        if fi is not None:
+            fi.on_progress(self)
+            if msg.poisoned is not None:
+                # The sender's reliability retry budget ran out; the
+                # envelope arrived so this wait terminates, but the data
+                # never did.
+                self.clock.merge(msg.delivery_time(self.clock.now))
+                raise msg.poisoned
+            if msg.header.frag_crcs:
+                self._verify_crcs(msg)
         if self.sanitizer is not None:
             # Signature-match and truncation checks run before any data
             # moves, so a finding is reported even when delivery raises.
@@ -336,6 +492,11 @@ class Endpoint:
         sanitizer's type-matching check.
         """
         worker = self.src
+        fi = worker.fabric.injector
+        if fi is not None:
+            # Crash/stall checkpoint before any staging work happens, so a
+            # crashed rank neither packs nor injects.
+            fi.on_progress(worker)
         model = worker.fabric.pair_model(worker.index, self.dst.index)
         if isinstance(data, GenericData):
             frags = data.pack_entries(worker.config.frag_size,
@@ -376,5 +537,8 @@ class Endpoint:
                 "bytes": header.total_bytes, "protocol": plan.protocol,
                 "entries": len(header.entry_lengths),
                 "t": worker.clock.now})
-        self.dst.matcher.deposit(msg)
+        if fi is None:
+            self.dst.matcher.deposit(msg)
+        else:
+            fi.transmit(worker, self.dst, msg, model)
         return SendRequest(worker, msg, dst=self.dst.index)

@@ -128,6 +128,30 @@ class BufferPool:
                     "pooled_bytes": sum(k * len(v) for k, v in
                                         self._free.items())}
 
+    def reclaim(self) -> int:
+        """Force-return every outstanding buffer to the free lists.
+
+        Faulted jobs can strand staging buffers: a crashed rank never
+        waits its requests, an abandoned transfer never delivers.  The
+        runtime calls this at teardown (only on fault-injected fabrics)
+        so ``snapshot()["outstanding"]`` ends at zero and the stranded
+        bytes are accounted as returned rather than leaked.  Returns the
+        number of buffers reclaimed.
+        """
+        with self._lock:
+            stranded = list(self._out.values())
+            self._out.clear()
+            for root in stranded:
+                self.returned += 1
+                size = root.shape[0]
+                if size <= self.max_pooled_class:
+                    free = self._free.setdefault(size, [])
+                    if len(free) < self.max_per_class:
+                        free.append(root)
+                        continue
+                self.dropped += 1
+            return len(stranded)
+
     def clear(self) -> None:
         """Drop the free lists and reset the statistics."""
         with self._lock:

@@ -212,6 +212,17 @@ class CostModel:
                 + self.wire_time(total) + total / p.rndv_reg_bandwidth
                 + p.msg_overhead)
 
+    def retransmit_time(self, nbytes: int, nfrags: int) -> float:
+        """One reliability retransmission round of ``nfrags`` fragments.
+
+        Charged by the fault injector (:mod:`repro.ucp.faults`) on top of
+        the message's normal wire time: the retransmitted bytes cross the
+        wire again, each fragment pays its descriptor overhead, and the
+        round pays one more message latency.
+        """
+        return (self.params.latency + self.wire_time(nbytes)
+                + self.frag_overhead(nfrags))
+
     # -- memory ---------------------------------------------------------
 
     def copy_time(self, nbytes: int) -> float:

@@ -85,6 +85,20 @@ class TagMatcher:
             except ValueError:
                 return False
 
+    def retract(self, msg: WireMessage) -> bool:
+        """Remove a deposited-but-unclaimed message from the unexpected
+        queue; False if a receive already matched (or is matching) it.
+
+        Used by the fault machinery when a sender-side cancel or a job
+        teardown needs to withdraw traffic that no receive will consume.
+        """
+        with self._cond:
+            try:
+                self._unexpected.remove(msg)
+                return True
+            except ValueError:
+                return False
+
     def probe(self, tag: int, mask: int, remove: bool = False
               ) -> Optional[WireMessage]:
         """Non-blocking probe of the unexpected queue.

@@ -44,6 +44,14 @@ class WireHeader:
     #: one statically (custom datatypes).  Carried on the envelope so the
     #: sanitizer can enforce MPI type-matching rules at match time.
     signature: tuple | None = None
+    #: Per-channel sequence number stamped by the fault injector
+    #: (:mod:`repro.ucp.faults`); -1 on a fabric without fault injection.
+    seq: int = -1
+    #: CRC32 of every reliability fragment of the payload; empty on a
+    #: fabric without fault injection.  Receivers verify these at
+    #: delivery, which is how corruption is detected (and, with the
+    #: reliability protocol, NACKed and retransmitted).
+    frag_crcs: tuple[int, ...] = ()
     msg_id: int = field(default_factory=lambda: next(_msg_ids))
 
 
@@ -82,6 +90,13 @@ class WireMessage:
         #: a blocked rendezvous sender is released with an error instead of
         #: hanging forever.
         self.error: BaseException | None = None
+        #: Set by the fault injector when the reliability retry budget ran
+        #: out: the envelope still arrives (so the receiver unblocks) but
+        #: delivery raises this instead of moving data.
+        self.poisoned: BaseException | None = None
+        #: msg_id of the original when this message is an injected
+        #: duplicate (fault plans with ``duplicate > 0``).
+        self.duplicate_of: int | None = None
 
     @property
     def total_bytes(self) -> int:

@@ -1,0 +1,26 @@
+"""Seeded chaos fixture: lossy wire, no recovery protocol.
+
+The first message on the 0->1 channel is dropped and nothing retransmits
+it, so the sanitizer must report RPD450 (unrecovered message loss).  Both
+ranks run under MPI_ERRORS_RETURN and survive the loss.
+"""
+
+import numpy as np
+
+from repro.errors import ProcFailedError
+
+NPROCS = 2
+FAULTS = {"seed": 450, "drop": 1.0, "window": [0, 1], "channels": [[0, 1]]}
+
+
+def main(comm):
+    comm.set_errhandler("MPI_ERRORS_RETURN")
+    data = np.arange(512, dtype=np.int32)
+    try:
+        if comm.rank == 0:
+            comm.send(data, dest=1, tag=1)
+        else:
+            comm.recv(np.zeros_like(data), source=0, tag=1)
+    except ProcFailedError:
+        return "lost"
+    return "done"

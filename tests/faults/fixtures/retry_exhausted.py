@@ -1,0 +1,28 @@
+"""Seeded chaos fixture: total loss exhausts the retry budget.
+
+Every fragment on every round is dropped; after ``retry_limit`` rounds
+the reliability layer abandons the transfer, so the sanitizer must
+report RPD452 (retry budget exhausted) and both ends see
+MPI_ERR_PROC_FAILED.  Ranks run under MPI_ERRORS_RETURN and survive.
+"""
+
+import numpy as np
+
+from repro.errors import ProcFailedError
+
+NPROCS = 2
+FAULTS = {"seed": 452, "drop": 1.0}
+RELIABILITY = {"retry_limit": 2}
+
+
+def main(comm):
+    comm.set_errhandler("MPI_ERRORS_RETURN")
+    data = np.arange(96 * 1024, dtype=np.int32)
+    try:
+        if comm.rank == 0:
+            comm.send(data, dest=1, tag=1)
+        else:
+            comm.recv(np.zeros_like(data), source=0, tag=1)
+    except ProcFailedError:
+        return "exhausted"
+    return "done"

@@ -1,0 +1,46 @@
+"""Fault machinery must be invisible when disabled.
+
+The default fabric (no ``faults=``, no ``reliability=``) allocates no
+injector, stamps no sequence numbers or CRCs, and must therefore leave
+every figure/table output byte-identical to the pre-fault-injection
+baselines pinned here (captured from the commit before ``repro.ucp.
+faults`` existed).
+"""
+
+import hashlib
+import json
+
+from repro.mpi import run
+
+#: md5 of the canonical JSON rendering of fig1 (quick sizes).
+FIG1_QUICK_MD5 = "10620e46975ea56cbfaaaf9c2bd30eba"
+#: md5 of the formatted Table 1 text.
+TABLE1_MD5 = "4c3867a1a5e7f0843ff5ddb41561efcb"
+
+
+def test_fig1_quick_byte_identical():
+    from repro.bench import figures
+    fs = figures.fig1_double_vec_latency(quick=True)
+    doc = {"figure": fs.figure, "x": list(fs.x),
+           "curves": {k: list(v) for k, v in fs.curves.items()}}
+    blob = json.dumps(doc, sort_keys=True).encode()
+    assert hashlib.md5(blob).hexdigest() == FIG1_QUICK_MD5
+
+
+def test_table1_byte_identical():
+    from repro.ddtbench.table import format_table1
+    assert hashlib.md5(format_table1().encode()).hexdigest() == TABLE1_MD5
+
+
+def test_default_run_has_no_fault_machinery():
+    def fn(comm):
+        import numpy as np
+        if comm.rank == 0:
+            comm.send(np.arange(16, dtype=np.int32), dest=1)
+        else:
+            comm.recv(np.zeros(16, np.int32), source=0)
+
+    res = run(fn, nprocs=2)
+    assert res.fabric.injector is None
+    # No seq/CRC stamping on the wire without faults configured.
+    assert res.reliability == [] and res.fault_trace == {}

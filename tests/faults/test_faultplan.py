@@ -1,0 +1,135 @@
+"""Unit tests for the fault-plan schedule itself (no fabric involved).
+
+Everything here must be a pure function of the plan's seed: the whole
+chaos suite rests on fault decisions being reproducible regardless of
+thread interleaving.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ucp.faults import (FaultPlan, ReliabilityConfig, ReliabilityStats,
+                              _decide, fragment_bounds, fragment_crcs)
+
+
+class TestDecide:
+    def test_pure_function_of_arguments(self):
+        args = (42, "drop", 0, 1, 7, 3, 0, 0.5)
+        assert all(_decide(*args) == _decide(*args) for _ in range(10))
+
+    def test_extremes(self):
+        assert not _decide(1, "drop", 0, 1, 0, 0, 0, 0.0)
+        assert _decide(1, "drop", 0, 1, 0, 0, 0, 1.0)
+
+    def test_seed_changes_draws(self):
+        draws = [tuple(_decide(s, "drop", 0, 1, q, f, 0, 0.5)
+                       for q in range(8) for f in range(8))
+                 for s in range(4)]
+        assert len(set(draws)) > 1
+
+    def test_empirical_rate_near_probability(self):
+        n = 4000
+        hits = sum(_decide(9, "corrupt", 0, 1, i, 0, 0, 0.25)
+                   for i in range(n))
+        assert 0.2 < hits / n < 0.3
+
+
+class TestFaultPlan:
+    def test_dict_round_trip(self):
+        plan = FaultPlan(seed=3, drop=0.1, corrupt=0.2, duplicate=0.05,
+                         reorder=0.05, delay=0.1, delay_time=20e-6,
+                         window=(0, 4), channels=frozenset({(0, 1)}),
+                         crash={1: 5e-3}, stall={0: (1e-3, 2e-3)})
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_from_dict_json_forms(self):
+        plan = FaultPlan.from_dict({
+            "seed": 7, "drop": 0.5, "window": [0, 2],
+            "channels": [[0, 1], [1, 0]],
+            "crash": {"2": 1e-3}, "stall": {"0": [1e-3, 5e-4]},
+        })
+        assert plan.window == (0, 2)
+        assert plan.channels == frozenset({(0, 1), (1, 0)})
+        assert plan.crash == {2: 1e-3}
+        assert plan.stall == {0: (1e-3, 5e-4)}
+
+    def test_affects_window_and_channels(self):
+        plan = FaultPlan(seed=1, drop=1.0, window=(1, 3),
+                         channels=frozenset({(0, 1)}))
+        assert plan.affects(0, 1, 1) and plan.affects(0, 1, 2)
+        assert not plan.affects(0, 1, 0)   # before the window
+        assert not plan.affects(0, 1, 3)   # past the window
+        assert not plan.affects(1, 0, 1)   # wrong channel
+
+    def test_frag_fates_deterministic_and_disjoint(self):
+        plan = FaultPlan(seed=11, drop=0.4, corrupt=0.4)
+        a = plan.frag_fates(0, 1, 0, range(64))
+        b = plan.frag_fates(0, 1, 0, range(64))
+        assert a == b
+        dropped, corrupted = a
+        assert not dropped & corrupted  # dropped wins ties
+
+    def test_frag_fates_vary_by_round(self):
+        plan = FaultPlan(seed=11, drop=0.5)
+        fates = {frozenset(plan.frag_fates(0, 1, 0, range(32), rnd=r)[0])
+                 for r in range(6)}
+        assert len(fates) > 1  # retries re-roll, so loss is not permanent
+
+    def test_message_fates_outside_window_all_false(self):
+        plan = FaultPlan(seed=5, duplicate=1.0, reorder=1.0, delay=1.0,
+                         window=(10, 20))
+        assert plan.message_fates(0, 1, 0) == {
+            "duplicate": False, "reorder": False, "delay": False}
+        assert plan.message_fates(0, 1, 15) == {
+            "duplicate": True, "reorder": True, "delay": True}
+
+    def test_with_overrides(self):
+        plan = FaultPlan(seed=1, drop=0.3)
+        assert plan.with_overrides(drop=0.0) == FaultPlan(seed=1)
+
+
+class TestFragmentHelpers:
+    def test_bounds_empty_message(self):
+        assert fragment_bounds([], 4096) == [(0, 0, 0)]
+
+    def test_bounds_cover_every_byte_once(self):
+        chunks = [np.zeros(1000, np.uint8), np.zeros(5000, np.uint8),
+                  np.zeros(17, np.uint8)]
+        bounds = fragment_bounds(chunks, 4096)
+        seen = [set() for _ in chunks]
+        for ci, start, stop in bounds:
+            assert 0 < stop - start <= 4096
+            span = set(range(start, stop))
+            assert not span & seen[ci]
+            seen[ci] |= span
+        for chunk, got in zip(chunks, seen):
+            assert got == set(range(len(chunk)))
+
+    def test_crcs_match_bounds_and_detect_flips(self):
+        chunks = [np.arange(300, dtype=np.uint8) % 251]
+        bounds = fragment_bounds(chunks, 128)
+        crcs = fragment_crcs(chunks, bounds)
+        assert len(crcs) == len(bounds)
+        chunks[0][5] ^= 0xFF
+        assert fragment_crcs(chunks, bounds)[0] != crcs[0]
+        assert fragment_crcs(chunks, bounds)[1:] == crcs[1:]
+
+
+class TestReliabilityConfig:
+    def test_from_dict_forms(self):
+        assert ReliabilityConfig.from_dict(True) == ReliabilityConfig()
+        cfg = ReliabilityConfig(retry_limit=9)
+        assert ReliabilityConfig.from_dict(cfg) is cfg
+        assert ReliabilityConfig.from_dict(
+            {"retry_limit": 2, "backoff": 3.0}) == \
+            ReliabilityConfig(retry_limit=2, backoff=3.0)
+
+    def test_stats_accumulate(self):
+        st = ReliabilityStats()
+        st.add(retransmits=2, backoff_time=1e-3)
+        st.add(retransmits=1, crc_failures=4)
+        snap = st.snapshot()
+        assert snap["retransmits"] == 3
+        assert snap["crc_failures"] == 4
+        assert snap["backoff_time"] == pytest.approx(1e-3)
+        assert set(snap) == set(ReliabilityStats.FIELDS)

@@ -27,11 +27,13 @@ def report_of(fn, nprocs=2, timeout=30.0):
 
 def test_rpd4_code_table_complete():
     # Every dynamic check family is registered in the shared vocabulary;
-    # the corpus below (plus tests/sanitize/fixtures/) fires each one.
+    # the corpus below (plus tests/sanitize/fixtures/ and the fault-aware
+    # RPD45x triggers in tests/faults/) fires each one.
     from repro.analyze.diagnostics import CODE_TABLE
     assert {c for c in CODE_TABLE if c.startswith("RPD4")} == {
         "RPD400", "RPD401", "RPD402", "RPD410", "RPD411",
-        "RPD420", "RPD421", "RPD430", "RPD431", "RPD432", "RPD440"}
+        "RPD420", "RPD421", "RPD430", "RPD431", "RPD432", "RPD440",
+        "RPD450", "RPD451", "RPD452"}
 
 
 class TestCleanRuns:

@@ -72,6 +72,34 @@ class TestHierarchy:
         assert set(e.failures) == {1, 3}
 
 
+class TestUlfmClasses:
+    """The fault-tolerance error classes (ULFM-style) round-trip too."""
+
+    def test_codes_in_introspected_table(self):
+        for name in ("MPI_ERR_PROC_FAILED", "MPI_ERR_REVOKED",
+                     "MPI_ERR_PROC_FAILED_PENDING"):
+            code = getattr(errors, name)
+            assert error_name(code) == name
+            assert errors.error_code(name) == code
+            assert errors.error_string(code).startswith(name + ": ")
+
+    def test_proc_failed_carries_sorted_ranks(self):
+        e = errors.ProcFailedError("peers died", failed_ranks={3, 1})
+        assert isinstance(e, MPIError)
+        assert e.code == errors.MPI_ERR_PROC_FAILED
+        assert e.failed_ranks == (1, 3)
+
+    def test_pending_and_revoked_codes(self):
+        assert errors.ProcFailedPendingError("x").code == \
+            errors.MPI_ERR_PROC_FAILED_PENDING
+        assert errors.RevokedError("x").code == errors.MPI_ERR_REVOKED
+
+    def test_rank_crash_is_experiment_not_mpi_error(self):
+        e = errors.RankCrashError(2, 1.5e-3)
+        assert not isinstance(e, MPIError)
+        assert e.rank == 2 and e.vtime == pytest.approx(1.5e-3)
+
+
 def failing_type(where: str):
     """A custom type whose ``where`` callback raises."""
 
