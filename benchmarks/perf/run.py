@@ -47,7 +47,11 @@ from repro.types import struct_simple_datatype  # noqa: E402
 
 FRAG_SIZE = 8192          # the fabric's pipeline granularity (LinkParams)
 MIN_TRIAL_SECONDS = 4e-3  # calibrate reps until one trial takes this long
-SPEEDUP_FLOOR = 2.0       # windowed plan-vs-reference gate (--check)
+# Windowed plan-vs-reference gate (--check). The reference engine shares the
+# typemap's memoized size/bounds accessors, which made it ~3x faster; the
+# ratio is therefore looser than it was, and absolute regressions are caught
+# by the baseline.json throughput floors instead.
+SPEEDUP_FLOOR = 1.5
 BASELINE_PATH = Path(__file__).with_name("baseline.json")
 
 

@@ -12,7 +12,11 @@ Four engines behind one CLI (``python -m repro.analyze`` or the
   application source (``RPD3xx``);
 * :mod:`~repro.analyze.flow` — a rank-symbolic abstract interpreter that
   statically verifies the whole communication structure of ``main(comm)``
-  programs (``RPD5xx``; the ``repro-analyze flow`` subcommand).
+  programs (``RPD5xx``; the ``repro-analyze flow`` subcommand);
+* :mod:`~repro.analyze.planverify` — a static verifier for the pack-plan
+  IR: well-formedness invariants, translation validation of every rewrite
+  pass, and a cost model over the final IR (``RPD6xx``; the
+  ``repro-analyze plans`` subcommand).
 
 All findings are :class:`~repro.analyze.diagnostics.Diagnostic` objects
 carrying a stable ``RPD###`` code, a severity, the nearest ``MPI_ERR_*``
@@ -26,7 +30,11 @@ from .diagnostics import (CODE_TABLE, CodeInfo, Diagnostic, SEVERITIES,
                           severity_rank, sort_diagnostics)
 from .flow import FlowReport, analyze_flow_file, analyze_flow_source
 from .lint import lint_file, lint_source
-from .cli import flow_main, main
+from .cli import flow_main, main, plans_main
+from .planverify import (MISCOMPILE_CORPUS, MiscompileFixture, PlanReport,
+                         check_wellformed, cost_findings, predict_pack_time,
+                         validate_pipeline, verify_datatype,
+                         verify_miscompile_corpus, verify_typemap)
 from .typecheck import analyze_datatype, assert_valid_datatype
 
 __all__ = [
@@ -34,18 +42,29 @@ __all__ = [
     "CodeInfo",
     "Diagnostic",
     "FlowReport",
+    "MISCOMPILE_CORPUS",
+    "MiscompileFixture",
+    "PlanReport",
     "SEVERITIES",
     "analyze_datatype",
     "analyze_flow_file",
     "analyze_flow_source",
     "assert_valid_datatype",
     "check_callback_signatures",
+    "check_wellformed",
+    "cost_findings",
     "flow_main",
     "lint_file",
     "lint_source",
     "main",
+    "plans_main",
+    "predict_pack_time",
     "run_contract_harness",
     "severity_rank",
     "sort_diagnostics",
+    "validate_pipeline",
     "verify_callbacks",
+    "verify_datatype",
+    "verify_miscompile_corpus",
+    "verify_typemap",
 ]

@@ -49,6 +49,43 @@ def _iter_py_files(paths):
     return out
 
 
+def _import_module(path: str):
+    """Import one file under a throwaway module name.
+
+    Returns ``(module, None)`` or ``(None, RPD300 Diagnostic)`` on failure.
+    """
+    modname = "_repro_analyze_" + os.path.basename(path)[:-3].replace(
+        "-", "_") + f"_{abs(hash(os.path.abspath(path))) % 10 ** 8}"
+    try:
+        spec = importlib.util.spec_from_file_location(modname, path)
+        mod = importlib.util.module_from_spec(spec)
+        sys.modules[modname] = mod
+        spec.loader.exec_module(mod)
+        return mod, None
+    except Exception as exc:
+        return None, Diagnostic(
+            "RPD300", f"import failed: {type(exc).__name__}: {exc}",
+            file=path)
+    finally:
+        sys.modules.pop(modname, None)
+
+
+def _module_datatypes(mod) -> list[tuple[str, object]]:
+    """Module-level non-underscore ``Datatype`` bindings, deduplicated."""
+    from ..core.datatype import Datatype
+
+    out: list[tuple[str, object]] = []
+    seen: set[int] = set()
+    for name, value in sorted(vars(mod).items()):
+        if name.startswith("_") or not isinstance(value, Datatype):
+            continue
+        if id(value) in seen:
+            continue
+        seen.add(id(value))
+        out.append((name, value))
+    return out
+
+
 def _import_and_analyze(path: str) -> list[Diagnostic]:
     """Import one file and analyze the datatypes it defines at module level.
 
@@ -57,30 +94,12 @@ def _import_and_analyze(path: str) -> list[Diagnostic]:
     list of dicts (``dtype``, ``send_buf``, optional ``recv_buf``/``count``/
     ``frag_size``) additionally runs the symbolic contract harness.
     """
-    from ..core.datatype import Datatype
-
-    modname = "_repro_analyze_" + os.path.basename(path)[:-3].replace(
-        "-", "_") + f"_{abs(hash(os.path.abspath(path))) % 10 ** 8}"
-    try:
-        spec = importlib.util.spec_from_file_location(modname, path)
-        mod = importlib.util.module_from_spec(spec)
-        sys.modules[modname] = mod
-        spec.loader.exec_module(mod)
-    except Exception as exc:
-        return [Diagnostic("RPD300",
-                           f"import failed: {type(exc).__name__}: {exc}",
-                           file=path)]
-    finally:
-        sys.modules.pop(modname, None)
+    mod, err = _import_module(path)
+    if err is not None:
+        return [err]
 
     diags: list[Diagnostic] = []
-    analyzed: set[int] = set()
-    for name, value in sorted(vars(mod).items()):
-        if name.startswith("_") or not isinstance(value, Datatype):
-            continue
-        if id(value) in analyzed:
-            continue
-        analyzed.add(id(value))
+    for name, value in _module_datatypes(mod):
         diags.extend(analyze_datatype(value, path=path))
     for case in getattr(mod, "ANALYZE_CONTRACT_CASES", []):
         try:
@@ -99,6 +118,35 @@ def _import_and_analyze(path: str) -> list[Diagnostic]:
 
 def _matches(code: str, patterns) -> bool:
     return any(code.startswith(p) for p in patterns)
+
+
+def _invalid_code_patterns(ns) -> list[str]:
+    """``--select``/``--ignore`` tokens that match no known RPD code.
+
+    A token is valid iff it is a prefix of at least one registered code —
+    full codes (``RPD610``) and family prefixes (``RPD6``, ``RPD61``) both
+    work; typos like ``RPD16`` or ``RDP101`` are rejected so a filter can
+    never silently match nothing.
+    """
+    bad = []
+    for spec in (ns.select, ns.ignore):
+        for token in spec.split(","):
+            if not token:
+                continue
+            if not any(code.startswith(token) for code in CODE_TABLE):
+                bad.append(token)
+    return bad
+
+
+def _reject_unknown_codes(ns) -> bool:
+    """Report invalid filter tokens; True when the run must abort."""
+    bad = _invalid_code_patterns(ns)
+    if bad:
+        print("error: unknown diagnostic code or prefix: "
+              + ", ".join(sorted(set(bad)))
+              + " (run 'repro-analyze --list-codes' for the table)",
+              file=sys.stderr)
+    return bool(bad)
 
 
 def _render_json(findings, nfiles: int) -> str:
@@ -229,12 +277,16 @@ def main(argv: Optional[list] = None) -> int:
         return sanitize_main(argv[1:])
     if argv and argv[0] == "flow":
         return flow_main(argv[1:])
+    if argv and argv[0] == "plans":
+        return plans_main(argv[1:])
     parser = build_parser()
     try:
         ns = parser.parse_args(argv)
     except SystemExit as exc:
         return int(exc.code or 0) and 2
 
+    if _reject_unknown_codes(ns):
+        return 2
     if ns.list_codes:
         print(_list_codes())
         return 0
@@ -319,6 +371,8 @@ def flow_main(argv: Optional[list] = None) -> int:
         ns = parser.parse_args(argv if argv is not None else sys.argv[1:])
     except SystemExit as exc:
         return int(exc.code or 0) and 2
+    if _reject_unknown_codes(ns):
+        return 2
     if not ns.paths:
         parser.print_usage(sys.stderr)
         print("error: no paths given", file=sys.stderr)
@@ -349,4 +403,117 @@ def flow_main(argv: Optional[list] = None) -> int:
 
     findings = _filter_findings(findings, ns)
     _emit(findings, analyzed, ns.format)
+    return 1 if findings else 0
+
+
+def build_plans_parser() -> argparse.ArgumentParser:
+    """Parser of the ``repro-analyze plans`` subcommand."""
+    p = argparse.ArgumentParser(
+        prog="repro-analyze plans",
+        description="Pack-plan IR verification (RPD6xx): translation-"
+                    "validates every rewrite pass, checks IR well-"
+                    "formedness, and runs the static cost model.  Files "
+                    "are imported (executed!) and their module-level "
+                    "datatypes verified.")
+    p.add_argument("paths", nargs="*",
+                   help="Python files or directories whose module-level "
+                        "datatypes to verify")
+    p.add_argument("--ddtbench", action="store_true",
+                   help="also verify every registered DDTBench workload "
+                        "datatype")
+    p.add_argument("--executor", choices=("auto", "slices", "gather"),
+                   default="auto",
+                   help="executor backend to compile for (default: auto)")
+    p.add_argument("--miscompile-corpus", action="store_true",
+                   help="run the seeded miscompile corpus instead of a "
+                        "clean verification (findings are EXPECTED; exits "
+                        "2 if any seeded bug goes undetected)")
+    p.add_argument("--report", metavar="FILE", default="",
+                   help="write the pass-pipeline report (one JSON entry "
+                        "per verified compilation) to FILE")
+    p.add_argument("--format", choices=("text", "json", "github"),
+                   default="text", help="output format (default: text)")
+    p.add_argument("--strict", action="store_true",
+                   help="also report perf-severity findings (RPD620 "
+                        "cost-model smells)")
+    p.add_argument("--select", default="",
+                   help="comma-separated code prefixes to keep")
+    p.add_argument("--ignore", default="",
+                   help="comma-separated code prefixes to drop")
+    return p
+
+
+def plans_main(argv: Optional[list] = None) -> int:
+    """Entry point of ``repro-analyze plans``."""
+    from .planverify import (ddtbench_corpus, verify_datatype,
+                             verify_miscompile_corpus)
+
+    parser = build_plans_parser()
+    try:
+        ns = parser.parse_args(argv if argv is not None else sys.argv[1:])
+    except SystemExit as exc:
+        return int(exc.code or 0) and 2
+    if _reject_unknown_codes(ns):
+        return 2
+
+    if ns.miscompile_corpus:
+        findings, missed = verify_miscompile_corpus()
+        for m in missed:
+            print(f"error: seeded miscompile NOT detected: {m}",
+                  file=sys.stderr)
+        findings = _filter_findings(findings, ns)
+        _emit(findings, 0, ns.format)
+        if missed:
+            return 2
+        return 1 if findings else 0
+
+    if not ns.paths and not ns.ddtbench:
+        parser.print_usage(sys.stderr)
+        print("error: no paths given (or use --ddtbench / "
+              "--miscompile-corpus)", file=sys.stderr)
+        return 2
+
+    # Collect (subject, datatype, attributed file) from every source.
+    findings: list[Diagnostic] = []
+    subjects = []
+    if ns.ddtbench:
+        for name, dt in ddtbench_corpus():
+            subjects.append((name, dt, None))
+    if ns.paths:
+        try:
+            files = _iter_py_files(ns.paths)
+        except FileNotFoundError as exc:
+            print(f"error: no such file or directory: {exc}",
+                  file=sys.stderr)
+            return 2
+        for path in files:
+            mod, err = _import_module(path)
+            if err is not None:
+                findings.append(err)
+                continue
+            for name, dt in _module_datatypes(mod):
+                subjects.append((name, dt, path))
+
+    reports = []
+    for name, dt, path in subjects:
+        for rep in verify_datatype(dt, executor=ns.executor, path=path,
+                                   subject=name):
+            reports.append(rep)
+            findings.extend(rep.diagnostics)
+
+    if ns.report:
+        doc = {
+            "version": SCHEMA_VERSION,
+            "tool": "repro.analyze.plans",
+            "executor": ns.executor,
+            "reports": [r.to_dict() for r in reports],
+            "verified": sum(1 for r in reports if r.verified),
+            "total": len(reports),
+        }
+        with open(ns.report, "w") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")
+
+    findings = _filter_findings(findings, ns)
+    _emit(findings, len(subjects), ns.format)
     return 1 if findings else 0

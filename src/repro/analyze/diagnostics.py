@@ -14,7 +14,10 @@ Numbering scheme:
 * ``RPD3xx`` — MPI-usage lints on application source files,
 * ``RPD4xx`` — dynamic findings from the runtime sanitizer,
 * ``RPD5xx`` — whole-program communication-flow verification
-  (:mod:`repro.analyze.flow`), plus tool notices (``RPD590``).
+  (:mod:`repro.analyze.flow`), plus tool notices (``RPD590``),
+* ``RPD6xx`` — pack-plan IR verification (:mod:`repro.analyze.planverify`):
+  well-formedness invariants, translation validation of the rewrite passes,
+  and the static cost model's perf smells.
 """
 
 from __future__ import annotations
@@ -23,9 +26,9 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..errors import (MPI_ERR_ARG, MPI_ERR_BUFFER, MPI_ERR_COMM,
-                      MPI_ERR_OTHER, MPI_ERR_PENDING, MPI_ERR_PROC_FAILED,
-                      MPI_ERR_REQUEST, MPI_ERR_TAG, MPI_ERR_TRUNCATE,
-                      MPI_ERR_TYPE, error_name)
+                      MPI_ERR_INTERN, MPI_ERR_OTHER, MPI_ERR_PENDING,
+                      MPI_ERR_PROC_FAILED, MPI_ERR_REQUEST, MPI_ERR_TAG,
+                      MPI_ERR_TRUNCATE, MPI_ERR_TYPE, error_name)
 
 #: Severity levels, most severe first.  ``perf`` findings (smells) and
 #: ``notice`` findings (tool status, e.g. incomplete analysis or an unused
@@ -152,6 +155,17 @@ CODE_TABLE: dict[str, CodeInfo] = {c.code: c for c in (
        "flow analysis incomplete: a value escaped the abstract domain"),
     _c("RPD590", "notice", MPI_ERR_OTHER,
        "unused noqa suppression"),
+    # -- pack-plan IR verifier (planverify.py) ----------------------------
+    _c("RPD600", "error", MPI_ERR_INTERN,
+       "plan IR writes overlapping wire (destination) offsets"),
+    _c("RPD601", "error", MPI_ERR_INTERN,
+       "plan IR source offset outside the typemap's true bounds"),
+    _c("RPD602", "error", MPI_ERR_INTERN,
+       "plan IR wire offsets are not monotone in execution order"),
+    _c("RPD610", "error", MPI_ERR_INTERN,
+       "rewrite pass miscompiled the plan: byte map changed"),
+    _c("RPD620", "perf", MPI_ERR_TYPE,
+       "final plan IR predicted slow by the static cost model"),
 )}
 
 

@@ -23,6 +23,9 @@ from .packing import (pack, pack_reference, pack_window,
                       unpack, unpack_reference, unpack_window,
                       unpack_window_reference)
 from .packplan import PackCursor, PackPlan, UnpackCursor
+from .planir import (CopyBlock, Gather, Pass, Program, StridedLoop,
+                     byte_map, default_pipeline, get_default_executor,
+                     lower_typemap, run_pipeline, set_default_executor)
 from .regions import Region, region_lengths, total_region_bytes
 from .callbacks import (CallbackSet, OperationState, PackFn, QueryFn,
                         RegionCountFn, RegionFn, StateFn, StateFreeFn,
@@ -60,6 +63,10 @@ __all__ = [
     "unpack_window_reference",
     # compiled pack plans
     "PackPlan", "PackCursor", "UnpackCursor",
+    # pack-plan IR (ops, passes, executors)
+    "CopyBlock", "StridedLoop", "Gather", "Program", "Pass",
+    "lower_typemap", "byte_map", "default_pipeline", "run_pipeline",
+    "set_default_executor", "get_default_executor",
     # regions
     "Region", "region_lengths", "total_region_bytes",
     # custom API

@@ -10,9 +10,15 @@ fast; this module is that compiler.
 
 * :class:`PackPlan` — everything layout-derived and count-independent,
   compiled once per ``(typemap identity, count-class)`` and cached through
-  :func:`repro.core.typecache.pack_plan`: the merged block list, the
-  column-slice table of the strided 2-D walk, an optional fancy-gather
-  column index for block-rich types, and the contiguous fast-path decision.
+  :func:`repro.core.typecache.pack_plan`.  Compilation lowers the typemap
+  into the :mod:`repro.core.planir` op IR, runs the rewrite pass pipeline
+  (block coalescing, stride canonicalization, loop collapsing, contiguity
+  promotion, gather formation), and binds an executor backend to the final
+  IR; the contiguous fast-path decision stays at the plan level.  The
+  lowered IR, the applied pass names, and the resolved backend are exposed
+  as ``plan.ir`` / ``plan.passes`` / ``plan.executor`` so the static
+  verifier (:mod:`repro.analyze.planverify`) can re-check exactly what
+  executes.
 * :class:`PackCursor` / :class:`UnpackCursor` — per-request streaming state
   for the GENERIC fragment pipeline.  A cursor packs (or scatters) each
   element range exactly once into a pooled scratch buffer; successive
@@ -31,22 +37,15 @@ import numpy as np
 
 from ..errors import MPI_ERR_BUFFER, MPIError
 from .datatype import Datatype
+from .planir import (IRExecutor, default_pipeline, get_default_executor,
+                     lower_typemap, run_pipeline)
 
-#: Count classes a plan may be compiled for.  ``COUNT_ONE`` plans execute a
-#: flat slice loop (no strided view setup); ``COUNT_MANY`` plans execute the
-#: vectorized strided-2D walk.
+#: Count classes a plan may be compiled for.  ``COUNT_ONE`` plans may form
+#: gathers regardless of row aliasing (a single element has no inter-row
+#: scatter-order hazard); ``COUNT_MANY`` plans keep the vectorized
+#: cross-element guarantees (see :func:`repro.core.planir.form_gather_pass`).
 COUNT_ONE = 1
 COUNT_MANY = 2
-
-#: Merged-block count at or above which the 2-D walk considers a single
-#: fancy-indexed gather/scatter instead of one strided copy per block.
-_GATHER_MIN_BLOCKS = 32
-#: Fancy indexing gathers byte-by-byte, so it only beats the per-block slice
-#: loop when the blocks are too small to amortize a memcpy each.
-_GATHER_MAX_BLOCK_LEN = 4
-#: Never materialize gather indices for elements larger than this (the index
-#: array costs 8 bytes per packed byte).
-_GATHER_MAX_SIZE = 1 << 16
 
 _NEGATIVE_DISPL_MSG = "negative displacements are not supported"
 
@@ -70,10 +69,11 @@ class PackPlan:
     """
 
     __slots__ = ("size", "extent", "row_span", "true_ub", "contiguous",
-                 "negative_lb", "nblocks", "col_slices", "gather_cols",
-                 "count_cls")
+                 "negative_lb", "nblocks", "count_cls", "ir", "passes",
+                 "executor", "_exec")
 
-    def __init__(self, tm, count_cls: int = COUNT_MANY):
+    def __init__(self, tm, count_cls: int = COUNT_MANY,
+                 executor: str | None = None):
         self.count_cls = count_cls
         self.size = tm.size
         self.extent = tm.extent
@@ -81,29 +81,18 @@ class PackPlan:
         self.row_span = max(tm.true_ub, tm.extent)
         self.contiguous = tm.is_contiguous
         self.negative_lb = tm.true_lb < 0
-        merged = tm.merged_blocks()
-        self.nblocks = len(merged)
-        # Column-slice table: (packed_lo, packed_hi, mem_lo, mem_hi) per
-        # merged block, both for the 2-D columns and the count==1 flat loop.
-        slices = []
-        pos = 0
-        for b in merged:
-            slices.append((pos, pos + b.length, b.offset, b.end))
-            pos += b.length
-        self.col_slices: tuple[tuple[int, int, int, int], ...] = tuple(slices)
-        # Fancy gather/scatter index: one numpy call instead of a per-block
-        # python loop.  Only safe when rows of the strided view are disjoint
-        # (row_span <= extent); overlapping elements must keep the reference
-        # per-block write order.
-        self.gather_cols: np.ndarray | None = None
-        if (count_cls == COUNT_MANY
-                and not self.contiguous
-                and self.nblocks >= _GATHER_MIN_BLOCKS
-                and self.size <= _GATHER_MAX_SIZE
-                and self.size <= self.nblocks * _GATHER_MAX_BLOCK_LEN
-                and self.row_span <= tm.extent):
-            self.gather_cols = np.concatenate(
-                [np.arange(b.offset, b.end, dtype=np.intp) for b in merged])
+        self.nblocks = len(tm.merged_blocks())
+        # Lower to the op IR and canonicalize.  COUNT_ONE plans never
+        # vectorize across element rows, so gather formation need not guard
+        # against aliasing rows (row_span > extent).
+        if executor is None:
+            executor = get_default_executor()
+        pipeline = default_pipeline(many_rows=(count_cls == COUNT_MANY),
+                                    executor=executor)
+        self.ir, self.passes = run_pipeline(lower_typemap(tm), pipeline)
+        self._exec = IRExecutor(self.ir)
+        #: Resolved backend: ``contig`` fast path, ``slices``, or ``gather``.
+        self.executor = "contig" if self.contiguous else self._exec.kind
 
     # -- execution ---------------------------------------------------------
     # Callers (repro.core.packing) validate buffer sizes and handle count==0
@@ -125,28 +114,19 @@ class PackPlan:
             return
         if self.negative_lb:
             raise MPIError(MPI_ERR_BUFFER, _NEGATIVE_DISPL_MSG)
-        ext = self.extent
-        slices = self.col_slices
+        ex = self._exec
         if count == 1:
-            for pos, pend, off, oend in slices:
-                out[pos:pend] = src[off:oend]
+            ex.pack_one(src, out)
             return
         full_rows = self._full_rows(src.shape[0], count)
         if full_rows:
-            rows = np.lib.stride_tricks.as_strided(
-                src, shape=(full_rows, self.row_span), strides=(ext, 1),
-                writeable=False)
-            out2d = out[: full_rows * size].reshape(full_rows, size)
-            if self.gather_cols is not None:
-                np.take(rows, self.gather_cols, axis=1, out=out2d)
-            else:
-                for pos, pend, off, oend in slices:
-                    out2d[:, pos:pend] = rows[:, off:oend]
+            ex.pack_rows(src, out, full_rows)
+        ext = self.extent
         for i in range(full_rows, count):
-            base = i * ext
-            p = i * size
-            for pos, pend, off, oend in slices:
-                out[p + pos:p + pend] = src[base + off:base + oend]
+            # The short final element: its buffer stops at true_ub, so the
+            # strided cross-row view cannot cover it.  Leaf offsets never
+            # exceed true_ub, so element-based execution is in bounds.
+            ex.pack_one(src[i * ext:], out[i * size:])
 
     def unpack_into(self, dst: np.ndarray, count: int,
                     packed: np.ndarray) -> None:
@@ -158,32 +138,22 @@ class PackPlan:
             return
         if self.negative_lb:
             raise MPIError(MPI_ERR_BUFFER, _NEGATIVE_DISPL_MSG)
-        ext = self.extent
-        slices = self.col_slices
+        ex = self._exec
         if count == 1:
-            for pos, pend, off, oend in slices:
-                dst[off:oend] = packed[pos:pend]
+            ex.unpack_one(dst, packed)
             return
         full_rows = self._full_rows(dst.shape[0], count)
         if full_rows:
-            rows = np.lib.stride_tricks.as_strided(
-                dst, shape=(full_rows, self.row_span), strides=(ext, 1))
-            src2d = packed[: full_rows * size].reshape(full_rows, size)
-            if self.gather_cols is not None:
-                rows[:, self.gather_cols] = src2d
-            else:
-                for pos, pend, off, oend in slices:
-                    rows[:, off:oend] = src2d[:, pos:pend]
+            ex.unpack_rows(dst, packed, full_rows)
+        ext = self.extent
         for i in range(full_rows, count):
-            base = i * ext
-            p = i * size
-            for pos, pend, off, oend in slices:
-                dst[base + off:base + oend] = packed[p + pos:p + pend]
+            ex.unpack_one(dst[i * ext:], packed[i * size:])
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         kind = "contig" if self.contiguous else f"{self.nblocks} blocks"
         return (f"PackPlan({kind}, size={self.size}, extent={self.extent}, "
-                f"cls={self.count_cls})")
+                f"cls={self.count_cls}, executor={self.executor}, "
+                f"passes={list(self.passes)})")
 
 
 # ---------------------------------------------------------------------------

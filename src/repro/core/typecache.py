@@ -97,7 +97,8 @@ PLAN_CACHE_MAXSIZE = 256
 _plan_lock = threading.Lock()
 _plans: OrderedDict[tuple[int, int], PackPlan] = OrderedDict()
 _plan_finalizers: dict[int, weakref.finalize] = {}
-_plan_stats = {"hits": 0, "misses": 0, "evictions": 0}
+_plan_stats = {"hits": 0, "contig_hits": 0, "compiled_hits": 0,
+               "misses": 0, "evictions": 0}
 
 
 def _evict_typemap_plans(tm_id: int) -> None:
@@ -126,6 +127,13 @@ def pack_plan(dtype: Datatype, count: int) -> PackPlan:
         if plan is not None:
             _plans.move_to_end(key)
             _plan_stats["hits"] += 1
+            # Bucket by what the hit saved: a contiguous fast-path plan is
+            # a trivial memcpy decision, a compiled plan skipped the full
+            # IR lowering + pass pipeline.
+            if plan.contiguous:
+                _plan_stats["contig_hits"] += 1
+            else:
+                _plan_stats["compiled_hits"] += 1
             return plan
         _plan_stats["misses"] += 1
     # Compile outside the lock (pure function of the immutable typemap; a
@@ -144,7 +152,12 @@ def pack_plan(dtype: Datatype, count: int) -> PackPlan:
 
 
 def plan_cache_info() -> dict[str, int]:
-    """Plan-cache statistics: size, hits, misses, evictions."""
+    """Plan-cache statistics: size, hits, misses, evictions.
+
+    ``hits`` is the total; ``contig_hits``/``compiled_hits`` split it by
+    whether the served plan was a contiguous fast-path plan or a compiled
+    (IR-lowered) one, so the pipeline's cache behaviour is observable.
+    """
     with _plan_lock:
         return {"size": len(_plans), **_plan_stats}
 

@@ -77,18 +77,22 @@ class Typemap:
         Rust ``#[repr(C)]`` types have it).
     """
 
-    __slots__ = ("blocks", "lb", "extent", "_merged", "_signature",
-                 "__weakref__")
+    __slots__ = ("blocks", "lb", "extent", "_merged", "_signature", "_size",
+                 "_true_lb", "_true_ub", "__weakref__")
 
     def __init__(self, blocks: Iterable[Block], lb: int | None = None,
                  extent: int | None = None):
         self.blocks: tuple[Block, ...] = tuple(blocks)
-        #: Lazily memoized merged_blocks()/signature() results.  A typemap is
-        #: immutable after construction, so both are computed at most once
-        #: per instance (they used to be recomputed on every pack and every
-        #: sanitizer envelope stamp).
+        #: Lazily memoized derived quantities.  A typemap is immutable after
+        #: construction, so each is computed at most once per instance (they
+        #: used to be recomputed on every pack and every sanitizer envelope
+        #: stamp; ``size``/``true_ub`` are on the per-pack hot path through
+        #: ``packed_size``/``required_span``).
         self._merged: tuple[Block, ...] | None = None
         self._signature: tuple[tuple[str, int], ...] | None = None
+        self._size: int | None = None
+        self._true_lb: int | None = None
+        self._true_ub: int | None = None
         if not self.blocks and (lb is None or extent is None):
             raise ValueError("empty typemap requires explicit lb and extent")
         nat_lb = min((b.offset for b in self.blocks), default=0)
@@ -103,7 +107,9 @@ class Typemap:
     @property
     def size(self) -> int:
         """Packed size in bytes (sum of block lengths)."""
-        return sum(b.length for b in self.blocks)
+        if self._size is None:
+            self._size = sum(b.length for b in self.blocks)
+        return self._size
 
     @property
     def ub(self) -> int:
@@ -112,11 +118,17 @@ class Typemap:
     @property
     def true_lb(self) -> int:
         """Lowest displacement actually covered by data."""
-        return min((b.offset for b in self.blocks), default=self.lb)
+        if self._true_lb is None:
+            self._true_lb = min((b.offset for b in self.blocks),
+                                default=self.lb)
+        return self._true_lb
 
     @property
     def true_ub(self) -> int:
-        return max((b.end for b in self.blocks), default=self.lb)
+        if self._true_ub is None:
+            self._true_ub = max((b.end for b in self.blocks),
+                                default=self.lb)
+        return self._true_ub
 
     @property
     def true_extent(self) -> int:

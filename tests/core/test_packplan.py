@@ -9,7 +9,8 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import (FLOAT64, INT32, PackCursor, UnpackCursor,
-                        clear_plan_cache, create_struct, pack, pack_plan,
+                        clear_plan_cache, contiguous, create_struct, pack,
+                        pack_plan,
                         pack_reference, pack_window, pack_window_reference,
                         packed_size, plan_cache_info, required_span, resized,
                         unpack, unpack_reference, unpack_window,
@@ -279,6 +280,19 @@ class TestPlanCache:
         hits_before = info["hits"]
         pack(t, src, 8)
         assert plan_cache_info()["hits"] > hits_before
+
+    def test_hits_split_by_plan_kind(self):
+        noncontig = struct_simple_datatype()
+        contig = contiguous(4, INT32)
+        src = make_struct_simple(8)
+        flat = np.arange(4, dtype=np.int32).view(np.uint8)
+        for _ in range(2):  # second round hits the cache
+            pack(noncontig, src, 8)
+            pack(contig, flat, 1)
+        info = plan_cache_info()
+        assert info["contig_hits"] >= 1
+        assert info["compiled_hits"] >= 1
+        assert info["hits"] == info["contig_hits"] + info["compiled_hits"]
 
     def test_count_classes_are_distinct_plans(self):
         t = struct_simple_datatype()

@@ -1,0 +1,287 @@
+"""Pack-plan IR tests: lowering, rewrite passes, byte-map preservation,
+and executor equivalence (slices vs gather vs the reference engine)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (FLOAT64, INT32, CopyBlock, Gather, PackPlan, Program,
+                        StridedLoop, byte_map, contiguous, create_struct,
+                        default_pipeline, get_default_executor, hindexed,
+                        lower_typemap, pack, pack_reference, required_span,
+                        resized, run_pipeline, set_default_executor, unpack,
+                        unpack_reference, vector)
+from repro.core import planir
+from repro.core.typemap import Typemap
+from repro.ddtbench.registry import WORKLOADS, make_workload
+
+DDTBENCH_NAMES = sorted(WORKLOADS)
+
+
+def descending_hindexed(nblocks=8, blocklen=4):
+    """Blocks adjacent in memory but packed in descending address order:
+    the canonical negative-source-stride layout (true_lb stays 0)."""
+    displs = [(nblocks - 1 - i) * blocklen for i in range(nblocks)]
+    return hindexed([1] * nblocks, displs, INT32)
+
+
+def short_final_t():
+    """extent 16 but true_ub 4: the buffer may stop 12 bytes short."""
+    return resized(create_struct([1], [0], [INT32]), 0, 16)
+
+
+class TestLowering:
+    def test_one_copy_per_merged_block_dense_wire(self):
+        t = create_struct([1, 1], [0, 8], [INT32, INT32])
+        prog = lower_typemap(t.typemap)
+        assert prog.ops == (CopyBlock(0, 0, 4), CopyBlock(8, 4, 4))
+        assert prog.size == 8
+
+    def test_empty_typemap_lowers_to_no_ops(self):
+        prog = lower_typemap(Typemap((), lb=0, extent=8))
+        assert prog.ops == ()
+        assert byte_map(prog).shape == (0,)
+
+    def test_byte_map_of_initial_ir_is_identity_per_block(self):
+        t = vector(4, 1, 2, FLOAT64)
+        bm = byte_map(lower_typemap(t.typemap))
+        expect = np.concatenate(
+            [np.arange(i * 16, i * 16 + 8) for i in range(4)])
+        assert np.array_equal(bm, expect)
+
+
+class TestPasses:
+    def test_coalesce_merges_adjacent_blocks(self):
+        prog = Program((CopyBlock(0, 0, 4), CopyBlock(4, 4, 4),
+                        CopyBlock(12, 8, 4)), size=12, extent=16,
+                       row_span=16, src_lo=0, src_hi=16)
+        out = planir.coalesce_blocks(prog)
+        assert out.ops == (CopyBlock(0, 0, 8), CopyBlock(12, 8, 4))
+
+    def test_canonicalize_forms_strided_loop(self):
+        t = vector(16, 1, 2, FLOAT64)
+        prog, applied = run_pipeline(lower_typemap(t.typemap))
+        assert applied == ("canonicalize-strides",)
+        assert len(prog.ops) == 1
+        lp = prog.ops[0]
+        assert isinstance(lp, StridedLoop)
+        assert (lp.count, lp.src_stride, lp.dst_stride) == (16, 16, 8)
+
+    def test_canonicalize_handles_negative_src_stride(self):
+        t = descending_hindexed()
+        prog, _ = run_pipeline(lower_typemap(t.typemap))
+        (lp,) = prog.ops
+        assert isinstance(lp, StridedLoop)
+        assert lp.src_stride == -4 and lp.dst_stride == 4
+        assert np.array_equal(byte_map(prog),
+                              byte_map(lower_typemap(t.typemap)))
+
+    def test_promote_contiguity_turns_gapfree_loop_into_copy(self):
+        lp = StridedLoop(4, 8, 8, (CopyBlock(0, 0, 8),))
+        prog = Program((lp,), size=32, extent=32, row_span=32,
+                       src_lo=0, src_hi=32)
+        out = planir.promote_contiguity(prog)
+        assert out.ops == (CopyBlock(0, 0, 32),)
+
+    def test_collapse_flattens_perfectly_tiling_nest(self):
+        inner = StridedLoop(4, 8, 8, (CopyBlock(0, 0, 4),))
+        outer = StridedLoop(3, 32, 32, (inner,))
+        prog = Program((outer,), size=48, extent=96, row_span=96,
+                       src_lo=0, src_hi=96)
+        out = planir.collapse_loops(prog)
+        (lp,) = out.ops
+        assert (lp.count, lp.src_stride, lp.dst_stride) == (12, 8, 8)
+        assert np.array_equal(byte_map(out), byte_map(prog))
+
+    def test_collapse_inlines_single_iteration_loop(self):
+        prog = Program((StridedLoop(1, 99, 99, (CopyBlock(3, 0, 4),)),),
+                       size=4, extent=16, row_span=16, src_lo=0, src_hi=16)
+        out = planir.collapse_loops(prog)
+        assert out.ops == (CopyBlock(3, 0, 4),)
+
+    def test_form_gather_respects_aliasing_guard(self):
+        # row_span > extent models overlapping elements: vectorized scatter
+        # would break write order, so gather must not form for many_rows.
+        ops = tuple(CopyBlock(i * 3, i * 2, 2) for i in range(40))
+        prog = Program(ops, size=80, extent=100, row_span=130,
+                       src_lo=0, src_hi=130)
+        assert planir.form_gather_pass(many_rows=True)(prog).ops == ops
+        forced = planir.form_gather_pass(many_rows=False)(prog)
+        assert isinstance(forced.ops[0], Gather)
+
+    @pytest.mark.parametrize("name", DDTBENCH_NAMES)
+    def test_pipeline_preserves_byte_map_on_ddtbench(self, name):
+        tm = make_workload(name).derived_datatype().typemap
+        prog = lower_typemap(tm)
+        for many_rows in (False, True):
+            final, _ = run_pipeline(prog, default_pipeline(many_rows))
+            assert np.array_equal(byte_map(final), byte_map(prog)), name
+
+    @pytest.mark.parametrize("name", DDTBENCH_NAMES)
+    def test_ddtbench_canonical_form_is_one_call(self, name):
+        tm = make_workload(name).derived_datatype().typemap
+        final, _ = run_pipeline(lower_typemap(tm),
+                                default_pipeline(many_rows=False))
+        assert planir.leaf_calls(final.ops) == 1, \
+            "every Table I layout must canonicalize to a single numpy call"
+
+
+class TestExecutorEquivalence:
+    """Satellite: gather/slices equivalence under negative strides,
+    zero-count blocks, and short-final-element layouts."""
+
+    def cases(self):
+        rng = np.random.default_rng(7)
+        out = []
+        for name in ("WRF_x_vec", "MILC", "LAMMPS"):
+            w = make_workload(name)
+            out.append((name, w.derived_datatype(), w.make_send_buffer(), 1))
+        t = vector(16, 1, 2, FLOAT64)
+        out.append(("vector", t,
+                    rng.integers(0, 256, required_span(t, 12),
+                                 dtype=np.uint8), 12))
+        t = descending_hindexed()
+        out.append(("neg-stride", t,
+                    rng.integers(0, 256, required_span(t, 9),
+                                 dtype=np.uint8), 9))
+        t = short_final_t()
+        out.append(("short-final", t,
+                    rng.integers(0, 256, required_span(t, 5),
+                                 dtype=np.uint8), 5))
+        return out
+
+    @pytest.mark.parametrize("executor", ["slices", "gather"])
+    def test_forced_executor_matches_reference(self, executor):
+        for name, t, src, count in self.cases():
+            plan = PackPlan(t.typemap, count_cls=2, executor=executor)
+            out = np.empty(t.size * count, dtype=np.uint8)
+            plan.pack_into(src, count, out)
+            assert bytes(out) == bytes(pack_reference(t, src, count)), \
+                (name, executor)
+            dst = np.full(src.shape[0], 0xA5, dtype=np.uint8)
+            ref = np.full(src.shape[0], 0xA5, dtype=np.uint8)
+            plan.unpack_into(dst, count, out)
+            unpack_reference(t, ref, count, out)
+            assert bytes(dst) == bytes(ref), (name, executor)
+
+    def test_zero_count_blocks(self):
+        t = contiguous(0, INT32)
+        empty = np.zeros(0, dtype=np.uint8)
+        assert pack(t, empty, 3).shape == (0,)
+        unpack(t, empty, 3, np.zeros(0, dtype=np.uint8))  # must not raise
+        for executor in ("slices", "gather"):
+            plan = PackPlan(t.typemap, executor=executor)
+            plan.pack_into(empty, 1, np.zeros(0, dtype=np.uint8))
+
+    def test_gather_executor_on_aliasing_rows_keeps_write_order(self):
+        # extent < true_ub: successive elements overlap in memory, so the
+        # unpack scatter must fall back to reference (per-element) order.
+        t = resized(create_struct([2], [0], [INT32]), 0, 4)
+        count = 6
+        span = required_span(t, count)
+        rng = np.random.default_rng(21)
+        src = rng.integers(0, 256, span, dtype=np.uint8)
+        plan = PackPlan(t.typemap, count_cls=2, executor="gather")
+        packed = np.empty(t.size * count, dtype=np.uint8)
+        plan.pack_into(src, count, packed)
+        assert bytes(packed) == bytes(pack_reference(t, src, count))
+        dst = np.zeros(span, dtype=np.uint8)
+        ref = np.zeros(span, dtype=np.uint8)
+        plan.unpack_into(dst, count, packed)
+        unpack_reference(t, ref, count, packed)
+        assert bytes(dst) == bytes(ref)
+
+
+class TestExecutorConfig:
+    def teardown_method(self):
+        set_default_executor("auto")
+
+    def test_set_default_executor_round_trip(self):
+        assert get_default_executor() == "auto"
+        set_default_executor("gather")
+        assert get_default_executor() == "gather"
+        t = create_struct([1, 1], [0, 8], [INT32, INT32])
+        assert PackPlan(t.typemap).executor == "gather"
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            set_default_executor("simd")
+        with pytest.raises(ValueError, match="unknown executor"):
+            default_pipeline(executor="simd")
+        assert get_default_executor() == "auto"
+
+
+# -- property-based ----------------------------------------------------------
+
+@st.composite
+def random_struct(draw):
+    nfields = draw(st.integers(1, 5))
+    fields = []
+    offset = 0
+    for _ in range(nfields):
+        offset += draw(st.integers(0, 8))
+        ftype = draw(st.sampled_from([INT32, FLOAT64]))
+        blen = draw(st.integers(1, 4))
+        fields.append((blen, offset, ftype))
+        offset += blen * ftype.size
+    extent = offset + draw(st.integers(0, 8))
+    t = create_struct([f[0] for f in fields], [f[1] for f in fields],
+                      [f[2] for f in fields])
+    return resized(t, 0, extent)
+
+
+@st.composite
+def random_descending_hindexed(draw):
+    """Blocks at strictly descending displacements (negative strides after
+    canonicalization), lowest displacement pinned at 0."""
+    nblocks = draw(st.integers(2, 10))
+    gap = draw(st.integers(0, 6))
+    blocklen = draw(st.integers(1, 3))
+    step = blocklen * 4 + gap
+    displs = [(nblocks - 1 - i) * step for i in range(nblocks)]
+    return hindexed([blocklen] * nblocks, displs, INT32)
+
+
+class TestPlanIRProperties:
+    @settings(deadline=None)
+    @given(random_struct(), st.integers(0, 24),
+           st.sampled_from(["slices", "gather"]))
+    def test_executors_match_reference(self, t, count, executor):
+        rng = np.random.default_rng(0)
+        src = rng.integers(0, 256, max(required_span(t, count), 1),
+                           dtype=np.uint8)
+        plan = PackPlan(t.typemap, count_cls=(1 if count == 1 else 2),
+                        executor=executor)
+        out = np.empty(t.size * count, dtype=np.uint8)
+        if count:
+            plan.pack_into(src, count, out)
+        assert bytes(out) == bytes(pack_reference(t, src, count))
+
+    @settings(deadline=None)
+    @given(random_descending_hindexed(), st.integers(1, 8),
+           st.sampled_from(["slices", "gather"]))
+    def test_negative_stride_executors_match_reference(self, t, count,
+                                                       executor):
+        rng = np.random.default_rng(1)
+        src = rng.integers(0, 256, required_span(t, count), dtype=np.uint8)
+        plan = PackPlan(t.typemap, count_cls=(1 if count == 1 else 2),
+                        executor=executor)
+        out = np.empty(t.size * count, dtype=np.uint8)
+        plan.pack_into(src, count, out)
+        assert bytes(out) == bytes(pack_reference(t, src, count))
+        dst = np.full(src.shape[0], 0x5A, dtype=np.uint8)
+        ref = np.full(src.shape[0], 0x5A, dtype=np.uint8)
+        plan.unpack_into(dst, count, out)
+        unpack_reference(t, ref, count, out)
+        assert bytes(dst) == bytes(ref)
+
+    @settings(deadline=None)
+    @given(random_struct())
+    def test_pipeline_always_preserves_byte_map(self, t):
+        prog = lower_typemap(t.typemap)
+        for many_rows in (False, True):
+            for executor in ("auto", "slices", "gather"):
+                final, _ = run_pipeline(
+                    prog, default_pipeline(many_rows, executor))
+                assert np.array_equal(byte_map(final), byte_map(prog))
