@@ -220,6 +220,21 @@ def bench_ddtbench(names: list[str], k: int) -> dict:
     return out
 
 
+def bench_protomodel(nranks: int, depth: int) -> dict:
+    """Model-checker throughput: states explored per second of wall clock
+    over the builtin scenario suite (the `proto-verify` CI job's cost)."""
+    from repro.analyze.protomodel import verify_shipped
+
+    report = verify_shipped(nranks=nranks, depth=depth)
+    return {"nranks": nranks, "depth": depth,
+            "scenarios": len(report.results),
+            "states": report.states,
+            "transitions": sum(r.transitions for r in report.results),
+            "seconds": report.elapsed,
+            "states_per_s": report.states_per_s,
+            "clean": not report.diagnostics}
+
+
 # ---------------------------------------------------------------------------
 # gates
 # ---------------------------------------------------------------------------
@@ -250,6 +265,10 @@ def check_results(report: dict) -> list[str]:
                     f"{floor:.0f} MB/s (>2x regression)")
     else:
         failures.append(f"baseline file missing: {BASELINE_PATH}")
+    pm = report.get("protomodel")
+    if pm is not None and not pm["clean"]:
+        failures.append("protomodel: shipped protocol has model-checker "
+                        "findings (run `repro-analyze proto`)")
     return failures
 
 
@@ -291,6 +310,13 @@ def main(argv=None) -> int:
     print(f"{'derived pingpong':24s} "
           f"{report['message_rate']['msgs_per_s']:8.0f} msgs/s")
     report["ddtbench_roundtrip"] = bench_ddtbench(ddt_names, k)
+
+    report["protomodel"] = bench_protomodel(nranks=2 if args.quick else 3,
+                                            depth=60)
+    pm = report["protomodel"]
+    print(f"{'protocol model check':24s} {pm['states_per_s']:8.0f} states/s "
+          f"({pm['states']} states, {pm['scenarios']} scenarios, "
+          f"{'clean' if pm['clean'] else 'FINDINGS'})")
 
     failures = check_results(report) if args.check else []
     report["checks"] = {"enforced": args.check, "failures": failures}

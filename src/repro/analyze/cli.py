@@ -279,6 +279,8 @@ def main(argv: Optional[list] = None) -> int:
         return flow_main(argv[1:])
     if argv and argv[0] == "plans":
         return plans_main(argv[1:])
+    if argv and argv[0] == "proto":
+        return proto_main(argv[1:])
     parser = build_parser()
     try:
         ns = parser.parse_args(argv)
@@ -516,4 +518,126 @@ def plans_main(argv: Optional[list] = None) -> int:
 
     findings = _filter_findings(findings, ns)
     _emit(findings, len(subjects), ns.format)
+    return 1 if findings else 0
+
+
+def build_proto_parser() -> argparse.ArgumentParser:
+    """Parser of the ``repro-analyze proto`` subcommand."""
+    p = argparse.ArgumentParser(
+        prog="repro-analyze proto",
+        description="Protocol verification (RPD7xx): bounded model "
+                    "checking of the wire protocol's state machine over "
+                    "all action interleavings, plus (--conformance) a "
+                    "live-transport conformance sweep against the model's "
+                    "predictions.")
+    p.add_argument("--ranks", type=int, default=3,
+                   help="ranks in the model-checked scenarios, 2-4 "
+                        "(default: 3)")
+    p.add_argument("--depth", type=int, default=60,
+                   help="interleaving depth bound (default: 60)")
+    p.add_argument("--max-states", type=int, default=200_000,
+                   help="per-scenario state-count safety valve "
+                        "(default: 200000)")
+    p.add_argument("--faults", default="",
+                   help="comma-separated fault actions to model "
+                        "(drop,corrupt,duplicate,reorder,crash; "
+                        "default: all)")
+    p.add_argument("--no-por", action="store_true",
+                   help="disable the partial-order reduction (explores "
+                        "the full interleaving set; for debugging)")
+    p.add_argument("--conformance", action="store_true",
+                   help="also run model traces against the live "
+                        "transport (RPD720 on divergence)")
+    p.add_argument("--mutants", action="store_true",
+                   help="run the seeded protocol-mutant corpus instead "
+                        "of a clean verification (findings are EXPECTED; "
+                        "exits 2 if any mutant escapes its designated "
+                        "RPD code)")
+    p.add_argument("--report", metavar="FILE", default="",
+                   help="write the exploration report (states, "
+                        "transitions, wall time, states/s per scenario) "
+                        "to FILE as JSON")
+    p.add_argument("--format", choices=("text", "json", "github"),
+                   default="text", help="output format (default: text)")
+    p.add_argument("--strict", action="store_true",
+                   help="also report perf- and notice-severity findings")
+    p.add_argument("--select", default="",
+                   help="comma-separated code prefixes to keep")
+    p.add_argument("--ignore", default="",
+                   help="comma-separated code prefixes to drop")
+    return p
+
+
+_FAULT_KINDS = ("drop", "corrupt", "duplicate", "reorder", "crash")
+
+
+def proto_main(argv: Optional[list] = None) -> int:
+    """Entry point of ``repro-analyze proto``."""
+    from .protomodel import run_mutant_corpus, verify_shipped
+
+    parser = build_proto_parser()
+    try:
+        ns = parser.parse_args(argv if argv is not None else sys.argv[1:])
+    except SystemExit as exc:
+        return int(exc.code or 0) and 2
+    if _reject_unknown_codes(ns):
+        return 2
+    if not 2 <= ns.ranks <= 4:
+        print("error: --ranks must be 2, 3 or 4", file=sys.stderr)
+        return 2
+    fault_kinds = None
+    if ns.faults:
+        kinds = [k for k in ns.faults.split(",") if k]
+        bad = [k for k in kinds if k not in _FAULT_KINDS]
+        if bad:
+            print("error: unknown fault action(s): " + ", ".join(bad)
+                  + " (choose from " + ",".join(_FAULT_KINDS) + ")",
+                  file=sys.stderr)
+            return 2
+        fault_kinds = frozenset(kinds)
+
+    report_doc = {"version": SCHEMA_VERSION, "tool": "repro.analyze.proto",
+                  "ranks": ns.ranks, "depth": ns.depth}
+
+    if ns.mutants:
+        findings, missed, model_report = run_mutant_corpus(
+            nranks=ns.ranks, depth=ns.depth, max_states=ns.max_states)
+        for m in missed:
+            print(f"error: protocol mutant NOT detected: {m}",
+                  file=sys.stderr)
+        report_doc["model"] = model_report.to_dict()
+        report_doc["mutants_missed"] = missed
+        findings = _filter_findings(findings, ns)
+        _emit(findings, len(model_report.results), ns.format)
+        if ns.report:
+            with open(ns.report, "w") as fh:
+                json.dump(report_doc, fh, indent=2)
+                fh.write("\n")
+        if missed:
+            return 2
+        return 1 if findings else 0
+
+    findings: list[Diagnostic] = []
+    model_report = verify_shipped(nranks=ns.ranks, depth=ns.depth,
+                                  fault_kinds=fault_kinds,
+                                  max_states=ns.max_states,
+                                  por=not ns.no_por)
+    findings.extend(model_report.diagnostics)
+    report_doc["model"] = model_report.to_dict()
+    nscen = len(model_report.results)
+
+    if ns.conformance:
+        from .protoconform import run_conformance
+        conf = run_conformance()
+        findings.extend(conf.diagnostics)
+        report_doc["conformance"] = conf.to_dict()
+        nscen += len(conf.cases)
+
+    if ns.report:
+        with open(ns.report, "w") as fh:
+            json.dump(report_doc, fh, indent=2)
+            fh.write("\n")
+
+    findings = _filter_findings(findings, ns)
+    _emit(findings, nscen, ns.format)
     return 1 if findings else 0

@@ -17,7 +17,12 @@ Numbering scheme:
   (:mod:`repro.analyze.flow`), plus tool notices (``RPD590``),
 * ``RPD6xx`` — pack-plan IR verification (:mod:`repro.analyze.planverify`):
   well-formedness invariants, translation validation of the rewrite passes,
-  and the static cost model's perf smells.
+  and the static cost model's perf smells,
+* ``RPD7xx`` — protocol model checking and transport conformance
+  (:mod:`repro.analyze.protomodel` / :mod:`repro.analyze.protoconform`):
+  exhaustively explored interleaving violations (deadlock, loss,
+  duplicate delivery, pool misuse, ULFM breaks, retry divergence) and
+  model/implementation divergence on live traffic.
 """
 
 from __future__ import annotations
@@ -166,6 +171,26 @@ CODE_TABLE: dict[str, CodeInfo] = {c.code: c for c in (
        "rewrite pass miscompiled the plan: byte map changed"),
     _c("RPD620", "perf", MPI_ERR_TYPE,
        "final plan IR predicted slow by the static cost model"),
+    # -- protocol model checker (protomodel.py / protoconform.py) ---------
+    _c("RPD700", "error", MPI_ERR_PENDING,
+       "protocol deadlock: a reachable quiescent state leaves ranks stuck"),
+    _c("RPD701", "error", MPI_ERR_OTHER,
+       "lost message: send completed, payload never delivered, no failure "
+       "reported"),
+    _c("RPD702", "error", MPI_ERR_OTHER,
+       "delivery the seq/CRC layer must suppress (duplicate or corrupt) "
+       "reached the application"),
+    _c("RPD703", "error", MPI_ERR_INTERN,
+       "pool-buffer leak or double-recycle along a protocol path"),
+    _c("RPD704", "error", MPI_ERR_PROC_FAILED,
+       "ULFM violation: operation succeeded against a crashed peer without "
+       "MPI_ERR_PROC_FAILED"),
+    _c("RPD710", "error", MPI_ERR_OTHER,
+       "retry-budget divergence: retransmission loop exceeds its progress "
+       "bound"),
+    _c("RPD720", "error", MPI_ERR_INTERN,
+       "model/implementation divergence: live transport disagrees with the "
+       "protocol model"),
 )}
 
 

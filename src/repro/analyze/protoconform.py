@@ -1,0 +1,406 @@
+"""Transport conformance: replay model traces against the live fabric.
+
+The model checker (:mod:`repro.analyze.protomodel`) certifies the protocol's
+*decision table*; this module certifies that the shipped transport actually
+follows it.  Each :class:`ConformanceCase` is a concrete workload — a
+message set with byte sizes, a seeded :class:`~repro.ucp.faults.FaultPlan`
+and a reliability configuration — that is executed twice:
+
+* **predicted**: every observable of the run is derived purely from the
+  shared transition table (:mod:`repro.ucp.transitions`) plus the fault
+  plan's deterministic decision functions — no transport code runs;
+* **observed**: the same workload runs on the live stack
+  (:func:`repro.mpi.run` over :mod:`repro.ucp`) through a transport-neutral
+  driver (plain ``irecv``/``isend``/``wait`` with per-request error
+  capture), and the observables are read back from payloads, raised error
+  classes, message traces and the injector's fault/recovery event log.
+
+Compared observables, per message: selected wire protocol, delivery,
+payload integrity, sender- and receiver-side MPI error classes; per
+channel: the exact NACK/retransmission schedule (round numbers and
+fragment sets); per job: the reliability counters (retransmitted
+fragments, suppressed duplicates, healed reorders, exhausted and lost
+transfers).  Any difference is an **RPD720** model/implementation
+divergence.
+
+Because prediction and implementation share one decision table, a clean
+conformance run plus a clean model check close the loop: the table is
+verified under all interleavings, and the transport is verified to
+implement the table.
+
+Case-design constraints (so predictions stay closed-form): message tags
+are unique (FIFO ordering is checked separately by the tag-match property
+tests), crash/stall events are left to the model checker (their timing is
+cost-model-dependent), and drop faults without the reliability protocol
+ride on eager-only messages (a lost rendezvous handshake would park the
+job on the failure detector's timeout path).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..errors import MPI_ERR_PROC_FAILED, MPIError
+from ..ucp import transitions
+from ..ucp.faults import FaultPlan, ReliabilityConfig
+from ..ucp.netsim import DEFAULT_PARAMS
+from .diagnostics import Diagnostic
+from .protomodel import MsgSpec
+
+__all__ = [
+    "ConformanceCase", "ConformanceReport", "builtin_cases",
+    "predict_case", "observe_case", "compare_case", "run_conformance",
+]
+
+
+@dataclass(frozen=True)
+class ConformanceCase:
+    """One live-vs-model workload."""
+
+    name: str
+    nranks: int
+    messages: tuple          # of MsgSpec (expect_recv/may_cancel unused)
+    plan: FaultPlan
+    reliability: Optional[ReliabilityConfig] = None
+
+    @property
+    def reliable(self) -> bool:
+        return self.reliability is not None and self.reliability.enabled
+
+
+def _fill(mid: int) -> int:
+    """Deterministic payload byte of message ``mid``."""
+    return (mid * 37 + 11) % 251
+
+
+def _nfrags(nbytes: int, frag_size: int) -> int:
+    return max(1, math.ceil(nbytes / frag_size))
+
+
+def _channel_seq(case: ConformanceCase) -> dict[int, int]:
+    """``mid -> per-channel sequence number`` under program order.
+
+    Each rank sends its messages in ``mid`` order, and the injector
+    numbers messages per (src, dst) channel in transmission order, so a
+    message's seq is its index among same-channel messages.
+    """
+    seqs: dict[int, int] = {}
+    counters: dict[tuple[int, int], int] = {}
+    for m in sorted(case.messages, key=lambda m: m.mid):
+        key = (m.src, m.dst)
+        seqs[m.mid] = counters.get(key, 0)
+        counters[key] = seqs[m.mid] + 1
+    return seqs
+
+
+# ---------------------------------------------------------------------------
+# prediction (pure: shared transition table + fault-plan decisions)
+# ---------------------------------------------------------------------------
+
+def predict_case(case: ConformanceCase, params=DEFAULT_PARAMS) -> dict:
+    """Model-side observables of ``case`` — no transport code runs."""
+    plan = case.plan
+    rel = case.reliability or ReliabilityConfig(enabled=False)
+    seqs = _channel_seq(case)
+    msgs: dict[int, dict] = {}
+    retransmits: dict[str, list] = {}
+    stats = {"retransmits": 0, "exhausted": 0, "lost_messages": 0,
+             "duplicates_dropped": 0, "duplicates_delivered": 0,
+             "reorders_healed": 0, "reordered": 0}
+    held: dict[tuple[int, int], bool] = {}
+
+    for m in sorted(case.messages, key=lambda m: m.mid):
+        seq = seqs[m.mid]
+        proto = transitions.select_protocol("contig", m.nbytes,
+                                            params.eager_limit)
+        rndv = transitions.protocol_is_rndv(proto)
+        frags = range(_nfrags(m.nbytes, params.frag_size))
+        dropped, corrupted = plan.frag_fates(m.src, m.dst, seq, frags)
+        fates = plan.message_fates(m.src, m.dst, seq)
+        rec = {"proto": proto, "delivered": True, "intact": True,
+               "send_err": None, "recv_err": None}
+
+        if case.reliable:
+            rounds, remaining = transitions.resolve_retries(
+                lambda fr, rnd: plan.frag_fates(m.src, m.dst, seq, fr,
+                                                rnd=rnd),
+                rel.retry_limit, dropped, corrupted)
+            for r in rounds:
+                retransmits.setdefault(f"{m.src}->{m.dst}", []).append(
+                    {"seq": seq, "round": r.round, "frags": list(r.frags)})
+                stats["retransmits"] += len(r.frags)
+            if remaining:
+                # Retry budget exhausted: the envelope is poisoned.  A
+                # rendezvous sender is released with the failure; an eager
+                # send already completed locally and stays "successful".
+                stats["exhausted"] += 1
+                stats["lost_messages"] += 1
+                rec.update(delivered=False, intact=False,
+                           recv_err=MPI_ERR_PROC_FAILED,
+                           send_err=MPI_ERR_PROC_FAILED if rndv else None)
+            else:
+                if fates["duplicate"]:
+                    if transitions.duplicate_suppressed(True, seq, (seq,)):
+                        stats["duplicates_dropped"] += 1
+                    else:  # pragma: no cover - mutant behaviour
+                        stats["duplicates_delivered"] += 1
+                if fates["reorder"]:
+                    stats["reorders_healed"] += 1
+        else:
+            if dropped:
+                # Any lost fragment kills the unreliable datagram.
+                stats["lost_messages"] += 1
+                reported = transitions.loss_is_reported_without_reliability()
+                rec.update(delivered=False, intact=False,
+                           recv_err=MPI_ERR_PROC_FAILED if reported
+                           else None,
+                           send_err=MPI_ERR_PROC_FAILED
+                           if rndv and reported else None)
+            else:
+                if corrupted:
+                    rec["intact"] = False  # delivered, CRC mismatch
+                if fates["duplicate"]:
+                    stats["duplicates_delivered"] += 1
+                key = (m.src, m.dst)
+                if fates["reorder"] and not held.get(key):
+                    held[key] = True  # swaps with the channel successor
+                    stats["reordered"] += 1
+
+        msgs[m.mid] = rec
+    return {"msgs": msgs, "retransmits": retransmits, "stats": stats}
+
+
+# ---------------------------------------------------------------------------
+# observation (the live transport)
+# ---------------------------------------------------------------------------
+
+def observe_case(case: ConformanceCase, params=DEFAULT_PARAMS) -> dict:
+    """Run ``case`` on the live stack and read back the observables."""
+    from ..mpi.comm import ERRORS_RETURN
+    from ..mpi.runtime import run
+
+    msgs = sorted(case.messages, key=lambda m: m.mid)
+
+    def rank_fn(comm):
+        # Per-request error capture (ULFM-style continuation), so one
+        # failed transfer never hides the others' outcomes.
+        comm.set_errhandler(ERRORS_RETURN)
+        r = comm.rank
+        recvs, sends, out = [], [], {"recv": {}, "send": {}}
+        for m in msgs:
+            if m.dst == r:
+                buf = np.zeros(m.nbytes, dtype=np.uint8)
+                recvs.append((m, buf, comm.irecv(buf, source=m.src,
+                                                 tag=m.mid)))
+        for m in msgs:
+            if m.src == r:
+                payload = np.full(m.nbytes, _fill(m.mid), dtype=np.uint8)
+                sends.append((m, comm.isend(payload, dest=m.dst,
+                                            tag=m.mid)))
+        for m, buf, req in recvs:
+            try:
+                req.wait()
+                out["recv"][m.mid] = {
+                    "ok": True,
+                    "intact": bool((buf == _fill(m.mid)).all())}
+            except MPIError as exc:
+                out["recv"][m.mid] = {"ok": False, "err": exc.code}
+        for m, req in sends:
+            try:
+                req.wait()
+                out["send"][m.mid] = {"ok": True}
+            except MPIError as exc:
+                out["send"][m.mid] = {"ok": False, "err": exc.code}
+        return out
+
+    job = run(rank_fn, nprocs=case.nranks, params=params,
+              trace_messages=True, faults=case.plan,
+              reliability=case.reliability)
+
+    out_msgs: dict[int, dict] = {}
+    for m in msgs:
+        sent = job.results[m.src]["send"].get(m.mid, {})
+        rcvd = job.results[m.dst]["recv"].get(m.mid, {})
+        out_msgs[m.mid] = {
+            "proto": None,  # filled from the sender trace below
+            "delivered": bool(rcvd.get("ok")),
+            "intact": bool(rcvd.get("ok") and rcvd.get("intact")),
+            "send_err": None if sent.get("ok", True) else sent.get("err"),
+            "recv_err": None if rcvd.get("ok", True) else rcvd.get("err"),
+        }
+    # The sender trace lists one "send" event per isend in program order.
+    for rank in range(case.nranks):
+        rank_msgs = [m for m in msgs if m.src == rank]
+        events = [e for e in job.traces[rank] if e["event"] == "send"]
+        for m, ev in zip(rank_msgs, events):
+            out_msgs[m.mid]["proto"] = ev["protocol"]
+
+    retransmits: dict[str, list] = {}
+    for chan, events in job.fault_trace.items():
+        for ev in events:
+            if ev["event"] == "retransmit":
+                retransmits.setdefault(chan, []).append(
+                    {"seq": ev["seq"], "round": ev["round"],
+                     "frags": list(ev["frags"])})
+    stats = {k: 0 for k in ("retransmits", "exhausted", "lost_messages",
+                            "duplicates_dropped", "duplicates_delivered",
+                            "reorders_healed", "reordered")}
+    for snap in job.reliability:
+        for k in stats:
+            stats[k] += int(snap.get(k, 0))
+    return {"msgs": out_msgs, "retransmits": retransmits, "stats": stats}
+
+
+# ---------------------------------------------------------------------------
+# comparison -> RPD720
+# ---------------------------------------------------------------------------
+
+_MSG_FIELDS = ("proto", "delivered", "intact", "send_err", "recv_err")
+
+
+def compare_case(case: ConformanceCase, predicted: dict,
+                 observed: dict) -> list[Diagnostic]:
+    """Diff model-side and live observables; every mismatch is RPD720."""
+    diags: list[Diagnostic] = []
+    by_mid = {m.mid: m for m in case.messages}
+
+    def emit(what: str, want, got) -> None:
+        diags.append(Diagnostic(
+            "RPD720",
+            f"[{case.name}] {what}: model predicts {want!r}, live "
+            f"transport observed {got!r}",
+            hint="model and implementation share repro.ucp.transitions; "
+                 "a divergence means the transport bypassed the decision "
+                 "table (or the model abstraction broke)",
+            subject=case.name))
+
+    for mid in sorted(by_mid):
+        m = by_mid[mid]
+        p, o = predicted["msgs"][mid], observed["msgs"][mid]
+        for f in _MSG_FIELDS:
+            if p[f] != o[f]:
+                emit(f"message m{mid} ({m.src}->{m.dst}, {m.nbytes}B) "
+                     f"field '{f}'", p[f], o[f])
+    chans = set(predicted["retransmits"]) | set(observed["retransmits"])
+    for chan in sorted(chans):
+        p = predicted["retransmits"].get(chan, [])
+        o = observed["retransmits"].get(chan, [])
+        if p != o:
+            emit(f"retransmission schedule on channel {chan}", p, o)
+    for k in sorted(predicted["stats"]):
+        if predicted["stats"][k] != observed["stats"][k]:
+            emit(f"reliability counter '{k}'", predicted["stats"][k],
+                 observed["stats"][k])
+    return diags
+
+
+# ---------------------------------------------------------------------------
+# the case matrix and the driver
+# ---------------------------------------------------------------------------
+
+def builtin_cases(nranks: int = 3, seed: int = 2024,
+                  eager_limit: int = DEFAULT_PARAMS.eager_limit
+                  ) -> list[ConformanceCase]:
+    """The conformance matrix ``repro-analyze proto --conformance`` runs."""
+    nranks = max(2, min(4, nranks))
+    small, boundary, big = 4096, eager_limit, eager_limit * 3
+
+    def msgs(*triples):
+        return tuple(MsgSpec(mid=k, src=s, dst=d, nbytes=n)
+                     for k, (s, d, n) in enumerate(triples))
+
+    ring = msgs(*(((r, (r + 1) % nranks,
+                    small if r % 2 else big)) for r in range(nranks)))
+    fan = msgs((0, 1, small), (0, 1, big), (0, 1, boundary),
+               (0, 1, boundary + 1))
+    rel = ReliabilityConfig(enabled=True, retry_limit=4)
+    return [
+        # Fault-free: protocol selection (incl. the exact eager/rendezvous
+        # boundary) and clean delivery on every channel.
+        ConformanceCase("baseline", nranks, ring + tuple(
+            MsgSpec(mid=len(ring) + i, src=s.src, dst=s.dst,
+                    nbytes=s.nbytes) for i, s in enumerate(fan)),
+            FaultPlan(seed=seed)),
+        # Unreliable datagrams: drops kill eager messages outright.  The
+        # sizes differ (1-4 fragments each) so the seeded draws mix
+        # delivered and lost messages in one run.
+        ConformanceCase("drop-lossy", 2,
+                        msgs((0, 1, 4096), (0, 1, 12000), (0, 1, 20000),
+                             (0, 1, 30000)),
+                        FaultPlan(seed=2001, drop=0.3)),
+        # Unreliable corruption: delivered, flagged by intactness.
+        ConformanceCase("corrupt-lossy", 2, fan,
+                        FaultPlan(seed=seed + 2, corrupt=0.5)),
+        # Reliability heals drops; the exact retransmission schedule is
+        # predicted round by round.
+        ConformanceCase("drop-reliable", nranks, ring,
+                        FaultPlan(seed=seed + 3, drop=0.4),
+                        rel),
+        ConformanceCase("corrupt-reliable", 2, fan,
+                        FaultPlan(seed=seed + 4, corrupt=0.4), rel),
+        # Certain loss on the first channel message: budget exhaustion.
+        ConformanceCase("drop-exhaust", 2,
+                        msgs((0, 1, small), (0, 1, big)),
+                        FaultPlan(seed=seed + 5, drop=1.0,
+                                  window=(0, 1)),
+                        ReliabilityConfig(enabled=True, retry_limit=2)),
+        # Duplicates suppressed / reorders healed by the sequencing layer.
+        ConformanceCase("dup-reorder-reliable", 2,
+                        msgs((0, 1, small), (0, 1, small), (0, 1, small),
+                             (0, 1, small)),
+                        FaultPlan(seed=seed + 6, duplicate=0.5,
+                                  reorder=0.5),
+                        rel),
+        # Duplicates delivered twice on the raw fabric (receiver posts one
+        # recv per tag; clones land in the unexpected queue).
+        ConformanceCase("dup-lossy", 2,
+                        msgs((0, 1, small), (0, 1, small)),
+                        FaultPlan(seed=seed + 7, duplicate=1.0)),
+    ]
+
+
+@dataclass
+class ConformanceReport:
+    """Outcome of one conformance sweep."""
+
+    cases: list = field(default_factory=list)   # per-case dicts
+    diagnostics: list = field(default_factory=list)
+    elapsed: float = 0.0
+
+    @property
+    def messages(self) -> int:
+        return sum(c["messages"] for c in self.cases)
+
+    def to_dict(self) -> dict:
+        return {
+            "cases": self.cases,
+            "messages": self.messages,
+            "divergences": len(self.diagnostics),
+            "elapsed_s": self.elapsed,
+        }
+
+
+def run_conformance(cases: Optional[list] = None,
+                    params=DEFAULT_PARAMS) -> ConformanceReport:
+    """Predict and observe every case; RPD720 for each divergence."""
+    report = ConformanceReport()
+    t0 = time.perf_counter()
+    for case in (builtin_cases() if cases is None else cases):
+        predicted = predict_case(case, params)
+        observed = observe_case(case, params)
+        diags = compare_case(case, predicted, observed)
+        report.diagnostics.extend(diags)
+        report.cases.append({
+            "name": case.name,
+            "nranks": case.nranks,
+            "messages": len(case.messages),
+            "reliable": case.reliable,
+            "divergences": len(diags),
+        })
+    report.elapsed = time.perf_counter() - t0
+    return report

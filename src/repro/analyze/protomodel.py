@@ -1,0 +1,1024 @@
+"""Bounded model checking of the wire protocol (RPD7xx).
+
+The fabric's protocol logic — eager/rendezvous handshakes, the CRC+seq
+ACK/NACK retransmission layer, ULFM failure transitions, buffer-pool
+ownership — is exercised by the test suite only under the interleavings the
+threaded transport happens to produce.  This module checks it under *all*
+interleavings (up to a depth bound): the protocol is restated as an explicit
+state machine over a small spec IR, and a breadth-first checker exhaustively
+explores every schedule of protocol and fault actions at 2–4 ranks.
+
+The decisions the machine takes (protocol selection, CRC acceptance,
+duplicate suppression, retry budgeting, failure propagation) are **not**
+re-implemented here: the shipped :class:`TransitionTable` delegates every
+one of them to :mod:`repro.ucp.transitions`, the same pure functions the
+live fabric executes.  A clean model-check therefore certifies the decision
+table the implementation actually runs, and the seeded mutant corpus
+(:data:`MUTANT_CORPUS`) proves each RPD7xx detection channel fires when one
+decision is broken.
+
+Spec IR
+-------
+* :class:`MsgSpec` / :class:`Scenario` — per-rank endpoints, the message
+  set (with byte sizes, so protocol selection is real), the enabled fault
+  actions and their budget, the reliability configuration.
+* model state — an immutable tuple of per-message records (phase,
+  retransmission round, delivery count, staging/bounce buffer ownership,
+  failure flags), per-rank records (alive/finished) and global fault and
+  pool-misuse counters.  States hash, so the checker deduplicates.
+
+Checked invariants (diagnostics):
+
+* RPD700 — protocol deadlock: a quiescent state with unfinished live ranks
+  (the full action trace is attached as evidence),
+* RPD701 — lost message: a send completed locally, the payload was never
+  delivered, and no failure was reported anywhere,
+* RPD702 — delivery the seq/CRC layer must suppress (a duplicate or a
+  corrupted payload) reached the application under reliability,
+* RPD703 — pool-buffer leak at job end, or a double-recycle along any path,
+* RPD704 — ULFM violation: an operation completed successfully after its
+  peer crashed, without ``MPI_ERR_PROC_FAILED``,
+* RPD710 — retry-budget divergence: a retransmission loop ran past the
+  configured progress bound.
+
+State-space control: state hashing (visited set), per-rank program order on
+sends and receive posts, a total fault budget, and a sound partial-order
+reduction that expands deterministic *local* completions (failure
+detections, rank finishes) alone — they commute with every other enabled
+action and touch disjoint records, so no interleaving is lost.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque, namedtuple
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..ucp import transitions
+from .diagnostics import Diagnostic
+
+__all__ = [
+    "MsgSpec", "Scenario", "TransitionTable", "ModelReport", "Mutant",
+    "MUTANT_CORPUS", "builtin_scenarios", "check_scenario", "verify_shipped",
+    "run_mutant_corpus", "classify_protocol",
+]
+
+# Message phases.
+IDLE = 0          # not yet sent
+FLIGHT = 1        # injected; at the destination matcher (or on the wire)
+NEED_RETRY = 2    # NACKed / seq gap: waiting for the retransmission timer
+DELIVERED = 3     # payload moved into the receive buffer
+EXHAUSTED = 4     # retry budget spent; poisoned envelope pending
+LOST = 5          # gone for good (unreliable drop, crash, silent mutant)
+CANCELLED = 6     # withdrawn by MPI_Cancel
+
+_PHASE_NAMES = {IDLE: "idle", FLIGHT: "flight", NEED_RETRY: "need-retry",
+                DELIVERED: "delivered", EXHAUSTED: "exhausted",
+                LOST: "lost", CANCELLED: "cancelled"}
+
+#: Terminal phases for the FIFO (non-overtaking) delivery rule.
+_TERMINAL = (DELIVERED, LOST, CANCELLED)
+
+# One message's record.  round = retransmission rounds used; deliv =
+# payload deliveries; bufs/rbuf = sender staging / receiver bounce buffers
+# outstanding; reported = the failure was surfaced somewhere (sanitizer
+# code, raised error, crash record) — the negation feeds RPD701.
+MS = namedtuple("MS", "phase round deliv corrupt dup held bufs rbuf "
+                      "s_done s_err posted r_done r_err reported")
+# One rank's record.
+RS = namedtuple("RS", "alive finished")
+# Global state: message records, rank records, fault-budget use and the
+# count of pool releases that had no matching acquire (double recycles).
+GS = namedtuple("GS", "msgs ranks faults_used recycle_errors")
+
+
+@dataclass(frozen=True)
+class MsgSpec:
+    """One point-to-point message of a scenario."""
+
+    mid: int
+    src: int
+    dst: int
+    nbytes: int = 1024
+    #: False models a fire-and-forget send the receiver never posts for
+    #: (the cancel scenarios); RPD701 does not apply to it.
+    expect_recv: bool = True
+    #: The sender's program cancels this message (MPI_Cancel) before
+    #: finishing; the model explores the cancel at every legal point.
+    may_cancel: bool = False
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A bounded protocol workload: ranks, messages, faults, reliability."""
+
+    name: str
+    nranks: int
+    messages: tuple
+    reliability: bool = False
+    retry_limit: int = 2
+    #: Enabled fault actions: subset of
+    #: {"drop", "corrupt", "duplicate", "reorder", "crash"}.
+    faults: frozenset = frozenset()
+    #: Total fault actions allowed along any one path (bounds the space).
+    fault_budget: int = 1
+    #: Ranks the crash action may kill.
+    crash_ranks: frozenset = frozenset()
+    eager_limit: int = 32 * 1024
+
+    def describe(self) -> str:
+        f = ",".join(sorted(self.faults)) or "none"
+        return (f"{self.name}: {self.nranks} ranks, "
+                f"{len(self.messages)} msgs, faults={f}, "
+                f"reliability={'on' if self.reliability else 'off'}")
+
+
+def classify_protocol(spec: MsgSpec, scenario: Scenario) -> str:
+    """Protocol of a scenario message — via the shared transition table."""
+    return transitions.select_protocol("contig", spec.nbytes,
+                                       scenario.eager_limit)
+
+
+# ---------------------------------------------------------------------------
+# the transition table (shipped = delegates to repro.ucp.transitions)
+# ---------------------------------------------------------------------------
+
+class TransitionTable:
+    """The protocol's decision table as the model consumes it.
+
+    Every method of the shipped table delegates to the pure functions in
+    :mod:`repro.ucp.transitions` that the live fabric executes, so model
+    and implementation share one table.  Mutants subclass and break exactly
+    one decision.
+    """
+
+    name = "shipped"
+    #: For mutants: what was broken (evidence text).
+    mutation = ""
+
+    def protocol_for(self, spec: MsgSpec, scenario: Scenario) -> str:
+        return transitions.select_protocol("contig", spec.nbytes,
+                                           scenario.eager_limit)
+
+    # -- integrity / sequencing -------------------------------------------
+
+    def crc_rejects(self, corrupt: bool) -> bool:
+        """Receiver-side CRC verdict for the (abstract) payload."""
+        expected = (0x600D,)
+        actual = (0x0BAD,) if corrupt else (0x600D,)
+        return bool(transitions.crc_reject(expected, actual))
+
+    def ack_respects_crc(self) -> bool:
+        """ACK only after the CRC verdict (the shipped ordering)."""
+        return True
+
+    def duplicate_suppressed(self, reliability: bool, seq: int,
+                             delivered_seqs) -> bool:
+        return transitions.duplicate_suppressed(reliability, seq,
+                                                delivered_seqs)
+
+    # -- retry budgeting ----------------------------------------------------
+
+    def retry_exhausted(self, rounds_used: int, retry_limit: int) -> bool:
+        return transitions.retry_exhausted(rounds_used, retry_limit)
+
+    # -- failure propagation ------------------------------------------------
+
+    def exhaustion_reports_failure(self) -> bool:
+        return transitions.exhaustion_reports_failure()
+
+    def crash_reports_failure(self) -> bool:
+        return transitions.crash_observed_reports_failure()
+
+    def loss_reported(self) -> bool:
+        return transitions.loss_is_reported_without_reliability()
+
+    # -- buffer ownership ---------------------------------------------------
+
+    def staging_released_at_send(self) -> bool:
+        """Early recycle of eager staging (before delivery consumed it) —
+        always False in the shipped protocol."""
+        return not transitions.cancel_releases_staging_once() or False
+
+    def cancel_idempotent(self) -> bool:
+        return transitions.cancel_releases_staging_once()
+
+    # -- reordering ---------------------------------------------------------
+
+    def reorder_flushes(self) -> bool:
+        """A reorder-held message is flushed once its successor transmitted
+        (and at rank finish) — never silently kept."""
+        return True
+
+
+# ---------------------------------------------------------------------------
+# state helpers
+# ---------------------------------------------------------------------------
+
+def _initial_state(scn: Scenario) -> GS:
+    msgs = tuple(MS(phase=IDLE, round=0, deliv=0, corrupt=False, dup=False,
+                    held=False, bufs=0, rbuf=0, s_done=False, s_err=False,
+                    posted=False, r_done=False, r_err=False, reported=False)
+                 for _ in scn.messages)
+    ranks = tuple(RS(alive=True, finished=False)
+                  for _ in range(scn.nranks))
+    return GS(msgs=msgs, ranks=ranks, faults_used=0, recycle_errors=0)
+
+
+def _set_msg(st: GS, i: int, ms: MS) -> GS:
+    msgs = st.msgs[:i] + (ms,) + st.msgs[i + 1:]
+    return st._replace(msgs=msgs)
+
+
+def _release(st: GS, i: int, which: str) -> GS:
+    """Return one staging (``bufs``) or bounce (``rbuf``) buffer to the
+    pool; a release without a matching acquire is a double recycle."""
+    ms = st.msgs[i]
+    n = getattr(ms, which)
+    if n <= 0:
+        return _set_msg(st, i, ms)._replace(
+            recycle_errors=st.recycle_errors + 1)
+    return _set_msg(st, i, ms._replace(**{which: n - 1}))
+
+
+def _channel_predecessors(scn: Scenario, i: int):
+    """Indices of earlier messages on the same (src, dst) channel."""
+    m = scn.messages[i]
+    return [j for j, o in enumerate(scn.messages)
+            if j < i and o.src == m.src and o.dst == m.dst]
+
+
+def _channel_successors(scn: Scenario, i: int):
+    m = scn.messages[i]
+    return [j for j, o in enumerate(scn.messages)
+            if j > i and o.src == m.src and o.dst == m.dst]
+
+
+def _fifo_ready(scn: Scenario, st: GS, i: int) -> bool:
+    """The non-overtaking rule: a message delivers only after every earlier
+    message on its channel is out of the way.  Without the reliability
+    protocol a reorder-held predecessor may be overtaken (that is the
+    fault); with it the sequencing layer heals the order, so held
+    predecessors still block."""
+    for j in _channel_predecessors(scn, i):
+        pj = st.msgs[j]
+        if pj.phase in _TERMINAL or (pj.phase == EXHAUSTED and pj.r_done):
+            continue
+        if pj.held and not scn.reliability:
+            continue
+        return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# action enumeration
+# ---------------------------------------------------------------------------
+
+def _enabled(scn: Scenario, st: GS, table: TransitionTable):
+    """Yield ``(label, successor_state, local)`` for every enabled action.
+
+    ``local`` marks deterministic completions that commute with every other
+    enabled action (the partial-order-reduction ample set).
+    """
+    out = []
+    msgs, ranks = st.msgs, st.ranks
+    budget_left = st.faults_used < scn.fault_budget
+
+    for i, spec in enumerate(scn.messages):
+        ms = msgs[i]
+        proto = table.protocol_for(spec, scn)
+        eager = not transitions.protocol_is_rndv(proto)
+        src_alive = ranks[spec.src].alive
+        dst_alive = ranks[spec.dst].alive
+
+        # -- post_recv: receiver posts, program order per rank ----------
+        if (spec.expect_recv and not ms.posted and dst_alive
+                and all(msgs[j].posted for j, o in enumerate(scn.messages)
+                        if j < i and o.dst == spec.dst and o.expect_recv)):
+            nst = _set_msg(st, i, ms._replace(posted=True,
+                                              rbuf=ms.rbuf + 1))
+            out.append((f"post_recv(m{spec.mid})", nst, False))
+
+        # -- send: program order per sending rank ------------------------
+        if (ms.phase == IDLE and src_alive
+                and all(msgs[j].phase != IDLE
+                        for j, o in enumerate(scn.messages)
+                        if j < i and o.src == spec.src)):
+            ns = ms._replace(phase=FLIGHT)
+            if eager:
+                # Eager copies through pool staging and completes locally.
+                ns = ns._replace(bufs=ms.bufs + 1, s_done=True)
+            nst = _set_msg(st, i, ns)
+            if eager and table.staging_released_at_send():
+                # recycle-before-ack mutant: the staging chunk goes back to
+                # the pool while the wire still references it.
+                nst = _release(nst, i, "bufs")
+            out.append((f"send(m{spec.mid},{proto})", nst, False))
+
+        # -- deliver / nack / poisoned-envelope ---------------------------
+        if (ms.phase == FLIGHT and ms.posted and not ms.r_done
+                and not ms.held and dst_alive and _fifo_ready(scn, st, i)):
+            rejected = table.crc_rejects(ms.corrupt)
+            if rejected and table.ack_respects_crc():
+                if scn.reliability:
+                    # NACK: the receiver asks for the fragments again.
+                    nst = _set_msg(st, i, ms._replace(phase=NEED_RETRY))
+                    out.append((f"nack(m{spec.mid})", nst, False))
+                else:
+                    # No recovery layer: the corrupted payload is delivered
+                    # and the CRC mismatch *reported* (RPD451).
+                    ns = ms._replace(phase=DELIVERED, deliv=ms.deliv + 1,
+                                     r_done=True, s_done=True,
+                                     reported=True)
+                    nst = _set_msg(st, i, ns)
+                    nst = _release(nst, i, "rbuf")
+                    if eager:
+                        nst = _release(nst, i, "bufs")
+                    out.append((f"deliver(m{spec.mid},corrupt)", nst,
+                                False))
+            else:
+                # Clean delivery — or the ack-before-crc mutant acking a
+                # corrupted payload.  Rendezvous completes the sender here.
+                ns = ms._replace(phase=DELIVERED, deliv=ms.deliv + 1,
+                                 r_done=True, s_done=True)
+                nst = _set_msg(st, i, ns)
+                nst = _release(nst, i, "rbuf")
+                if eager:
+                    nst = _release(nst, i, "bufs")
+                out.append((f"deliver(m{spec.mid})", nst, False))
+
+        if ms.phase == EXHAUSTED and ms.posted and not ms.r_done:
+            # The poisoned envelope: the wait terminates with
+            # MPI_ERR_PROC_FAILED instead of the data.
+            ns = ms._replace(r_done=True, r_err=True)
+            nst = _release(_set_msg(st, i, ns), i, "rbuf")
+            out.append((f"deliver(m{spec.mid},poisoned)", nst, True))
+
+        # -- duplicate consumption ---------------------------------------
+        if ms.dup and ms.phase == DELIVERED:
+            if table.duplicate_suppressed(scn.reliability, spec.mid,
+                                          (spec.mid,)):
+                nst = _set_msg(st, i, ms._replace(dup=False))
+                out.append((f"dup_dropped(m{spec.mid})", nst, True))
+            elif scn.reliability:
+                # The sequencing layer failed to suppress: double delivery.
+                ns = ms._replace(dup=False, deliv=ms.deliv + 1)
+                out.append((f"deliver(m{spec.mid},dup)",
+                            _set_msg(st, i, ns), False))
+            else:
+                # No sequencing layer: the clone sits in the unexpected
+                # queue until the end-of-job sweep (RPD421 in live runs).
+                nst = _set_msg(st, i, ms._replace(dup=False))
+                out.append((f"dup_unclaimed(m{spec.mid})", nst, True))
+
+        # -- timeout + retransmit / exhaust -------------------------------
+        if ms.phase == NEED_RETRY and src_alive:
+            if not table.retry_exhausted(ms.round, scn.retry_limit):
+                ns = ms._replace(phase=FLIGHT, round=ms.round + 1,
+                                 corrupt=False)
+                out.append((f"retransmit(m{spec.mid},round{ms.round + 1})",
+                            _set_msg(st, i, ns), False))
+            else:
+                if table.exhaustion_reports_failure():
+                    # Both ends learn: the sender raises (rendezvous) or
+                    # records RPD452 (eager), the receiver's envelope is
+                    # poisoned.
+                    ns = ms._replace(phase=EXHAUSTED, reported=True,
+                                     s_done=True,
+                                     s_err=not eager or ms.s_err)
+                else:
+                    # silent-exhaustion mutant: the transfer just stops.
+                    ns = ms._replace(phase=LOST, s_done=True)
+                nst = _set_msg(st, i, ns)
+                if eager:
+                    nst = _release(nst, i, "bufs")
+                out.append((f"exhaust(m{spec.mid})", nst, False))
+
+        # -- cancel -------------------------------------------------------
+        can_cancel = (spec.may_cancel and ms.phase == FLIGHT
+                      and not ms.posted and src_alive)
+        if can_cancel:
+            ns = ms._replace(phase=CANCELLED, s_done=True)
+            nst = _release(_set_msg(st, i, ns), i, "bufs")
+            out.append((f"cancel(m{spec.mid})", nst, False))
+        if (spec.may_cancel and ms.phase == CANCELLED
+                and not table.cancel_idempotent()):
+            # double-cancel mutant: the second cancel recycles again.
+            nst = _release(st, i, "bufs")
+            out.append((f"cancel(m{spec.mid},again)", nst, False))
+
+        # -- ULFM detection ----------------------------------------------
+        # A blocked rendezvous sender whose peer died.
+        if (not eager and not ms.s_done and not dst_alive
+                and ms.phase in (FLIGHT, NEED_RETRY, IDLE)
+                and src_alive):
+            ok = table.crash_reports_failure()
+            ns = ms._replace(s_done=True, s_err=ok, phase=LOST,
+                             reported=ms.reported or ok)
+            nst = _set_msg(st, i, ns)
+            if eager:
+                nst = _release(nst, i, "bufs")
+            out.append((f"detect(m{spec.mid},sender)", nst, True))
+        # A blocked receiver whose message can no longer arrive: the
+        # sender crashed before injecting, or the message was lost and the
+        # sender is gone/finished (FailureDetector.check_hopeless).
+        if ms.posted and not ms.r_done and dst_alive:
+            hopeless = False
+            if not src_alive and ms.phase in (IDLE, NEED_RETRY, LOST):
+                hopeless = True
+            if (ms.phase == LOST
+                    and (ranks[spec.src].finished or not src_alive)):
+                hopeless = True
+            if hopeless:
+                ok = table.crash_reports_failure()
+                ns = ms._replace(r_done=True, r_err=ok,
+                                 phase=LOST if ms.phase != LOST
+                                 else ms.phase)
+                nst = _release(_set_msg(st, i, ns), i, "rbuf")
+                out.append((f"detect(m{spec.mid},recv)", nst, True))
+
+        # -- fault actions ------------------------------------------------
+        if budget_left and ms.phase == FLIGHT and not ms.held:
+            charged = st.faults_used + 1
+            if "drop" in scn.faults:
+                if scn.reliability:
+                    ns = ms._replace(phase=NEED_RETRY)
+                    nst = _set_msg(st, i, ns)._replace(faults_used=charged)
+                else:
+                    reported = table.loss_reported()
+                    ns = ms._replace(phase=LOST, reported=reported,
+                                     s_done=True,
+                                     s_err=(not eager and reported))
+                    nst = _set_msg(st, i, ns)._replace(faults_used=charged)
+                    if eager:
+                        nst = _release(nst, i, "bufs")
+                out.append((f"drop(m{spec.mid})", nst, False))
+            if "corrupt" in scn.faults and not ms.corrupt:
+                ns = ms._replace(corrupt=True)
+                nst = _set_msg(st, i, ns)._replace(faults_used=charged)
+                out.append((f"corrupt(m{spec.mid})", nst, False))
+            if "duplicate" in scn.faults and not ms.dup:
+                ns = ms._replace(dup=True)
+                nst = _set_msg(st, i, ns)._replace(faults_used=charged)
+                out.append((f"duplicate(m{spec.mid})", nst, False))
+            if ("reorder" in scn.faults
+                    and any(msgs[j].phase == IDLE
+                            for j in _channel_successors(scn, i))):
+                ns = ms._replace(held=True)
+                nst = _set_msg(st, i, ns)._replace(faults_used=charged)
+                out.append((f"reorder(m{spec.mid})", nst, False))
+
+        # -- reorder flush ------------------------------------------------
+        if (ms.held and table.reorder_flushes()
+                and any(msgs[j].phase != IDLE
+                        for j in _channel_successors(scn, i))):
+            nst = _set_msg(st, i, ms._replace(held=False))
+            out.append((f"flush(m{spec.mid})", nst, True))
+
+    # -- crash --------------------------------------------------------------
+    if "crash" in scn.faults and budget_left:
+        for r in sorted(scn.crash_ranks):
+            if not ranks[r].alive:
+                continue
+            nst = st._replace(
+                ranks=ranks[:r] + (ranks[r]._replace(alive=False),)
+                + ranks[r + 1:],
+                faults_used=st.faults_used + 1)
+            # The crashed rank's reorder-held messages die with it
+            # (FaultInjector.drop_rank); its staging is torn down.
+            for i, spec in enumerate(scn.messages):
+                ms = nst.msgs[i]
+                if spec.src == r and ms.held:
+                    nst = _set_msg(nst, i,
+                                   ms._replace(held=False, phase=LOST,
+                                               reported=True))
+                    nst = _release(nst, i, "bufs")
+            out.append((f"crash(rank{r})", nst, False))
+
+    # -- finish -------------------------------------------------------------
+    for r in range(scn.nranks):
+        rs = ranks[r]
+        if not rs.alive or rs.finished:
+            continue
+        done = True
+        for i, spec in enumerate(scn.messages):
+            ms = msgs[i]
+            if spec.src == r:
+                if not ms.s_done:
+                    done = False
+                if spec.may_cancel and ms.phase not in (CANCELLED,
+                                                        DELIVERED):
+                    done = False  # the program always attempts the cancel
+            if spec.dst == r and spec.expect_recv and not ms.r_done:
+                done = False
+        if not done:
+            continue
+        nst = st._replace(ranks=ranks[:r] + (rs._replace(finished=True),)
+                          + ranks[r + 1:])
+        flushed = False
+        if table.reorder_flushes():
+            # flush_rank: a returning rank deposits everything it held.
+            for i, spec in enumerate(scn.messages):
+                if spec.src == r and nst.msgs[i].held:
+                    nst = _set_msg(nst, i,
+                                   nst.msgs[i]._replace(held=False))
+                    flushed = True
+        crash_possible = "crash" in scn.faults and r in scn.crash_ranks \
+            and budget_left
+        out.append((f"finish(rank{r})", nst,
+                    not flushed and not crash_possible))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# invariant checks
+# ---------------------------------------------------------------------------
+
+def _state_violations(scn: Scenario, st: GS, table: TransitionTable):
+    """Monotone invariants checkable on any state."""
+    out = []
+    for i, spec in enumerate(scn.messages):
+        ms = st.msgs[i]
+        if ms.deliv > 1:
+            out.append(("RPD702",
+                        f"message m{spec.mid} ({spec.src}->{spec.dst}) was "
+                        f"delivered {ms.deliv} times; the sequencing layer "
+                        f"must suppress duplicates past the seq/CRC check"))
+        if scn.reliability and ms.phase == DELIVERED and ms.corrupt \
+                and ms.deliv > 0:
+            out.append(("RPD702",
+                        f"corrupted payload of m{spec.mid} "
+                        f"({spec.src}->{spec.dst}) was acknowledged and "
+                        f"delivered under the reliability protocol; the "
+                        f"CRC check must run before the ACK"))
+        if ms.round > scn.retry_limit:
+            out.append(("RPD710",
+                        f"message m{spec.mid} ({spec.src}->{spec.dst}) "
+                        f"entered retransmission round {ms.round} past the "
+                        f"retry budget of {scn.retry_limit}; the "
+                        f"retransmission loop has no progress bound"))
+    if st.recycle_errors:
+        out.append(("RPD703",
+                    f"{st.recycle_errors} pool release(s) had no matching "
+                    f"acquire (double recycle): a buffer the pool already "
+                    f"handed to a new owner was returned again"))
+    return out
+
+
+def _terminal_violations(scn: Scenario, st: GS, table: TransitionTable):
+    """Invariants of quiescent states."""
+    out = []
+    final = all(rs.finished or not rs.alive for rs in st.ranks)
+    if not final:
+        stuck = [r for r, rs in enumerate(st.ranks)
+                 if rs.alive and not rs.finished]
+        out.append(("RPD700",
+                    f"quiescent non-final state: rank(s) "
+                    f"{','.join(map(str, stuck))} can never finish "
+                    f"(no protocol action is enabled)"))
+    for i, spec in enumerate(scn.messages):
+        ms = st.msgs[i]
+        proto = table.protocol_for(spec, scn)
+        rndv = transitions.protocol_is_rndv(proto)
+        dst_alive = st.ranks[spec.dst].alive
+        src_alive = st.ranks[spec.src].alive
+        if (spec.expect_recv and ms.s_done and not ms.s_err
+                and ms.deliv == 0 and not ms.reported
+                and ms.phase != CANCELLED and dst_alive and src_alive):
+            out.append(("RPD701",
+                        f"message m{spec.mid} ({spec.src}->{spec.dst}, "
+                        f"{proto}): the send completed locally but the "
+                        f"payload was never delivered and no failure was "
+                        f"reported anywhere"))
+        # Crashed ranks take their pools down with them — teardown, not
+        # a leak — so ownership is only checked for live endpoints.
+        if ms.bufs != 0 and src_alive and not (ms.phase == FLIGHT
+                                               and not spec.expect_recv):
+            out.append(("RPD703",
+                        f"message m{spec.mid} ({spec.src}->{spec.dst}) "
+                        f"ends the job with {ms.bufs} staging buffer(s) "
+                        f"still outstanding in the sender's pool "
+                        f"[{_PHASE_NAMES[ms.phase]}]"))
+        if ms.rbuf != 0 and ms.r_done and dst_alive:
+            out.append(("RPD703",
+                        f"message m{spec.mid} ({spec.src}->{spec.dst}) "
+                        f"completed its receive but leaked {ms.rbuf} "
+                        f"bounce buffer(s)"))
+        if (rndv and ms.s_done and not ms.s_err and ms.deliv == 0
+                and not dst_alive):
+            out.append(("RPD704",
+                        f"rendezvous send m{spec.mid} to crashed rank "
+                        f"{spec.dst} completed successfully without "
+                        f"MPI_ERR_PROC_FAILED"))
+        if (ms.r_done and not ms.r_err and ms.deliv == 0
+                and not src_alive):
+            out.append(("RPD704",
+                        f"receive of m{spec.mid} from crashed rank "
+                        f"{spec.src} completed successfully without "
+                        f"MPI_ERR_PROC_FAILED"))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# the checker
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ScenarioResult:
+    """Exploration outcome of one scenario under one table."""
+
+    scenario: Scenario
+    table_name: str
+    states: int = 0
+    transitions: int = 0
+    max_depth: int = 0
+    truncated: int = 0           # states cut off by the depth bound
+    elapsed: float = 0.0
+    diagnostics: list = field(default_factory=list)
+    #: code -> shortest action trace exhibiting it.
+    traces: dict = field(default_factory=dict)
+
+    @property
+    def states_per_s(self) -> float:
+        return self.states / self.elapsed if self.elapsed > 0 else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario": self.scenario.name,
+            "table": self.table_name,
+            "states": self.states,
+            "transitions": self.transitions,
+            "max_depth": self.max_depth,
+            "truncated": self.truncated,
+            "elapsed_s": self.elapsed,
+            "states_per_s": self.states_per_s,
+            "codes": sorted({d.code for d in self.diagnostics}),
+            "traces": {c: list(t) for c, t in sorted(self.traces.items())},
+        }
+
+
+@dataclass
+class ModelReport:
+    """Aggregated model-check report over a scenario set."""
+
+    results: list = field(default_factory=list)
+
+    @property
+    def diagnostics(self) -> list:
+        return [d for r in self.results for d in r.diagnostics]
+
+    @property
+    def states(self) -> int:
+        return sum(r.states for r in self.results)
+
+    @property
+    def elapsed(self) -> float:
+        return sum(r.elapsed for r in self.results)
+
+    @property
+    def states_per_s(self) -> float:
+        return self.states / self.elapsed if self.elapsed > 0 else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "states": self.states,
+            "elapsed_s": self.elapsed,
+            "states_per_s": self.states_per_s,
+            "scenarios": [r.to_dict() for r in self.results],
+        }
+
+
+def _trace(parent: dict, state: GS) -> tuple:
+    """Reconstruct the action trace leading to ``state``."""
+    steps = []
+    cur = state
+    while True:
+        entry = parent.get(cur)
+        if entry is None:
+            break
+        cur, label = entry
+        steps.append(label)
+    return tuple(reversed(steps))
+
+
+def check_scenario(scn: Scenario, table: Optional[TransitionTable] = None,
+                   depth: int = 60, max_states: int = 200_000,
+                   por: bool = True) -> ScenarioResult:
+    """Exhaustively explore one scenario's interleavings.
+
+    BFS over the state graph with a visited set (state hashing), a depth
+    bound and a state-count safety valve.  Each diagnostic code is emitted
+    once per scenario with the shortest exhibiting action trace (BFS order
+    guarantees minimality).
+    """
+    table = table or TransitionTable()
+    res = ScenarioResult(scenario=scn, table_name=table.name)
+    t0 = time.perf_counter()
+
+    init = _initial_state(scn)
+    parent: dict = {init: None}
+    frontier = deque([(init, 0)])
+    seen = {init}
+    reported: set = set()
+
+    def emit(code: str, message: str, state: GS) -> None:
+        if code in reported:
+            return
+        reported.add(code)
+        tr = _trace(parent, state)
+        hint = ""
+        if table.mutation:
+            hint = f"protocol mutant '{table.name}': {table.mutation}"
+        evidence = " ; ".join(tr) if tr else "<initial state>"
+        res.diagnostics.append(Diagnostic(
+            code, f"[{scn.name}] {message} (trace: {evidence})",
+            hint=hint, subject=scn.name))
+        res.traces[code] = tr
+
+    while frontier:
+        state, d = frontier.popleft()
+        res.states += 1
+        res.max_depth = max(res.max_depth, d)
+        if res.states > max_states:
+            res.truncated += len(frontier)
+            break
+
+        for code, message in _state_violations(scn, state, table):
+            emit(code, message, state)
+
+        actions = _enabled(scn, state, table)
+        if not actions:
+            for code, message in _terminal_violations(scn, state, table):
+                emit(code, message, state)
+            continue
+        if d >= depth:
+            res.truncated += 1
+            continue
+
+        if por:
+            # Ample set: a deterministic local completion commutes with
+            # every other enabled action (disjoint records, never disabled
+            # by others), so exploring it first alone is sound.
+            local = [a for a in actions if a[2]]
+            if local:
+                actions = local[:1]
+
+        for label, succ, _ in actions:
+            res.transitions += 1
+            if succ in seen:
+                continue
+            seen.add(succ)
+            parent[succ] = (state, label)
+            frontier.append((succ, d + 1))
+
+    res.elapsed = time.perf_counter() - t0
+    res.diagnostics = list(res.diagnostics)
+    return res
+
+
+# ---------------------------------------------------------------------------
+# the shipped scenario matrix
+# ---------------------------------------------------------------------------
+
+def builtin_scenarios(nranks: int = 3,
+                      fault_kinds: Optional[frozenset] = None,
+                      eager_limit: int = 32 * 1024) -> list[Scenario]:
+    """The scenario matrix ``repro-analyze proto`` model-checks.
+
+    ``fault_kinds`` restricts which fault actions appear (None = all).
+    Message sizes are chosen around ``eager_limit`` so both protocol
+    families are exercised, including the exact boundary.
+    """
+    nranks = max(2, min(4, nranks))
+    kinds = fault_kinds if fault_kinds is not None else frozenset(
+        {"drop", "corrupt", "duplicate", "reorder", "crash"})
+    small, boundary, big = 1024, eager_limit, eager_limit * 2
+
+    def msgs(*triples):
+        return tuple(MsgSpec(mid=k, src=s, dst=d, nbytes=n, **kw)
+                     for k, (s, d, n, kw) in enumerate(
+                         (t if len(t) == 4 else (*t, {}))
+                         for t in triples))
+
+    ring = msgs(*(((r, (r + 1) % nranks, small if r % 2 else big))
+                  for r in range(nranks)))
+    pair2 = msgs((0, 1, small), (0, 1, small))
+    out = [
+        Scenario("clean-ring", nranks, ring, eager_limit=eager_limit),
+        Scenario("eager-boundary", 2,
+                 msgs((0, 1, boundary), (1, 0, boundary + 1)),
+                 eager_limit=eager_limit),
+        Scenario("cancel", 2,
+                 msgs((0, 1, small,
+                       {"expect_recv": False, "may_cancel": True}),
+                      (1, 0, small)),
+                 eager_limit=eager_limit),
+    ]
+    if "drop" in kinds:
+        out.append(Scenario("drop-reliable", nranks, ring,
+                            reliability=True, retry_limit=2,
+                            faults=frozenset({"drop"}), fault_budget=2,
+                            eager_limit=eager_limit))
+        out.append(Scenario("drop-exhaust", 2,
+                            msgs((0, 1, small), (1, 0, big)),
+                            reliability=True, retry_limit=1,
+                            faults=frozenset({"drop"}), fault_budget=2,
+                            eager_limit=eager_limit))
+        out.append(Scenario("drop-lossy", 2,
+                            msgs((0, 1, small), (1, 0, big)),
+                            faults=frozenset({"drop"}), fault_budget=1,
+                            eager_limit=eager_limit))
+    if "corrupt" in kinds:
+        out.append(Scenario("corrupt-reliable", 2,
+                            msgs((0, 1, small), (1, 0, big)),
+                            reliability=True, retry_limit=2,
+                            faults=frozenset({"corrupt"}), fault_budget=2,
+                            eager_limit=eager_limit))
+        out.append(Scenario("corrupt-lossy", 2, msgs((0, 1, small)),
+                            faults=frozenset({"corrupt"}), fault_budget=1,
+                            eager_limit=eager_limit))
+    if "duplicate" in kinds:
+        out.append(Scenario("dup-reliable", 2, pair2,
+                            reliability=True,
+                            faults=frozenset({"duplicate"}),
+                            fault_budget=2, eager_limit=eager_limit))
+        out.append(Scenario("dup-lossy", 2, pair2,
+                            faults=frozenset({"duplicate"}),
+                            fault_budget=1, eager_limit=eager_limit))
+    if "reorder" in kinds:
+        out.append(Scenario("reorder-chain", 2, pair2,
+                            reliability=True,
+                            faults=frozenset({"reorder"}), fault_budget=1,
+                            eager_limit=eager_limit))
+        out.append(Scenario("reorder-lossy", 2, pair2,
+                            faults=frozenset({"reorder"}), fault_budget=1,
+                            eager_limit=eager_limit))
+    if "crash" in kinds:
+        out.append(Scenario("crash", nranks, ring,
+                            faults=frozenset({"crash"}), fault_budget=1,
+                            crash_ranks=frozenset({1}),
+                            eager_limit=eager_limit))
+        if "drop" in kinds:
+            out.append(Scenario("crash-reliable", 2,
+                                msgs((0, 1, big), (1, 0, small)),
+                                reliability=True, retry_limit=1,
+                                faults=frozenset({"crash", "drop"}),
+                                fault_budget=2,
+                                crash_ranks=frozenset({1}),
+                                eager_limit=eager_limit))
+    return out
+
+
+def verify_shipped(nranks: int = 3, depth: int = 60,
+                   fault_kinds: Optional[frozenset] = None,
+                   max_states: int = 200_000, por: bool = True
+                   ) -> ModelReport:
+    """Model-check the shipped transition table over the builtin matrix."""
+    report = ModelReport()
+    table = TransitionTable()
+    for scn in builtin_scenarios(nranks, fault_kinds):
+        report.results.append(
+            check_scenario(scn, table, depth=depth, max_states=max_states,
+                           por=por))
+    return report
+
+
+# ---------------------------------------------------------------------------
+# the protocol-mutant corpus
+# ---------------------------------------------------------------------------
+
+class _AckBeforeCrc(TransitionTable):
+    name = "ack-before-crc"
+    mutation = ("the receiver acknowledges fragments before verifying "
+                "their CRCs, so corrupted payloads are acked and delivered")
+
+    def ack_respects_crc(self):
+        return False
+
+
+class _SeqWindowOffByOne(TransitionTable):
+    name = "seq-window-off-by-one"
+    mutation = ("duplicate suppression uses a strict comparison, so a "
+                "duplicate of the newest delivered seq is re-delivered")
+
+    def duplicate_suppressed(self, reliability, seq, delivered_seqs):
+        return reliability and any(s < seq for s in delivered_seqs)
+
+
+class _RecycleBeforeAck(TransitionTable):
+    name = "recycle-before-ack"
+    mutation = ("the sender recycles eager staging at injection, before "
+                "delivery consumed it; the delivery-path release then "
+                "double-recycles")
+
+    def staging_released_at_send(self):
+        return True
+
+
+class _MissingProcFailed(TransitionTable):
+    name = "missing-proc-failed"
+    mutation = ("a wait that observes a peer crash completes successfully "
+                "instead of raising MPI_ERR_PROC_FAILED")
+
+    def crash_reports_failure(self):
+        return False
+
+
+class _SilentExhaustion(TransitionTable):
+    name = "silent-exhaustion"
+    mutation = ("a spent retry budget abandons the transfer without "
+                "reporting the failure at either end")
+
+    def exhaustion_reports_failure(self):
+        return False
+
+
+class _RetryWithoutBudget(TransitionTable):
+    name = "retry-without-budget"
+    mutation = "the retransmission loop never consults the retry budget"
+
+    def retry_exhausted(self, rounds_used, retry_limit):
+        return False
+
+
+class _DropHeldReorder(TransitionTable):
+    name = "drop-held-reorder"
+    mutation = ("a reorder-held message is never flushed, so its receiver "
+                "waits forever")
+
+    def reorder_flushes(self):
+        return False
+
+
+class _SilentLoss(TransitionTable):
+    name = "silent-loss"
+    mutation = ("an unrecoverable fragment loss on the unreliable fabric "
+                "is not reported (no RPD450, no rendezvous release)")
+
+    def loss_reported(self):
+        return False
+
+
+class _DoubleCancelRecycle(TransitionTable):
+    name = "double-cancel-recycle"
+    mutation = ("Request.cancel is not idempotent: a second cancel "
+                "recycles the staging buffers again")
+
+    def cancel_idempotent(self):
+        return False
+
+
+@dataclass(frozen=True)
+class Mutant:
+    """One seeded protocol bug and its designated detection channel."""
+
+    table: TransitionTable
+    #: Scenario names (from :func:`builtin_scenarios`) that expose it.
+    scenarios: tuple
+    #: The RPD code(s) that MUST fire — the designated channel.
+    expect: tuple
+
+
+MUTANT_CORPUS: tuple[Mutant, ...] = (
+    Mutant(_AckBeforeCrc(), ("corrupt-reliable",), ("RPD702",)),
+    Mutant(_SeqWindowOffByOne(), ("dup-reliable",), ("RPD702",)),
+    Mutant(_RecycleBeforeAck(), ("clean-ring",), ("RPD703",)),
+    Mutant(_MissingProcFailed(), ("crash",), ("RPD704",)),
+    Mutant(_SilentExhaustion(), ("drop-exhaust",), ("RPD701",)),
+    Mutant(_RetryWithoutBudget(), ("drop-exhaust",), ("RPD710",)),
+    Mutant(_DropHeldReorder(), ("reorder-lossy",), ("RPD700",)),
+    Mutant(_SilentLoss(), ("drop-lossy",), ("RPD701",)),
+    Mutant(_DoubleCancelRecycle(), ("cancel",), ("RPD703",)),
+)
+
+
+def run_mutant_corpus(nranks: int = 3, depth: int = 60,
+                      max_states: int = 200_000
+                      ) -> tuple[list, list, ModelReport]:
+    """Model-check every mutant; each must trip its designated RPD code.
+
+    Returns ``(diagnostics, missed, report)`` where ``missed`` lists
+    human-readable descriptions of mutants whose designated channel did
+    not fire (the corpus run fails the build when non-empty).
+    """
+    by_name = {s.name: s for s in builtin_scenarios(nranks)}
+    diags: list = []
+    missed: list = []
+    report = ModelReport()
+    for mutant in MUTANT_CORPUS:
+        fired: set = set()
+        for sname in mutant.scenarios:
+            scn = by_name[sname]
+            res = check_scenario(scn, mutant.table, depth=depth,
+                                 max_states=max_states)
+            report.results.append(res)
+            diags.extend(res.diagnostics)
+            fired |= {d.code for d in res.diagnostics}
+        for code in mutant.expect:
+            if code not in fired:
+                missed.append(
+                    f"{mutant.table.name}: expected {code} on "
+                    f"{'/'.join(mutant.scenarios)}, got "
+                    f"{sorted(fired) or 'nothing'}")
+    return diags, missed, report

@@ -141,8 +141,14 @@ class Request:
         Status with ``cancelled=True`` (the MPI_Test_cancelled convention).
         False (no effect) once the operation matched or completed — in MPI
         terms the operation completes normally.
+
+        Idempotent: a second cancel is a no-op returning False.  The
+        ``on_cancel`` hook is consumed on first use — it recycles pool
+        buffers, and a stale second invocation could release a buffer the
+        pool has already handed to a new owner (the double-recycle the
+        model checker's RPD703 ownership invariant guards against).
         """
-        if self._done:
+        if self._done or self.cancelled:
             return False
         treq = self._req
         if treq is None or not hasattr(treq, "cancel"):
@@ -154,8 +160,9 @@ class Request:
         st = Status(source=-1, tag=-1, nbytes=0)
         st.cancelled = True
         self._status = st
-        if self._on_cancel is not None:
-            self._on_cancel()
+        hook, self._on_cancel = self._on_cancel, None
+        if hook is not None:
+            hook()
         if self._san_record is not None:
             self._san_record.mark_cancelled()
         return True

@@ -35,6 +35,7 @@ from .memory import MemoryTracker
 from .netsim import DEFAULT_PARAMS, CostModel, LinkParams, VirtualClock
 from .protocols import plan_send, wait_semantics
 from .tagmatch import PostedRecv, TagMatcher
+from .transitions import crc_reject
 from .wire import WireHeader, WireMessage, copy_chunks
 
 
@@ -379,9 +380,9 @@ class Worker:
         bounds = fragment_bounds(msg.chunks, self.config.frag_size)
         actual = fragment_crcs(msg.chunks, bounds)
         expected = msg.header.frag_crcs
-        if actual == expected:
+        bad = crc_reject(expected, actual)
+        if not bad:
             return
-        bad = [i for i, (a, e) in enumerate(zip(actual, expected)) if a != e]
         fi = self.fabric.injector
         if fi is not None:
             fi.stats[self.index].add(corrupted_delivered=len(bad))

@@ -46,6 +46,8 @@ from typing import Optional
 import numpy as np
 
 from ..errors import ProcFailedError, RankCrashError
+from .transitions import (duplicate_suppressed, resolve_retries,
+                          retry_backoff)
 from .wire import WireMessage
 
 __all__ = [
@@ -539,33 +541,33 @@ class FaultInjector:
         rel = self.reliability
         p = model.params
 
-        remaining = set(dropped) | set(corrupted)
         if corrupted:
             stats.add(crc_failures=len(corrupted))
+        # The whole NACK/retransmit schedule is decided by the shared
+        # transition table (pure, model-checked); this loop only *charges*
+        # the resolved rounds into virtual time and the stats.
+        rounds, remaining = resolve_retries(
+            lambda frags, rnd: self.plan.frag_fates(src, dst, seq, frags,
+                                                    rnd=rnd),
+            rel.retry_limit, dropped, corrupted)
         extra_time = 0.0
-        rnd = 0
-        while remaining and rnd < rel.retry_limit:
-            rnd += 1
-            retrans = sorted(remaining)
-            nbytes = sum(bounds[f][2] - bounds[f][1] for f in retrans)
-            backoff = rel.retry_timeout * rel.backoff ** (rnd - 1)
+        for r in rounds:
+            nbytes = sum(bounds[f][2] - bounds[f][1] for f in r.frags)
+            backoff = retry_backoff(rel.retry_timeout, rel.backoff, r.round)
             # One NACK round trip (receiver detects the gap / bad CRC at
             # its tag-match path and asks for the fragments again), the
             # sender's timeout+backoff wait, then the retransmission.
             extra_time += (backoff + p.latency + rel.ack_overhead
-                           + model.retransmit_time(nbytes, len(retrans)))
+                           + model.retransmit_time(nbytes, len(r.frags)))
             # Re-staging the retransmitted fragments costs the sender.
             worker.clock.advance(nbytes / p.eager_copy_bandwidth)
-            stats.add(retransmits=len(retrans), retransmitted_bytes=nbytes,
+            stats.add(retransmits=len(r.frags), retransmitted_bytes=nbytes,
                       ack_rounds=1, backoff_time=backoff)
             ch.trace.append({"event": "retransmit", "src": src, "dst": dst,
-                             "seq": seq, "round": rnd, "frags": retrans,
-                             "bytes": nbytes})
-            re_dropped, re_corrupted = self.plan.frag_fates(
-                src, dst, seq, retrans, rnd=rnd)
-            if re_corrupted:
-                stats.add(crc_failures=len(re_corrupted))
-            remaining = re_dropped | re_corrupted
+                             "seq": seq, "round": r.round,
+                             "frags": list(r.frags), "bytes": nbytes})
+            if r.corrupted_after:
+                stats.add(crc_failures=len(r.corrupted_after))
 
         if remaining:
             stats.add(exhausted=1, lost_messages=1,
@@ -607,9 +609,16 @@ class FaultInjector:
             msg.wire_time += self.plan.delay_time
             stats.add(delays=1)
         if fates["duplicate"]:
-            stats.add(duplicates_dropped=1)
-            ch.trace.append({"event": "dup-dropped", "src": src,
-                             "dst": dst, "seq": seq})
+            # The duplicate carries the seq the original just delivered, so
+            # the sequencing layer suppresses it (shared decision with the
+            # model — the seq-window off-by-one mutant breaks exactly this).
+            if duplicate_suppressed(rel.enabled, seq, (seq,)):
+                stats.add(duplicates_dropped=1)
+                ch.trace.append({"event": "dup-dropped", "src": src,
+                                 "dst": dst, "seq": seq})
+            else:
+                stats.add(duplicates_delivered=1)
+                dst_worker.matcher.deposit(self._clone(msg))
         if fates["reorder"]:
             stats.add(reorders_healed=1)
             ch.trace.append({"event": "reorder-healed", "src": src,

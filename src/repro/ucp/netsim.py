@@ -194,7 +194,8 @@ class CostModel:
 
     def contig_time(self, nbytes: int) -> float:
         """One-way time of a contiguous message under protocol selection."""
-        if nbytes <= self.params.eager_limit:
+        from .transitions import message_is_eager
+        if message_is_eager(nbytes, self.params.eager_limit):
             return self.eager_time(nbytes)
         return self.rndv_time(nbytes)
 

@@ -33,6 +33,7 @@ from dataclasses import dataclass
 from ..errors import TransportError
 from .dtypes import ContigData, GenericData, IovData
 from .netsim import CostModel
+from .transitions import select_protocol
 
 
 @dataclass(frozen=True)
@@ -63,7 +64,10 @@ def plan_send(data, model: CostModel, frag_count: int = 0,
     p = model.params
     if isinstance(data, ContigData):
         n = data.total_bytes
-        if n <= p.eager_limit and not force_rndv:
+        # The eager/rendezvous boundary decision is shared with the protocol
+        # model checker (repro.ucp.transitions), so the verified transition
+        # table and the live fabric cannot drift apart at the cutoff.
+        if select_protocol("contig", n, p.eager_limit, force_rndv) == "eager":
             bounce = n / p.eager_copy_bandwidth
             return SendPlan(
                 protocol="eager",

@@ -1,0 +1,140 @@
+"""Transport-conformance tests: the live fabric must match the protocol
+model's predictions observable for observable (RPD720 on divergence)."""
+
+import copy
+
+import pytest
+
+from repro.analyze.cli import proto_main
+from repro.analyze.protoconform import (builtin_cases, compare_case,
+                                        observe_case, predict_case,
+                                        run_conformance)
+from repro.errors import MPI_ERR_PROC_FAILED
+
+
+def case_by_name(name):
+    (case,) = [c for c in builtin_cases() if c.name == name]
+    return case
+
+
+class TestConformanceSweep:
+    def test_shipped_transport_conforms(self):
+        report = run_conformance()
+        assert report.diagnostics == []
+        assert report.messages >= 20
+
+    def test_cases_are_not_vacuous(self):
+        # The matrix must exercise loss, recovery, exhaustion, duplicate
+        # suppression and raw duplication — not just clean delivery.
+        totals = {}
+        for case in builtin_cases():
+            for k, v in predict_case(case)["stats"].items():
+                totals[k] = totals.get(k, 0) + v
+        assert totals["lost_messages"] > 0
+        assert totals["retransmits"] > 0
+        assert totals["exhausted"] > 0
+        assert totals["duplicates_dropped"] > 0
+        assert totals["duplicates_delivered"] > 0
+
+    def test_drop_lossy_mixes_delivered_and_lost(self):
+        p = predict_case(case_by_name("drop-lossy"))
+        delivered = [r["delivered"] for r in p["msgs"].values()]
+        assert any(delivered) and not all(delivered)
+
+
+class TestBoundaryConformance:
+    """Model and implementation agree at the exact eager/rendezvous
+    cutoff on live traffic (the boundary-audit satellite)."""
+
+    def test_baseline_covers_the_cutoff(self):
+        case = case_by_name("baseline")
+        p = predict_case(case)
+        sizes = {m.nbytes: m.mid for m in case.messages}
+        limit = max(s for s in sizes if p["msgs"][sizes[s]]["proto"]
+                    == "eager")
+        assert p["msgs"][sizes[limit]]["proto"] == "eager"
+        assert limit + 1 in sizes
+        assert p["msgs"][sizes[limit + 1]]["proto"] == "rndv"
+
+    def test_live_protocols_match_prediction(self):
+        case = case_by_name("baseline")
+        predicted = predict_case(case)
+        observed = observe_case(case)
+        for mid, rec in predicted["msgs"].items():
+            assert observed["msgs"][mid]["proto"] == rec["proto"]
+
+
+class TestPredictions:
+    def test_exhaustion_splits_by_protocol(self):
+        # Eager sends complete locally before the loss; only the blocked
+        # rendezvous sender surfaces MPI_ERR_PROC_FAILED on exhaustion.
+        p = predict_case(case_by_name("drop-exhaust"))
+        rec = p["msgs"][0]  # the certain-loss eager message
+        assert not rec["delivered"]
+        assert rec["send_err"] is None
+        assert rec["recv_err"] == MPI_ERR_PROC_FAILED
+
+    def test_reliable_retransmit_schedule_is_concrete(self):
+        p = predict_case(case_by_name("drop-reliable"))
+        rounds = [ev for evs in p["retransmits"].values() for ev in evs]
+        assert rounds
+        assert all(ev["frags"] for ev in rounds)
+
+
+class TestDivergenceDetection:
+    """compare_case must turn any observable mismatch into RPD720."""
+
+    @pytest.fixture()
+    def clean(self):
+        case = case_by_name("drop-reliable")
+        predicted = predict_case(case)
+        observed = observe_case(case)
+        assert compare_case(case, predicted, observed) == []
+        return case, predicted, observed
+
+    def test_flipped_delivery_detected(self, clean):
+        case, predicted, observed = clean
+        mutated = copy.deepcopy(observed)
+        mid = next(iter(mutated["msgs"]))
+        mutated["msgs"][mid]["delivered"] = \
+            not mutated["msgs"][mid]["delivered"]
+        diags = compare_case(case, predicted, mutated)
+        assert {d.code for d in diags} == {"RPD720"}
+        assert any("'delivered'" in d.message for d in diags)
+
+    def test_dropped_retransmit_event_detected(self, clean):
+        case, predicted, observed = clean
+        mutated = copy.deepcopy(observed)
+        chan = next(iter(mutated["retransmits"]))
+        mutated["retransmits"][chan].pop()
+        diags = compare_case(case, predicted, mutated)
+        assert any(d.code == "RPD720"
+                   and "retransmission schedule" in d.message
+                   for d in diags)
+
+    def test_stat_drift_detected(self, clean):
+        case, predicted, observed = clean
+        mutated = copy.deepcopy(observed)
+        mutated["stats"]["retransmits"] += 1
+        diags = compare_case(case, predicted, mutated)
+        assert any("retransmits" in d.message for d in diags)
+
+    def test_diagnostic_names_the_case(self, clean):
+        case, predicted, observed = clean
+        mutated = copy.deepcopy(observed)
+        mutated["stats"]["exhausted"] += 1
+        (d,) = compare_case(case, predicted, mutated)
+        assert d.subject == case.name
+        assert case.name in d.message
+
+
+class TestConformanceCli:
+    def test_conformance_flag_clean(self, tmp_path, capsys):
+        report = tmp_path / "proto.json"
+        assert proto_main(["--ranks", "2", "--conformance",
+                           "--report", str(report)]) == 0
+        capsys.readouterr()
+        import json
+        doc = json.loads(report.read_text())
+        assert doc["conformance"]["divergences"] == 0
+        assert doc["conformance"]["messages"] >= 20

@@ -1,0 +1,199 @@
+"""Protocol model-checker tests: shipped-table verification, the mutant
+corpus and its designated RPD7xx channels, partial-order-reduction
+soundness, and the ``repro-analyze proto`` CLI."""
+
+import json
+
+import pytest
+
+from repro.analyze.cli import main, proto_main
+from repro.analyze.protomodel import (MUTANT_CORPUS, MsgSpec, Scenario,
+                                      TransitionTable, builtin_scenarios,
+                                      check_scenario, classify_protocol,
+                                      run_mutant_corpus, verify_shipped)
+from repro.ucp.transitions import select_protocol
+
+
+def scenario_by_name(name, nranks=3):
+    (scn,) = [s for s in builtin_scenarios(nranks) if s.name == name]
+    return scn
+
+
+class TestShippedProtocol:
+    def test_clean_at_three_ranks(self):
+        report = verify_shipped(nranks=3, depth=60)
+        assert report.diagnostics == []
+        assert report.states > 1000  # non-vacuous exploration
+
+    def test_clean_at_two_ranks(self):
+        assert verify_shipped(nranks=2, depth=60).diagnostics == []
+
+    def test_every_builtin_scenario_terminates_unbounded(self):
+        # No scenario hits the depth bound: the fault budgets make the
+        # state space finite, so verification is exhaustive, not partial.
+        report = verify_shipped(nranks=3, depth=60)
+        assert all(r.truncated == 0 for r in report.results)
+
+    def test_report_carries_throughput(self):
+        report = verify_shipped(nranks=2, depth=60)
+        doc = report.to_dict()
+        assert doc["states"] == sum(r["states"] for r in doc["scenarios"])
+        assert doc["states_per_s"] > 0
+
+    def test_fault_kind_restriction(self):
+        names = {s.name for s in
+                 builtin_scenarios(3, fault_kinds=frozenset({"drop"}))}
+        assert "drop-reliable" in names
+        assert "crash" not in names and "dup-reliable" not in names
+
+
+class TestBoundaryAudit:
+    """The eager/rendezvous cutoff: model, shared table and scenario
+    matrix agree at the exact boundary (satellite of the RPD7xx issue)."""
+
+    def test_model_protocol_at_cutoff(self):
+        scn = scenario_by_name("eager-boundary")
+        protos = {m.nbytes: classify_protocol(m, scn) for m in scn.messages}
+        assert protos[scn.eager_limit] == "eager"
+        assert protos[scn.eager_limit + 1] == "rndv"
+
+    def test_boundary_scenario_spans_the_cutoff(self):
+        scn = scenario_by_name("eager-boundary")
+        sizes = sorted(m.nbytes for m in scn.messages)
+        assert sizes == [scn.eager_limit, scn.eager_limit + 1]
+
+    def test_table_delegates_to_shared_selector(self):
+        table = TransitionTable()
+        scn = scenario_by_name("eager-boundary")
+        for m in scn.messages:
+            assert table.protocol_for(m, scn) == select_protocol(
+                "contig", m.nbytes, scn.eager_limit)
+
+
+class TestMutantCorpus:
+    @pytest.mark.parametrize(
+        "mutant", MUTANT_CORPUS, ids=[m.table.name for m in MUTANT_CORPUS])
+    def test_designated_code_fires(self, mutant):
+        fired = set()
+        for name in mutant.scenarios:
+            res = check_scenario(scenario_by_name(name), mutant.table,
+                                 depth=60)
+            fired |= {d.code for d in res.diagnostics}
+        for code in mutant.expect:
+            assert code in fired, (mutant.table.name, fired)
+
+    def test_corpus_has_no_misses(self):
+        _, missed, _ = run_mutant_corpus(nranks=3, depth=60)
+        assert missed == []
+
+    def test_corpus_covers_every_channel(self):
+        expected = {c for m in MUTANT_CORPUS for c in m.expect}
+        assert expected == {"RPD700", "RPD701", "RPD702", "RPD703",
+                            "RPD704", "RPD710"}
+
+    def test_finding_carries_action_trace(self):
+        (mutant,) = [m for m in MUTANT_CORPUS
+                     if m.table.name == "drop-held-reorder"]
+        res = check_scenario(scenario_by_name(mutant.scenarios[0]),
+                             mutant.table, depth=60)
+        (d,) = [d for d in res.diagnostics if d.code == "RPD700"]
+        assert "reorder(" in d.message  # the exhibiting schedule
+        assert res.traces["RPD700"]     # machine-readable trace too
+
+    def test_mutation_named_in_hint(self):
+        (mutant,) = [m for m in MUTANT_CORPUS
+                     if m.table.name == "ack-before-crc"]
+        res = check_scenario(scenario_by_name(mutant.scenarios[0]),
+                             mutant.table, depth=60)
+        assert any("ack-before-crc" in d.hint for d in res.diagnostics)
+
+
+class TestPartialOrderReduction:
+    @pytest.mark.parametrize("name", ["clean-ring", "dup-reliable",
+                                      "crash", "drop-exhaust"])
+    def test_same_verdicts_fewer_states(self, name):
+        scn = scenario_by_name(name)
+        table = TransitionTable()
+        por = check_scenario(scn, table, depth=60, por=True)
+        full = check_scenario(scn, table, depth=60, por=False)
+        assert {d.code for d in por.diagnostics} == \
+            {d.code for d in full.diagnostics}
+        assert por.states <= full.states
+
+    def test_mutant_verdict_stable_without_por(self):
+        (mutant,) = [m for m in MUTANT_CORPUS
+                     if m.table.name == "missing-proc-failed"]
+        res = check_scenario(scenario_by_name("crash"), mutant.table,
+                             depth=60, por=False)
+        assert "RPD704" in {d.code for d in res.diagnostics}
+
+
+class TestCheckerMechanics:
+    def test_depth_bound_truncates(self):
+        scn = scenario_by_name("drop-reliable")
+        res = check_scenario(scn, TransitionTable(), depth=3)
+        assert res.truncated > 0
+
+    def test_max_states_valve(self):
+        scn = scenario_by_name("drop-reliable")
+        res = check_scenario(scn, TransitionTable(), depth=60,
+                             max_states=20)
+        assert res.states <= 21
+
+    def test_deadlock_on_unreceived_message(self):
+        # A receiver that never posts: the sender's rendezvous transfer
+        # can never complete, which the checker must flag as RPD700.
+        scn = Scenario("stuck", 2,
+                       (MsgSpec(mid=0, src=0, dst=1, nbytes=1 << 20,
+                                expect_recv=False),))
+        res = check_scenario(scn, TransitionTable(), depth=20)
+        assert "RPD700" in {d.code for d in res.diagnostics}
+
+
+class TestProtoCli:
+    def test_dispatch_from_main(self, capsys):
+        assert main(["proto", "--ranks", "2"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_json_format(self, capsys):
+        assert proto_main(["--ranks", "2", "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["tool"] == "repro.analyze"
+        assert doc["summary"]["findings"] == 0
+
+    def test_mutants_expected_findings(self, capsys):
+        assert proto_main(["--mutants", "--ranks", "3"]) == 1
+        out = capsys.readouterr().out
+        for code in ("RPD700", "RPD701", "RPD702", "RPD703", "RPD704",
+                     "RPD710"):
+            assert code in out
+
+    def test_report_file(self, tmp_path, capsys):
+        report = tmp_path / "proto.json"
+        assert proto_main(["--ranks", "2", "--report", str(report)]) == 0
+        capsys.readouterr()
+        doc = json.loads(report.read_text())
+        assert doc["tool"] == "repro.analyze.proto"
+        assert doc["model"]["states"] > 0
+        assert doc["model"]["states_per_s"] > 0
+
+    def test_faults_filter(self, capsys):
+        assert proto_main(["--ranks", "2", "--faults", "drop",
+                           "--format", "json", ]) == 0
+        capsys.readouterr()
+
+    def test_bad_fault_kind_rejected(self, capsys):
+        assert proto_main(["--faults", "gamma-rays"]) == 2
+        assert "unknown fault action" in capsys.readouterr().err
+
+    def test_bad_ranks_rejected(self, capsys):
+        assert proto_main(["--ranks", "7"]) == 2
+        assert "--ranks" in capsys.readouterr().err
+
+    def test_no_por_flag(self, capsys):
+        assert proto_main(["--ranks", "2", "--no-por"]) == 0
+        capsys.readouterr()
+
+    def test_unknown_code_filter_rejected(self, capsys):
+        assert proto_main(["--select", "RPD9"]) == 2
+        capsys.readouterr()

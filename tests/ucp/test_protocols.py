@@ -50,6 +50,35 @@ class TestSelection:
             plan_send(object(), M)
 
 
+class TestBoundaryAgreement:
+    """Eager/rendezvous cutoff audit: the live planner, the shared
+    transition table and the cost model must agree at the exact boundary
+    (and everywhere else) — the protocol model checker verifies the same
+    table, so disagreement here would let model and implementation drift."""
+
+    def test_exact_cutoff(self):
+        from repro.ucp.transitions import message_is_eager, select_protocol
+        limit = M.params.eager_limit
+        for n, proto in ((limit - 1, "eager"), (limit, "eager"),
+                         (limit + 1, "rndv")):
+            assert plan_send(contig(n), M).protocol == proto
+            assert select_protocol("contig", n, limit) == proto
+            assert message_is_eager(n, limit) == (proto == "eager")
+
+    @given(st.integers(0, 1 << 22))
+    def test_planner_follows_shared_table(self, n):
+        from repro.ucp.transitions import select_protocol
+        assert plan_send(contig(n), M).protocol == select_protocol(
+            "contig", n, M.params.eager_limit)
+
+    @given(st.integers(0, 1 << 22))
+    def test_cost_model_follows_shared_table(self, n):
+        from repro.ucp.transitions import message_is_eager
+        want = M.eager_time(n) if message_is_eager(n, M.params.eager_limit) \
+            else M.rndv_time(n)
+        assert M.contig_time(n) == want
+
+
 class TestCostSplitConsistency:
     """sender + wire + recv must equal the aggregate model times, so the
     engine and the bench analytics can never disagree."""

@@ -4,8 +4,11 @@ import threading
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.ucp.constants import TAG_FULL_MASK, match_mask, pack_tag
+from repro.ucp.faults import FaultPlan
 from repro.ucp.tagmatch import TagMatcher
 from repro.ucp.wire import WireHeader, WireMessage
 
@@ -114,6 +117,62 @@ class TestProbe:
     def test_wait_probe_timeout(self):
         m = TagMatcher()
         assert m.wait_probe(T(4), TAG_FULL_MASK, timeout=0.05) is None
+
+
+def reordered_deposit_order(plan, src, dst, count):
+    """Deposit order of ``count`` same-channel messages under the fault
+    injector's hold-one reorder semantics, derived purely from the plan's
+    seeded draws (mirrors FaultInjector._transmit_raw + flush_rank)."""
+    order, held = [], None
+    for seq in range(count):
+        if plan.message_fates(src, dst, seq)["reorder"] and held is None:
+            held = seq
+            continue
+        order.append(seq)
+        if held is not None:
+            order.append(held)
+            held = None
+    if held is not None:
+        order.append(held)  # rank-finish flush
+    return order
+
+
+class TestWildcardFifoProperty:
+    """MPI non-overtaking for wildcard receives: among the messages of one
+    (source, tag, comm) channel, an ANY_SOURCE match must claim them in
+    arrival order — under any arrival interleaving the seeded fault plan's
+    reorder machinery can produce."""
+
+    @settings(deadline=None, max_examples=40)
+    @given(seed=st.integers(0, 2 ** 16), nmsgs=st.integers(2, 6),
+           nsrcs=st.integers(2, 3))
+    def test_per_source_fifo_under_seeded_reorder(self, seed, nmsgs, nsrcs):
+        plan = FaultPlan(seed=seed, reorder=0.5)
+        m = TagMatcher()
+        # Interleave the channels' (independently reordered) deposits.
+        arrival = {src: reordered_deposit_order(plan, src, 0, nmsgs)
+                   for src in range(nsrcs)}
+        deposited = {src: [] for src in range(nsrcs)}
+        for i in range(nmsgs):
+            for src in range(nsrcs):
+                seq = arrival[src][i]
+                m.deposit(msg(pack_tag(0, src, 1), src=src, nbytes=seq + 1))
+                deposited[src].append(seq)
+        claimed = {src: [] for src in range(nsrcs)}
+        for _ in range(nmsgs * nsrcs):
+            p = m.post(pack_tag(0, 0, 1), match_mask(True, False))
+            assert p.matched.is_set()
+            hdr = p.msg.header
+            claimed[hdr.source].append(hdr.total_bytes - 1)
+        for src in range(nsrcs):
+            assert claimed[src] == deposited[src]
+
+    @settings(deadline=None, max_examples=40)
+    @given(seed=st.integers(0, 2 ** 16))
+    def test_held_message_never_lost(self, seed):
+        plan = FaultPlan(seed=seed, reorder=0.9)
+        order = reordered_deposit_order(plan, 0, 1, 5)
+        assert sorted(order) == list(range(5))
 
 
 class TestConcurrency:
