@@ -235,6 +235,21 @@ def bench_protomodel(nranks: int, depth: int) -> dict:
             "clean": not report.diagnostics}
 
 
+def bench_races() -> dict:
+    """Race-analyzer throughput: fabric files audited per second of wall
+    clock over the shipped audit set (the `race-audit` CI job's cost)."""
+    from repro.analyze.races import analyze_paths, shipped_audit_paths
+
+    t0 = time.perf_counter()
+    findings, nfiles, _audit = analyze_paths(shipped_audit_paths())
+    seconds = time.perf_counter() - t0
+    return {"files": nfiles,
+            "findings": len(findings),
+            "seconds": seconds,
+            "files_per_s": nfiles / seconds if seconds else float("inf"),
+            "clean": not findings}
+
+
 # ---------------------------------------------------------------------------
 # gates
 # ---------------------------------------------------------------------------
@@ -269,6 +284,10 @@ def check_results(report: dict) -> list[str]:
     if pm is not None and not pm["clean"]:
         failures.append("protomodel: shipped protocol has model-checker "
                         "findings (run `repro-analyze proto`)")
+    ra = report.get("races")
+    if ra is not None and not ra["clean"]:
+        failures.append("races: shipped fabric has race-audit findings "
+                        "(run `repro-analyze races --strict`)")
     return failures
 
 
@@ -317,6 +336,12 @@ def main(argv=None) -> int:
     print(f"{'protocol model check':24s} {pm['states_per_s']:8.0f} states/s "
           f"({pm['states']} states, {pm['scenarios']} scenarios, "
           f"{'clean' if pm['clean'] else 'FINDINGS'})")
+
+    report["races"] = bench_races()
+    ra = report["races"]
+    print(f"{'race audit':24s} {ra['files_per_s']:8.0f} files/s "
+          f"({ra['files']} files, "
+          f"{'clean' if ra['clean'] else 'FINDINGS'})")
 
     failures = check_results(report) if args.check else []
     report["checks"] = {"enforced": args.check, "failures": failures}

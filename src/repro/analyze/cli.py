@@ -149,7 +149,7 @@ def _reject_unknown_codes(ns) -> bool:
     return bool(bad)
 
 
-def _render_json(findings, nfiles: int) -> str:
+def _render_json(findings, nfiles: int, tool: str = "repro.analyze") -> str:
     by_code: dict[str, int] = {}
     by_severity: dict[str, int] = {}
     for d in findings:
@@ -157,7 +157,7 @@ def _render_json(findings, nfiles: int) -> str:
         by_severity[d.severity] = by_severity.get(d.severity, 0) + 1
     doc = {
         "version": SCHEMA_VERSION,
-        "tool": "repro.analyze",
+        "tool": tool,
         "findings": [d.to_dict() for d in findings],
         "summary": {
             "files": nfiles,
@@ -167,6 +167,20 @@ def _render_json(findings, nfiles: int) -> str:
         },
     }
     return json.dumps(doc, indent=2)
+
+
+def _write_report(path: str, doc: dict) -> None:
+    """Write one machine-readable report; identical shape across
+    subcommands (``version`` + ``tool`` keys, then tool-specific
+    sections)."""
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+
+
+def _findings_report_doc(findings, nfiles: int, tool: str) -> dict:
+    """The common findings/summary report document of a subcommand."""
+    return json.loads(_render_json(findings, nfiles, tool=tool))
 
 
 def _gh_escape(text: str, *, prop: bool = False) -> str:
@@ -261,6 +275,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--import", dest="do_import", action="store_true",
                    help="import each file and analyze module-level "
                         "datatypes (executes the files!)")
+    p.add_argument("--report", metavar="FILE", default="",
+                   help="write the findings and summary to FILE as JSON "
+                        "(independent of --format)")
     p.add_argument("--list-codes", action="store_true",
                    help="print the diagnostic code table and exit")
     return p
@@ -281,6 +298,8 @@ def main(argv: Optional[list] = None) -> int:
         return plans_main(argv[1:])
     if argv and argv[0] == "proto":
         return proto_main(argv[1:])
+    if argv and argv[0] == "races":
+        return races_main(argv[1:])
     parser = build_parser()
     try:
         ns = parser.parse_args(argv)
@@ -322,6 +341,10 @@ def main(argv: Optional[list] = None) -> int:
         findings.extend(notices)
 
     findings = _filter_findings(findings, ns)
+    if ns.report:
+        _write_report(ns.report,
+                      _findings_report_doc(findings, len(files),
+                                           "repro.analyze"))
     _emit(findings, len(files), ns.format)
     return 1 if findings else 0
 
@@ -361,6 +384,9 @@ def build_flow_parser() -> argparse.ArgumentParser:
                    help="comma-separated code prefixes to keep")
     p.add_argument("--ignore", default="",
                    help="comma-separated code prefixes to drop")
+    p.add_argument("--report", metavar="FILE", default="",
+                   help="write the findings and summary to FILE as JSON "
+                        "(independent of --format)")
     return p
 
 
@@ -404,6 +430,10 @@ def flow_main(argv: Optional[list] = None) -> int:
         findings.extend(notices)
 
     findings = _filter_findings(findings, ns)
+    if ns.report:
+        _write_report(ns.report,
+                      _findings_report_doc(findings, analyzed,
+                                           "repro.analyze.flow"))
     _emit(findings, analyzed, ns.format)
     return 1 if findings else 0
 
@@ -504,17 +534,14 @@ def plans_main(argv: Optional[list] = None) -> int:
             findings.extend(rep.diagnostics)
 
     if ns.report:
-        doc = {
+        _write_report(ns.report, {
             "version": SCHEMA_VERSION,
             "tool": "repro.analyze.plans",
             "executor": ns.executor,
             "reports": [r.to_dict() for r in reports],
             "verified": sum(1 for r in reports if r.verified),
             "total": len(reports),
-        }
-        with open(ns.report, "w") as fh:
-            json.dump(doc, fh, indent=2)
-            fh.write("\n")
+        })
 
     findings = _filter_findings(findings, ns)
     _emit(findings, len(subjects), ns.format)
@@ -610,9 +637,7 @@ def proto_main(argv: Optional[list] = None) -> int:
         findings = _filter_findings(findings, ns)
         _emit(findings, len(model_report.results), ns.format)
         if ns.report:
-            with open(ns.report, "w") as fh:
-                json.dump(report_doc, fh, indent=2)
-                fh.write("\n")
+            _write_report(ns.report, report_doc)
         if missed:
             return 2
         return 1 if findings else 0
@@ -634,10 +659,107 @@ def proto_main(argv: Optional[list] = None) -> int:
         nscen += len(conf.cases)
 
     if ns.report:
-        with open(ns.report, "w") as fh:
-            json.dump(report_doc, fh, indent=2)
-            fh.write("\n")
+        _write_report(ns.report, report_doc)
 
     findings = _filter_findings(findings, ns)
     _emit(findings, nscen, ns.format)
+    return 1 if findings else 0
+
+
+def build_races_parser() -> argparse.ArgumentParser:
+    """Parser of the ``repro-analyze races`` subcommand."""
+    p = argparse.ArgumentParser(
+        prog="repro-analyze races",
+        description="Static concurrency and transport-portability audit "
+                    "(RPD8xx): per-attribute lockset inference and GIL-"
+                    "atomicity checks over the fabric classes, a lock-"
+                    "order graph with inversion detection, and a wire-"
+                    "envelope audit of what a process-boundary transport "
+                    "must copy versus map.")
+    p.add_argument("paths", nargs="*",
+                   help="files or directories to audit (default: the "
+                        "shipped fabric — repro/ucp, repro/mpi and the "
+                        "type caches)")
+    p.add_argument("--corpus", action="store_true",
+                   help="run the seeded race corpus instead of a clean "
+                        "audit (findings are EXPECTED; exits 2 if any "
+                        "seeded race escapes its designated RPD code)")
+    p.add_argument("--witness", action="store_true",
+                   help="also run the dynamic lockset witness — a canned "
+                        "multi-rank job under instrumented locks — and "
+                        "report runtime-confirmed races alongside the "
+                        "static findings")
+    p.add_argument("--report", metavar="FILE", default="",
+                   help="write the findings, the audit inventory (lock-"
+                        "order edges, wire fields, assumptions) and any "
+                        "witness observations to FILE as JSON")
+    p.add_argument("--format", choices=("text", "json", "github"),
+                   default="text", help="output format (default: text)")
+    p.add_argument("--strict", action="store_true",
+                   help="also report notice-severity findings "
+                        "(RPD590 unused noqa)")
+    p.add_argument("--select", default="",
+                   help="comma-separated code prefixes to keep")
+    p.add_argument("--ignore", default="",
+                   help="comma-separated code prefixes to drop")
+    return p
+
+
+def races_main(argv: Optional[list] = None) -> int:
+    """Entry point of ``repro-analyze races``."""
+    from .races import analyze_paths, run_corpus, shipped_audit_paths
+
+    parser = build_races_parser()
+    try:
+        ns = parser.parse_args(argv if argv is not None else sys.argv[1:])
+    except SystemExit as exc:
+        return int(exc.code or 0) and 2
+    if _reject_unknown_codes(ns):
+        return 2
+
+    if ns.corpus:
+        findings, missed, nfiles = run_corpus()
+        for m in missed:
+            print(f"error: seeded race NOT detected: {m}", file=sys.stderr)
+        findings = _filter_findings(findings, ns)
+        if ns.report:
+            doc = _findings_report_doc(findings, nfiles,
+                                       "repro.analyze.races")
+            doc["corpus_missed"] = missed
+            _write_report(ns.report, doc)
+        _emit(findings, nfiles, ns.format)
+        if missed:
+            return 2
+        return 1 if findings else 0
+
+    try:
+        findings, nfiles, audit = analyze_paths(
+            ns.paths or shipped_audit_paths())
+    except FileNotFoundError as exc:
+        print(f"error: no such file or directory: {exc}", file=sys.stderr)
+        return 2
+
+    witness_doc = None
+    if ns.witness:
+        from ..sanitize.witness import run_shipped_witness
+        wit = run_shipped_witness()
+        witness_doc = wit.to_dict()
+        for conf in wit.confirmed:
+            findings.append(Diagnostic(
+                "RPD800",
+                f"dynamic lockset witness observed {conf.writes} "
+                f"unsynchronized write(s) to {conf.cls}.{conf.attr} from "
+                f"{conf.threads} thread(s) with no common lock held",
+                subject=f"{conf.cls}.{conf.attr}",
+                hint="the static audit missed this attribute or its lock "
+                     "was bypassed at runtime; guard every write"))
+
+    findings = _filter_findings(findings, ns)
+    if ns.report:
+        doc = _findings_report_doc(findings, nfiles, "repro.analyze.races")
+        doc["audit"] = audit.to_dict()
+        if witness_doc is not None:
+            doc["witness"] = witness_doc
+        _write_report(ns.report, doc)
+    _emit(findings, nfiles, ns.format)
     return 1 if findings else 0

@@ -22,7 +22,13 @@ Numbering scheme:
   (:mod:`repro.analyze.protomodel` / :mod:`repro.analyze.protoconform`):
   exhaustively explored interleaving violations (deadlock, loss,
   duplicate delivery, pool misuse, ULFM breaks, retry divergence) and
-  model/implementation divergence on live traffic.
+  model/implementation divergence on live traffic,
+* ``RPD8xx`` — concurrency and transport portability
+  (:mod:`repro.analyze.races`): per-attribute lockset inference over the
+  fabric classes (unsynchronized shared state, GIL-atomicity reliance),
+  the lock-order graph (inversions, blocking under a lock), and the wire
+  audit that decides what a process-boundary transport must copy versus
+  map (by-reference payload aliasing, non-serializable envelope fields).
 """
 
 from __future__ import annotations
@@ -191,6 +197,23 @@ CODE_TABLE: dict[str, CodeInfo] = {c.code: c for c in (
     _c("RPD720", "error", MPI_ERR_INTERN,
        "model/implementation divergence: live transport disagrees with the "
        "protocol model"),
+    # -- concurrency & transport portability (races.py) -------------------
+    _c("RPD800", "error", MPI_ERR_INTERN,
+       "unsynchronized shared mutable state: attribute of a lock-owning "
+       "class written outside every lock"),
+    _c("RPD801", "error", MPI_ERR_INTERN,
+       "GIL-atomicity reliance: compound read-modify-write or "
+       "check-then-act on shared state outside any lock"),
+    _c("RPD802", "error", MPI_ERR_PENDING,
+       "lock-order inversion: two locks are acquired in opposite orders "
+       "on different paths"),
+    _c("RPD803", "warning", MPI_ERR_PENDING,
+       "blocking call or user callback executed while holding a lock"),
+    _c("RPD810", "warning", MPI_ERR_BUFFER,
+       "user buffer aliased by reference across the rank boundary on the "
+       "wire envelope"),
+    _c("RPD811", "warning", MPI_ERR_TYPE,
+       "non-serializable object placed on the wire envelope"),
 )}
 
 

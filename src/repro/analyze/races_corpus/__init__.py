@@ -1,0 +1,14 @@
+"""Seeded concurrency-bug corpus for :mod:`repro.analyze.races`.
+
+Each fixture is a self-contained module seeded with one concurrency or
+portability bug, mirroring a defect class the analyzer must catch in the
+fabric.  The first comment line names the designated diagnostic
+(``# expects: RPD8xx``); :func:`repro.analyze.races.run_corpus` fails —
+and ``repro-analyze races --corpus`` exits 2 — if any fixture escapes its
+designation, exactly like the protocol-mutant corpus gates ``proto``.
+
+The fixtures are static-analysis subjects only; nothing imports them.
+Several reproduce bugs that previously shipped (``f04`` is the wire
+msg-id counter before it grew a lock-guarded allocator, ``f07`` is the
+typecache factory call that used to run under the cache lock).
+"""

@@ -1,0 +1,24 @@
+# expects: RPD800
+"""Seeded bug: a lock-owning class writes shared state outside the lock.
+
+``drain()`` mutates ``self.pending`` without taking ``self._lock`` even
+though ``submit()`` guards the same list — the lockset of ``pending`` is
+inconsistent, so a concurrent submit can lose or double-process entries.
+"""
+
+import threading
+
+
+class WorkQueue:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.pending = []
+
+    def submit(self, item):
+        with self._lock:
+            self.pending.append(item)
+
+    def drain(self):
+        out = list(self.pending)
+        self.pending.clear()          # BUG: no lock held
+        return out

@@ -1,0 +1,28 @@
+# expects: RPD801
+"""Seeded bug: a compound counter update relying on GIL atomicity.
+
+``record_hit`` does ``self.hits += 1`` outside the lock that guards the
+rest of the statistics — a read-modify-write that loses updates the moment
+two threads interleave between the load and the store.  Mirrors the class
+of bug the BufferPool/MemoryTracker statistics are audited for.
+"""
+
+import threading
+
+
+class PoolStats:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def record_hit(self):
+        self.hits += 1                # BUG: lost-update race off the GIL
+
+    def record_miss(self):
+        with self._lock:
+            self.misses += 1
+
+    def snapshot(self):
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses}

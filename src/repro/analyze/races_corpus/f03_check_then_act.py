@@ -1,0 +1,26 @@
+# expects: RPD801
+"""Seeded bug: check-then-act on a shared cache outside the lock.
+
+Between ``key in self.cache`` and the insert, another thread can insert
+the same key: both run the loader, and the second insert clobbers the
+first — the classic cache-stampede race the plan-cache LRU avoids by
+holding its lock across the test and the update.
+"""
+
+import threading
+
+
+class ResultCache:
+    def __init__(self, loader):
+        self._lock = threading.Lock()
+        self.cache = {}
+        self.loader = loader
+
+    def lookup(self, key):
+        if key not in self.cache:         # BUG: test races the insert
+            self.cache[key] = self.loader(key)
+        return self.cache[key]
+
+    def invalidate(self, key):
+        with self._lock:
+            self.cache.pop(key, None)

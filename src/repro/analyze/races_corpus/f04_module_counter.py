@@ -1,0 +1,26 @@
+# expects: RPD801
+"""Seeded bug: module-level id allocation via ``next(itertools.count)``.
+
+This is the wire envelope's msg-id allocator exactly as it shipped before
+the lock-guarded ``_MsgIdAllocator``: every sender thread advances one
+shared ``itertools.count`` and only the GIL makes the draw atomic.  A
+free-threaded build (or a subinterpreter transport) can hand two messages
+the same id, breaking duplicate suppression.
+"""
+
+import itertools
+import threading
+
+_msg_ids = itertools.count(1)
+
+_registry_lock = threading.Lock()
+_registry = {}
+
+
+def allocate_msg_id():
+    return next(_msg_ids)             # BUG: shared counter, no lock
+
+
+def register(msg):
+    with _registry_lock:
+        _registry[allocate_msg_id()] = msg

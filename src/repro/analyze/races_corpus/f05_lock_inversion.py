@@ -1,0 +1,28 @@
+# expects: RPD802
+"""Seeded bug: two locks acquired in opposite orders on different paths.
+
+``transfer`` takes the pool lock then the stats lock; ``rebalance`` takes
+them in the opposite order.  Two threads running one path each deadlock,
+each holding the lock the other needs.
+"""
+
+import threading
+
+
+class Ledger:
+    def __init__(self):
+        self._pool_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self.balance = 0
+        self.moves = 0
+
+    def transfer(self, amount):
+        with self._pool_lock:
+            with self._stats_lock:    # BUG: pool -> stats here ...
+                self.balance += amount
+                self.moves += 1
+
+    def rebalance(self):
+        with self._stats_lock:
+            with self._pool_lock:     # BUG: ... stats -> pool here
+                self.balance //= 2

@@ -1,0 +1,27 @@
+# expects: RPD803
+"""Seeded bug: blocking ``Event.wait`` while holding a lock.
+
+The waiter holds ``self._lock`` across an ``Event.wait`` that only the
+*setter* can satisfy — but the setter needs the same lock to publish the
+result.  The fabric's rendezvous path waits on completion events with no
+lock held for exactly this reason.
+"""
+
+import threading
+
+
+class Rendezvous:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.ready = threading.Event()
+        self.payload = None
+
+    def consume(self):
+        with self._lock:
+            self.ready.wait()         # BUG: waits while holding the lock
+            return self.payload
+
+    def publish(self, payload):
+        with self._lock:
+            self.payload = payload
+            self.ready.set()

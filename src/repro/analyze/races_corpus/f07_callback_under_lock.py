@@ -1,0 +1,24 @@
+# expects: RPD803
+"""Seeded bug: a user-supplied factory runs while the cache lock is held.
+
+This is ``repro.core.typecache.datatype_of`` exactly as it shipped before
+the factory call moved outside the lock: arbitrary user code runs inside
+the critical section, so a factory that re-enters the cache (a struct
+type resolving a nested registered type) self-deadlocks on the
+non-reentrant lock, and every other thread stalls for as long as the
+factory runs.
+"""
+
+import threading
+
+_lock = threading.Lock()
+_cache = {}
+
+
+def cached(key, factory):
+    with _lock:
+        if key in _cache:
+            return _cache[key]
+        value = factory()             # BUG: user code under the lock
+        _cache[key] = value
+        return value

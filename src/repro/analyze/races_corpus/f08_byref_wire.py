@@ -1,0 +1,29 @@
+# expects: RPD810
+"""Seeded bug: user buffers placed on the wire envelope by reference.
+
+``send_eager`` promises eager semantics (the caller may reuse the buffer
+as soon as the call returns) but stages the caller's live views on the
+envelope without copying — correct only while both ranks share one
+address space.  The compliant path below shows the copy barrier the
+analyzer expects.
+"""
+
+
+class WireEnvelope:
+    def __init__(self, chunks=(), total=0):
+        self.chunks = list(chunks)
+        self.total = total
+
+
+def _copy(buffers):
+    return [bytearray(b) for b in buffers]
+
+
+def send_eager(buffers):
+    return WireEnvelope(chunks=buffers,      # BUG: aliases caller memory
+                        total=len(buffers))
+
+
+def send_staged(buffers):
+    staged = _copy(buffers)
+    return WireEnvelope(chunks=staged, total=len(staged))

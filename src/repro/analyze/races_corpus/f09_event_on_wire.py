@@ -1,0 +1,18 @@
+# expects: RPD811
+"""Seeded bug: non-serializable control-plane state on the wire envelope.
+
+A ``threading.Event`` and a completion callback only mean something inside
+one process; a shared-memory or socket transport cannot move either.  The
+envelope must carry serializable state only (ids, offsets, CRCs) and keep
+synchronization on the rank-local side of the wire.
+"""
+
+import threading
+
+
+class WirePacket:
+    def __init__(self, payload, on_done=None):
+        self.payload = bytes(payload)
+        self.delivered = threading.Event()        # BUG: not serializable
+        self.on_done = on_done or (lambda: None)
+        self.error: BaseException | None = None   # BUG: not serializable

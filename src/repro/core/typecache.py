@@ -49,12 +49,18 @@ def datatype_of(key: Any) -> Datatype:
             factory = _factories[key]
         except KeyError:
             raise KeyError(f"no datatype registered for {key!r}") from None
-        dtype = factory()
-        commit = getattr(dtype, "commit", None)
-        if callable(commit):
-            commit()
-        _cache[key] = dtype
-        return dtype
+    # Run the user factory with no lock held (RPD803): a factory that
+    # re-enters the cache — a struct type resolving a nested registered
+    # type — would self-deadlock on the non-reentrant lock, and every
+    # other rank would stall behind arbitrary user code.
+    dtype = factory()
+    commit = getattr(dtype, "commit", None)
+    if callable(commit):
+        commit()
+    with _lock:
+        # Two ranks may race to build the same type; the first insert
+        # wins and the duplicate is discarded (factories are pure).
+        return _cache.setdefault(key, dtype)
 
 
 def cached_datatype(key: Any):

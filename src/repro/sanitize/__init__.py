@@ -7,18 +7,26 @@ Opt-in via ``repro.mpi.run(..., sanitize=True)`` or the
 * send/recv type-signature matching on the wire (RPD410, RPD411),
 * request-leak and lost-message detection at job end (RPD420, RPD421),
 * custom-datatype callback contract enforcement (RPD430-RPD432),
-* distributed deadlock detection in bounded time (RPD440).
+* distributed deadlock detection in bounded time (RPD440),
+* dynamic lockset witnessing of RPD8xx static findings
+  (:mod:`repro.sanitize.witness`, ``repro-analyze races --witness``).
 """
 
 from ..errors import DeadlockError
 from .buffers import BufferRecord, BufferTracker
 from .job import JobSanitizer
 from .report import SanitizeReport
+from .witness import (LocksetWitness, WitnessConfirmation, WitnessReport,
+                      run_shipped_witness)
 
 __all__ = [
     "BufferRecord",
     "BufferTracker",
     "DeadlockError",
     "JobSanitizer",
+    "LocksetWitness",
     "SanitizeReport",
+    "WitnessConfirmation",
+    "WitnessReport",
+    "run_shipped_witness",
 ]

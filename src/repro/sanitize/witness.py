@@ -1,0 +1,351 @@
+"""Dynamic lockset witness: runtime confirmation of RPD8xx findings.
+
+The static analyzer in :mod:`repro.analyze.races` *infers* locksets from
+source; this module *observes* them.  Inside a :class:`LocksetWitness`
+context every ``threading.Lock``/``threading.RLock`` the program creates
+is wrapped so the witness knows, per thread, exactly which locks are held
+at any instant, and every attribute write on an instrumented class is
+recorded together with that held-lock set.  A race is **confirmed** when
+two or more threads wrote the same attribute of the same object with no
+lock in common — the classic lockset (Eraser) discipline, applied to the
+fabric the simulator actually runs.
+
+The witness is deliberately scoped:
+
+* Only locks — and instrumented objects — created *inside* the context
+  are tracked.  An object built before patching guards itself with real,
+  invisible locks, so judging its writes would be unsound.  The canned
+  job in :func:`run_shipped_witness` therefore builds the whole fabric
+  inside the context, which the per-job construction in
+  :mod:`repro.mpi.runtime` makes natural.
+* Writes during ``__init__`` are excluded — construction happens before
+  the object is visible to a second thread (the fabric publishes objects
+  via queues and matcher tables, all locked).
+* :meth:`LocksetWitness.checkpoint` records the held-lock set at a named
+  program point, which is how tests confirm RPD803 findings ("user code
+  runs with the cache lock held") and their fixes ("… with no lock
+  held").
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+__all__ = ["LocksetWitness", "WitnessConfirmation", "WitnessReport",
+           "run_shipped_witness"]
+
+
+class _HeldState(threading.local):
+    """Per-thread witness state: held wrapped locks and init nesting."""
+
+    def __init__(self):
+        self.held: list[int] = []
+        self.init_depth = 0
+
+
+class _WitnessLock:
+    """A real lock plus per-thread held bookkeeping.
+
+    Duck-types the ``threading.Lock``/``RLock`` surface that the fabric
+    (and ``threading.Condition``/``Event``, which build on module-level
+    ``Lock()``) actually uses.  ``Condition`` falls back to plain
+    ``acquire``/``release`` when ``_release_save`` is absent, so waits on
+    a wrapped lock keep the held set exact.
+    """
+
+    __slots__ = ("_witness", "_real", "seq", "_reentrant")
+
+    def __init__(self, witness: "LocksetWitness", real, seq: int,
+                 reentrant: bool):
+        self._witness = witness
+        self._real = real
+        self.seq = seq
+        self._reentrant = reentrant
+
+    def acquire(self, blocking=True, timeout=-1):
+        got = self._real.acquire(blocking, timeout)
+        if got:
+            self._witness._tls.held.append(self.seq)
+        return got
+
+    def release(self):
+        self._real.release()
+        held = self._witness._tls.held
+        # Remove one hold (an RLock may appear more than once).
+        for i in range(len(held) - 1, -1, -1):
+            if held[i] == self.seq:
+                del held[i]
+                break
+
+    def locked(self):
+        return self._real.locked()
+
+    def __enter__(self):
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc):
+        self.release()
+        return False
+
+    def __repr__(self):
+        kind = "RLock" if self._reentrant else "Lock"
+        return f"<witnessed {kind} #{self.seq}>"
+
+
+@dataclass
+class WitnessConfirmation:
+    """One runtime-confirmed race: who wrote, how often, under nothing."""
+
+    cls: str
+    attr: str
+    threads: int = 0
+    writes: int = 0
+
+    def to_dict(self) -> dict:
+        return {"class": self.cls, "attr": self.attr,
+                "threads": self.threads, "writes": self.writes}
+
+
+@dataclass
+class WitnessReport:
+    """What the witness saw: confirmations, per-attribute discipline,
+    checkpoints."""
+
+    confirmed: list = field(default_factory=list)
+    #: ``"Cls.attr" -> {"writes", "threads", "always_locked"}`` for every
+    #: post-init write observed — the runtime counterpart of the static
+    #: audit's lockset table.
+    observed: dict = field(default_factory=dict)
+    #: ``(tag, thread_name, held_count)`` per :meth:`checkpoint` call.
+    checkpoints: list = field(default_factory=list)
+    locks_created: int = 0
+
+    def held_at(self, tag: str) -> list:
+        """Held-lock counts recorded at checkpoint ``tag``."""
+        return [n for t, _thread, n in self.checkpoints if t == tag]
+
+    def to_dict(self) -> dict:
+        return {
+            "confirmed": [c.to_dict() for c in self.confirmed],
+            "observed": self.observed,
+            "checkpoints": [{"tag": t, "thread": th, "held": n}
+                            for t, th, n in self.checkpoints],
+            "locks_created": self.locks_created,
+        }
+
+
+class LocksetWitness:
+    """Context manager that patches lock creation and instruments classes.
+
+    Usage::
+
+        w = LocksetWitness()
+        w.instrument(BufferPool, TagMatcher)
+        with w:
+            ...   # build the fabric and run the job in here
+        report = w.report()
+        assert not report.confirmed
+    """
+
+    def __init__(self):
+        # Real (unwrapped) lock — created before any patching so the
+        # witness's own bookkeeping never shows up in a held set.
+        self._elock = threading.Lock()
+        self._tls = _HeldState()
+        self._events: list[tuple] = []      # (cls, attr, obj, thread, held)
+        self._known: set[int] = set()       # ids constructed in-context
+        self._publish_ok: dict[str, frozenset] = {}
+        self._checkpoints: list[tuple] = []
+        self._targets: list[tuple] = []     # (cls, orig_setattr, orig_init)
+        self._classes: list[type] = []
+        self._seq = 0
+        self._active = False
+        self._saved: dict = {}
+
+    # -- configuration ----------------------------------------------------
+
+    def instrument(self, *classes: type, publish_ok=()) -> None:
+        """Record post-``__init__`` attribute writes on these classes.
+
+        ``publish_ok`` names attributes whose cross-thread ordering comes
+        from happens-before edges the lockset discipline cannot see —
+        ``Event.set()`` publication or thread join (the static audit's
+        Event-publish exemption).  They stay in the observed table but
+        are never confirmed as races.
+        """
+        if self._active:
+            raise RuntimeError("instrument() before entering the context")
+        self._classes.extend(classes)
+        for cls in classes:
+            self._publish_ok[cls.__name__] = frozenset(publish_ok)
+
+    # -- recording --------------------------------------------------------
+
+    def _make_lock(self, reentrant: bool):
+        real = (self._saved["RLock"]() if reentrant
+                else self._saved["Lock"]())
+        with self._elock:
+            self._seq += 1
+            seq = self._seq
+        return _WitnessLock(self, real, seq, reentrant)
+
+    def _record(self, cls_name: str, attr: str, obj_id: int) -> None:
+        tls = self._tls
+        event = (cls_name, attr, obj_id, threading.get_ident(),
+                 tuple(tls.held))
+        with self._elock:
+            self._events.append(event)
+
+    def checkpoint(self, tag: str) -> None:
+        """Record the caller's held-lock set at a named program point."""
+        entry = (tag, threading.current_thread().name,
+                 len(self._tls.held))
+        with self._elock:
+            self._checkpoints.append(entry)
+
+    # -- patching ---------------------------------------------------------
+
+    def __enter__(self):
+        if self._active:
+            raise RuntimeError("witness context is not re-entrant")
+        self._saved = {"Lock": threading.Lock, "RLock": threading.RLock}
+        threading.Lock = lambda: self._make_lock(False)    # type: ignore
+        threading.RLock = lambda: self._make_lock(True)    # type: ignore
+        for cls in self._classes:
+            orig_setattr = cls.__setattr__
+            orig_init = cls.__init__
+            self._targets.append((cls, orig_setattr, orig_init))
+            cls.__setattr__ = self._wrap_setattr(cls.__name__, orig_setattr)
+            cls.__init__ = self._wrap_init(orig_init)
+        self._active = True
+        return self
+
+    def __exit__(self, *exc):
+        threading.Lock = self._saved["Lock"]       # type: ignore
+        threading.RLock = self._saved["RLock"]     # type: ignore
+        for cls, orig_setattr, orig_init in self._targets:
+            cls.__setattr__ = orig_setattr
+            cls.__init__ = orig_init
+        self._targets.clear()
+        self._active = False
+        return False
+
+    def _wrap_setattr(self, cls_name: str, orig):
+        witness = self
+
+        def __setattr__(obj, name, value):
+            if not witness._tls.init_depth and id(obj) in witness._known:
+                witness._record(cls_name, name, id(obj))
+            orig(obj, name, value)
+
+        return __setattr__
+
+    def _wrap_init(self, orig):
+        witness = self
+
+        def __init__(obj, *args, **kwargs):
+            witness._tls.init_depth += 1
+            try:
+                orig(obj, *args, **kwargs)
+            finally:
+                witness._tls.init_depth -= 1
+            with witness._elock:
+                witness._known.add(id(obj))
+
+        return __init__
+
+    # -- aggregation ------------------------------------------------------
+
+    def report(self) -> WitnessReport:
+        rep = WitnessReport(checkpoints=list(self._checkpoints),
+                            locks_created=self._seq)
+        per_obj: dict[tuple, list] = {}
+        for cls, attr, obj, thread, held in self._events:
+            per_obj.setdefault((cls, attr, obj), []).append((thread, held))
+        confirmed: dict[tuple, WitnessConfirmation] = {}
+        for (cls, attr, _obj), evs in sorted(per_obj.items()):
+            key = f"{cls}.{attr}"
+            publish_ordered = attr in self._publish_ok.get(cls, ())
+            seen = rep.observed.setdefault(
+                key, {"writes": 0, "threads": 0, "always_locked": True,
+                      "publish_ordered": publish_ordered})
+            writers = {t for t, _ in evs}
+            seen["writes"] += len(evs)
+            seen["threads"] = max(seen["threads"], len(writers))
+            if any(not held for _, held in evs):
+                seen["always_locked"] = False
+            if len(writers) < 2 or publish_ordered:
+                continue
+            common = set(evs[0][1])
+            for _, held in evs[1:]:
+                common &= set(held)
+            if common:
+                continue
+            conf = confirmed.setdefault(
+                (cls, attr), WitnessConfirmation(cls=cls, attr=attr))
+            conf.writes += len(evs)
+            conf.threads = max(conf.threads, len(writers))
+        rep.confirmed = [confirmed[k] for k in sorted(confirmed)]
+        return rep
+
+
+def run_shipped_witness(nprocs: int = 4, iters: int = 4) -> WitnessReport:
+    """The canned confirmation job behind ``repro-analyze races --witness``.
+
+    Builds the shipped fabric *inside* a witness context and drives it two
+    ways: a ring-exchange multi-rank job (every rank both sends and
+    receives, wildcard receives exercise the matcher) and a bare-metal
+    hammer on a fresh :class:`~repro.ucp.wire._MsgIdAllocator`.  A clean
+    tree must produce zero confirmations; re-introducing either fixed
+    race (the GIL counter, an unlocked pool) makes this fail.
+    """
+    import numpy as np
+
+    from ..mpi import run
+    from ..ucp.memory import BufferPool, MemoryTracker
+    from ..ucp.tagmatch import TagMatcher
+    from ..ucp.wire import WireMessage, _MsgIdAllocator
+
+    witness = LocksetWitness()
+    witness.instrument(BufferPool, MemoryTracker, TagMatcher,
+                       _MsgIdAllocator)
+    # WireMessage completion fields are published via ``completed.set()``
+    # (or the end-of-job sweep after thread join) — ordered, but by
+    # happens-before edges a lockset cannot see.
+    witness.instrument(WireMessage,
+                       publish_ok={"chunks", "completion_time", "error",
+                                   "poisoned", "duplicate_of"})
+
+    def main(comm):
+        data = np.arange(512, dtype=np.float64) + comm.rank
+        out = np.empty_like(data)
+        right = (comm.rank + 1) % comm.size
+        for it in range(iters):
+            req = comm.isend(data, dest=right, tag=it)
+            comm.recv(out, tag=it)          # wildcard source
+            req.wait()
+        comm.barrier()
+
+    with witness:
+        run(main, nprocs=nprocs)
+        # Direct hammer: the allocator fix must hold without the fabric's
+        # own serialization in front of it.
+        alloc = _MsgIdAllocator()
+        issued: list[int] = []
+
+        def spin():
+            got = [alloc.allocate() for _ in range(250)]
+            with witness._elock:
+                issued.extend(got)
+
+        threads = [threading.Thread(target=spin, name=f"alloc-{i}")
+                   for i in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if len(set(issued)) != len(issued):
+            raise AssertionError("msg-id allocator issued duplicate ids")
+    return witness.report()

@@ -520,7 +520,12 @@ class Endpoint:
                 for frag in entries:
                     pool.release(frag)
         else:
-            chunks = entries
+            # Rendezvous/iov: the envelope carries the sender's live views
+            # by design — the in-process stand-in for RDMA get.  A
+            # process-boundary transport must replace this alias with a
+            # registered-memory mapping (see DESIGN.md, transport
+            # portability).
+            chunks = entries  # noqa: RPD810
         header = WireHeader(
             tag=tag, source=worker.index,
             total_bytes=sum(c.shape[0] for c in entries),

@@ -15,14 +15,34 @@ pay for an explicit lengths message, reproducing the paper's baseline.
 
 from __future__ import annotations
 
-import itertools
 import threading
 from dataclasses import dataclass, field
 from typing import Sequence
 
 import numpy as np
 
-_msg_ids = itertools.count(1)
+
+class _MsgIdAllocator:
+    """Lock-guarded monotone message-id source.
+
+    ``next(itertools.count())`` looks atomic but only is so by accident of
+    the GIL (RPD801): a free-threaded interpreter, or any runtime that
+    preempts mid-``next``, can hand two ranks the same id and break every
+    completion/retransmission path keyed on ``msg_id``.
+    """
+
+    def __init__(self, start: int = 1):
+        self._lock = threading.Lock()
+        self._next = start
+
+    def allocate(self) -> int:
+        with self._lock:
+            val = self._next
+            self._next += 1
+            return val
+
+
+_msg_ids = _MsgIdAllocator()
 
 
 @dataclass
@@ -52,7 +72,7 @@ class WireHeader:
     #: delivery, which is how corruption is detected (and, with the
     #: reliability protocol, NACKed and retransmitted).
     frag_crcs: tuple[int, ...] = ()
-    msg_id: int = field(default_factory=lambda: next(_msg_ids))
+    msg_id: int = field(default_factory=_msg_ids.allocate)
 
 
 class WireMessage:
@@ -83,17 +103,17 @@ class WireMessage:
         self.recv_cost = recv_cost
         #: Set when the receiver has pulled the data (rendezvous senders
         #: block on this; eager senders never wait).
-        self.completed = threading.Event()
+        self.completed = threading.Event()  # noqa: RPD811
         #: Completion virtual time, filled by the receiver at delivery.
         self.completion_time: float | None = None
         #: Receive-side failure (e.g. truncation).  Set before completion so
         #: a blocked rendezvous sender is released with an error instead of
         #: hanging forever.
-        self.error: BaseException | None = None
+        self.error: BaseException | None = None  # noqa: RPD811
         #: Set by the fault injector when the reliability retry budget ran
         #: out: the envelope still arrives (so the receiver unblocks) but
         #: delivery raises this instead of moving data.
-        self.poisoned: BaseException | None = None
+        self.poisoned: BaseException | None = None  # noqa: RPD811
         #: msg_id of the original when this message is an injected
         #: duplicate (fault plans with ``duplicate > 0``).
         self.duplicate_of: int | None = None

@@ -224,7 +224,7 @@ class TestSelectIgnoreValidation:
         assert "unknown diagnostic code" in capsys.readouterr().err
 
     def test_typo_rejected_on_plans(self, capsys):
-        assert plans_main(["--ddtbench", "--ignore", "RPD800"]) == 2
+        assert plans_main(["--ddtbench", "--ignore", "RPD900"]) == 2
         assert "unknown diagnostic code" in capsys.readouterr().err
 
     def test_valid_prefixes_still_accepted(self, capsys):
