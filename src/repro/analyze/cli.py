@@ -575,6 +575,12 @@ def build_proto_parser() -> argparse.ArgumentParser:
     p.add_argument("--conformance", action="store_true",
                    help="also run model traces against the live "
                         "transport (RPD720 on divergence)")
+    p.add_argument("--transport", default=None,
+                   help="backend the conformance cases run on "
+                        "(inproc/shm/asyncio; default: $REPRO_TRANSPORT, "
+                        "else inproc).  The model's predictions are "
+                        "backend-independent, so a divergence on one "
+                        "backend only is a transport bug")
     p.add_argument("--mutants", action="store_true",
                    help="run the seeded protocol-mutant corpus instead "
                         "of a clean verification (findings are EXPECTED; "
@@ -652,8 +658,13 @@ def proto_main(argv: Optional[list] = None) -> int:
     nscen = len(model_report.results)
 
     if ns.conformance:
+        from ..ucp.transport import TransportUnavailableError
         from .protoconform import run_conformance
-        conf = run_conformance()
+        try:
+            conf = run_conformance(transport=ns.transport)
+        except TransportUnavailableError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         findings.extend(conf.diagnostics)
         report_doc["conformance"] = conf.to_dict()
         nscen += len(conf.cases)

@@ -179,8 +179,14 @@ def predict_case(case: ConformanceCase, params=DEFAULT_PARAMS) -> dict:
 # observation (the live transport)
 # ---------------------------------------------------------------------------
 
-def observe_case(case: ConformanceCase, params=DEFAULT_PARAMS) -> dict:
-    """Run ``case`` on the live stack and read back the observables."""
+def observe_case(case: ConformanceCase, params=DEFAULT_PARAMS,
+                 transport: Optional[str] = None) -> dict:
+    """Run ``case`` on the live stack and read back the observables.
+
+    ``transport`` selects the backend the case runs on; the predicted
+    model is backend-independent, so a divergence on one backend only is
+    a transport bug, not a protocol bug.
+    """
     from ..mpi.comm import ERRORS_RETURN
     from ..mpi.runtime import run
 
@@ -220,7 +226,7 @@ def observe_case(case: ConformanceCase, params=DEFAULT_PARAMS) -> dict:
 
     job = run(rank_fn, nprocs=case.nranks, params=params,
               trace_messages=True, faults=case.plan,
-              reliability=case.reliability)
+              reliability=case.reliability, transport=transport)
 
     out_msgs: dict[int, dict] = {}
     for m in msgs:
@@ -386,13 +392,14 @@ class ConformanceReport:
 
 
 def run_conformance(cases: Optional[list] = None,
-                    params=DEFAULT_PARAMS) -> ConformanceReport:
+                    params=DEFAULT_PARAMS,
+                    transport: Optional[str] = None) -> ConformanceReport:
     """Predict and observe every case; RPD720 for each divergence."""
     report = ConformanceReport()
     t0 = time.perf_counter()
     for case in (builtin_cases() if cases is None else cases):
         predicted = predict_case(case, params)
-        observed = observe_case(case, params)
+        observed = observe_case(case, params, transport=transport)
         diags = compare_case(case, predicted, observed)
         report.diagnostics.extend(diags)
         report.cases.append({

@@ -1,4 +1,4 @@
-"""SPMD runtime: run rank functions as threads over a shared fabric.
+"""SPMD runtime: run rank functions over a swappable transport backend.
 
 :func:`run` is the ``mpiexec`` of the simulator::
 
@@ -12,23 +12,26 @@
 
     result = run(main, nprocs=2)
 
-Each rank runs in its own thread with its own worker (clock, matcher,
-memory tracker).  Exceptions in any rank abort the job and are re-raised as
-:class:`~repro.errors.RuntimeAbort` with all per-rank failures attached.  A
-wall-clock ``timeout`` converts distributed deadlocks (e.g. two blocking
-rendezvous sends facing each other) into errors instead of hangs.
+How ranks execute depends on the transport backend (see
+:mod:`repro.ucp.transport`): ``inproc`` (default) and ``asyncio`` run one
+thread per rank over a shared fabric, ``shm`` forks one process per rank
+with shared-memory arenas.  Exceptions in any rank abort the job and are
+re-raised as :class:`~repro.errors.RuntimeAbort` with all per-rank
+failures attached.  A wall-clock ``timeout`` converts distributed
+deadlocks (e.g. two blocking rendezvous sends facing each other) into
+errors instead of hangs.
 """
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Sequence
 
-from ..errors import RankCrashError, RuntimeAbort
-from ..ucp.context import Fabric, UcpConfig, UcpContext
+from ..errors import RankCrashError, RuntimeAbort  # noqa: F401  (re-export)
+from ..ucp.context import Fabric, UcpConfig
 from ..ucp.faults import FaultPlan, ReliabilityConfig
 from ..ucp.netsim import LinkParams
+from ..ucp.transport import create_transport
 from .comm import Communicator
 from .engine import EngineConfig
 
@@ -58,6 +61,8 @@ class JobResult:
     #: application failure: surviving ranks' results are still returned
     #: (their ``results`` entry), the crashed rank's entry stays None.
     crashed: list[int] = field(default_factory=list)
+    #: Name of the transport backend the job ran on.
+    transport: str = "inproc"
 
     @property
     def max_clock(self) -> float:
@@ -72,7 +77,8 @@ def run(fn: Callable[[Communicator], Any] | Sequence[Callable[[Communicator], An
         trace_messages: bool = False,
         sanitize: bool = False,
         faults: Optional[FaultPlan | dict] = None,
-        reliability: Optional[ReliabilityConfig | dict | bool] = None
+        reliability: Optional[ReliabilityConfig | dict | bool] = None,
+        transport: Optional[str] = None,
         ) -> JobResult:
     """Run an SPMD job.
 
@@ -82,7 +88,7 @@ def run(fn: Callable[[Communicator], Any] | Sequence[Callable[[Communicator], An
         Either one function (same code on every rank, branching on
         ``comm.rank``) or a sequence of ``nprocs`` per-rank functions.
     nprocs:
-        Number of ranks (threads).
+        Number of ranks.
     params:
         Link/cost-model overrides (ablations change these).
     engine_config:
@@ -105,6 +111,12 @@ def run(fn: Callable[[Communicator], Any] | Sequence[Callable[[Communicator], An
         :class:`~repro.ucp.faults.ReliabilityConfig` (or its dict form)
         enables per-fragment CRC + sequencing with ACK/NACK-driven
         retransmission, charged through virtual time.
+    transport:
+        Backend name (``inproc``/``shm``/``asyncio``); None defers to the
+        ``REPRO_TRANSPORT`` environment variable, then ``inproc``.
+        Raises :class:`~repro.ucp.transport.TransportUnavailableError`
+        when the backend cannot run on this platform or cannot run this
+        job (e.g. ``sanitize=True`` on ``shm``).
     """
     if callable(fn):
         fns = [fn] * nprocs
@@ -121,117 +133,9 @@ def run(fn: Callable[[Communicator], Any] | Sequence[Callable[[Communicator], An
     config = UcpConfig(params=params if params is not None else LinkParams(),
                        trace_messages=trace_messages,
                        faults=faults, reliability=reliability)
-    fabric = UcpContext(config).create_fabric(nprocs)
-    injector = fabric.injector
 
-    san = None
-    if sanitize:
-        from ..sanitize import JobSanitizer
-        san = JobSanitizer(nprocs)
-        for w in fabric.workers:
-            w.sanitizer = san
-
-    results: list[Any] = [None] * nprocs
-    failures: dict[int, BaseException] = {}
-    crashes: dict[int, BaseException] = {}
-    failures_lock = threading.Lock()
-
-    def worker_main(rank: int) -> None:
-        comm = Communicator(fabric.worker(rank), nprocs, comm_id=0,
-                            engine_config=engine_config)
-        try:
-            results[rank] = fns[rank](comm)
-        except RankCrashError as exc:
-            # A crash *scheduled by the fault plan* is part of the
-            # experiment, not an application failure: record it, drop the
-            # rank's in-flight state, and let the survivors finish.
-            with failures_lock:
-                crashes[rank] = exc
-            if injector is not None:
-                injector.drop_rank(rank)
-            if san is not None:
-                san.rank_failed(rank)
-        except BaseException as exc:  # report, don't kill the interpreter
-            with failures_lock:
-                failures[rank] = exc
-            if injector is not None:
-                # Peers blocked on this rank must not hang on its corpse.
-                injector.detector.mark_dead(
-                    rank, f"{type(exc).__name__}: {exc}")
-            if san is not None:
-                san.rank_failed(rank)
-        else:
-            if injector is not None:
-                injector.flush_rank(rank)
-                injector.detector.mark_finished(rank)
-            if san is not None:
-                san.finalize_rank(rank)
-
-    threads = [threading.Thread(target=worker_main, args=(r,),
-                                name=f"mpi-rank-{r}", daemon=True)
-               for r in range(nprocs)]
-    for t in threads:
-        t.start()
-    deadline_hit = False
-    for t in threads:
-        t.join(timeout=timeout)
-        if t.is_alive():
-            deadline_hit = True
-    if deadline_hit:
-        alive = [t.name for t in threads if t.is_alive()]
-        abort = RuntimeAbort(failures or {
-            -1: TimeoutError(f"ranks still running after {timeout}s "
-                             f"(deadlock?): {alive}")})
-        if san is not None:
-            abort.sanitizer_report = san.report(aborted=True,
-                                                failures=failures)
-        raise abort
-    if failures:
-        abort = RuntimeAbort(failures)
-        if san is not None:
-            abort.sanitizer_report = san.report(aborted=True,
-                                                failures=failures)
-        raise abort
-
-    report = None
-    if san is not None:
-        san.finalize_job(fabric)
-        report = san.report()
-
-    reliability_stats: list[dict] = []
-    fault_trace: dict[str, list] = {}
-    if injector is not None:
-        # Faulted-job teardown: messages nobody will ever claim (sent to a
-        # crashed rank, abandoned transfers) give their staging chunks
-        # back, then any buffer still outstanding is force-reclaimed so
-        # faults never masquerade as pool leaks.  Runs after the sanitizer
-        # sweep so RPD421 findings still see the unclaimed messages.
-        for w in fabric.workers:
-            for msg in w.matcher.unmatched_messages():
-                pool = fabric.worker(msg.header.source).memory.pool
-                for chunk in msg.chunks:
-                    pool.release(chunk)
-                msg.chunks = []
-        for w in fabric.workers:
-            w.memory.pool.reclaim()
-        reliability_stats = [s.snapshot() for s in injector.stats]
-        fault_trace = injector.traces()
-
-    memory = []
-    for i, w in enumerate(fabric.workers):
-        snap = w.memory.snapshot()
-        if injector is not None:
-            snap["reliability"] = reliability_stats[i]
-        memory.append(snap)
-
-    return JobResult(
-        results=results,
-        fabric=fabric,
-        clocks=[w.clock.now for w in fabric.workers],
-        memory=memory,
-        traces=[list(w.trace) for w in fabric.workers],
-        sanitizer_report=report,
-        reliability=reliability_stats,
-        fault_trace=fault_trace,
-        crashed=sorted(crashes),
-    )
+    backend = create_transport(transport)
+    backend.check_job_supported(config, sanitize=sanitize)
+    return backend.run_job(fns, nprocs, config,
+                           engine_config=engine_config,
+                           timeout=timeout, sanitize=sanitize)

@@ -26,6 +26,7 @@ from typing import Optional
 
 from ..analyze.diagnostics import Diagnostic, sort_diagnostics
 from ..errors import RuntimeAbort
+from ..ucp.transport import TransportUnavailableError
 from .report import SCHEMA_VERSION, SanitizeReport
 
 #: Module attributes consulted (in order) for a program's rank count.
@@ -82,7 +83,8 @@ def _load_entry(path: str):
 
 
 def run_program(path: str, nprocs: Optional[int] = None,
-                timeout: float = 60.0) -> Optional[SanitizeReport]:
+                timeout: float = 60.0,
+                transport: Optional[str] = None) -> Optional[SanitizeReport]:
     """Run one program file under the sanitizer; None when skipped."""
     from ..mpi import run
 
@@ -98,7 +100,7 @@ def run_program(path: str, nprocs: Optional[int] = None,
         # (they would corrupt --format json); swallow them.
         with contextlib.redirect_stdout(io.StringIO()):
             result = run(fn, nprocs=n, sanitize=True, timeout=timeout,
-                         **job_kwargs)
+                         transport=transport, **job_kwargs)
         report = result.sanitizer_report
         report.reliability = result.reliability
     except RuntimeAbort as exc:
@@ -110,8 +112,8 @@ def run_program(path: str, nprocs: Optional[int] = None,
     return report
 
 
-def run_ddtbench(names=None, timeout: float = 60.0
-                 ) -> list[SanitizeReport]:
+def run_ddtbench(names=None, timeout: float = 60.0,
+                 transport: Optional[str] = None) -> list[SanitizeReport]:
     """Sanitized pingpong of every registry workload x transfer method."""
     from ..ddtbench import WORKLOADS, make_workload
     from ..mpi import run
@@ -142,7 +144,7 @@ def run_ddtbench(names=None, timeout: float = 60.0
             try:
                 with contextlib.redirect_stdout(io.StringIO()):
                     result = run(fn, nprocs=2, sanitize=True,
-                                 timeout=timeout)
+                                 timeout=timeout, transport=transport)
                 report = result.sanitizer_report
             except RuntimeAbort as exc:
                 report = exc.sanitizer_report or SanitizeReport(
@@ -172,6 +174,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "NPROCS/NRANKS/PROCS, else 2)")
     p.add_argument("--timeout", type=float, default=60.0,
                    help="wall-clock seconds per job (default: 60)")
+    p.add_argument("--transport", default=None,
+                   help="transport backend for the sanitized jobs "
+                        "(inproc/asyncio; shm cannot host the sanitizer). "
+                        "Default: $REPRO_TRANSPORT, else inproc")
     p.add_argument("--format", choices=("text", "json"), default="text",
                    help="output format (default: text)")
     p.add_argument("--strict", action="store_true",
@@ -224,15 +230,21 @@ def main(argv: Optional[list] = None) -> int:
 
     reports: list[SanitizeReport] = []
     skipped: list[str] = []
-    for path in files:
-        report = run_program(path, nprocs=ns.nprocs, timeout=ns.timeout)
-        if report is None:
-            skipped.append(path)
-        else:
-            reports.append(report)
-    if ns.ddtbench:
-        names = [w for w in ns.workloads.split(",") if w] or None
-        reports.extend(run_ddtbench(names, timeout=ns.timeout))
+    try:
+        for path in files:
+            report = run_program(path, nprocs=ns.nprocs, timeout=ns.timeout,
+                                 transport=ns.transport)
+            if report is None:
+                skipped.append(path)
+            else:
+                reports.append(report)
+        if ns.ddtbench:
+            names = [w for w in ns.workloads.split(",") if w] or None
+            reports.extend(run_ddtbench(names, timeout=ns.timeout,
+                                        transport=ns.transport))
+    except TransportUnavailableError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
     findings = sort_diagnostics(
         [d for rep in reports for d in _stamped(rep)])

@@ -18,6 +18,9 @@ from .protocols import SendPlan, plan_send
 from .tagmatch import PostedRecv, TagMatcher
 from .context import (Endpoint, Fabric, RecvInfo, RecvRequest, SendRequest,
                       UcpConfig, UcpContext, Worker)
+from .transport import (Transport, TransportUnavailableError,
+                        available_transports, create_transport,
+                        resolve_transport_name)
 from .wire import WireHeader, WireMessage
 
 __all__ = [
@@ -35,4 +38,6 @@ __all__ = [
     "UcpConfig", "UcpContext", "Fabric", "Worker", "Endpoint",
     "SendRequest", "RecvRequest", "RecvInfo",
     "WireHeader", "WireMessage",
+    "Transport", "TransportUnavailableError", "available_transports",
+    "create_transport", "resolve_transport_name",
 ]

@@ -68,14 +68,19 @@ class UcpContext:
     def __init__(self, config: UcpConfig | None = None):
         self.config = config or UcpConfig()
 
-    def create_fabric(self, nworkers: int) -> "Fabric":
-        return Fabric(nworkers, self.config)
+    def create_fabric(self, nworkers: int, transport=None) -> "Fabric":
+        return Fabric(nworkers, self.config, transport=transport)
 
 
 class Fabric:
-    """All workers of one job plus their shared configuration."""
+    """All workers of one job plus their shared configuration.
 
-    def __init__(self, nworkers: int, config: UcpConfig):
+    ``transport`` is the message-movement backend
+    (:class:`repro.ucp.transport.Transport`); None selects the in-process
+    threads backend, preserving the seed semantics byte for byte.
+    """
+
+    def __init__(self, nworkers: int, config: UcpConfig, transport=None):
         if nworkers < 1:
             raise TransportError(f"need at least one worker, got {nworkers}")
         self.config = config
@@ -87,7 +92,12 @@ class Fabric:
         if config.faults is not None or config.reliability is not None:
             self.injector = FaultInjector(nworkers, config.faults,
                                           config.reliability)
+        if transport is None:
+            from .transport.inproc import InprocTransport
+            transport = InprocTransport()
+        self.transport = transport
         self.workers = [Worker(i, self) for i in range(nworkers)]
+        transport.attach(self)
 
     def worker(self, index: int) -> "Worker":
         return self.workers[index]
@@ -190,16 +200,8 @@ class SendRequest:
         """
         if self.dst is None or self.msg.completed.is_set():
             return False
-        dst_worker = self._worker.fabric.worker(self.dst)
-        if not dst_worker.matcher.retract(self.msg):
-            return False
-        pool = self._worker.memory.pool
-        for chunk in self.msg.chunks:
-            pool.release(chunk)
-        self.msg.chunks = []
-        self.msg.mark_failed(self._worker.clock.now,
-                             TransportError("send cancelled"))
-        return True
+        return self._worker.fabric.transport.try_cancel_send(
+            self._worker, self.dst, self.msg)
 
 
 @dataclass
@@ -300,11 +302,29 @@ class Worker:
         self.sanitizer = None
         #: Message trace (populated when the config enables tracing).
         self.trace: list[dict] = []
+        #: Per-rank message-id counter; see :meth:`next_msg_id`.  Touched
+        #: only by this rank's own thread (the tag_send contract).
+        self._msg_seq = 0
+
+    # -- message ids ------------------------------------------------------
+
+    def next_msg_id(self) -> int:
+        """A message id unique across ranks *and* deterministic per rank.
+
+        Ids are namespaced ``(rank+1) << 40 | counter`` instead of drawn
+        from the process-global allocator: a global counter's values
+        depend on thread interleaving (and cannot exist at all when ranks
+        are separate processes), while namespaced ids make traces
+        byte-identical across every transport backend — the conformance
+        matrix diffs them directly.
+        """
+        self._msg_seq += 1
+        return ((self.index + 1) << 40) | self._msg_seq
 
     # -- endpoints --------------------------------------------------------
 
     def endpoint(self, dst: int) -> "Endpoint":
-        return Endpoint(self, self.fabric.worker(dst))
+        return Endpoint(self, dst)
 
     # -- receive ------------------------------------------------------------
 
@@ -347,12 +367,11 @@ class Worker:
         rendezvous chunks that are live views of the sender's user buffers
         are not pool-owned and the release is a no-op for them.  Callback
         descriptors (GENERIC, handler) may retain chunk references, so only
-        the CONTIG/IOV copy paths release.
+        the CONTIG/IOV copy paths release.  How the release crosses the
+        rank boundary is the transport's business: in-process it reaches
+        the sender's pool directly, remote backends acknowledge instead.
         """
-        pool = self.fabric.worker(msg.header.source).memory.pool
-        for chunk in msg.chunks:
-            pool.release(chunk)
-        msg.chunks = []
+        self.fabric.transport.release_chunks(self, msg)
 
     # -- delivery (receiver thread only) ------------------------------------
 
@@ -361,12 +380,18 @@ class Worker:
 
         On failure the message is marked failed (releasing a blocked
         rendezvous sender with an error) and the exception re-raised.
+        Completion crosses back to the sender through the transport —
+        a direct event set in-process, an acknowledgement frame remotely.
         """
+        transport = self.fabric.transport
         try:
-            return self._deliver(msg, data)
+            info = self._deliver(msg, data)
         except BaseException as exc:
             msg.mark_failed(self.clock.now, exc)
+            transport.on_delivery_failed(self, msg, exc)
             raise
+        transport.on_delivered(self, msg)
+        return info
 
     def _verify_crcs(self, msg: WireMessage) -> None:
         """Check the envelope's per-fragment CRCs against the payload.
@@ -476,11 +501,21 @@ class Worker:
 
 
 class Endpoint:
-    """A directed sender->receiver connection."""
+    """A directed sender->receiver connection.
 
-    def __init__(self, src: Worker, dst: Worker):
+    Holds the destination *index*, not the destination worker: on remote
+    backends the peer lives in another process and all that exists locally
+    is its address.
+    """
+
+    def __init__(self, src: Worker, dst_index: int):
         self.src = src
-        self.dst = dst
+        self.dst_index = dst_index
+
+    @property
+    def dst(self) -> Worker:
+        """The destination worker object (in-process backends and tests)."""
+        return self.src.fabric.worker(self.dst_index)
 
     def tag_send(self, tag: int, data, force_rndv: bool = False,
                  signature=None) -> SendRequest:
@@ -498,7 +533,7 @@ class Endpoint:
             # Crash/stall checkpoint before any staging work happens, so a
             # crashed rank neither packs nor injects.
             fi.on_progress(worker)
-        model = worker.fabric.pair_model(worker.index, self.dst.index)
+        model = worker.fabric.pair_model(worker.index, self.dst_index)
         if isinstance(data, GenericData):
             frags = data.pack_entries(worker.config.frag_size,
                                       pool=worker.memory.pool)
@@ -521,10 +556,11 @@ class Endpoint:
                     pool.release(frag)
         else:
             # Rendezvous/iov: the envelope carries the sender's live views
-            # by design — the in-process stand-in for RDMA get.  A
-            # process-boundary transport must replace this alias with a
-            # registered-memory mapping (see DESIGN.md, transport
-            # portability).
+            # by design — the in-process stand-in for RDMA get.  The
+            # in-process backends deliver the alias as-is; remote backends
+            # (``rndv_aliases_buffers`` False) replace it with staged
+            # memory or an arena mapping at encode time (see DESIGN.md,
+            # transport portability).
             chunks = entries  # noqa: RPD810
         header = WireHeader(
             tag=tag, source=worker.index,
@@ -532,19 +568,17 @@ class Endpoint:
             entry_lengths=tuple(c.shape[0] for c in entries),
             packed_entries=packed_entries,
             protocol=plan.protocol,
-            signature=signature)
+            signature=signature,
+            msg_id=worker.next_msg_id())
         msg = WireMessage(header, chunks, send_ready=worker.clock.now,
                           wire_time=plan.wire_time, rndv=plan.rndv,
                           recv_cost=plan.recv_cost)
         if worker.config.trace_messages:
             worker.trace.append({
-                "event": "send", "peer": self.dst.index,
+                "event": "send", "peer": self.dst_index,
                 "msg_id": header.msg_id, "tag": header.tag,
                 "bytes": header.total_bytes, "protocol": plan.protocol,
                 "entries": len(header.entry_lengths),
                 "t": worker.clock.now})
-        if fi is None:
-            self.dst.matcher.deposit(msg)
-        else:
-            fi.transmit(worker, self.dst, msg, model)
-        return SendRequest(worker, msg, dst=self.dst.index)
+        worker.fabric.transport.submit(worker, self.dst_index, msg, model)
+        return SendRequest(worker, msg, dst=self.dst_index)

@@ -266,11 +266,17 @@ class FailureDetector:
         with self._lock:
             self._finished.add(rank)
 
-    def abort_job(self, reason: str) -> None:
-        """MPI_ERRORS_ARE_FATAL: poison every subsequent blocking wait."""
+    def abort_job(self, reason: str) -> bool:
+        """MPI_ERRORS_ARE_FATAL: poison every subsequent blocking wait.
+
+        Returns True when this call recorded the abort (first fatal error
+        wins); later calls are no-ops so the original reason survives.
+        """
         with self._lock:
             if self._abort_reason is None:
                 self._abort_reason = reason
+                return True
+            return False
 
     # -- queries ----------------------------------------------------------
 

@@ -71,6 +71,24 @@ class BufferPool:
         return max(cls.MIN_CLASS, 1 << (nbytes - 1).bit_length()) \
             if nbytes > 1 else cls.MIN_CLASS
 
+    def _new_root(self, size: int) -> np.ndarray:
+        """Allocate one fresh backing array (the pool-miss path).
+
+        Subclass seam: the shared-memory transport's
+        :class:`~repro.ucp.transport.shm.ArenaBufferPool` carves these
+        from a ``multiprocessing.shared_memory`` segment instead, which is
+        what lets PackPlans execute directly into cross-process memory.
+        """
+        return np.empty(size, dtype=np.uint8)
+
+    def _resolve_root(self, buf):
+        """Map any view of a pooled buffer back to its backing array."""
+        root = buf
+        while isinstance(root, np.ndarray) and isinstance(root.base,
+                                                          np.ndarray):
+            root = root.base
+        return root
+
     def acquire(self, nbytes: int) -> np.ndarray:
         """A uint8 buffer of exactly ``nbytes`` (a view of a pooled class)."""
         if nbytes < 0:
@@ -87,7 +105,7 @@ class BufferPool:
                 root = None
                 self.misses += 1
         if root is None:
-            root = np.empty(size, dtype=np.uint8)
+            root = self._new_root(size)
         with self._lock:
             self._out[id(root)] = root
         return root[:nbytes]
@@ -98,10 +116,7 @@ class BufferPool:
         Returns False (and does nothing) for buffers the pool does not
         currently own — foreign arrays and double releases.
         """
-        root = buf
-        while isinstance(root, np.ndarray) and isinstance(root.base,
-                                                          np.ndarray):
-            root = root.base
+        root = self._resolve_root(buf)
         if not isinstance(root, np.ndarray):
             return False
         with self._lock:

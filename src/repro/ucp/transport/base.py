@@ -1,0 +1,313 @@
+"""Transport backend interface: how bytes move between ranks.
+
+The fabric's object model (workers, matchers, clocks, protocols, faults) is
+transport-agnostic; everything that actually *moves a message* — depositing
+it at the destination matcher, returning staging chunks to the sender's
+pool, telling a blocked rendezvous sender the receiver arrived — funnels
+through one :class:`Transport` instance per fabric.  Backends differ only
+in how they cross the rank boundary:
+
+* ``inproc``   — ranks are threads, the deposit is a method call (the
+  seed semantics; every baseline is measured here).
+* ``asyncio``  — ranks are threads but every message is serialized through
+  a localhost socket pair, the portability proof for the RPD810/811
+  envelope rules.
+* ``shm``      — ranks are forked processes; payloads live in per-rank
+  ``multiprocessing.shared_memory`` arenas and cross by (rank, offset)
+  reference, so PackPlans execute directly into the shared segment.
+
+The netsim cost model, wire envelope, transitions table and fault layer are
+shared: every virtual-time number a backend reports is computed from the
+same envelope fields, which is what the conformance matrix
+(tests/transport/) asserts.
+
+Threading contract: :meth:`Transport.submit` runs on the sending rank's
+thread, :meth:`Transport.release_chunks` / :meth:`Transport.on_delivered` on
+the receiving rank's thread.  A backend that adds its own demux threads must
+keep them out of user callbacks (deposits into a :class:`TagMatcher` are the
+only fabric mutation a foreign thread may perform — the matcher is locked
+for exactly this reason).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Optional, Sequence
+
+from ...errors import RankCrashError, TransportError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..context import Fabric, UcpConfig, Worker
+    from ..wire import WireMessage
+
+
+class TransportUnavailableError(TransportError):
+    """The selected backend cannot run on this platform/configuration.
+
+    Raised by :func:`repro.ucp.transport.create_transport` (unknown or
+    platform-unsupported backend) and by
+    :meth:`Transport.check_job_supported` (backend exists but cannot run
+    this particular job, e.g. ``sanitize=True`` on ``shm``).  The message
+    always names the backend and the remedy so CLI users see a clear error
+    instead of a traceback from deep inside ``multiprocessing``.
+    """
+
+
+class Transport:
+    """One job's message-movement backend.
+
+    A transport instance is created per job (it may hold sockets, pipes or
+    shared-memory segments) and attached to the fabric at construction.
+    The default implementations encode the in-process semantics; remote
+    backends override the seams marked below.
+    """
+
+    #: Registry name (``--transport`` value).
+    name = "base"
+    #: Whether fault plans / reliability work on this backend.
+    supports_faults = True
+    #: Whether the runtime sanitizer (cross-rank shared object) can attach.
+    supports_sanitizer = True
+    #: Whether ``SendRequest.cancel`` can retract an in-flight message.
+    supports_cancel = True
+    #: Whether ranks run in the driver's address space (threaded SPMD).
+    #: When False, closure side effects inside rank functions are invisible
+    #: to the caller and arbitrary live objects cannot ride messages.
+    supports_shared_address_space = True
+    #: Whether rendezvous envelopes alias the sender's live buffers
+    #: (RPD810).  Remote backends must stage instead.
+    rndv_aliases_buffers = True
+
+    def attach(self, fabric: "Fabric") -> None:
+        """Called once from ``Fabric.__init__`` after workers exist."""
+        self.fabric = fabric
+
+    # -- job gating --------------------------------------------------------
+
+    def check_job_supported(self, config: "UcpConfig",
+                            sanitize: bool = False) -> None:
+        """Raise :class:`TransportUnavailableError` if this job can't run."""
+        if sanitize and not self.supports_sanitizer:
+            raise TransportUnavailableError(
+                f"transport '{self.name}' does not support sanitize=True "
+                f"(the sanitizer needs one shared address space); use "
+                f"--transport inproc or asyncio")
+        needs_faults = (config.faults is not None
+                        or config.reliability is not None)
+        if needs_faults and not self.supports_faults:
+            raise TransportUnavailableError(
+                f"transport '{self.name}' does not support fault injection; "
+                f"use --transport inproc or asyncio")
+
+    # -- send path (sending rank's thread) ---------------------------------
+
+    def deposit_target(self, worker: "Worker", dst_index: int):
+        """The object whose ``.matcher.deposit`` receives this send.
+
+        Must expose ``.index`` and ``.matcher.deposit(msg)`` — the only two
+        attributes the fault injector touches — so one fault layer drives
+        every backend.  In-process backends return the destination
+        :class:`Worker`; remote backends return a proxy that serializes
+        the message onto their data plane.
+        """
+        return worker.fabric.worker(dst_index)
+
+    def submit(self, worker: "Worker", dst_index: int, msg: "WireMessage",
+               model) -> None:
+        """Move one injected message toward its destination matcher."""
+        target = self.deposit_target(worker, dst_index)
+        fi = worker.fabric.injector
+        if fi is None:
+            target.matcher.deposit(msg)
+        else:
+            fi.transmit(worker, target, msg, model)
+
+    def try_cancel_send(self, worker: "Worker", dst_index: int,
+                        msg: "WireMessage") -> bool:
+        """Retract an unmatched message (MPI_Cancel on a send).
+
+        In-process backends reach into the destination matcher; remote
+        backends cannot race the remote match and conservatively refuse
+        (MPI allows cancel to simply not succeed).
+        """
+        if not self.supports_cancel:
+            return False
+        dst_worker = worker.fabric.worker(dst_index)
+        if not dst_worker.matcher.retract(msg):
+            return False
+        pool = worker.memory.pool
+        for chunk in msg.chunks:
+            pool.release(chunk)
+        msg.chunks = []
+        msg.mark_failed(worker.clock.now, TransportError("send cancelled"))
+        return True
+
+    # -- receive path (receiving rank's thread) ----------------------------
+
+    def release_chunks(self, recv_worker: "Worker",
+                       msg: "WireMessage") -> None:
+        """Return a delivered message's staging chunks to the sender's pool.
+
+        In one address space the receiver releases directly into the
+        sender's (locked) pool; across a process boundary this becomes the
+        acknowledgement frame that lets the sender release its side.
+        """
+        pool = recv_worker.fabric.worker(msg.header.source).memory.pool
+        for chunk in msg.chunks:
+            pool.release(chunk)
+        msg.chunks = []
+
+    def on_delivered(self, recv_worker: "Worker",
+                     msg: "WireMessage") -> None:
+        """Delivery completed; remote backends acknowledge here."""
+
+    def on_delivery_failed(self, recv_worker: "Worker", msg: "WireMessage",
+                           exc: BaseException) -> None:
+        """Delivery raised; remote backends NACK the sender here."""
+
+
+class ThreadedTransport(Transport):
+    """Shared SPMD driver for backends whose ranks are threads.
+
+    ``inproc`` and ``asyncio`` both run one Python thread per rank over a
+    single fabric; they differ only in the data plane, which the ``wire``/
+    ``unwire`` hooks install.  The driver body is the seed semantics of
+    ``repro.mpi.run`` verbatim: per-rank failure collection, fault-plan
+    crash accounting, sanitizer lifecycle, deadlock timeout, faulted-job
+    pool teardown.
+    """
+
+    def wire(self, fabric: "Fabric") -> None:
+        """Install the data plane before rank threads start."""
+
+    def unwire(self, fabric: "Fabric") -> None:
+        """Drain and dismantle the data plane after rank threads join."""
+
+    def abandon(self, fabric: "Fabric") -> None:
+        """Dismantle without draining (deadlock-timeout path)."""
+
+    def run_job(self, fns: Sequence[Callable], nprocs: int,
+                config: "UcpConfig", engine_config=None,
+                timeout: float = 120.0, sanitize: bool = False):
+        import threading
+
+        from ...mpi.comm import Communicator
+        from ...mpi.runtime import JobResult, RuntimeAbort
+        from ..context import UcpContext
+
+        fabric = UcpContext(config).create_fabric(nprocs, transport=self)
+        injector = fabric.injector
+
+        san = None
+        if sanitize:
+            from ...sanitize import JobSanitizer
+            san = JobSanitizer(nprocs)
+            for w in fabric.workers:
+                w.sanitizer = san
+
+        self.wire(fabric)
+
+        results: list[Any] = [None] * nprocs
+        failures: dict[int, BaseException] = {}
+        crashes: dict[int, BaseException] = {}
+        failures_lock = threading.Lock()
+
+        def worker_main(rank: int) -> None:
+            comm = Communicator(fabric.worker(rank), nprocs, comm_id=0,
+                                engine_config=engine_config)
+            try:
+                results[rank] = fns[rank](comm)
+            except RankCrashError as exc:
+                # A crash *scheduled by the fault plan* is part of the
+                # experiment, not an application failure: record it, drop
+                # the rank's in-flight state, let the survivors finish.
+                with failures_lock:
+                    crashes[rank] = exc
+                if injector is not None:
+                    injector.drop_rank(rank)
+                if san is not None:
+                    san.rank_failed(rank)
+            except BaseException as exc:  # report, don't kill the interpreter
+                with failures_lock:
+                    failures[rank] = exc
+                if injector is not None:
+                    # Peers blocked on this rank must not hang on its corpse.
+                    injector.detector.mark_dead(
+                        rank, f"{type(exc).__name__}: {exc}")
+                if san is not None:
+                    san.rank_failed(rank)
+            else:
+                if injector is not None:
+                    injector.flush_rank(rank)
+                    injector.detector.mark_finished(rank)
+                if san is not None:
+                    san.finalize_rank(rank)
+
+        threads = [threading.Thread(target=worker_main, args=(r,),
+                                    name=f"mpi-rank-{r}", daemon=True)
+                   for r in range(nprocs)]
+        for t in threads:
+            t.start()
+        deadline_hit = False
+        for t in threads:
+            t.join(timeout=timeout)
+            if t.is_alive():
+                deadline_hit = True
+        if deadline_hit:
+            self.abandon(fabric)
+            alive = [t.name for t in threads if t.is_alive()]
+            abort = RuntimeAbort(failures or {
+                -1: TimeoutError(f"ranks still running after {timeout}s "
+                                 f"(deadlock?): {alive}")})
+            if san is not None:
+                abort.sanitizer_report = san.report(aborted=True,
+                                                    failures=failures)
+            raise abort
+        self.unwire(fabric)
+        if failures:
+            abort = RuntimeAbort(failures)
+            if san is not None:
+                abort.sanitizer_report = san.report(aborted=True,
+                                                    failures=failures)
+            raise abort
+
+        report = None
+        if san is not None:
+            san.finalize_job(fabric)
+            report = san.report()
+
+        reliability_stats: list[dict] = []
+        fault_trace: dict[str, list] = {}
+        if injector is not None:
+            # Faulted-job teardown: messages nobody will ever claim (sent
+            # to a crashed rank, abandoned transfers) give their staging
+            # chunks back, then any buffer still outstanding is
+            # force-reclaimed so faults never masquerade as pool leaks.
+            # Runs after the sanitizer sweep so RPD421 findings still see
+            # the unclaimed messages.
+            for w in fabric.workers:
+                for msg in w.matcher.unmatched_messages():
+                    self.release_chunks(w, msg)
+            for w in fabric.workers:
+                w.memory.pool.reclaim()
+            reliability_stats = [s.snapshot() for s in injector.stats]
+            fault_trace = injector.traces()
+
+        memory = []
+        for i, w in enumerate(fabric.workers):
+            snap = w.memory.snapshot()
+            if injector is not None:
+                snap["reliability"] = reliability_stats[i]
+            memory.append(snap)
+
+        return JobResult(
+            results=results,
+            fabric=fabric,
+            clocks=[w.clock.now for w in fabric.workers],
+            memory=memory,
+            traces=[list(w.trace) for w in fabric.workers],
+            sanitizer_report=report,
+            reliability=reliability_stats,
+            fault_trace=fault_trace,
+            crashed=sorted(crashes),
+            transport=self.name,
+        )

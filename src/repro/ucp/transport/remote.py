@@ -1,0 +1,313 @@
+"""Shared machinery for process/socket-boundary backends.
+
+The in-process fabric completes a send by sharing objects: the receiver
+sets the sender's ``threading.Event`` and releases staging into the
+sender's pool directly.  Across a boundary both become *frames*:
+
+``msg`` frame
+    The portable envelope document plus the payload (raw bytes on the
+    socket plane, ``(rank, offset, nbytes)`` arena references on the
+    shared-memory plane).
+
+``ack`` frame
+    Receiver → sender after delivery (or delivery failure): carries the
+    ``msg_id``, the receiver's completion virtual time, and an optional
+    pickled error.  The sender resolves it against its
+    :class:`PendingTable` — releasing staging chunks and completing the
+    original message — which is exactly the "control-plane fields move
+    off the envelope into a local request table keyed by msg_id" move
+    DESIGN.md's transport-portability section called for.
+
+Per-channel frame order is FIFO (a pipe or a stream socket), which the
+fault layer's reorder/duplicate machinery already assumes; faults are
+resolved sender-side *before* encoding, so a corrupted or delayed message
+crosses the boundary exactly as the inproc receiver would have seen it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional
+
+from ...errors import ProcFailedError, TransportError
+from ..wire import WireMessage
+from . import envelope as env
+
+#: Frame kind tags (first element of every frame tuple).
+MSG = "msg"
+ACK = "ack"
+BYE = "bye"      # rank finished; drain sentinel for demux loops
+DEAD = "dead"    # failure-detector broadcast: rank died (reason follows)
+DONE = "done"    # failure-detector broadcast: rank finished cleanly
+ABORT = "abort"  # failure-detector broadcast: MPI_ERRORS_ARE_FATAL fired
+
+
+class PendingTable:
+    """Sender-side table of in-flight messages keyed by ``msg_id``.
+
+    Owns the RPD811 control plane that used to ride the envelope: the
+    completion event, the error slot and the staging chunks all stay here;
+    the acknowledgement frame carries only the key and plain data.
+
+    Thread contract: ``register`` runs on the sending rank's thread,
+    ``resolve``/``sweep`` on the demux thread — hence the lock.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries: dict[int, tuple[WireMessage, object]] = {}
+
+    def register(self, msg: WireMessage, pool) -> None:
+        with self._lock:
+            self._entries[msg.header.msg_id] = (msg, pool)
+
+    def resolve(self, msg_id: int, completion_time: float,
+                error: BaseException | None) -> bool:
+        """Apply one acknowledgement; False for unknown ids (late acks
+        after a sweep, acks for a cancelled message)."""
+        with self._lock:
+            entry = self._entries.pop(msg_id, None)
+        if entry is None:
+            return False
+        msg, pool = entry
+        for chunk in msg.chunks:
+            pool.release(chunk)
+        msg.chunks = []
+        if msg.completed.is_set():
+            # Already resolved sender-side (poisoned/exhausted transfers
+            # are failed at injection); the ack only releases staging.
+            return True
+        if error is not None:
+            msg.mark_failed(completion_time, error)
+        else:
+            msg.mark_complete(completion_time)
+        return True
+
+    def sweep(self) -> int:
+        """Release every still-pending entry (job teardown).
+
+        Messages nobody acknowledged — unmatched at job end, sent to a
+        crashed rank — give their staging back so remote jobs show the
+        same no-leak pool accounting as inproc teardown.
+        """
+        with self._lock:
+            entries = list(self._entries.values())
+            self._entries.clear()
+        for msg, pool in entries:
+            for chunk in msg.chunks:
+                pool.release(chunk)
+            msg.chunks = []
+        return len(entries)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+class _ProxyMatcher:
+    """Duck-typed ``matcher`` attribute of :class:`RemoteDst`."""
+
+    __slots__ = ("_deposit",)
+
+    def __init__(self, deposit: Callable[[WireMessage], None]):
+        self._deposit = deposit
+
+    def deposit(self, msg: WireMessage) -> None:
+        self._deposit(msg)
+
+
+class RemoteDst:
+    """Destination proxy handed to the fault injector.
+
+    Exposes exactly the two attributes :meth:`FaultInjector.transmit`
+    touches (``index`` and ``matcher.deposit``), so the whole fault layer —
+    drop/corrupt/duplicate/reorder/delay, the reliability retransmission
+    schedule, CRC stamping — runs unchanged on the sender's thread and the
+    already-faulted message is what gets encoded onto the wire.
+    """
+
+    __slots__ = ("index", "matcher")
+
+    def __init__(self, index: int, deposit: Callable[[WireMessage], None]):
+        self.index = index
+        self.matcher = _ProxyMatcher(deposit)
+
+
+class RemoteTransportMixin:
+    """The receive/ack halves shared by the ``shm`` and ``asyncio`` planes.
+
+    Concrete backends provide:
+
+    * ``send_frame(src_rank, dst_rank, frame_tuple)`` — FIFO per channel;
+    * ``encode_payload(worker, msg)`` / ``materialize_payload(...)`` —
+      how chunks cross (raw bytes vs arena references);
+    * a pending table per local rank via ``pending_for(rank)``.
+    """
+
+    rndv_aliases_buffers = False
+    supports_cancel = False
+
+    # -- sender side -------------------------------------------------------
+
+    def encode_and_send(self, worker, dst_index: int,
+                        msg: WireMessage) -> None:
+        """Stage, register and emit one message frame (sender thread)."""
+        doc = env.encode_envelope(msg)
+        payload = self.encode_payload(worker, msg)
+        self.pending_for(worker.index).register(msg, worker.memory.pool)
+        self.send_frame(worker.index, dst_index, (MSG, doc, payload))
+
+    # -- receiver side -----------------------------------------------------
+
+    def deliver_frame(self, recv_worker, src_rank: int, frame) -> None:
+        """Dispatch one inbound frame (demux thread).
+
+        ``msg`` frames become a deposit into the local matcher (the one
+        fabric mutation a foreign thread may perform); ``ack`` frames
+        resolve the local pending table.  Detector broadcasts update the
+        local failure detector so ULFM waits terminate across processes.
+        """
+        kind = frame[0]
+        if kind == MSG:
+            _, doc, payload = frame
+            chunks = self.materialize_payload(src_rank, doc, payload)
+            msg = env.decode_envelope(doc, chunks)
+            recv_worker.matcher.deposit(msg)
+        elif kind == ACK:
+            _, msg_id, completion_time, err_blob = frame
+            self.pending_for(recv_worker.index).resolve(
+                msg_id, completion_time, env.decode_error(err_blob))
+        elif kind == DEAD:
+            detector = self._local_detector(recv_worker)
+            if detector is not None:
+                detector.apply_remote_dead(frame[1], frame[2])
+        elif kind == DONE:
+            detector = self._local_detector(recv_worker)
+            if detector is not None:
+                detector.apply_remote_finished(frame[1])
+        elif kind == ABORT:
+            detector = self._local_detector(recv_worker)
+            if detector is not None:
+                detector.apply_remote_abort(frame[1])
+        elif kind != BYE:
+            raise TransportError(f"unknown transport frame kind {kind!r}")
+
+    @staticmethod
+    def _local_detector(worker):
+        injector = worker.fabric.injector
+        return None if injector is None else injector.detector
+
+    # -- receive-path hooks (called from Worker.deliver) -------------------
+
+    def release_chunks(self, recv_worker, msg: WireMessage) -> None:
+        if getattr(msg, "remote_origin", None) is None:
+            # Self-send: the message never crossed the boundary and keeps
+            # in-process pool semantics.
+            super().release_chunks(recv_worker, msg)
+            return
+        # Receiver-side chunks are transport-materialized (frame bytes or
+        # arena views); dropping the references is the whole release.  The
+        # sender's staging comes back via the acknowledgement frame.
+        msg.chunks = []
+
+    def on_delivered(self, recv_worker, msg: WireMessage) -> None:
+        origin = getattr(msg, "remote_origin", None)
+        if origin is None:
+            return
+        msg.chunks = []
+        self.send_frame(recv_worker.index, origin,
+                        (ACK, msg.header.msg_id, msg.completion_time, None))
+
+    def on_delivery_failed(self, recv_worker, msg: WireMessage,
+                           exc: BaseException) -> None:
+        origin = getattr(msg, "remote_origin", None)
+        if origin is None:
+            return
+        msg.chunks = []
+        self.send_frame(recv_worker.index, origin,
+                        (ACK, msg.header.msg_id, msg.completion_time,
+                         env.encode_error(exc)))
+
+
+class BroadcastingDetector:
+    """A :class:`FailureDetector` wrapper that mirrors state to peers.
+
+    On the ``shm`` backend each rank process has its own detector; the
+    local transitions (dead / finished / abort) are broadcast as frames so
+    every process's detector converges and ULFM blocking-wait semantics
+    hold across the boundary.  ``apply_remote_*`` entries apply a peer's
+    broadcast without re-broadcasting (no echo storms).
+    """
+
+    def __init__(self, inner, local_rank: int,
+                 broadcast: Callable[[tuple], None]):
+        self._inner = inner
+        self._local_rank = local_rank
+        self._broadcast = broadcast
+        #: Reason of an abort this rank originated (its own fatal handler
+        #: fired before any peer's abort arrived), else None.  The driver
+        #: uses it to attribute the job abort deterministically.
+        self.abort_origin: Optional[str] = None
+
+    # -- local transitions (broadcast) -------------------------------------
+
+    def mark_dead(self, rank: int, reason: str = "process failed") -> None:
+        self._inner.mark_dead(rank, reason)
+        self._broadcast((DEAD, rank, reason))
+
+    def mark_finished(self, rank: int) -> None:
+        self._inner.mark_finished(rank)
+        self._broadcast((DONE, rank))
+
+    def abort_job(self, reason: str) -> None:
+        if self._inner.abort_job(reason):
+            self.abort_origin = reason
+        self._broadcast((ABORT, reason))
+
+    # -- remote applications (no re-broadcast) -----------------------------
+
+    def apply_remote_dead(self, rank: int, reason: str) -> None:
+        self._inner.mark_dead(rank, reason)
+
+    def apply_remote_finished(self, rank: int) -> None:
+        self._inner.mark_finished(rank)
+
+    def apply_remote_abort(self, reason: str) -> None:
+        self._inner.abort_job(reason)
+
+    # -- hopeless-wait ordering --------------------------------------------
+
+    #: Per-rank grace before raising a hopeless-wait error (seconds).
+    HOPELESS_GRACE = 0.025
+    #: Upper bound on the grace so high ranks don't stall error exits.
+    HOPELESS_GRACE_CAP = 0.5
+
+    def check_hopeless(self, targets, what: str = "wait") -> None:
+        """Rank-staggered hopeless detection.
+
+        On the threaded backends one shared detector serializes fatal
+        errors: the first blocked rank to poll raises its own error, its
+        fatal handler records the abort, and every later poller observes
+        the abort and raises the victim form instead.  With one detector
+        per process that serialization disappears — a rank can raise its
+        own error in the window between a peer's transition frame and
+        that peer's abort frame.  Re-impose the order: when a wait turns
+        hopeless and no abort is recorded yet, wait ``rank * GRACE``
+        before re-checking, so the lowest blocked rank raises (and
+        broadcasts its abort) first and higher ranks see the victim form.
+        """
+        try:
+            self._inner.check_hopeless(targets, what)
+            return
+        except ProcFailedError:
+            if self._local_rank == 0 or self._inner.aborted is not None:
+                raise
+        time.sleep(min(self._local_rank * self.HOPELESS_GRACE,
+                       self.HOPELESS_GRACE_CAP))
+        self._inner.check_hopeless(targets, what)
+
+    # -- queries delegate --------------------------------------------------
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)

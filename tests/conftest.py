@@ -21,6 +21,23 @@ def rng() -> np.random.Generator:
     return np.random.default_rng(12345)
 
 
+def require_transport_capability(*capabilities: str) -> None:
+    """Skip when the active transport (REPRO_TRANSPORT) lacks a capability.
+
+    The conformance matrix re-runs the tier-1 suites per backend; tests
+    that exercise inproc-only semantics — a send-cancel that must succeed
+    (remote backends conservatively refuse once bytes may be in flight),
+    or the data-race sanitizer (unavailable across process boundaries) —
+    skip with a reason instead of failing."""
+    from repro.ucp.transport import create_transport, resolve_transport_name
+
+    name = resolve_transport_name(None)
+    transport = create_transport(name)
+    for cap in capabilities:
+        if not getattr(transport, f"supports_{cap}", False):
+            pytest.skip(f"transport '{name}' does not support {cap}")
+
+
 def assert_bytes_equal(a, b, msg: str = ""):
     a = np.asarray(a, dtype=np.uint8)
     b = np.asarray(b, dtype=np.uint8)

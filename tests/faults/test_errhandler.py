@@ -15,6 +15,8 @@ from repro.errors import (MPIError, ProcFailedError, ProcFailedPendingError,
 from repro.mpi import (ANY_SOURCE, ERRORS_ARE_FATAL, ERRORS_RETURN, Request,
                        run)
 
+from ..conftest import require_transport_capability
+
 #: Kill the first message on the 0->1 channel; everything else flows.
 FIRST_MSG_LOST = {"seed": 1, "drop": 1.0, "window": [0, 1],
                   "channels": [[0, 1]]}
@@ -215,6 +217,8 @@ class TestGracefulDegradation:
 
 class TestCancel:
     def test_cancel_unmatched_recv(self):
+        require_transport_capability("sanitizer")
+
         def fn(comm):
             if comm.rank == 0:
                 return None
@@ -230,6 +234,8 @@ class TestCancel:
         assert res.sanitizer_report.clean
 
     def test_cancel_unclaimed_send_returns_buffers(self):
+        require_transport_capability("cancel", "sanitizer")
+
         def fn(comm):
             if comm.rank == 1:
                 return None
@@ -245,6 +251,7 @@ class TestCancel:
             assert mem["pool"]["outstanding"] == 0
 
     def test_cancel_derived_recv_recycles_bounce_buffer(self):
+        require_transport_capability("sanitizer")
         from repro.core import vector
         from repro.core.datatype import INT32
 
@@ -280,6 +287,8 @@ class TestCancel:
         assert run(fn, nprocs=2, timeout=30).results[1] == 96
 
     def test_waitall_with_cancelled_request_is_clean(self):
+        require_transport_capability("sanitizer")
+
         def fn(comm):
             data = np.full(16, 2, np.uint8)
             if comm.rank == 0:

@@ -12,6 +12,15 @@ import pytest
 
 from repro.sanitize.cli import main as sanitize_main, run_program
 
+from ..conftest import require_transport_capability
+
+
+@pytest.fixture(autouse=True)
+def _sanitizer_backend():
+    """Every test here replays fixtures under the sanitizer."""
+    require_transport_capability("sanitizer")
+
+
 FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
 LOSSY = os.path.join(FIXTURES, "lossy_no_reliability.py")
 EXHAUSTED = os.path.join(FIXTURES, "retry_exhausted.py")

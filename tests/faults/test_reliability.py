@@ -14,6 +14,8 @@ from repro.core import type_create_custom, vector
 from repro.core.datatype import FLOAT64
 from repro.mpi import run
 
+from ..conftest import require_transport_capability
+
 #: Named fault schedules (dict form, as a CLI fixture would write them).
 SCHEDULES = {
     "drop": {"seed": 101, "drop": 0.25},
@@ -126,6 +128,8 @@ def test_different_seeds_diverge():
 
 
 def test_corruption_without_reliability_reaches_app_as_rpd451():
+    require_transport_capability("sanitizer")
+
     def fn(comm):
         data = np.arange(4096, dtype=np.int32)
         if comm.rank == 0:

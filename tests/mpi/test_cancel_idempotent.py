@@ -12,6 +12,8 @@ import numpy as np
 from repro.mpi.requests import Request
 from repro.mpi.runtime import run
 
+from ..conftest import require_transport_capability
+
 
 class _StubTransportReq:
     """Transport request whose cancel always wins."""
@@ -57,6 +59,7 @@ class TestPoolOwnership:
     def test_double_cancel_does_not_steal_reacquired_buffer(self):
         """After cancel #1 recycles the staging chunk, a new send acquires
         it; cancel #2 must not hand the live buffer back to the pool."""
+        require_transport_capability("cancel", "sanitizer")
 
         def fn(comm):
             if comm.rank == 1:
@@ -78,6 +81,8 @@ class TestPoolOwnership:
             assert mem["pool"]["outstanding"] == 0
 
     def test_double_cancel_recv_releases_bounce_buffer_once(self):
+        require_transport_capability("sanitizer")
+
         def fn(comm):
             if comm.rank == 0:
                 return None

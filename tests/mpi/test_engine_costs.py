@@ -15,6 +15,8 @@ from repro.types import (STRUCT_SIMPLE, make_struct_simple,
                          struct_simple_datatype)
 from repro.ucp.netsim import DEFAULT_PARAMS
 
+from ..conftest import require_transport_capability
+
 
 def one_way_time(send_fn, recv_fn, params=None, engine_config=None):
     """Virtual time on the receiving rank after one message."""
@@ -149,6 +151,7 @@ class TestOutOfOrderAblation:
     @pytest.mark.parametrize("inorder,expect_sorted", [(True, True),
                                                        (False, False)])
     def test_ooo_respects_inorder_flag(self, inorder, expect_sorted):
+        require_transport_capability("shared_address_space")
         params = DEFAULT_PARAMS.with_overrides(frag_size=16)
         cfg = EngineConfig(ooo_fragments=True)
         log = []
@@ -164,6 +167,7 @@ class TestOutOfOrderAblation:
         assert (log == sorted(log)) == expect_sorted
 
     def test_default_delivery_in_order(self):
+        require_transport_capability("shared_address_space")
         params = DEFAULT_PARAMS.with_overrides(frag_size=16)
         log = []
 

@@ -1,0 +1,146 @@
+"""Wire-envelope codec: the executable RPD810/811 rules.
+
+These are the "actually crosses a process boundary" checks the in-process
+seed never had: every envelope must be plain data (`assert_portable`), and
+a decode must rebuild a message whose delivery observables are identical
+to the original's.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import TransportError
+from repro.ucp.transport.envelope import (assert_portable, bytes_chunks,
+                                          chunk_bytes, decode_envelope,
+                                          decode_error, encode_envelope,
+                                          encode_error)
+from repro.ucp.wire import WireHeader, WireMessage
+
+
+def _msg(protocol="eager", poisoned=None, rndv=False) -> WireMessage:
+    hdr = WireHeader(tag=0x42, source=1, total_bytes=12,
+                     entry_lengths=(8, 4), packed_entries=2,
+                     protocol=protocol, signature=(("d", 1), ("i", 2)),
+                     msg_id=(2 << 40) | 7)
+    hdr.seq = 5
+    hdr.frag_crcs = (123, 456)
+    msg = WireMessage(hdr, [np.arange(8, dtype=np.uint8),
+                            np.arange(4, dtype=np.uint8) + 100],
+                      send_ready=1e-6, wire_time=2e-6, rndv=rndv,
+                      recv_cost=3e-6)
+    msg.duplicate_of = 9 if protocol == "eager" else None
+    msg.poisoned = poisoned
+    return msg
+
+
+class TestAssertPortable:
+    def test_plain_data_passes(self):
+        assert_portable({"a": 1, "b": (1.5, "x", b"y", None, True),
+                         "c": [{"k": 2}]})
+
+    @pytest.mark.parametrize("bad", [
+        np.arange(3),                      # live buffer view
+        threading.Event(),                 # live handle (RPD811)
+        ValueError("boom"),                # live exception object
+        {1, 2},                            # unordered, not wire-stable
+    ])
+    def test_live_objects_rejected(self, bad):
+        with pytest.raises(TransportError) as ei:
+            assert_portable({"field": bad})
+        assert "field" in str(ei.value)  # the offending path is named
+
+    def test_nested_path_named(self):
+        with pytest.raises(TransportError) as ei:
+            assert_portable({"outer": [{"inner": object()}]})
+        assert "inner" in str(ei.value)
+
+
+class TestEnvelopeRoundtrip:
+    def test_header_and_costs_survive(self):
+        msg = _msg()
+        doc = encode_envelope(msg)
+        assert_portable(doc)
+        # The document must truly cross a boundary.
+        doc = pickle.loads(pickle.dumps(doc))
+        out = decode_envelope(doc, [c.copy() for c in msg.chunks])
+        assert out.header.tag == msg.header.tag
+        assert out.header.source == msg.header.source
+        assert out.header.entry_lengths == msg.header.entry_lengths
+        assert out.header.protocol == msg.header.protocol
+        assert out.header.signature == msg.header.signature
+        assert out.header.seq == msg.header.seq
+        assert out.header.frag_crcs == msg.header.frag_crcs
+        assert out.header.msg_id == msg.header.msg_id
+        # Virtual-time contract: every cost number rides the envelope.
+        assert out.send_ready == msg.send_ready
+        assert out.wire_time == msg.wire_time
+        assert out.rndv == msg.rndv
+        assert out.recv_cost == msg.recv_cost
+        assert out.duplicate_of == msg.duplicate_of
+        assert out.remote_origin == msg.header.source
+
+    def test_fresh_local_handles(self):
+        """RPD811: the completion event never crosses; the decoded side
+        gets its own."""
+        msg = _msg()
+        msg.completed.set()
+        out = decode_envelope(encode_envelope(msg), [])
+        assert out.completed is not msg.completed
+        assert not out.completed.is_set()
+
+    def test_poisoned_crosses_as_blob(self):
+        poison = TransportError("retry budget exhausted")
+        doc = encode_envelope(_msg(poisoned=poison))
+        assert isinstance(doc["poisoned"], bytes)
+        out = decode_envelope(pickle.loads(pickle.dumps(doc)), [])
+        assert isinstance(out.poisoned, TransportError)
+        assert "exhausted" in str(out.poisoned)
+
+    def test_signature_normalized_from_lists(self):
+        doc = encode_envelope(_msg())
+        doc["signature"] = [["d", 1], ["i", 2]]  # JSON-ish decoder shape
+        out = decode_envelope(doc, [])
+        assert out.header.signature == (("d", 1), ("i", 2))
+
+
+class TestErrorCodec:
+    def test_roundtrip(self):
+        err = decode_error(encode_error(ValueError("nope")))
+        assert isinstance(err, ValueError) and str(err) == "nope"
+
+    def test_none_passthrough(self):
+        assert encode_error(None) is None
+        assert decode_error(None) is None
+
+    def test_unpicklable_degrades_to_transport_error(self):
+        class Evil(Exception):
+            def __reduce__(self):
+                raise RuntimeError("cannot pickle me")
+
+        err = decode_error(encode_error(Evil("secret")))
+        assert isinstance(err, TransportError)
+        assert "Evil" in str(err)
+
+
+class TestPayloadCodec:
+    def test_chunk_bytes_roundtrip(self):
+        chunks = [np.arange(16, dtype=np.uint8),
+                  np.zeros(0, dtype=np.uint8)]
+        out = bytes_chunks(chunk_bytes(chunks))
+        assert len(out) == 2
+        assert (out[0] == chunks[0]).all()
+        assert out[1].size == 0
+
+    def test_generic_protocol_chunks_are_private_copies(self):
+        """Unpack callbacks may retain chunks past delivery; the generic
+        protocol therefore gets copies, not frame views."""
+        payloads = chunk_bytes([np.arange(8, dtype=np.uint8)])
+        view = bytes_chunks(payloads, protocol="eager")[0]
+        copy = bytes_chunks(payloads, protocol="generic")[0]
+        assert not view.flags.writeable  # frombuffer view of the frame
+        assert copy.flags.writeable      # private, retainable

@@ -1,0 +1,236 @@
+"""The transport conformance matrix.
+
+One contract, every backend: byte-identical results, identical virtual
+clocks, event-identical message traces.  The shapes cover each protocol
+family (eager, rendezvous, derived/custom datatypes, collectives,
+wildcards) plus the fault layer; ``run_matrix`` does the cross-backend
+comparison against inproc.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mpi.runtime import run
+from repro.types import (DoubleVec, double_vec_custom_datatype,
+                         make_struct_simple, struct_simple_custom_datatype,
+                         struct_simple_datatype)
+
+from .conftest import run_matrix
+
+
+class TestProtocolShapes:
+    def test_eager_pingpong(self):
+        def fn(comm):
+            n = 1 << 10
+            if comm.rank == 0:
+                comm.send(np.arange(n, dtype=np.float64), dest=1, tag=1)
+                buf = np.empty(n, dtype=np.float64)
+                comm.recv(buf, source=1, tag=2)
+                return float(buf.sum())
+            buf = np.empty(n, dtype=np.float64)
+            comm.recv(buf, source=0, tag=1)
+            comm.send(buf * 2, dest=0, tag=2)
+            return float(buf.sum())
+
+        run_matrix(fn, nprocs=2)
+
+    def test_rendezvous_large_exchange(self):
+        def fn(comm):
+            n = 1 << 18  # well past the eager limit
+            peer = 1 - comm.rank
+            mine = np.full(n, comm.rank + 1, dtype=np.uint8)
+            theirs = np.empty(n, dtype=np.uint8)
+            rreq = comm.irecv(theirs, source=peer, tag=0)
+            sreq = comm.isend(mine, dest=peer, tag=0)
+            rreq.wait()
+            sreq.wait()
+            return int(theirs[0]), int(theirs.sum())
+
+        run_matrix(fn, nprocs=2)
+
+    def test_derived_and_custom_datatype_ring(self):
+        def fn(comm):
+            derived = struct_simple_datatype()
+            custom = struct_simple_custom_datatype()
+            dv_t = double_vec_custom_datatype()
+            dst = (comm.rank + 1) % comm.size
+            src = (comm.rank - 1) % comm.size
+            s = make_struct_simple(64)
+            dv = DoubleVec.uniform(10_000, 512)
+            reqs = [comm.isend(s, dest=dst, tag=1, datatype=derived,
+                               count=64),
+                    comm.isend(s, dest=dst, tag=2, datatype=custom,
+                               count=64),
+                    comm.isend(dv, dest=dst, tag=3, datatype=dv_t)]
+            o1 = np.zeros_like(s)
+            comm.recv(o1, source=src, tag=1, datatype=derived, count=64)
+            o2 = np.zeros_like(s)
+            comm.recv(o2, source=src, tag=2, datatype=custom, count=64)
+            o3 = DoubleVec()
+            comm.recv(o3, source=src, tag=3, datatype=dv_t)
+            for r in reqs:
+                r.wait()
+            return (float(o1["a"].sum()), float(o2["d"].sum()),
+                    o3.total_bytes)
+
+        run_matrix(fn, nprocs=3)
+
+    def test_collectives(self):
+        def fn(comm):
+            x = np.full(512, comm.rank + 1.0)
+            summed = np.empty_like(x)
+            comm.allreduce(x, summed)
+            ranks = np.empty(comm.size, dtype=np.int64)
+            comm.allgather(np.array([comm.rank], dtype=np.int64), ranks)
+            comm.barrier()
+            root_view = comm.bcast(
+                np.arange(64, dtype=np.float64) if comm.rank == 0
+                else np.empty(64, dtype=np.float64), root=0)
+            return (float(summed.sum()), [int(r) for r in ranks],
+                    float(np.asarray(root_view).sum()))
+
+        run_matrix(fn, nprocs=4)
+
+    def test_wildcard_source_fifo(self):
+        def fn(comm):
+            if comm.rank == 0:
+                got = []
+                buf = np.empty(1, dtype=np.int64)
+                for _ in range(comm.size - 1):
+                    info = comm.recv(buf, source=-1, tag=7)
+                    got.append((info.source, int(buf[0])))
+                return sorted(got)
+            comm.send(np.array([comm.rank * 10], dtype=np.int64),
+                      dest=0, tag=7)
+            return None
+
+        run_matrix(fn, nprocs=3)
+
+    def test_self_send(self):
+        def fn(comm):
+            buf = np.empty(16, dtype=np.float64)
+            req = comm.isend(np.arange(16, dtype=np.float64),
+                             dest=comm.rank, tag=5)
+            comm.recv(buf, source=comm.rank, tag=5)
+            req.wait()
+            return float(buf.sum())
+
+        run_matrix(fn, nprocs=2)
+
+
+class TestFaultMatrix:
+    def test_seeded_chaos_with_reliability(self):
+        plan = {"seed": 42, "drop": 0.3, "corrupt": 0.1, "duplicate": 0.1,
+                "window": (0, 8)}
+
+        def fn(comm):
+            n = 1 << 12
+            if comm.rank == 0:
+                for k in range(6):
+                    comm.send(np.arange(n, dtype=np.float64) + k,
+                              dest=1, tag=3 + k)
+                return None
+            tot = 0.0
+            for k in range(6):
+                buf = np.empty(n, dtype=np.float64)
+                comm.recv(buf, source=0, tag=3 + k)
+                tot += float(buf[-1])
+            return tot
+
+        results = run_matrix(fn, nprocs=2, faults=plan, reliability=True)
+        ref = results["inproc"]
+        assert ref.reliability[0]["retransmits"] > 0  # the plan did bite
+        for name, got in results.items():
+            assert got.reliability == ref.reliability, \
+                f"{name}: reliability counters diverge"
+            assert got.fault_trace == ref.fault_trace, \
+                f"{name}: fault traces diverge"
+
+    def test_crash_fault_survivor_semantics(self):
+        plan = {"crash": {0: 2e-5}}
+
+        def fn(comm):
+            n = 1 << 14
+            if comm.rank == 0:
+                for k in range(40):
+                    comm.send(np.zeros(n), dest=1, tag=k)
+                return "all-sent"
+            got = 0
+            try:
+                for k in range(40):
+                    buf = np.empty(n)
+                    comm.recv(buf, source=0, tag=k)
+                    got += 1
+            except Exception as exc:
+                return (type(exc).__name__, got)
+            return ("all", got)
+
+        results = run_matrix(fn, nprocs=2, faults=plan, reliability=True)
+        ref = results["inproc"]
+        assert ref.crashed == [0]
+        assert ref.results[1][0] == "ProcFailedError"
+
+    def test_exhausted_retry_budget_poisons_identically(self):
+        plan = {"seed": 7, "drop": 1.0, "window": (0, 1)}
+
+        def fn(comm):
+            from repro.mpi.comm import ERRORS_RETURN
+            comm.set_errhandler(ERRORS_RETURN)
+            n = 1 << 12
+            if comm.rank == 0:
+                comm.send(np.arange(n, dtype=np.float64), dest=1, tag=3)
+                return None
+            buf = np.empty(n, dtype=np.float64)
+            try:
+                comm.recv(buf, source=0, tag=3)
+                return "delivered"
+            except Exception as exc:
+                return type(exc).__name__
+
+        results = run_matrix(
+            fn, nprocs=2, faults=plan,
+            reliability={"enabled": True, "retry_limit": 2})
+        ref = results["inproc"]
+        assert ref.reliability[0]["exhausted"] == 1
+
+
+class TestMemoryAccounting:
+    def test_no_pool_leaks_on_any_backend(self, backend):
+        """Every backend's teardown must return all staging: outstanding
+        ends at zero, the invariant the inproc pool tests rely on."""
+        def fn(comm):
+            peer = 1 - comm.rank
+            for n in (1 << 10, 1 << 17):
+                mine = np.zeros(n, dtype=np.uint8)
+                theirs = np.empty(n, dtype=np.uint8)
+                rreq = comm.irecv(theirs, source=peer, tag=0)
+                sreq = comm.isend(mine, dest=peer, tag=0)
+                rreq.wait()
+                sreq.wait()
+
+        res = run(fn, nprocs=2, transport=backend)
+        for rank, snap in enumerate(res.memory):
+            assert snap["pool"]["outstanding"] == 0, \
+                f"rank {rank}: staging leaked on {backend}"
+
+    def test_shm_zero_copy_uses_arena(self):
+        """Non-contiguous derived sends on shm pack into the shared arena
+        (no spill), the tentpole's zero-bounce-copy claim."""
+        from .conftest import require_backend
+        require_backend("shm")
+
+        def fn(comm):
+            dtype = struct_simple_datatype()
+            s = make_struct_simple(256)
+            if comm.rank == 0:
+                comm.send(s, dest=1, tag=1, datatype=dtype, count=256)
+            else:
+                out = np.zeros_like(s)
+                comm.recv(out, source=0, tag=1, datatype=dtype, count=256)
+                return float(out["a"].sum())
+
+        res = run(fn, nprocs=2, transport="shm")
+        snap = res.memory[0]["pool"]
+        assert snap["arena_spills"] == 0
+        assert snap["arena_used"] > 0

@@ -1,0 +1,27 @@
+"""PR 7's protocol conformance cases, replayed per backend.
+
+The model's predictions are backend-independent; a divergence that shows
+up on one backend only is a transport bug by construction.  This is the
+seeded-case half of the conformance matrix (tests/transport/test_matrix
+is the program-shape half).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analyze.protoconform import builtin_cases, run_conformance
+
+
+def _case_names():
+    return [c.name for c in builtin_cases()]
+
+
+@pytest.mark.parametrize("case_name", _case_names())
+def test_conformance_case_per_backend(backend, case_name):
+    case = next(c for c in builtin_cases() if c.name == case_name)
+    report = run_conformance([case], transport=backend)
+    assert not report.diagnostics, (
+        f"case '{case_name}' diverges from the protocol model on "
+        f"'{backend}': "
+        + "; ".join(d.message for d in report.diagnostics))
