@@ -62,6 +62,12 @@ BASELINE_PATH = Path(__file__).with_name("baseline.json")
 # skips elsewhere (see bench_shm_scaling).
 SHM_SCALING_FLOOR = 2.0
 SHM_SCALING_MIN_CORES = 4
+# Job-service gate: one service slot running N small jobs must reach at
+# least this fraction of back-to-back run() throughput on the same jobs —
+# i.e. admission, queueing, quota plumbing and warm-set recycling may not
+# eat more than the complement of this.  Warm buffer pools typically win
+# the overhead back, so this floor has real slack for CI-machine noise.
+JOB_SERVICE_FLOOR = 0.70
 
 
 def _median_seconds(fn, k: int) -> float:
@@ -306,6 +312,50 @@ def bench_shm_scaling(names: list[str], nprocs: int, iters: int,
     return out
 
 
+def bench_job_service(jobs: int, k: int) -> dict:
+    """Job-service throughput vs back-to-back ``run()`` of the same jobs.
+
+    Two configurations of :class:`repro.serve.JobService` run ``jobs``
+    identical small pingpong jobs: one slot (apples-to-apples with the
+    sequential baseline — the gap is pure scheduler overhead, minus what
+    warm buffer pools win back) and two slots (what the service is for).
+    The ``--check`` gate enforces ``JOB_SERVICE_FLOOR`` on the one-slot
+    ratio: queueing, admission, quota plumbing and warm-set recycling
+    together must not cost more than that fraction of raw ``run()``.
+    """
+    from repro.serve import JobService, JobSpec
+    from repro.serve.workloads import pingpong_job
+
+    fn = pingpong_job(iters=4, nbytes=1024)
+
+    def back_to_back():
+        for _ in range(jobs):
+            run(fn, nprocs=2)
+
+    def service(slots: int):
+        svc = JobService(slots=slots, max_queue=jobs)
+        for i in range(jobs):
+            svc.submit(JobSpec(fn=fn, name=f"bench-{i}"))
+        svc.wait_idle()
+        svc.shutdown()
+
+    base_s = _median_seconds(back_to_back, k)
+    serial_s = _median_seconds(lambda: service(1), k)
+    parallel_s = _median_seconds(lambda: service(2), k)
+    base_rate = jobs / base_s
+    serial_rate = jobs / serial_s
+    return {
+        "jobs": jobs,
+        "back_to_back_jobs_per_s": base_rate,
+        "service_1slot_jobs_per_s": serial_rate,
+        "service_2slot_jobs_per_s": jobs / parallel_s,
+        #: >= 1 means the service (warm pools included) beats raw run().
+        "ratio_1slot": serial_rate / base_rate,
+        "scheduler_overhead_ms_per_job": (serial_s - base_s) / jobs * 1e3,
+        "floor": JOB_SERVICE_FLOOR,
+    }
+
+
 def bench_protomodel(nranks: int, depth: int) -> dict:
     """Model-checker throughput: states explored per second of wall clock
     over the builtin scenario suite (the `proto-verify` CI job's cost)."""
@@ -366,6 +416,12 @@ def check_results(report: dict) -> list[str]:
                     f"{floor:.0f} MB/s (>2x regression)")
     else:
         failures.append(f"baseline file missing: {BASELINE_PATH}")
+    js = report.get("job_service")
+    if js is not None and js["ratio_1slot"] < js["floor"]:
+        failures.append(
+            f"job_service: one-slot service throughput is "
+            f"{js['ratio_1slot']:.2f}x of back-to-back run(); the floor "
+            f"is {js['floor']:.2f}x (scheduler overhead regression)")
     pm = report.get("protomodel")
     if pm is not None and not pm["clean"]:
         failures.append("protomodel: shipped protocol has model-checker "
@@ -448,6 +504,14 @@ def main(argv=None) -> int:
               f"{'' if sc['enforced'] else '  [not enforced]'}")
     if sc["skip_reason"]:
         print(f"{'scaling gate':24s} skipped: {sc['skip_reason']}")
+
+    report["job_service"] = bench_job_service(jobs=8 if args.quick else 24,
+                                              k=min(k, 3))
+    js = report["job_service"]
+    print(f"{'job service':24s} "
+          f"{js['service_1slot_jobs_per_s']:8.0f} jobs/s 1-slot "
+          f"({js['ratio_1slot']:.2f}x of back-to-back, "
+          f"{js['service_2slot_jobs_per_s']:.0f} jobs/s 2-slot)")
 
     report["protomodel"] = bench_protomodel(nranks=2 if args.quick else 3,
                                             depth=60)

@@ -1123,11 +1123,14 @@ def analyze_paths(paths) -> tuple[list[Diagnostic], int, RaceReport]:
 
 
 def shipped_audit_paths() -> list[str]:
-    """The default audit set: the fabric, the MPI layer, the type caches."""
+    """The default audit set: the fabric, the MPI layer, the type caches,
+    and the job service (whose scheduler slots hammer all of the above
+    concurrently)."""
     pkg = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
     return [os.path.join(pkg, "ucp"),
             os.path.join(pkg, "mpi"),
-            os.path.join(pkg, "core", "typecache.py")]
+            os.path.join(pkg, "core", "typecache.py"),
+            os.path.join(pkg, "serve")]
 
 
 def corpus_dir() -> str:

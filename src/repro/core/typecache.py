@@ -104,7 +104,7 @@ _plan_lock = threading.Lock()
 _plans: OrderedDict[tuple[int, int], PackPlan] = OrderedDict()
 _plan_finalizers: dict[int, weakref.finalize] = {}
 _plan_stats = {"hits": 0, "contig_hits": 0, "compiled_hits": 0,
-               "misses": 0, "evictions": 0}
+               "misses": 0, "evictions": 0, "compile_races": 0}
 
 
 def _evict_typemap_plans(tm_id: int) -> None:
@@ -143,9 +143,19 @@ def pack_plan(dtype: Datatype, count: int) -> PackPlan:
             return plan
         _plan_stats["misses"] += 1
     # Compile outside the lock (pure function of the immutable typemap; a
-    # concurrent duplicate compile is harmless).
+    # concurrent duplicate compile is wasted work, never wrong).
     plan = PackPlan(tm, key[1])
     with _plan_lock:
+        # Double-checked insert: under concurrent jobs two slots can miss
+        # on the same key and compile in parallel.  First insert wins —
+        # mirroring ``datatype_of`` — so exactly one plan object is ever
+        # live per key and the finalizer/eviction accounting can't see
+        # two generations of the same entry.
+        existing = _plans.get(key)
+        if existing is not None:
+            _plans.move_to_end(key)
+            _plan_stats["compile_races"] += 1
+            return existing
         _plans[key] = plan
         _plans.move_to_end(key)
         if key[0] not in _plan_finalizers:

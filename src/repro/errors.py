@@ -225,6 +225,63 @@ class RankCrashError(ReproError):
                          f"virtual t={vtime:.3e}s")
 
 
+class PoolLeakError(ReproError):
+    """A job returned its warm worker set with buffers still outstanding.
+
+    Raised by :meth:`repro.ucp.memory.BufferPool.reset_for_job` /
+    :meth:`repro.ucp.memory.MemoryTracker.reset_for_job` at the job
+    boundary, so a leak in job N is attributed to job N instead of being
+    discovered hundreds of jobs later as unexplained pool growth.  Carries
+    the offending job's label and the leak size.
+    """
+
+    def __init__(self, job: str, outstanding: int, leaked_bytes: int):
+        self.job = job
+        self.outstanding = outstanding
+        self.leaked_bytes = leaked_bytes
+        super().__init__(
+            f"job {job!r} leaked {outstanding} pool buffer(s) "
+            f"({leaked_bytes} bytes) — reset_for_job requires a balanced "
+            f"pool at the job boundary")
+
+
+class TimeBudgetExceeded(ReproError):
+    """A rank exhausted its job's virtual-time budget.
+
+    Deliberately *not* an :class:`MPIError` — like a fault-plan crash, the
+    rank simply stops where the quota cut it off.  The job service
+    classifies the resulting abort as a deterministic quota failure (the
+    same program replayed gets the same virtual time), so it is never
+    retried.
+    """
+
+    def __init__(self, budget: float, now: float):
+        self.budget = budget
+        self.now = now
+        super().__init__(f"virtual-time budget exhausted: t={now:.3e}s "
+                         f"exceeds the job's budget of {budget:.3e}s")
+
+
+class MemoryQuotaError(MPIError):
+    """A rank exceeded its job's transient-memory ceiling.
+
+    The ``MPI_ERR_NO_MEM`` class: raised by
+    :meth:`repro.ucp.memory.MemoryTracker` accounting when live transient
+    bytes would cross the per-job ceiling.  Raised *before* a pool buffer
+    is handed out, so the breach never strands pool state.
+    """
+
+    def __init__(self, ceiling: int, live_bytes: int, requested: int):
+        self.ceiling = ceiling
+        self.live_bytes = live_bytes
+        self.requested = requested
+        super().__init__(
+            MPI_ERR_NO_MEM,
+            f"transient allocation of {requested} bytes would put "
+            f"{live_bytes} live bytes over the job's {ceiling}-byte "
+            f"ceiling")
+
+
 class TransportError(ReproError):
     """Failure inside the simulated UCP transport."""
 

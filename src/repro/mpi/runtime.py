@@ -63,6 +63,9 @@ class JobResult:
     crashed: list[int] = field(default_factory=list)
     #: Name of the transport backend the job ran on.
     transport: str = "inproc"
+    #: Messages delivered to the application per rank (always counted —
+    #: no tracing needed).  The job service aggregates this into msgs/s.
+    msgs_delivered: list[int] = field(default_factory=list)
 
     @property
     def max_clock(self) -> float:
@@ -79,6 +82,8 @@ def run(fn: Callable[[Communicator], Any] | Sequence[Callable[[Communicator], An
         faults: Optional[FaultPlan | dict] = None,
         reliability: Optional[ReliabilityConfig | dict | bool] = None,
         transport: Optional[str] = None,
+        memory_trackers: Optional[Sequence] = None,
+        fabric_hook: Optional[Callable] = None,
         ) -> JobResult:
     """Run an SPMD job.
 
@@ -117,6 +122,17 @@ def run(fn: Callable[[Communicator], Any] | Sequence[Callable[[Communicator], An
         Raises :class:`~repro.ucp.transport.TransportUnavailableError`
         when the backend cannot run on this platform or cannot run this
         job (e.g. ``sanitize=True`` on ``shm``).
+    memory_trackers:
+        Warm per-rank :class:`~repro.ucp.memory.MemoryTracker` instances
+        to install instead of fresh ones — the job-service seam that lets
+        buffer pools survive across jobs.  Only supported by backends
+        whose ranks share the driver's address space
+        (``supports_warm_pools``).
+    fabric_hook:
+        Callable invoked with the live :class:`~repro.ucp.context.Fabric`
+        after the data plane is wired and before any rank starts; the job
+        service uses it to install budgeted clocks and capture the kill
+        handle.  Same backend support as ``memory_trackers``.
     """
     if callable(fn):
         fns = [fn] * nprocs
@@ -136,6 +152,17 @@ def run(fn: Callable[[Communicator], Any] | Sequence[Callable[[Communicator], An
 
     backend = create_transport(transport)
     backend.check_job_supported(config, sanitize=sanitize)
+    extra = {}
+    if memory_trackers is not None or fabric_hook is not None:
+        if not backend.supports_warm_pools:
+            from ..ucp.transport.base import TransportUnavailableError
+            raise TransportUnavailableError(
+                f"transport '{backend.name}' does not support warm worker "
+                f"reuse (memory_trackers/fabric_hook need ranks in the "
+                f"driver's address space); use --transport inproc or "
+                f"asyncio")
+        extra = {"memory_trackers": memory_trackers,
+                 "fabric_hook": fabric_hook}
     return backend.run_job(fns, nprocs, config,
                            engine_config=engine_config,
-                           timeout=timeout, sanitize=sanitize)
+                           timeout=timeout, sanitize=sanitize, **extra)

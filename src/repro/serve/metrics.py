@@ -1,0 +1,143 @@
+"""Thread-safe service metrics: counters, latency percentiles, throughput.
+
+The job service is the "heavy traffic" story, so its observability follows
+the shape production job services expose: monotonically increasing counters
+(jobs accepted/rejected/retried/dead-lettered), bounded latency reservoirs
+with percentile summaries (queue wait and run time), and aggregate
+throughput (jobs/s and delivered msgs/s) derived from a single service
+epoch.  Everything is guarded by one lock — metric updates are far off the
+fabric's hot path — and :meth:`ServiceMetrics.snapshot` returns plain JSON
+data, which is what the ``repro-serve --report`` endpoint serializes.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+
+def percentile(sample: list[float], q: float) -> float:
+    """Nearest-rank percentile of a non-empty sorted sample."""
+    if not sample:
+        return 0.0
+    rank = max(0, min(len(sample) - 1, int(round(q * (len(sample) - 1)))))
+    return sample[rank]
+
+
+class LatencyStats:
+    """A bounded latency reservoir with running count/total/max.
+
+    Keeps the most recent ``maxlen`` observations for percentile queries
+    (a 10k-job chaos run must not hold 10k floats per metric forever was
+    never the risk — but an unbounded list in a service that "serves
+    heavy traffic" is exactly the slow leak this PR exists to prevent),
+    while count/total/max stay exact over the full history.
+
+    Thread contract: callers hold the owning registry's lock.
+    """
+
+    def __init__(self, maxlen: int = 8192):
+        self._sample: deque[float] = deque(maxlen=maxlen)
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    def record(self, seconds: float) -> None:
+        self._sample.append(seconds)
+        self.count += 1
+        self.total += seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    def snapshot(self) -> dict:
+        sample = sorted(self._sample)
+        return {
+            "count": self.count,
+            "mean_ms": (self.total / self.count * 1e3) if self.count else 0.0,
+            "p50_ms": percentile(sample, 0.50) * 1e3,
+            "p90_ms": percentile(sample, 0.90) * 1e3,
+            "p99_ms": percentile(sample, 0.99) * 1e3,
+            "max_ms": self.max * 1e3,
+        }
+
+
+class ServiceMetrics:
+    """All counters and reservoirs of one :class:`~repro.serve.JobService`.
+
+    Counter vocabulary (every key always present in a snapshot):
+
+    * ``submitted``/``accepted``/``rejected`` — admission control;
+      rejections are additionally bucketed by reason code.
+    * ``completed``/``failed``/``dead_lettered``/``cancelled`` — terminal
+      outcomes (``failed`` splits into ``failed_deterministic`` and
+      ``failed_quota``).
+    * ``retries`` — attempts beyond the first; ``kills`` — mid-flight
+      kill requests that reached a live job.
+    * ``pool_leaks``/``pools_retired`` — warm-set hygiene: jobs that
+      returned an unbalanced pool, and tracker sets discarded because a
+      timed-out job might still touch them.
+    * ``sanitizer_findings``/``leaked_requests`` — aggregated from
+      sanitized jobs (RPD420/421 are the leak codes).
+    """
+
+    _COUNTERS = (
+        "submitted", "accepted", "rejected",
+        "completed", "failed", "failed_deterministic", "failed_quota",
+        "dead_lettered", "cancelled", "retries", "kills",
+        "pool_leaks", "pools_retired",
+        "sanitizer_findings", "leaked_requests",
+    )
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters = {name: 0 for name in self._COUNTERS}
+        self._rejected_by_reason: dict[str, int] = {}
+        self._queue_latency = LatencyStats()
+        self._run_latency = LatencyStats()
+        self._msgs_delivered = 0
+        self._virtual_seconds = 0.0
+        self._epoch = time.monotonic()
+
+    def inc(self, name: str, n: int = 1) -> None:
+        with self._lock:
+            self._counters[name] += n
+
+    def get(self, name: str) -> int:
+        with self._lock:
+            return self._counters[name]
+
+    def rejected(self, reason: str) -> None:
+        with self._lock:
+            self._counters["rejected"] += 1
+            self._rejected_by_reason[reason] = \
+                self._rejected_by_reason.get(reason, 0) + 1
+
+    def observe_queue_latency(self, seconds: float) -> None:
+        with self._lock:
+            self._queue_latency.record(seconds)
+
+    def observe_run(self, seconds: float, msgs: int,
+                    virtual_seconds: float) -> None:
+        with self._lock:
+            self._run_latency.record(seconds)
+            self._msgs_delivered += msgs
+            self._virtual_seconds += virtual_seconds
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            elapsed = max(time.monotonic() - self._epoch, 1e-9)
+            counters = dict(self._counters)
+            return {
+                "jobs": counters,
+                "rejected_by_reason": dict(self._rejected_by_reason),
+                "queue_latency": self._queue_latency.snapshot(),
+                "run_latency": self._run_latency.snapshot(),
+                "throughput": {
+                    "elapsed_s": elapsed,
+                    "jobs_per_s": counters["completed"] / elapsed,
+                    "msgs_delivered": self._msgs_delivered,
+                    "msgs_per_s": self._msgs_delivered / elapsed,
+                    "virtual_seconds": self._virtual_seconds,
+                },
+            }

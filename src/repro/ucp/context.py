@@ -68,8 +68,10 @@ class UcpContext:
     def __init__(self, config: UcpConfig | None = None):
         self.config = config or UcpConfig()
 
-    def create_fabric(self, nworkers: int, transport=None) -> "Fabric":
-        return Fabric(nworkers, self.config, transport=transport)
+    def create_fabric(self, nworkers: int, transport=None,
+                      memory_trackers=None) -> "Fabric":
+        return Fabric(nworkers, self.config, transport=transport,
+                      memory_trackers=memory_trackers)
 
 
 class Fabric:
@@ -80,9 +82,14 @@ class Fabric:
     threads backend, preserving the seed semantics byte for byte.
     """
 
-    def __init__(self, nworkers: int, config: UcpConfig, transport=None):
+    def __init__(self, nworkers: int, config: UcpConfig, transport=None,
+                 memory_trackers=None):
         if nworkers < 1:
             raise TransportError(f"need at least one worker, got {nworkers}")
+        if memory_trackers is not None and len(memory_trackers) != nworkers:
+            raise TransportError(
+                f"got {len(memory_trackers)} warm memory trackers for "
+                f"{nworkers} workers")
         self.config = config
         self.model = CostModel(config.params)
         self._intra_model = CostModel(config.params.intra_node_variant())
@@ -96,7 +103,11 @@ class Fabric:
             from .transport.inproc import InprocTransport
             transport = InprocTransport()
         self.transport = transport
-        self.workers = [Worker(i, self) for i in range(nworkers)]
+        self.workers = [
+            Worker(i, self, memory=(memory_trackers[i]
+                                    if memory_trackers is not None
+                                    else None))
+            for i in range(nworkers)]
         transport.attach(self)
 
     def worker(self, index: int) -> "Worker":
@@ -289,14 +300,21 @@ class RecvRequest:
 class Worker:
     """One rank's transport engine."""
 
-    def __init__(self, index: int, fabric: Fabric):
+    def __init__(self, index: int, fabric: Fabric,
+                 memory: MemoryTracker | None = None):
         self.index = index
         self.fabric = fabric
         self.config = fabric.config
         self.model = fabric.model
         self.clock = VirtualClock()
         self.matcher = TagMatcher()
-        self.memory = MemoryTracker()
+        #: Allocation accounting + buffer pool.  Normally fresh per job;
+        #: the job service passes a recycled (warm) tracker so pooled
+        #: buffers survive across jobs on the same worker slot.
+        self.memory = memory if memory is not None else MemoryTracker()
+        #: Messages this rank delivered to the application (cheap counter,
+        #: always on — the job service aggregates it into msgs/s).
+        self.delivered_msgs = 0
         #: Job-level sanitizer (attached by ``repro.mpi.run(sanitize=True)``;
         #: None means every check is skipped at zero cost).
         self.sanitizer = None
@@ -487,6 +505,7 @@ class Worker:
                 f"cannot deliver into descriptor {type(data).__name__}")
 
         msg.mark_complete(self.clock.now)
+        self.delivered_msgs += 1
         if self.config.trace_messages:
             self.trace.append({
                 "event": "recv", "peer": hdr.source,

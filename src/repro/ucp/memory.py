@@ -23,6 +23,7 @@ import threading
 
 import numpy as np
 
+from ..errors import MemoryQuotaError, PoolLeakError
 from .netsim import CostModel, VirtualClock
 
 
@@ -167,6 +168,30 @@ class BufferPool:
                 self.dropped += 1
             return len(stranded)
 
+    def reset_for_job(self, job: str = "<unknown>") -> dict[str, int]:
+        """Re-arm the pool at a job boundary, keeping the free lists warm.
+
+        Asserts that the finished job returned every buffer it took:
+        any outstanding buffer raises :class:`~repro.errors.PoolLeakError`
+        naming ``job``, so a leak is attributed to the job that caused it
+        instead of surfacing as unexplained growth hundreds of jobs later.
+        On a balanced pool the per-job counters (hits/misses/returned/
+        dropped) are zeroed while the cached free lists — the whole point
+        of a warm worker set — are preserved.  Returns the warm-state
+        summary (``pooled_buffers``/``pooled_bytes``).
+        """
+        with self._lock:
+            if self._out:
+                outstanding = len(self._out)
+                leaked = sum(b.shape[0] for b in self._out.values())
+                raise PoolLeakError(job, outstanding, leaked)
+            self.hits = self.misses = 0
+            self.returned = self.dropped = 0
+            return {"pooled_buffers": sum(len(v) for v in
+                                          self._free.values()),
+                    "pooled_bytes": sum(k * len(v) for k, v in
+                                        self._free.items())}
+
     def clear(self) -> None:
         """Drop the free lists and reset the statistics."""
         with self._lock:
@@ -185,14 +210,26 @@ class MemoryTracker:
         self.peak_bytes = 0
         self.total_allocated = 0
         self.allocation_count = 0
+        #: Per-job transient-memory quota (bytes of live transient
+        #: allocations); None — the default — disables the check entirely.
+        #: Set by the job service before rank threads start, never mid-job.
+        self.byte_ceiling: int | None = None
         self.pool = BufferPool()
 
     def _account(self, nbytes: int) -> None:
         with self._lock:
-            self.live_bytes += nbytes
-            self.peak_bytes = max(self.peak_bytes, self.live_bytes)
-            self.total_allocated += nbytes
-            self.allocation_count += 1
+            ceiling = self.byte_ceiling
+            if ceiling is not None and self.live_bytes + nbytes > ceiling:
+                # Refuse *before* booking the bytes or touching the pool,
+                # so a quota breach leaves accounting and pool balanced.
+                live = self.live_bytes
+            else:
+                self.live_bytes += nbytes
+                self.peak_bytes = max(self.peak_bytes, self.live_bytes)
+                self.total_allocated += nbytes
+                self.allocation_count += 1
+                return
+        raise MemoryQuotaError(ceiling, live, nbytes)
 
     def allocate(self, nbytes: int, clock: VirtualClock | None = None,
                  model: CostModel | None = None) -> np.ndarray:
@@ -247,4 +284,24 @@ class MemoryTracker:
             self.peak_bytes = 0
             self.total_allocated = 0
             self.allocation_count = 0
+            self.byte_ceiling = None
         self.pool.clear()
+
+    def reset_for_job(self, job: str = "<unknown>") -> dict[str, int]:
+        """Re-arm accounting at a job boundary, keeping the pool warm.
+
+        The pool check runs first (raising
+        :class:`~repro.errors.PoolLeakError` naming ``job`` if the
+        finished job left buffers outstanding); only a balanced tracker is
+        re-armed, so counters never silently absorb a leak.  Unlike
+        :meth:`reset`, the pool's free lists survive — a recycled tracker
+        serves the next job's buffers from cache.
+        """
+        warm = self.pool.reset_for_job(job)
+        with self._lock:
+            self.live_bytes = 0
+            self.peak_bytes = 0
+            self.total_allocated = 0
+            self.allocation_count = 0
+            self.byte_ceiling = None
+        return warm

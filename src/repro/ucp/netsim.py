@@ -164,6 +164,44 @@ class VirtualClock:
         return f"VirtualClock(now={self.now:.9f})"
 
 
+class BudgetedClock(VirtualClock):
+    """A rank clock that enforces a virtual-time budget.
+
+    The job service installs one per worker (before rank threads start)
+    when a job carries a virtual-time quota: the first :meth:`advance` or
+    :meth:`merge` that crosses the budget raises
+    :class:`~repro.errors.TimeBudgetExceeded`, stopping the rank exactly at
+    the quota boundary.  The default :class:`VirtualClock` path is
+    untouched — unbudgeted jobs pay nothing for this feature.
+
+    The charge that crosses the line is still applied before raising, so
+    ``clock.now`` on the aborted rank records where the quota cut it off.
+    """
+
+    __slots__ = ("budget",)
+
+    def __init__(self, budget: float, start: float = 0.0):
+        super().__init__(start)
+        if budget <= 0:
+            raise ValueError(f"non-positive virtual-time budget: {budget}")
+        self.budget = float(budget)
+
+    def _check(self) -> None:
+        if self.now > self.budget:
+            from ..errors import TimeBudgetExceeded
+            raise TimeBudgetExceeded(self.budget, self.now)
+
+    def advance(self, dt: float) -> float:
+        super().advance(dt)
+        self._check()
+        return self.now
+
+    def merge(self, t: float) -> float:
+        super().merge(t)
+        self._check()
+        return self.now
+
+
 class CostModel:
     """Pure functions from operation descriptions to virtual seconds."""
 

@@ -76,6 +76,12 @@ class Transport:
     #: Whether rendezvous envelopes alias the sender's live buffers
     #: (RPD810).  Remote backends must stage instead.
     rndv_aliases_buffers = True
+    #: Whether the driver can hand workers recycled memory trackers (warm
+    #: buffer pools) and observe the live fabric via ``fabric_hook`` —
+    #: the job-service seams.  Only meaningful when ranks share the
+    #: driver's address space; per-job forked processes cannot reuse the
+    #: driver's pools.
+    supports_warm_pools = False
 
     def attach(self, fabric: "Fabric") -> None:
         """Called once from ``Fabric.__init__`` after workers exist."""
@@ -176,6 +182,18 @@ class ThreadedTransport(Transport):
     pool teardown.
     """
 
+    def _reclaim_pools(self, fabric: "Fabric") -> None:
+        """Release unclaimed messages' staging chunks, then force-reclaim.
+
+        Only safe once every rank thread has joined (the pools are
+        quiescent).
+        """
+        for w in fabric.workers:
+            for msg in w.matcher.unmatched_messages():
+                self.release_chunks(w, msg)
+        for w in fabric.workers:
+            w.memory.pool.reclaim()
+
     def wire(self, fabric: "Fabric") -> None:
         """Install the data plane before rank threads start."""
 
@@ -185,16 +203,20 @@ class ThreadedTransport(Transport):
     def abandon(self, fabric: "Fabric") -> None:
         """Dismantle without draining (deadlock-timeout path)."""
 
+    supports_warm_pools = True
+
     def run_job(self, fns: Sequence[Callable], nprocs: int,
                 config: "UcpConfig", engine_config=None,
-                timeout: float = 120.0, sanitize: bool = False):
+                timeout: float = 120.0, sanitize: bool = False,
+                memory_trackers=None, fabric_hook=None):
         import threading
 
         from ...mpi.comm import Communicator
         from ...mpi.runtime import JobResult, RuntimeAbort
         from ..context import UcpContext
 
-        fabric = UcpContext(config).create_fabric(nprocs, transport=self)
+        fabric = UcpContext(config).create_fabric(
+            nprocs, transport=self, memory_trackers=memory_trackers)
         injector = fabric.injector
 
         san = None
@@ -205,6 +227,12 @@ class ThreadedTransport(Transport):
                 w.sanitizer = san
 
         self.wire(fabric)
+        if fabric_hook is not None:
+            # Job-service seam: runs on the driver thread after the data
+            # plane is wired and before any rank thread starts, so the
+            # hook may install budgeted clocks or capture the injector's
+            # failure detector (the mid-flight kill handle) race-free.
+            fabric_hook(fabric)
 
         results: list[Any] = [None] * nprocs
         failures: dict[int, BaseException] = {}
@@ -255,6 +283,17 @@ class ThreadedTransport(Transport):
         if deadline_hit:
             self.abandon(fabric)
             alive = [t.name for t in threads if t.is_alive()]
+            # Every abandoned rank gets an explicit TimeoutError entry —
+            # even when another rank already failed — so callers (the job
+            # service's warm-pool hygiene, quota classification) can see
+            # that live threads were left behind, not just that some rank
+            # raised.
+            for r, t in enumerate(threads):
+                if t.is_alive():
+                    failures.setdefault(
+                        r, TimeoutError(
+                            f"rank {r} still running after {timeout}s "
+                            f"(deadlock?)"))
             abort = RuntimeAbort(failures or {
                 -1: TimeoutError(f"ranks still running after {timeout}s "
                                  f"(deadlock?): {alive}")})
@@ -268,6 +307,14 @@ class ThreadedTransport(Transport):
             if san is not None:
                 abort.sanitizer_report = san.report(aborted=True,
                                                     failures=failures)
+            # Every rank thread joined, so the pools are quiescent: run
+            # the same unclaimed-message/force-reclaim teardown as the
+            # success path (after the sanitizer report, which must still
+            # see the unclaimed messages).  A failed job must not leave
+            # buffers outstanding — callers recycling warm trackers
+            # (the job service) would otherwise see every aborted job as
+            # a pool leak.
+            self._reclaim_pools(fabric)
             raise abort
 
         report = None
@@ -284,11 +331,7 @@ class ThreadedTransport(Transport):
             # force-reclaimed so faults never masquerade as pool leaks.
             # Runs after the sanitizer sweep so RPD421 findings still see
             # the unclaimed messages.
-            for w in fabric.workers:
-                for msg in w.matcher.unmatched_messages():
-                    self.release_chunks(w, msg)
-            for w in fabric.workers:
-                w.memory.pool.reclaim()
+            self._reclaim_pools(fabric)
             reliability_stats = [s.snapshot() for s in injector.stats]
             fault_trace = injector.traces()
 
@@ -310,4 +353,5 @@ class ThreadedTransport(Transport):
             fault_trace=fault_trace,
             crashed=sorted(crashes),
             transport=self.name,
+            msgs_delivered=[w.delivered_msgs for w in fabric.workers],
         )

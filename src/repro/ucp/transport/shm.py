@@ -367,6 +367,7 @@ def _child_main(rank: int, fn, nprocs: int, config, engine_config,
         "clock": worker.clock.now,
         "memory": snap,
         "trace": list(worker.trace),
+        "delivered": worker.delivered_msgs,
         "reliability": reliability,
         "fault_trace": fault_trace,
     }
@@ -547,4 +548,6 @@ class ShmTransport(Transport):
             fault_trace=fault_trace,
             crashed=crashes,
             transport=self.name,
+            msgs_delivered=[rows[r].get("delivered", 0)
+                            for r in range(nprocs)],
         )
